@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Bechamel Benchmark Hashtbl List Measure Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_coreutils.ml: Array Bugrepro Concolic Ctx Hashtbl Instrument Lazy List Minic Printf Util Workloads

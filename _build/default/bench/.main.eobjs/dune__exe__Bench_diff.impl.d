@@ -1,0 +1,1 @@
+bench/bench_diff.ml: Bugrepro Concolic Ctx Instrument Lazy List Minic Printf Staticanalysis Util Workloads

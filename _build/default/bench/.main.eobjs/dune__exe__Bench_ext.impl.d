@@ -1,0 +1,1 @@
+bench/bench_ext.ml: Bugrepro Checkpoint Concolic Ctx Instrument Interp Lazy List Minic Osmodel Printf Replay Util Workloads

@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Bech Bugrepro Concolic Ctx Instrument List Minic Printf Util Workloads

@@ -1,0 +1,1 @@
+bench/bench_userver.ml: Array Bugrepro Concolic Ctx Instrument Lazy List Minic Printf Staticanalysis Util Workloads

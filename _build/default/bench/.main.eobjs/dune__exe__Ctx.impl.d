@@ -1,0 +1,1 @@
+bench/ctx.ml: Concolic List

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_coreutils Bench_diff Bench_ext Bench_micro Bench_userver Ctx List Printf String Sys Unix Util

@@ -1,0 +1,1 @@
+bench/util.ml: Concolic Float List Printf Replay String Unix

@@ -1,0 +1,27 @@
+(* Thin wrapper over Bechamel: run a list of named thunks and return the
+   estimated wall-clock nanoseconds per run for each. *)
+
+open Bechamel
+
+let measure_ns ?(quota_s = 1.0) (cases : (string * (unit -> unit)) list) :
+    (string * float) list =
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases
+  in
+  let grouped = Test.make_grouped ~name:"bench" ~fmt:"%s:%s" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota_s) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.filter_map
+    (fun (name, _) ->
+      let key = "bench:" ^ name in
+      match Hashtbl.find_opt results key with
+      | Some o -> (
+          match Analyze.OLS.estimates o with
+          | Some (t :: _) -> Some (name, t)
+          | _ -> None)
+      | None -> None)
+    cases

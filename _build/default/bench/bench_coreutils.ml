@@ -1,0 +1,171 @@
+(* E3/E4/E5 — the §5.2 coreutils experiments: Figure 1 (branch behaviour of
+   mkdir), Figure 2 (instrumentation CPU time), Table 1 (replay times). *)
+
+let analysis_cache : (string, Bugrepro.Pipeline.analysis) Hashtbl.t = Hashtbl.create 8
+
+let analysis (c : Ctx.t) (e : Workloads.Coreutils.entry) =
+  match Hashtbl.find_opt analysis_cache e.util with
+  | Some a -> a
+  | None ->
+      let a =
+        Bugrepro.Pipeline.analyze ~dynamic_budget:(Ctx.hc_budget c)
+          ~test_scenario:(Workloads.Coreutils.analysis_scenario e)
+          (Lazy.force e.prog)
+      in
+      Hashtbl.replace analysis_cache e.util a;
+      a
+
+(* Figure 1: per-branch-location execution counts for a sample run of
+   mkdir; black bars (symbolic) vs gray bars (all executions). *)
+let e3 (c : Ctx.t) =
+  ignore c;
+  Util.section ~id:"E3" ~paper:"Figure 1"
+    "Branch executions in a sample run of mkdir (# = all, S = symbolic)";
+  let e = Workloads.Coreutils.find "mkdir" in
+  let sc =
+    Concolic.Scenario.make ~name:"mkdir-fig1"
+      ~args:[ "-p"; "-m"; "755"; "deep/dir/tree" ]
+      (Lazy.force e.prog)
+  in
+  let stats = Bugrepro.Pipeline.measure_branch_behaviour sc in
+  let max_v =
+    Array.fold_left max 1 stats.total_execs |> float_of_int
+  in
+  let rows = ref [] in
+  Array.iteri
+    (fun bid total ->
+      if total > 0 then begin
+        let sym = stats.symbolic_execs.(bid) in
+        let info = Minic.Program.branch_info sc.prog bid in
+        rows :=
+          [
+            Printf.sprintf "b%03d%s" bid (if info.bis_lib then " (lib)" else "");
+            string_of_int total;
+            string_of_int sym;
+            Util.bar ~max_width:30 ~max_value:max_v (float_of_int total)
+            ^ (if sym > 0 then " S" else "");
+          ]
+          :: !rows
+      end)
+    stats.total_execs;
+  Util.table ([ "branch"; "execs"; "symbolic"; "profile" ] :: List.rev !rows);
+  let total = Array.fold_left ( + ) 0 stats.total_execs in
+  let sym = Array.fold_left ( + ) 0 stats.symbolic_execs in
+  let mixed = ref 0 and locs = ref 0 in
+  Array.iteri
+    (fun bid t ->
+      if t > 0 then begin
+        incr locs;
+        let s = stats.symbolic_execs.(bid) in
+        if s > 0 && s < t then incr mixed
+      end)
+    stats.total_execs;
+  Printf.printf
+    "%d branch executions, %d symbolic (%.1f%%); %d/%d locations are mixed\n\
+     (executed both symbolically and concretely) — the paper's two\n\
+     assumptions hold when this count is small.\n"
+    total sym
+    (100.0 *. float_of_int sym /. float_of_int (max total 1))
+    !mixed !locs
+
+(* Figure 2: CPU time of mkdir under the four configurations. *)
+let e4 (c : Ctx.t) =
+  Util.section ~id:"E4" ~paper:"Figure 2"
+    "CPU time of mkdir, normalised to the non-instrumented version";
+  let e = Workloads.Coreutils.find "mkdir" in
+  let a = analysis c e in
+  let sc = Workloads.Coreutils.benign_scenario e in
+  let baseline =
+    (Instrument.Field_run.run
+       ~plan:(Bugrepro.Pipeline.plan a Instrument.Methods.No_instrumentation)
+       sc)
+      .cost
+      .instr
+  in
+  let rows =
+    List.map
+      (fun meth ->
+        let plan = Bugrepro.Pipeline.plan a meth in
+        let r = Instrument.Field_run.run ~plan sc in
+        [
+          Instrument.Methods.to_string meth;
+          string_of_int plan.n_instrumented;
+          Util.pct ~baseline r.cost.instr;
+          Util.bar ~max_width:30 ~max_value:200.0
+            (100.0 *. float_of_int r.cost.instr /. float_of_int baseline);
+        ])
+      Instrument.Methods.instrumented
+  in
+  Util.table ([ "config"; "instrumented"; "cpu time"; "" ] :: rows);
+  print_endline
+    "expected shape: dynamic / dynamic+static / static nearly identical\n\
+     (the analyses are accurate on these small programs); all-branches slowest."
+
+(* Table 1: replay time for the four coreutils crash bugs. *)
+let e5 (c : Ctx.t) =
+  Util.section ~id:"E5" ~paper:"Table 1"
+    "Time to replay a real crash bug in four coreutils programs";
+  let rows =
+    List.map
+      (fun (e : Workloads.Coreutils.entry) ->
+        let a = analysis c e in
+        let prog = Lazy.force e.prog in
+        let crash_sc = Workloads.Coreutils.crash_scenario e in
+        let cells =
+          List.map
+            (fun meth ->
+              let plan = Bugrepro.Pipeline.plan a meth in
+              let _, report = Bugrepro.Pipeline.field_run_report ~plan crash_sc in
+              match report with
+              | None -> "no crash!"
+              | Some report ->
+                  let result, _ =
+                    Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c)
+                      ~prog ~plan report
+                  in
+                  Util.verdict_string (Util.replay_verdict result))
+            Instrument.Methods.instrumented
+        in
+        e.util :: cells)
+      Workloads.Coreutils.catalog
+  in
+  Util.table
+    (("program"
+     :: List.map Instrument.Methods.to_string Instrument.Methods.instrumented)
+    :: rows);
+  print_endline
+    "expected shape: all four bugs replay quickly under every configuration\n\
+     (paper: 1-1.5 s for all four instrumented configurations).";
+  (* the paper's ESD comparison: ESD reproduces these bugs with *no* runtime
+     logging, by pure symbolic search from the crash report — our equivalent
+     is replay under the empty (none) plan.  Paper: ESD took 10-15 s vs
+     their 1-1.5 s. *)
+  let esd_rows =
+    List.map
+      (fun (e : Workloads.Coreutils.entry) ->
+        let prog = Lazy.force e.prog in
+        let crash_sc = Workloads.Coreutils.crash_scenario e in
+        let none =
+          Instrument.Plan.make
+            ~nbranches:(Minic.Program.nbranches prog)
+            Instrument.Methods.No_instrumentation
+        in
+        let _, report = Bugrepro.Pipeline.field_run_report ~plan:none crash_sc in
+        match report with
+        | None -> [ e.util; "no crash" ]
+        | Some report ->
+            let result, _ =
+              Bugrepro.Pipeline.reproduce
+                ~budget:{ (Ctx.replay_budget c) with max_time_s = 3.0 *. c.replay_time_s }
+                ~prog ~plan:none report
+            in
+            [ e.util; Util.verdict_string (Util.replay_verdict result) ])
+      Workloads.Coreutils.catalog
+  in
+  Util.section ~id:"E5b" ~paper:"§5.2 (ESD comparison)"
+    "Pure symbolic search with no branch log (the ESD-style baseline)";
+  Util.table ([ "program"; "search time (no log at all)" ] :: esd_rows);
+  print_endline
+    "expected shape: searching without any log is much slower than guided\n\
+     replay (the paper reports 10-15 s for ESD vs 1-1.5 s guided) — and can\n\
+     fail entirely on deeper bugs."

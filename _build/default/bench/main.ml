@@ -1,0 +1,84 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5), plus two ablations.  See DESIGN.md for the experiment
+   index and EXPERIMENTS.md for recorded paper-vs-measured results.
+
+   Usage:
+     dune exec bench/main.exe                 # default scale
+     dune exec bench/main.exe -- --quick      # fast smoke pass
+     dune exec bench/main.exe -- --full       # paper-scale workloads
+     dune exec bench/main.exe -- --only E9,E13
+     dune exec bench/main.exe -- --requests 2000 --replay-timeout 30 *)
+
+let experiments : (string * string * (Ctx.t -> unit)) list =
+  [
+    ("E1", "§5.1 microbench 1: loop instrumentation overhead", Bench_micro.e1);
+    ("E2", "§5.1 microbench 2: Listing 1 fibonacci", Bench_micro.e2);
+    ("E3", "Figure 1: mkdir branch behaviour", Bench_coreutils.e3);
+    ("E4", "Figure 2: mkdir CPU time", Bench_coreutils.e4);
+    ("E5", "Table 1: coreutils replay times", Bench_coreutils.e5);
+    ("E6", "Figure 3: µServer branch behaviour", Bench_userver.e6);
+    ("E7", "Table 2: µServer instrumented locations", Bench_userver.e7);
+    ("E8", "Figure 4: µServer CPU time and storage", Bench_userver.e8);
+    ("E9", "Tables 3 and 4: µServer replay", Bench_userver.e9_e10);
+    ("E11", "Tables 5 and 8: replay without syscall logging", Bench_userver.e11);
+    ("A1", "ablation: syscall-logging overhead", Bench_userver.a1);
+    ("A2", "ablation: dynamic-analysis budget sweep", Bench_userver.a2);
+    ("A3", "extension: checkpointing (§6)", Bench_ext.a3);
+    ("A4", "extension: branch-log compression", Bench_ext.a4);
+    ("A5", "ablation: branch-prediction logging (§4)", Bench_ext.a5);
+    ("A6", "extension: multithreading + schedule log (§6)", Bench_ext.a6);
+    ("E12", "Figure 5: diff CPU time", Bench_diff.e12);
+    ("E13", "Tables 6 and 7: diff replay", Bench_diff.e13_e14);
+  ]
+
+let parse_args () : Ctx.t =
+  let ctx = ref Ctx.default in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        ctx := { Ctx.quick with only = !ctx.only };
+        go rest
+    | "--full" :: rest ->
+        ctx := { Ctx.full with only = !ctx.only };
+        go rest
+    | "--only" :: ids :: rest ->
+        ctx := { !ctx with only = String.split_on_char ',' ids };
+        go rest
+    | "--requests" :: n :: rest ->
+        ctx := { !ctx with requests = int_of_string n };
+        go rest
+    | "--replay-timeout" :: s :: rest ->
+        ctx := { !ctx with replay_time_s = float_of_string s };
+        go rest
+    | "--help" :: _ ->
+        print_endline
+          "options: --quick | --full | --only <ids> | --requests <n> | --replay-timeout <s>";
+        print_endline "experiments:";
+        List.iter (fun (id, d, _) -> Printf.printf "  %-4s %s\n" id d) experiments;
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown option %s (try --help)\n" arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !ctx
+
+let () =
+  let ctx = parse_args () in
+  Printf.printf
+    "Reproduction benchmarks: \"Striking a New Balance Between Program\n\
+     Instrumentation and Debugging Time\" (EuroSys 2011)\n";
+  Printf.printf
+    "scale: %s | %d requests | replay budget %.0fs | LC/HC = %d/%d analysis runs\n"
+    (if ctx.quick then "quick" else "default/full")
+    ctx.requests ctx.replay_time_s ctx.lc_runs ctx.hc_runs;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, _, f) ->
+      if Ctx.wants ctx id then begin
+        let (), dt = Util.time_call (fun () -> f ctx) in
+        Printf.printf "[%s completed in %.1fs]\n%!" id dt
+      end)
+    experiments;
+  Printf.printf "\nAll selected experiments done in %.1fs.\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,90 @@
+(* Shared helpers for the benchmark harness: headers, aligned tables,
+   ASCII histograms (for the paper's figures), timing. *)
+
+let section ~id ~paper title =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "%s — %s\n%s\n" id paper title;
+  Printf.printf "%s\n" (String.make 78 '=')
+
+let hline widths =
+  Printf.printf "+";
+  List.iter (fun w -> Printf.printf "%s+" (String.make (w + 2) '-')) widths;
+  print_newline ()
+
+(* Render an aligned table; first row is the header. *)
+let table (rows : string list list) =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+      let ncols = List.length header in
+      let widths =
+        List.init ncols (fun c ->
+            List.fold_left
+              (fun w row ->
+                match List.nth_opt row c with
+                | Some cell -> max w (String.length cell)
+                | None -> w)
+              0 rows)
+      in
+      let print_row row =
+        Printf.printf "|";
+        List.iteri
+          (fun c cell ->
+            let w = List.nth widths c in
+            Printf.printf " %-*s |" w cell)
+          row;
+        print_newline ()
+      in
+      hline widths;
+      print_row header;
+      hline widths;
+      List.iter print_row (List.tl rows);
+      hline widths
+
+(* Horizontal bar for histograms; [scale] maps a value to a bar length. *)
+let bar ?(max_width = 48) ~max_value v =
+  if max_value <= 0.0 || v <= 0.0 then ""
+  else
+    let n = int_of_float (Float.of_int max_width *. v /. max_value) in
+    String.make (max n 1) '#'
+
+(* Log-scale bar (for Figure 3's log axis). *)
+let log_bar ?(max_width = 48) ~max_value v =
+  if v <= 0.0 then ""
+  else
+    let lv = log10 (v +. 1.0) and lm = log10 (max_value +. 1.0) in
+    bar ~max_width ~max_value:lm lv
+
+let time_call f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let pct ~baseline v =
+  if baseline = 0 then "n/a"
+  else Printf.sprintf "%.0f%%" (100.0 *. float_of_int v /. float_of_int baseline)
+
+let seconds s = Printf.sprintf "%.3fs" s
+
+let infinity_symbol = "inf"
+
+(* ------------------------------------------------------------------ *)
+(* Common pipeline helpers *)
+
+let replay_budget = ref { Concolic.Engine.max_runs = 20_000; max_time_s = 10.0 }
+
+(* The LC/HC dynamic-analysis budgets: the paper's 1-hour vs 2-hour
+   symbolic execution, scaled to exploration runs. *)
+let lc_budget = ref { Concolic.Engine.max_runs = 2; max_time_s = 5.0 }
+let hc_budget = ref { Concolic.Engine.max_runs = 150; max_time_s = 30.0 }
+
+type verdictish = Done of float | Timeout
+
+let verdict_string = function
+  | Done s -> seconds s
+  | Timeout -> infinity_symbol
+
+let replay_verdict (result : Replay.Guided.result) =
+  match result with
+  | Replay.Guided.Reproduced r -> Done r.elapsed_s
+  | Replay.Guided.Not_reproduced _ -> Timeout

@@ -1,0 +1,1 @@
+bin/bugrepro_cli.ml: Arg Bugrepro Cmd Cmdliner Concolic Instrument Interp Lazy List Minic Osmodel Printf Replay String Term Workloads

@@ -1,0 +1,1 @@
+bin/bugrepro_cli.mli:

@@ -1,0 +1,1 @@
+bin/minic_cli.ml: Array Concolic Filename Interp List Minic Osmodel Printf Staticanalysis String Sys Workloads

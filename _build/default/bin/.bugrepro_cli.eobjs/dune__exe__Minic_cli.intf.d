@@ -1,0 +1,1 @@
+bin/minic_cli.mli:

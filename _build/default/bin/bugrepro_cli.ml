@@ -1,0 +1,275 @@
+(* bugrepro — command-line driver for the bundled workloads.
+
+   $ bugrepro list
+   $ bugrepro show paste
+   $ bugrepro run paste -- -d , one two
+   $ bugrepro demo paste --method dynamic+static
+   $ bugrepro demo userver --experiment 3 --method static *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Workload registry *)
+
+type workload = {
+  wname : string;
+  prog : unit -> Minic.Program.t;
+  describe : string;
+  demo_crash : int -> Concolic.Scenario.t;  (** experiment number -> scenario *)
+  demo_test : unit -> Concolic.Scenario.t;  (** analysis scenario *)
+  experiments : string list;
+}
+
+let coreutils_workload util =
+  let e = Workloads.Coreutils.find util in
+  {
+    wname = util;
+    prog = (fun () -> Lazy.force e.prog);
+    describe = e.bug_description;
+    demo_crash = (fun _ -> Workloads.Coreutils.crash_scenario e);
+    demo_test = (fun () -> Workloads.Coreutils.analysis_scenario e);
+    experiments = [ "1: " ^ e.bug_description ];
+  }
+
+let userver_workload =
+  {
+    wname = "userver";
+    prog = (fun () -> Lazy.force Workloads.Userver.prog);
+    describe = "event-driven web server (µServer analogue, §5.3)";
+    demo_crash =
+      (fun n -> Workloads.Userver.experiment_scenario (Workloads.Userver.experiment n));
+    demo_test =
+      (fun () ->
+        Workloads.Userver.scenario ~name:"userver-test"
+          (Workloads.Http_gen.workload 8));
+    experiments =
+      List.map
+        (fun (e : Workloads.Userver.experiment) ->
+          Printf.sprintf "%d: %s" e.id e.description)
+        Workloads.Userver.experiments;
+  }
+
+let diff_workload =
+  {
+    wname = "diff";
+    prog = (fun () -> Lazy.force Workloads.Diffutil.prog);
+    describe = "line differ (input-intensive, §5.4)";
+    demo_crash =
+      (fun n ->
+        if n <= 1 then Workloads.Diffutil.experiment_1 ()
+        else Workloads.Diffutil.experiment_2 ());
+    demo_test = (fun () -> Workloads.Diffutil.experiment_1 ());
+    experiments = [ "1: small file pair"; "2: larger file pair" ];
+  }
+
+let mtrace_workload =
+  {
+    wname = "mtrace";
+    prog = (fun () -> Lazy.force Workloads.Mtrace.prog);
+    describe = "multithreaded scanner with a check-then-act race (§6)";
+    demo_crash = (fun _ -> Workloads.Mtrace.scenario ~seed:3 ());
+    demo_test = (fun () -> Workloads.Mtrace.benign_scenario ());
+    experiments = [ "1: alert-log overflow under adversarial schedule" ];
+  }
+
+let workloads =
+  List.map coreutils_workload [ "mkdir"; "mknod"; "mkfifo"; "paste" ]
+  @ [ userver_workload; diff_workload; mtrace_workload ]
+
+let find_workload name =
+  match List.find_opt (fun w -> String.equal w.wname name) workloads with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %s (known: %s)" name
+           (String.concat ", " (List.map (fun w -> w.wname) workloads)))
+
+let method_of_string = function
+  | "dynamic" -> Ok Instrument.Methods.Dynamic
+  | "static" -> Ok Instrument.Methods.Static
+  | "dynamic+static" | "combined" -> Ok Instrument.Methods.Dynamic_static
+  | "all" | "all-branches" -> Ok Instrument.Methods.All_branches
+  | "none" -> Ok Instrument.Methods.No_instrumentation
+  | s -> Error (Printf.sprintf "unknown method %s" s)
+
+(* ------------------------------------------------------------------ *)
+(* Commands *)
+
+let list_cmd () =
+  List.iter
+    (fun w ->
+      Printf.printf "%-8s %s\n" w.wname w.describe;
+      List.iter (fun e -> Printf.printf "         exp %s\n" e) w.experiments)
+    workloads;
+  0
+
+let show_cmd name =
+  match find_workload name with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok w ->
+      let p = w.prog () in
+      Printf.printf
+        "%s: %d branch locations (%d application, %d library), %d functions\n"
+        w.wname (Minic.Program.nbranches p)
+        (Minic.Program.app_branch_count p)
+        (Minic.Program.lib_branch_count p)
+        (List.length p.funcs);
+      List.iter
+        (fun (f : Minic.Ast.func) ->
+          if not f.fis_lib then
+            Printf.printf "  %s(%s)\n" f.fname
+              (String.concat ", " (List.map fst f.fparams)))
+        p.funcs;
+      0
+
+let run_cmd name args =
+  match find_workload name with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok w ->
+      let prog = w.prog () in
+      let sc = Concolic.Scenario.make ~name ~args prog in
+      let _w, handle = Osmodel.World.kernel sc.world in
+      let r =
+        Interp.Eval.run prog
+          {
+            Interp.Eval.inputs = Interp.Inputs.of_strings args;
+            kernel = Interp.Kernel.of_world handle;
+            hooks = Interp.Eval.no_hooks;
+            max_steps = sc.max_steps;
+      scheduler = None;
+          }
+      in
+      print_string r.output;
+      Printf.printf "-> %s (%d steps)\n" (Interp.Crash.outcome_to_string r.outcome)
+        r.steps;
+      (match r.outcome with Interp.Crash.Exit n -> n | _ -> 1)
+
+let demo_cmd name meth_s experiment timeout save =
+  match find_workload name, method_of_string meth_s with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      2
+  | Ok w, Ok meth -> (
+      let prog = w.prog () in
+      Printf.printf "== analysing %s ==\n%!" w.wname;
+      let analysis =
+        Bugrepro.Pipeline.analyze
+          ~dynamic_budget:{ Concolic.Engine.max_runs = 120; max_time_s = 15.0 }
+          ~analyze_lib:(not (String.equal w.wname "userver"))
+          ~test_scenario:(w.demo_test ()) prog
+      in
+      let plan = Bugrepro.Pipeline.plan analysis meth in
+      Printf.printf "method %s instruments %d/%d branch locations\n%!"
+        (Instrument.Methods.to_string meth)
+        plan.n_instrumented
+        (Minic.Program.nbranches prog);
+      Printf.printf "== field run (experiment %d) ==\n%!" experiment;
+      let crash_sc = w.demo_crash experiment in
+      let field, report = Bugrepro.Pipeline.field_run_report ~plan crash_sc in
+      Printf.printf "outcome: %s\n%!" (Interp.Crash.outcome_to_string field.outcome);
+      match report with
+      | None ->
+          print_endline "no crash, nothing to report";
+          0
+      | Some report -> (
+          Printf.printf "report: %s\n" (Instrument.Report.describe report);
+          (* ship the report through its wire form (and optionally to disk):
+             the developer-side replay below works from the parsed copy *)
+          let wire = Instrument.Wire.serialize report in
+          (match save with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc wire;
+              close_out oc;
+              Printf.printf "wire form written to %s (%d bytes)\n" path
+                (String.length wire)
+          | None -> ());
+          let report =
+            match Instrument.Wire.deserialize wire with
+            | Ok r -> r
+            | Error e -> failwith ("wire round trip failed: " ^ e)
+          in
+          Printf.printf "== guided replay (budget %.0fs) ==\n%!" timeout;
+          let result, stats =
+            Bugrepro.Pipeline.reproduce
+              ~budget:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
+              ~prog ~plan report
+          in
+          Printf.printf
+            "cases: %d pinned (2a), %d forced (2b), %d free symbolic (1), %d concrete-mismatch (3b)\n"
+            stats.cases.case2a stats.cases.case2b stats.cases.case1
+            stats.cases.case3b;
+          match result with
+          | Replay.Guided.Reproduced r ->
+              Printf.printf "REPRODUCED in %.3fs after %d runs at %s\n" r.elapsed_s
+                r.runs
+                (Interp.Crash.to_string r.crash);
+              0
+          | Replay.Guided.Not_reproduced r ->
+              Printf.printf "NOT reproduced (%d runs, %.1fs, timed out: %b)\n" r.runs
+                r.elapsed_s r.timed_out;
+              1))
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring *)
+
+let workload_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+
+let list_t = Term.(const list_cmd $ const ())
+
+let show_t = Term.(const show_cmd $ workload_arg)
+
+let run_t =
+  let args = Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS") in
+  Term.(const run_cmd $ workload_arg $ args)
+
+let demo_t =
+  let meth =
+    Arg.(
+      value
+      & opt string "dynamic+static"
+      & info [ "method"; "m" ] ~docv:"METHOD"
+          ~doc:"Instrumentation method: dynamic, static, dynamic+static, all, none.")
+  in
+  let exp =
+    Arg.(
+      value & opt int 1
+      & info [ "experiment"; "e" ] ~docv:"N" ~doc:"Experiment/bug number.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 20.0
+      & info [ "timeout"; "t" ] ~docv:"SECONDS" ~doc:"Replay budget.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the bug report's wire form to FILE.")
+  in
+  Term.(const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "list" ~doc:"List bundled workloads and experiments") list_t;
+    Cmd.v (Cmd.info "show" ~doc:"Show a workload's structure") show_t;
+    Cmd.v (Cmd.info "run" ~doc:"Run a workload with the given arguments") run_t;
+    Cmd.v
+      (Cmd.info "demo"
+         ~doc:"Full pipeline: analyse, instrument, crash, report, replay")
+      demo_t;
+  ]
+
+let () =
+  let info =
+    Cmd.info "bugrepro" ~version:"1.0"
+      ~doc:
+        "Partial branch logging and guided symbolic replay (EuroSys'11 \
+         reproduction)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,137 @@
+(* minic — run, inspect or analyse a MiniC source file from disk.
+
+   $ minic run prog.c -- arg1 arg2        # execute (runtime library linked)
+   $ minic check prog.c                   # parse + type check, list branches
+   $ minic pretty prog.c                  # normalised pretty-printed source
+   $ minic analyze prog.c -- testarg      # static + dynamic branch labels
+
+   The simulated OS starts empty; give file inputs with --file path=contents
+   and connection payloads with --conn data (repeatable). *)
+
+let usage () =
+  prerr_endline
+    "usage: minic (run|check|pretty|analyze) FILE [--file p=c] [--conn data] [-- args...]";
+  exit 2
+
+type opts = {
+  mutable files : (string * string) list;
+  mutable conns : string list;
+  mutable args : string list;
+}
+
+let parse_opts argv =
+  let o = { files = []; conns = []; args = [] } in
+  let rec go = function
+    | [] -> ()
+    | "--" :: rest ->
+        o.args <- rest;
+        ()
+    | "--file" :: spec :: rest ->
+        (match String.index_opt spec '=' with
+        | Some i ->
+            o.files <-
+              o.files
+              @ [
+                  ( String.sub spec 0 i,
+                    String.sub spec (i + 1) (String.length spec - i - 1) );
+                ]
+        | None -> usage ());
+        go rest
+    | "--conn" :: data :: rest ->
+        o.conns <- o.conns @ [ data ];
+        go rest
+    | _ -> usage ()
+  in
+  go argv;
+  o
+
+let load file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile file =
+  match Workloads.Runtime_lib.link ~name:(Filename.remove_extension file) (load file) with
+  | prog -> prog
+  | exception Minic.Parser.Error (msg, loc) ->
+      Printf.eprintf "%s: parse error: %s\n" (Minic.Loc.to_string loc) msg;
+      exit 1
+  | exception Minic.Lexer.Error (msg, loc) ->
+      Printf.eprintf "%s: lex error: %s\n" (Minic.Loc.to_string loc) msg;
+      exit 1
+  | exception Minic.Program.Link_error msg ->
+      Printf.eprintf "link error: %s\n" msg;
+      exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: cmd :: file :: rest -> (
+      let o = parse_opts rest in
+      match cmd with
+      | "check" ->
+          let prog = compile file in
+          Printf.printf "%s: OK — %d functions, %d branch locations\n" file
+            (List.length prog.funcs)
+            (Minic.Program.nbranches prog);
+          Array.iter
+            (fun (b : Minic.Number.info) ->
+              Printf.printf "  b%03d %-5s %s (%s)\n" b.bid
+                (Minic.Number.kind_to_string b.bkind)
+                (Minic.Loc.to_string b.bloc) b.bfunc)
+            prog.branches;
+          exit 0
+      | "pretty" ->
+          let u = Minic.Parser.parse_unit ~file (load file) in
+          print_endline (Minic.Pretty.unit_to_string u);
+          exit 0
+      | "run" ->
+          let prog = compile file in
+          let world =
+            { Osmodel.World.default_config with files = o.files; conns = o.conns }
+          in
+          let _w, handle = Osmodel.World.kernel world in
+          let r =
+            Interp.Eval.run prog
+              {
+                Interp.Eval.inputs = Interp.Inputs.of_strings o.args;
+                kernel = Interp.Kernel.of_world handle;
+                hooks = Interp.Eval.no_hooks;
+                max_steps = 100_000_000;
+                scheduler = None;
+              }
+          in
+          print_string r.output;
+          Printf.eprintf "-> %s (%d steps)\n"
+            (Interp.Crash.outcome_to_string r.outcome)
+            r.steps;
+          exit (match r.outcome with Interp.Crash.Exit n -> n land 0xff | _ -> 1)
+      | "analyze" ->
+          let prog = compile file in
+          let world =
+            { Osmodel.World.default_config with files = o.files; conns = o.conns }
+          in
+          let sc =
+            Concolic.Scenario.make ~name:file ~args:o.args ~world prog
+          in
+          let dyn =
+            Concolic.Dynamic.analyze
+              ~budget:{ Concolic.Engine.max_runs = 100; max_time_s = 10.0 }
+              sc
+          in
+          let sta = Staticanalysis.Static.analyze prog in
+          Printf.printf
+            "dynamic: %d runs, %.0f%% coverage; static: %d symbolic of %d\n"
+            dyn.runs (100.0 *. dyn.coverage) sta.n_symbolic
+            (Minic.Program.nbranches prog);
+          Array.iter
+            (fun (b : Minic.Number.info) ->
+              Printf.printf "  b%03d %-28s dynamic=%-9s static=%s\n" b.bid
+                (Minic.Loc.to_string b.bloc)
+                (Minic.Label.to_string dyn.labels.(b.bid))
+                (Minic.Label.to_string sta.labels.(b.bid)))
+            prog.branches;
+          exit 0
+      | _ -> usage ())
+  | _ -> usage ()

@@ -1,0 +1,1 @@
+examples/coreutils_bugs.ml: Bugrepro Concolic Instrument Lazy List Printf Replay String Workloads

@@ -1,0 +1,1 @@
+examples/coreutils_bugs.mli:

@@ -1,0 +1,1 @@
+examples/longrunning_checkpoint.ml: Checkpoint Concolic Instrument Interp Lazy List Minic Printf Replay Workloads

@@ -1,0 +1,1 @@
+examples/longrunning_checkpoint.mli:

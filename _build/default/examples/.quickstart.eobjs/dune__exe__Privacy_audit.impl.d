@@ -1,0 +1,1 @@
+examples/privacy_audit.ml: Buffer Bugrepro Char Concolic Instrument Interp List Minic Option Printf Replay Solver String Workloads

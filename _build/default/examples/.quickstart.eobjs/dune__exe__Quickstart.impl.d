@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bugrepro Char Concolic Instrument Interp List Minic Option Printf Replay Solver String Workloads

@@ -1,0 +1,1 @@
+examples/race_debugging.ml: Bugrepro Concolic Instrument Interp List Minic Option Printf Replay String Workloads

@@ -1,0 +1,1 @@
+examples/webserver_debugging.ml: Buffer Bugrepro Char Concolic Instrument Interp Lazy List Minic Option Printf Replay Solver String Workloads

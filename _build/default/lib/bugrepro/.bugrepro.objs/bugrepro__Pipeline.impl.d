@@ -1,0 +1,1 @@
+lib/bugrepro/pipeline.ml: Array Concolic Instrument Interp Minic Option Osmodel Program Replay Solver Staticanalysis

@@ -1,0 +1,1 @@
+lib/bugrepro/pipeline.mli: Concolic Instrument Minic Replay Staticanalysis

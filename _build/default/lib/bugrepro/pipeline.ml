@@ -1,0 +1,167 @@
+(** The end-to-end pipeline of the paper, as one API.
+
+    Developer site, pre-deployment:
+    {ol {- [analyze]: run dynamic (time-budgeted concolic) and/or static
+           (dataflow + points-to) analysis on the program;}
+        {- [plan]: choose an instrumentation method and compute the branch
+           set to instrument (retained by the developer);}}
+
+    User site:
+    {ol {- [field_run]: execute the instrumented program on real input,
+           logging one bit per instrumented branch (plus selected syscall
+           results);}
+        {- on a crash, [Instrument.Report.of_field_run] assembles the bug
+           report — no input content included.}}
+
+    Developer site, post-report:
+    {ol {- [reproduce]: guided symbolic replay along the partial branch
+           trace until an input crashing at the reported site is found.}} *)
+
+open Minic
+
+type analysis = {
+  prog : Program.t;
+  dynamic : Concolic.Dynamic.result option;
+  static : Staticanalysis.Static.result option;
+}
+
+(** Pre-deployment analysis.  [test_scenario] is the developer's test
+    environment for dynamic analysis (the paper leverages the testing
+    effort); [dynamic_budget] is the symbolic-execution time knob (LC vs
+    HC); [analyze_lib = false] reproduces the uServer setup where the
+    merged source was too large for points-to analysis. *)
+let analyze ?(dynamic_budget = Concolic.Engine.default_budget)
+    ?(analyze_lib = true) ?test_scenario (prog : Program.t) : analysis =
+  let dynamic = Option.map (Concolic.Dynamic.analyze ~budget:dynamic_budget) test_scenario in
+  let static = Some (Staticanalysis.Static.analyze ~analyze_lib prog) in
+  { prog; dynamic; static }
+
+(** Instrumentation plan for a method, from the available analyses. *)
+let plan (a : analysis) (meth : Instrument.Methods.t) : Instrument.Plan.t =
+  Instrument.Plan.make
+    ~nbranches:(Program.nbranches a.prog)
+    ?dynamic:(Option.map (fun (d : Concolic.Dynamic.result) -> d.labels) a.dynamic)
+    ?static:(Option.map (fun (s : Staticanalysis.Static.result) -> s.labels) a.static)
+    meth
+
+(** User-site execution (re-exported from {!Instrument.Field_run}). *)
+let field_run = Instrument.Field_run.run
+
+(** Full user-site step: run and, if it crashed, build the report. *)
+let field_run_report ?log_syscalls ~plan:p (sc : Concolic.Scenario.t) :
+    Instrument.Field_run.result * Instrument.Report.t option =
+  let r = Instrument.Field_run.run ?log_syscalls ~plan:p sc in
+  (r, Instrument.Report.of_field_run ~sc ~plan:p r)
+
+(** Developer-site bug reproduction (re-exported from {!Replay}). *)
+let reproduce = Replay.Guided.reproduce
+
+(* ------------------------------------------------------------------ *)
+(* Measurement oracle for Table 4 / Table 7 style statistics *)
+
+type symbolic_logging_stats = {
+  logged_locs : int;  (** symbolic branch locations that are instrumented *)
+  logged_execs : int;  (** symbolic branch executions logged *)
+  unlogged_locs : int;  (** symbolic branch locations not instrumented *)
+  unlogged_execs : int;
+}
+
+(** Replay-difficulty oracle: execute [sc] once with symbolic inputs over
+    the concrete simulated OS and count, among branch executions whose
+    condition is actually input-dependent, how many hit instrumented
+    locations.  The paper's Tables 4, 7 and 8 report exactly these four
+    numbers, and shows they predict replay time.
+
+    [syscall_results_symbolic] controls whether branches that test
+    system-call *results* count as symbolic: false models replay with a
+    syscall log (results are replayed verbatim — Tables 4 and 7), true
+    models replay without one (results must be searched — Table 8). *)
+let measure_symbolic_logging ?(syscall_results_symbolic = false)
+    ~(plan : Instrument.Plan.t) (sc : Concolic.Scenario.t) :
+    symbolic_logging_stats =
+  let vars = Solver.Symvars.create () in
+  let world, handle = Osmodel.World.kernel sc.world in
+  let sk =
+    Concolic.Sym_kernel.create ~vars ~model:Solver.Model.empty ~world ~handle
+      ~sym_results:syscall_results_symbolic ()
+  in
+  let n = Program.nbranches sc.prog in
+  let sym_execs = Array.make n 0 in
+  let hooks =
+    {
+      Interp.Eval.no_hooks with
+      Interp.Eval.on_branch =
+        (fun ~bid ~taken:_ ~cond ->
+          if Interp.Value.is_symbolic cond then sym_execs.(bid) <- sym_execs.(bid) + 1);
+    }
+  in
+  let caps = (Concolic.Scenario.shape_of sc).arg_caps in
+  let cfg =
+    {
+      Interp.Eval.inputs =
+        Concolic.Sym_kernel.symbolic_args ~vars ~model:Solver.Model.empty sc ~caps;
+      kernel = Concolic.Sym_kernel.kernel sk;
+      hooks;
+      max_steps = sc.max_steps;
+      scheduler = None;
+    }
+  in
+  let (_ : Interp.Eval.result) = Interp.Eval.run sc.prog cfg in
+  let stats = ref { logged_locs = 0; logged_execs = 0; unlogged_locs = 0; unlogged_execs = 0 } in
+  Array.iteri
+    (fun bid execs ->
+      if execs > 0 then
+        if Instrument.Plan.is_instrumented plan bid then
+          stats :=
+            { !stats with logged_locs = !stats.logged_locs + 1;
+              logged_execs = !stats.logged_execs + execs }
+        else
+          stats :=
+            { !stats with unlogged_locs = !stats.unlogged_locs + 1;
+              unlogged_execs = !stats.unlogged_execs + execs })
+    sym_execs;
+  !stats
+
+(* ------------------------------------------------------------------ *)
+(* Branch-behaviour measurement (Figure 1 / Figure 3 style) *)
+
+type branch_exec_stats = {
+  total_execs : int array;  (** executions per branch id *)
+  symbolic_execs : int array;  (** executions with a symbolic condition *)
+}
+
+(** Run [sc] once with symbolic inputs and record per-branch-location
+    execution counts, total and symbolic — the data behind the paper's
+    Figures 1 and 3 and its two branch-behaviour observations. *)
+let measure_branch_behaviour (sc : Concolic.Scenario.t) : branch_exec_stats =
+  let vars = Solver.Symvars.create () in
+  let world, handle = Osmodel.World.kernel sc.world in
+  let sk =
+    Concolic.Sym_kernel.create ~vars ~model:Solver.Model.empty ~world ~handle
+      ~sym_results:true ()
+  in
+  let n = Program.nbranches sc.prog in
+  let total = Array.make n 0 in
+  let sym = Array.make n 0 in
+  let hooks =
+    {
+      Interp.Eval.no_hooks with
+      Interp.Eval.on_branch =
+        (fun ~bid ~taken:_ ~cond ->
+          total.(bid) <- total.(bid) + 1;
+          if Interp.Value.is_symbolic cond then sym.(bid) <- sym.(bid) + 1);
+    }
+  in
+  let caps = (Concolic.Scenario.shape_of sc).arg_caps in
+  let cfg =
+    {
+      Interp.Eval.inputs =
+        Concolic.Sym_kernel.symbolic_args ~vars ~model:Solver.Model.empty sc ~caps;
+      kernel = Concolic.Sym_kernel.kernel sk;
+      hooks;
+      max_steps = sc.max_steps;
+      scheduler = None;
+    }
+  in
+  let (_ : Interp.Eval.result) = Interp.Eval.run sc.prog cfg in
+  { total_execs = total; symbolic_execs = sym }

@@ -1,0 +1,80 @@
+(** The end-to-end pipeline of the paper, as one API.
+
+    Developer site, pre-deployment: {!analyze} (dynamic and/or static
+    branch labelling) then {!plan} (pick a §2.3 instrumentation method).
+    User site: {!field_run} / {!field_run_report} (bit-per-branch logging;
+    a crash yields a {!Instrument.Report.t}).  Developer site, post-report:
+    {!reproduce} (guided symbolic replay). *)
+
+type analysis = {
+  prog : Minic.Program.t;
+  dynamic : Concolic.Dynamic.result option;
+  static : Staticanalysis.Static.result option;
+}
+
+(** Pre-deployment analysis.  [test_scenario] is the developer's test
+    environment for dynamic analysis; [dynamic_budget] is the
+    symbolic-execution time knob (LC vs HC); [analyze_lib = false]
+    reproduces the uServer setup where the merged source was too large for
+    points-to analysis. *)
+val analyze :
+  ?dynamic_budget:Concolic.Engine.budget ->
+  ?analyze_lib:bool ->
+  ?test_scenario:Concolic.Scenario.t ->
+  Minic.Program.t ->
+  analysis
+
+(** Instrumentation plan for a method, from the available analyses. *)
+val plan : analysis -> Instrument.Methods.t -> Instrument.Plan.t
+
+val field_run :
+  ?log_syscalls:bool ->
+  plan:Instrument.Plan.t ->
+  Concolic.Scenario.t ->
+  Instrument.Field_run.result
+
+(** Full user-site step: run and, if it crashed, build the report. *)
+val field_run_report :
+  ?log_syscalls:bool ->
+  plan:Instrument.Plan.t ->
+  Concolic.Scenario.t ->
+  Instrument.Field_run.result * Instrument.Report.t option
+
+val reproduce :
+  ?budget:Concolic.Engine.budget ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?restore:Replay.Guided.restore_fn ->
+  prog:Minic.Program.t ->
+  plan:Instrument.Plan.t ->
+  Instrument.Report.t ->
+  Replay.Guided.result * Replay.Guided.stats
+
+(** {1 Measurement oracles (benchmarks)} *)
+
+type symbolic_logging_stats = {
+  logged_locs : int;  (** symbolic branch locations that are instrumented *)
+  logged_execs : int;
+  unlogged_locs : int;
+  unlogged_execs : int;
+}
+
+(** Replay-difficulty oracle (Tables 4, 7, 8): one symbolic-input execution
+    over the concrete simulated OS, counting input-dependent branch
+    executions at instrumented vs uninstrumented locations.
+    [syscall_results_symbolic] (default false) additionally counts branches
+    on system-call results as symbolic — the Table 8 setting, where no
+    syscall log pins them. *)
+val measure_symbolic_logging :
+  ?syscall_results_symbolic:bool ->
+  plan:Instrument.Plan.t ->
+  Concolic.Scenario.t ->
+  symbolic_logging_stats
+
+type branch_exec_stats = {
+  total_execs : int array;  (** executions per branch id *)
+  symbolic_execs : int array;  (** executions with a symbolic condition *)
+}
+
+(** Per-branch-location execution counts (Figures 1 and 3). *)
+val measure_branch_behaviour : Concolic.Scenario.t -> branch_exec_stats

@@ -1,0 +1,1 @@
+lib/checkpoint/cfield.ml: Concolic Instrument Interp Option Osmodel Snapshot

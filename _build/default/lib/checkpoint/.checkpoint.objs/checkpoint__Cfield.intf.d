@@ -1,0 +1,1 @@
+lib/checkpoint/cfield.mli: Concolic Instrument Interp Snapshot

@@ -1,0 +1,1 @@
+lib/checkpoint/creplay.ml: Instrument Minic Replay Snapshot Solver

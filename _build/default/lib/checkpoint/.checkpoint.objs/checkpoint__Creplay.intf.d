@@ -1,0 +1,1 @@
+lib/checkpoint/creplay.mli: Concolic Instrument Minic Replay Snapshot

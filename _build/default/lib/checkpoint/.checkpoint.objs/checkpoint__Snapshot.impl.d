@@ -1,0 +1,1 @@
+lib/checkpoint/snapshot.ml: Array Interp List Printf Solver String

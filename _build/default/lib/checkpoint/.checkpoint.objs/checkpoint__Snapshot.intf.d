@@ -1,0 +1,1 @@
+lib/checkpoint/snapshot.mli: Interp Solver

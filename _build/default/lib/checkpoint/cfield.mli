@@ -1,0 +1,29 @@
+(** Checkpointed field runs (§6).
+
+    Like {!Instrument.Field_run}, but every [checkpoint()] executed by the
+    program discards the logs accumulated so far and snapshots the structure
+    of global state.  A crash ships only the final epoch's logs plus the
+    last snapshot, bounding both user-site storage and the replay horizon. *)
+
+type result = {
+  outcome : Interp.Crash.outcome;
+  cost : Interp.Cost.t;
+  output : string;
+  branch_log : Instrument.Branch_log.log;  (** final epoch only *)
+  syscall_log : Instrument.Syscall_log.log option;  (** final epoch only *)
+  snapshot : Snapshot.t option;  (** at the last checkpoint, if any *)
+  epochs : int;  (** checkpoints taken *)
+  discarded_bits : int;  (** bits dropped at checkpoints *)
+  total_bits : int;  (** bits a checkpoint-less run would have shipped *)
+}
+
+val run :
+  ?log_syscalls:bool -> plan:Instrument.Plan.t -> Concolic.Scenario.t -> result
+
+(** The bug report (final-epoch logs) plus the snapshot needed by
+    {!Creplay.reproduce}; [None] if the run did not crash. *)
+val report_of :
+  sc:Concolic.Scenario.t ->
+  plan:Instrument.Plan.t ->
+  result ->
+  (Instrument.Report.t * Snapshot.t option) option

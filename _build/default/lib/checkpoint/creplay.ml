@@ -1,0 +1,36 @@
+(** Replay from a checkpoint (§6).
+
+    The shipped report covers only the final epoch (everything after the
+    last [checkpoint()]).  Replay therefore runs the program from the start
+    with the branch/syscall logs *gated off*; at the program's first
+    [checkpoint()] call the snapshot is "restored": every non-pointer global
+    cell is overwritten with a fresh symbolic variable, and the guided
+    replay of the final epoch's log begins.  The engine then searches for
+    both the post-checkpoint inputs *and* a consistent pre-checkpoint global
+    state, exactly as the paper sketches ("a symbolic execution engine can
+    treat their content as symbolic, and replay the branch log starting from
+    there"). *)
+
+let restore_of (snapshot : Snapshot.t) : Replay.Guided.restore_fn =
+ fun ~vars ~model ~observe access ->
+  let concrete_of gname off =
+    let (_ : string) = Snapshot.var_name gname off in
+    let name = Snapshot.var_name gname off in
+    let id = Solver.Symvars.lookup vars ~name ~dom:Snapshot.restored_domain in
+    match Solver.Model.find_opt id model with
+    | Some v -> v
+    | None ->
+        (* default to zero (fresh-state-like): restored cells are indexed
+           into buffers and tables, and the concretisations they pin must
+           stay consistent with the log-forced constraints as often as
+           possible *)
+        0
+  in
+  Snapshot.restore snapshot ~vars ~concrete_of ~observe access
+
+(** Reproduce a bug from a final-epoch report plus its snapshot. *)
+let reproduce ?budget ?(seed = 1) ?max_steps ~(prog : Minic.Program.t)
+    ~(plan : Instrument.Plan.t) ~(snapshot : Snapshot.t)
+    (report : Instrument.Report.t) : Replay.Guided.result * Replay.Guided.stats =
+  Replay.Guided.reproduce ?budget ~seed ?max_steps
+    ~restore:(restore_of snapshot) ~prog ~plan report

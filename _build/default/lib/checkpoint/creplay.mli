@@ -1,0 +1,22 @@
+(** Replay from a checkpoint (§6).
+
+    Runs the program from the start with the shipped logs gated off; at the
+    program's first [checkpoint()] the snapshot is restored — every
+    non-pointer global cell becomes a fresh symbolic variable — and guided
+    replay of the final epoch's log begins.  The engine then searches for
+    both the post-checkpoint inputs and a consistent pre-checkpoint global
+    state. *)
+
+(** The restore function for {!Replay.Guided.reproduce}'s [?restore]. *)
+val restore_of : Snapshot.t -> Replay.Guided.restore_fn
+
+(** Reproduce a bug from a final-epoch report plus its snapshot. *)
+val reproduce :
+  ?budget:Concolic.Engine.budget ->
+  ?seed:int ->
+  ?max_steps:int ->
+  prog:Minic.Program.t ->
+  plan:Instrument.Plan.t ->
+  snapshot:Snapshot.t ->
+  Instrument.Report.t ->
+  Replay.Guided.result * Replay.Guided.stats

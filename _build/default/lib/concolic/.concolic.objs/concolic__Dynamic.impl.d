@@ -1,0 +1,1 @@
+lib/concolic/dynamic.ml: Engine Interp Label Minic Osmodel Path Program Scenario Solver Sym_kernel

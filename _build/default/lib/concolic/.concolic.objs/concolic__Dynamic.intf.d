@@ -1,0 +1,1 @@
+lib/concolic/dynamic.mli: Engine Minic Scenario Solver

@@ -1,0 +1,1 @@
+lib/concolic/engine.ml: Array Interp List Option Path Printf Queue Solver Stack Unix

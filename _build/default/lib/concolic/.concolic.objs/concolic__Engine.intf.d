@@ -1,0 +1,1 @@
+lib/concolic/engine.mli: Interp Path Solver

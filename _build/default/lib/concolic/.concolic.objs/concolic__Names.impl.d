@@ -1,0 +1,1 @@
+lib/concolic/names.ml: Interp Printf Solver

@@ -1,0 +1,1 @@
+lib/concolic/names.mli: Solver

@@ -1,0 +1,1 @@
+lib/concolic/path.ml: Interp List Solver

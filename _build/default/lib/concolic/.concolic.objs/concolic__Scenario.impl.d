@@ -1,0 +1,1 @@
+lib/concolic/scenario.ml: List Minic Osmodel String

@@ -1,0 +1,1 @@
+lib/concolic/scenario.mli: Minic Osmodel

@@ -1,0 +1,1 @@
+lib/concolic/sym_kernel.ml: Array Char Hashtbl Interp Names Osmodel Scenario Solver String

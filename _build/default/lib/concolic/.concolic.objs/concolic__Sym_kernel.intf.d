@@ -1,0 +1,1 @@
+lib/concolic/sym_kernel.mli: Interp Osmodel Scenario Solver

@@ -1,0 +1,188 @@
+(** The concolic exploration engine.
+
+    Implements the paper's §2.1 search: execute with concrete inputs,
+    collect the path's branch constraints, negate one, solve for a new
+    input, re-execute.  Alternative paths wait on a *pending list* of
+    constraint sets (exactly the structure reused by guided replay in §3.1);
+    selection is depth-first, the heuristic the paper says it uses.
+
+    Pending sets share their parent run's trace array and materialise the
+    constraint list only when popped, so a run with thousands of symbolic
+    branch executions costs O(1) memory per pending alternative.
+
+    The engine is generic over the actual run function, so dynamic analysis
+    and bug replay share it. *)
+
+type budget = {
+  max_runs : int;
+  max_time_s : float;  (** wall-clock cut-off for the whole exploration *)
+}
+
+type strategy =
+  | Dfs  (** deepest pending first: follows a forced chain (guided replay) *)
+  | Bfs
+      (** oldest/shallowest pending first: generational search, best for
+          coverage (dynamic analysis) *)
+
+let default_budget = { max_runs = 500; max_time_s = 10.0 }
+
+type run_result = {
+  outcome : Interp.Crash.outcome;
+  trace : Path.entry list;  (** in execution order *)
+  observed : Solver.Model.t;
+      (** effective concrete value of every symbolic input variable the run
+          touched; used to seed the solver for child pendings so that only
+          the negated constraint's variables need new values *)
+}
+
+type stats = {
+  mutable runs : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unknown : int;
+  mutable pending_peak : int;
+  mutable elapsed_s : float;
+  mutable timed_out : bool;
+}
+
+(* A pending constraint set: the prefix [trace.(0 .. upto-1)] with
+   [trace.(upto)] negated, plus the [lineage] of negated constraints
+   inherited from ancestor pendings.  The lineage is what makes exclusions
+   accumulate: when a re-executed run re-records a fresh constraint at a
+   previously-negated position (a re-pinned concretisation, say), the
+   ancestor's negation would otherwise be forgotten and the search would
+   cycle between two values.  [upto + 1] is the bound from which the next
+   run may generate children (inherited constraints are never re-negated). *)
+type pending = {
+  trace : Path.entry array;
+  upto : int;
+  hint : Solver.Model.t;
+  lineage : Solver.Expr.t list;
+}
+
+let negated_of (p : pending) = Solver.Expr.negate p.trace.(p.upto).Path.cons
+
+let constraints_of (p : pending) : Solver.Expr.t list =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) (p.trace.(i).Path.cons :: acc)
+  in
+  p.lineage @ build (p.upto - 1) [ negated_of p ]
+
+let monotonic () = Unix.gettimeofday ()
+
+(* diagnostics: print pendings that come back Unsat/Unknown *)
+let debug_solver = ref false
+
+(** Explore paths until the budget is exhausted or [should_stop] returns
+    true for a run.  Returns the accumulated statistics and, if stopped
+    early, the model and result of the stopping run. *)
+let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
+    ?(strategy = Dfs) ~(run : Solver.Model.t -> run_result)
+    ?(should_stop = fun _ _ -> false)
+    ?(on_run = fun (_ : Solver.Model.t) (_ : run_result) -> ()) () :
+    stats * (Solver.Model.t * run_result) option =
+  let stats =
+    { runs = 0; sat = 0; unsat = 0; unknown = 0; pending_peak = 0;
+      elapsed_s = 0.0; timed_out = false }
+  in
+  let started = monotonic () in
+  let deadline = started +. budget.max_time_s in
+  (* the pending list: LIFO for DFS, FIFO for BFS *)
+  let stack : pending Stack.t = Stack.create () in
+  let queue : pending Queue.t = Queue.create () in
+  let frontier_push p =
+    match strategy with Dfs -> Stack.push p stack | Bfs -> Queue.push p queue
+  in
+  let frontier_pop () =
+    match strategy with Dfs -> Stack.pop_opt stack | Bfs -> Queue.take_opt queue
+  in
+  let frontier_size () =
+    match strategy with Dfs -> Stack.length stack | Bfs -> Queue.length queue
+  in
+  let found = ref None in
+  (* [flipped] is the (position, negated constraint) this run was created to
+     satisfy.  If the run records a *different* constraint at that position
+     (a concretisation re-pinned to a new value), that position is fair game
+     for another flip — with the lineage remembering the exclusions.  A
+     branch entry re-records exactly the negated constraint, so branches are
+     never flip-flopped. *)
+  let do_run (model : Solver.Model.t) (bound : int)
+      (flipped : (int * Solver.Expr.t) option) (lineage : Solver.Expr.t list) =
+    stats.runs <- stats.runs + 1;
+    let result = run model in
+    on_run model result;
+    if should_stop model result then found := Some (model, result)
+    else begin
+      (* push children: negate each own (non-inherited) constraint;
+         pushed shallow-to-deep so the DFS pops the deepest first *)
+      let trace = Array.of_list result.trace in
+      let hint = Solver.Model.union_prefer_left model result.observed in
+      Array.iteri
+        (fun i (e : Path.entry) ->
+          let reflip =
+            match flipped with
+            | Some (j, c) -> i = j && e.cons <> c
+            | None -> false
+          in
+          if e.negatable && (i >= bound || reflip) then
+            (* the exclusion lineage matters only along a re-flip chain (the
+               re-pinned entry would otherwise cycle through old values); an
+               ordinary child's prefix already implies every past decision,
+               and a divergent run must not inherit constraints about a path
+               it no longer follows *)
+            frontier_push
+              { trace; upto = i; hint; lineage = (if reflip then lineage else []) })
+        trace;
+      stats.pending_peak <- max stats.pending_peak (frontier_size ())
+    end
+  in
+  (* initial run: empty model — concrete inputs come from the scenario *)
+  do_run Solver.Model.empty 0 None [];
+  let continue () =
+    !found = None
+    && frontier_size () > 0
+    && stats.runs < budget.max_runs
+    &&
+    if monotonic () > deadline then begin
+      stats.timed_out <- true;
+      false
+    end
+    else true
+  in
+  while continue () do
+    let p = Option.get (frontier_pop ()) in
+    let hint id = Solver.Model.find_opt id p.hint in
+    let cs = constraints_of p in
+    let solved =
+      match Solver.Solve.solve ~vars ~hint cs with
+      | Solver.Solve.Unknown ->
+          (* an Unknown abandons this pending subtree for good — fatal when
+             it carries a log-forced direction — so escalate once *)
+          Solver.Solve.solve
+            ~budget:{ Solver.Solve.default_budget with max_nodes = 3_000_000 }
+            ~vars ~hint cs
+      | r -> r
+    in
+    match solved with
+    | Solver.Solve.Sat model ->
+        stats.sat <- stats.sat + 1;
+        (* keep the parent's values for variables the solver left free *)
+        let model = Solver.Model.union_prefer_left model p.hint in
+        do_run model (p.upto + 1)
+          (Some (p.upto, negated_of p))
+          (negated_of p :: p.lineage)
+    | Solver.Solve.Unsat ->
+        if !debug_solver then
+          Printf.eprintf "UNSAT pending upto=%d negated=%s (prefix %d)\n%!" p.upto
+            (Solver.Expr.to_string (negated_of p))
+            (List.length cs);
+        stats.unsat <- stats.unsat + 1
+    | Solver.Solve.Unknown ->
+        if !debug_solver then
+          Printf.eprintf "UNKNOWN pending upto=%d negated=%s\n%!" p.upto
+            (Solver.Expr.to_string (negated_of p));
+        stats.unknown <- stats.unknown + 1
+  done;
+  if stats.runs >= budget.max_runs && !found = None then stats.timed_out <- true;
+  stats.elapsed_s <- monotonic () -. started;
+  (stats, !found)

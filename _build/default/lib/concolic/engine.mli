@@ -1,0 +1,56 @@
+(** The concolic exploration engine.
+
+    Implements the paper's §2.1 search: execute with concrete inputs,
+    collect the path's branch constraints, negate one, solve for a new
+    input, re-execute.  Alternative paths wait on a pending list of
+    constraint sets — exactly the structure reused by guided replay (§3.1).
+
+    The engine is generic over the run function, so dynamic analysis and
+    bug replay share it. *)
+
+type budget = {
+  max_runs : int;
+  max_time_s : float;  (** wall-clock cut-off for the whole exploration *)
+}
+
+val default_budget : budget
+
+type strategy =
+  | Dfs  (** deepest pending first: follows a forced chain (guided replay) *)
+  | Bfs
+      (** oldest/shallowest pending first: generational search, best for
+          coverage (dynamic analysis) *)
+
+type run_result = {
+  outcome : Interp.Crash.outcome;
+  trace : Path.entry list;  (** in execution order *)
+  observed : Solver.Model.t;
+      (** effective concrete value of every symbolic input variable the run
+          touched; seeds the solver for child pendings *)
+}
+
+type stats = {
+  mutable runs : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unknown : int;
+  mutable pending_peak : int;
+  mutable elapsed_s : float;
+  mutable timed_out : bool;
+}
+
+(** Print solver failures on pendings to stderr. *)
+val debug_solver : bool ref
+
+(** Explore paths until the budget is exhausted or [should_stop] returns
+    true for a run.  Returns the statistics and, if stopped early, the
+    model and result of the stopping run. *)
+val explore :
+  vars:Solver.Symvars.t ->
+  ?budget:budget ->
+  ?strategy:strategy ->
+  run:(Solver.Model.t -> run_result) ->
+  ?should_stop:(Solver.Model.t -> run_result -> bool) ->
+  ?on_run:(Solver.Model.t -> run_result -> unit) ->
+  unit ->
+  stats * (Solver.Model.t * run_result) option

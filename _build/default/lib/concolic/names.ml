@@ -1,0 +1,28 @@
+(** Stable names for symbolic input variables.
+
+    Variable identity must survive across concolic runs (a solver model
+    produced from run N parameterises run N+1), so names are derived from
+    the input source, never from runtime ids:
+
+    - ["arg<i>[<j>]"]: byte [j] of argument [i];
+    - ["<stream>[<j>]"]: byte [j] of stream ["file:<path>"] or ["net<k>"];
+    - ["sys:<kind>#<n>"]: result of the [n]-th system call of that kind. *)
+
+let arg_byte ~arg ~pos = Interp.Inputs.var_name ~arg ~pos
+
+let stream_byte ~stream ~pos = Printf.sprintf "%s[%d]" stream pos
+
+let sys_result ~kind ~index = Printf.sprintf "sys:%s#%d" kind index
+
+(** Register (or find) the variable for a stream byte. *)
+let stream_var vars ~stream ~pos =
+  Solver.Symvars.lookup vars
+    ~name:(stream_byte ~stream ~pos)
+    ~dom:Solver.Symvars.byte_domain
+
+let arg_var vars ~arg ~pos =
+  Solver.Symvars.lookup vars ~name:(arg_byte ~arg ~pos)
+    ~dom:Solver.Symvars.byte_domain
+
+let sys_var vars ~kind ~index ~dom =
+  Solver.Symvars.lookup vars ~name:(sys_result ~kind ~index) ~dom

@@ -1,0 +1,21 @@
+(** Stable names for symbolic input variables.
+
+    Variable identity must survive across concolic runs (a solver model
+    from run N parameterises run N+1), so names derive from the input
+    source, never from runtime ids:
+
+    - ["arg<i>[<j>]"]: byte [j] of argument [i];
+    - ["<stream>[<j>]"]: byte [j] of stream ["file:<path>"] / ["net<k>"];
+    - ["sys:<kind>#<n>"]: result of the [n]-th system call of that kind. *)
+
+val arg_byte : arg:int -> pos:int -> string
+val stream_byte : stream:string -> pos:int -> string
+val sys_result : kind:string -> index:int -> string
+
+(** Register (or find) the variable for a stream byte. *)
+val stream_var : Solver.Symvars.t -> stream:string -> pos:int -> int
+
+val arg_var : Solver.Symvars.t -> arg:int -> pos:int -> int
+
+val sys_var :
+  Solver.Symvars.t -> kind:string -> index:int -> dom:Solver.Symvars.domain -> int

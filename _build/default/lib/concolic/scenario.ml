@@ -1,0 +1,43 @@
+(** A run environment: program, arguments and simulated-OS configuration.
+
+    A scenario describes everything outside the program itself — for a field
+    run it is the user's actual input; for pre-deployment dynamic analysis
+    it is a developer-chosen test environment; for replay it provides only
+    the input *shape* (argument count and buffer caps, connection count),
+    because the user's input contents are private and never leave the user
+    site. *)
+
+type t = {
+  name : string;
+  prog : Minic.Program.t;
+  args : string list;  (** concrete argv *)
+  world : Osmodel.World.config;
+  max_steps : int;
+}
+
+let make ?(name = "scenario") ?(args = []) ?(world = Osmodel.World.default_config)
+    ?(max_steps = 5_000_000) prog =
+  { name; prog; args; world; max_steps }
+
+(** The input shape a bug report may disclose (paper §1: no user input
+    contents are ever shipped): argument buffer capacities and the number
+    and size bound of input streams. *)
+type shape = {
+  arg_caps : int list;  (** per-argument buffer capacity (bytes) *)
+  n_conns : int;
+  conn_cap : int;  (** max bytes per connection payload *)
+  file_names : string list;
+  file_cap : int;
+}
+
+let shape_of ?(slack = 1) t : shape =
+  {
+    arg_caps = List.map (fun a -> String.length a + slack) t.args;
+    n_conns = List.length t.world.conns;
+    conn_cap =
+      List.fold_left (fun m c -> max m (String.length c)) 0 t.world.conns + slack;
+    file_names = List.map fst t.world.files;
+    file_cap =
+      List.fold_left (fun m (_, c) -> max m (String.length c)) 0 t.world.files
+      + slack;
+  }

@@ -1,0 +1,34 @@
+(** A run environment: program, arguments and simulated-OS configuration.
+
+    For a field run this is the user's actual input; for pre-deployment
+    dynamic analysis a developer-chosen test environment; for replay only
+    the input {!shape} is disclosed (buffer capacities and stream counts —
+    never contents). *)
+
+type t = {
+  name : string;
+  prog : Minic.Program.t;
+  args : string list;  (** concrete argv *)
+  world : Osmodel.World.config;
+  max_steps : int;
+}
+
+val make :
+  ?name:string ->
+  ?args:string list ->
+  ?world:Osmodel.World.config ->
+  ?max_steps:int ->
+  Minic.Program.t ->
+  t
+
+(** The input shape a bug report may disclose (paper §1: no user input
+    contents are ever shipped). *)
+type shape = {
+  arg_caps : int list;  (** per-argument buffer capacity (bytes) *)
+  n_conns : int;
+  conn_cap : int;  (** max bytes per connection payload *)
+  file_names : string list;
+  file_cap : int;
+}
+
+val shape_of : ?slack:int -> t -> shape

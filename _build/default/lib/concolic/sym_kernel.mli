@@ -1,0 +1,33 @@
+(** Kernel wrapper used during concolic execution (dynamic analysis).
+
+    Wraps the simulated OS so that every byte delivered by [read] carries a
+    symbolic shadow named after its stream position (concrete value
+    overridable by the current solver model), and — with [sym_results] —
+    the numeric results of the non-deterministic system calls carry shadows
+    too, so branches testing them are labelled symbolic (§2.3). *)
+
+type t
+
+val create :
+  ?observe:(int -> int -> unit) ->
+  vars:Solver.Symvars.t ->
+  model:Solver.Model.t ->
+  world:Osmodel.World.t ->
+  handle:(Osmodel.Sysreq.req -> Osmodel.Sysreq.res) ->
+  sym_results:bool ->
+  unit ->
+  t
+
+(** The kernel function to pass to the evaluator. *)
+val kernel : t -> Interp.Kernel.t
+
+(** Symbolic arguments for a scenario: every argv byte becomes a variable;
+    concrete values come from the model when present, else from the
+    scenario's actual argument strings. *)
+val symbolic_args :
+  ?observe:(int -> int -> unit) ->
+  vars:Solver.Symvars.t ->
+  model:Solver.Model.t ->
+  Scenario.t ->
+  caps:int list ->
+  Interp.Inputs.t

@@ -1,0 +1,1 @@
+lib/instrument/branch_log.mli:

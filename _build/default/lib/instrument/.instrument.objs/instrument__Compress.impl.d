@@ -1,0 +1,1 @@
+lib/instrument/compress.ml: Branch_log Buffer Char Hashtbl List String

@@ -1,0 +1,1 @@
+lib/instrument/compress.mli: Branch_log

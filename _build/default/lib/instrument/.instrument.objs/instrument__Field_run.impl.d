@@ -1,0 +1,1 @@
+lib/instrument/field_run.ml: Branch_log Concolic Interp Option Osmodel Plan Schedule_log Syscall_log

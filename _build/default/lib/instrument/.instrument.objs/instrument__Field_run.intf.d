@@ -1,0 +1,1 @@
+lib/instrument/field_run.mli: Branch_log Concolic Interp Osmodel Plan Schedule_log Syscall_log

@@ -1,0 +1,1 @@
+lib/instrument/plan.ml: Array Label List Methods Minic Printf

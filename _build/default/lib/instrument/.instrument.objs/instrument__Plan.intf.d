@@ -1,0 +1,1 @@
+lib/instrument/plan.mli: Methods Minic

@@ -1,0 +1,1 @@
+lib/instrument/predictor.ml: Array Interp Plan

@@ -1,0 +1,1 @@
+lib/instrument/predictor.mli: Interp Plan

@@ -1,0 +1,1 @@
+lib/instrument/report.ml: Branch_log Concolic Field_run Interp Methods Plan Printf Schedule_log Syscall_log

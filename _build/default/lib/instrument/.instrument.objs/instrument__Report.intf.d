@@ -1,0 +1,1 @@
+lib/instrument/report.mli: Branch_log Concolic Field_run Interp Methods Plan Schedule_log Syscall_log

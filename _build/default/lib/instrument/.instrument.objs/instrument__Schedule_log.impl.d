@@ -1,0 +1,1 @@
+lib/instrument/schedule_log.ml: Array Interp List Osmodel

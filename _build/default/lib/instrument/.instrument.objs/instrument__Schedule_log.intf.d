@@ -1,0 +1,1 @@
+lib/instrument/schedule_log.mli: Osmodel

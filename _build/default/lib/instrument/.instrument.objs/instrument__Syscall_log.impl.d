@@ -1,0 +1,1 @@
+lib/instrument/syscall_log.ml: Array List Printf String

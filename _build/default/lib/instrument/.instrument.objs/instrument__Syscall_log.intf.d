@@ -1,0 +1,1 @@
+lib/instrument/syscall_log.mli:

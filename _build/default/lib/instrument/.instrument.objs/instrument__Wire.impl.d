@@ -1,0 +1,1 @@
+lib/instrument/wire.ml: Array Branch_log Buffer Char Concolic Interp List Methods Minic Printf Report Result Schedule_log String Syscall_log

@@ -1,0 +1,1 @@
+lib/instrument/wire.mli: Report

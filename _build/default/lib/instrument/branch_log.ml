@@ -1,0 +1,92 @@
+(** The branch log: one bit per executed instrumented branch.
+
+    Matches the paper's implementation (§4): bits are packed into a buffer
+    of 4 KB which is "flushed to disk" when full (we count flushes — the
+    flush cost is part of the 17-instruction overhead figure), with no
+    compression and no per-branch location data. *)
+
+let default_buffer_bytes = 4096
+
+type t = {
+  data : Buffer.t;  (** flushed, packed bytes *)
+  mutable cur : int;  (** byte being filled *)
+  mutable cur_bits : int;  (** bits in [cur] *)
+  mutable nbits : int;
+  mutable flushes : int;
+  buffer_bytes : int;
+  mutable pending_bytes : int;  (** bytes in the in-memory buffer *)
+}
+
+module Writer = struct
+  type nonrec t = t
+
+  let create ?(buffer_bytes = default_buffer_bytes) () =
+    {
+      data = Buffer.create 1024;
+      cur = 0;
+      cur_bits = 0;
+      nbits = 0;
+      flushes = 0;
+      buffer_bytes;
+      pending_bytes = 0;
+    }
+
+  let add_bit t (bit : bool) =
+    if bit then t.cur <- t.cur lor (1 lsl t.cur_bits);
+    t.cur_bits <- t.cur_bits + 1;
+    t.nbits <- t.nbits + 1;
+    if t.cur_bits = 8 then begin
+      Buffer.add_char t.data (Char.chr t.cur);
+      t.cur <- 0;
+      t.cur_bits <- 0;
+      t.pending_bytes <- t.pending_bytes + 1;
+      if t.pending_bytes >= t.buffer_bytes then begin
+        t.flushes <- t.flushes + 1;
+        t.pending_bytes <- 0
+      end
+    end
+
+  let nbits t = t.nbits
+end
+
+(** A finished log: the artifact shipped in a bug report. *)
+type log = { bytes : string; nbits : int; flushes : int }
+
+let finish (t : t) : log =
+  if t.cur_bits > 0 then Buffer.add_char t.data (Char.chr t.cur);
+  let flushes = t.flushes + if t.pending_bytes > 0 || t.cur_bits > 0 then 1 else 0 in
+  { bytes = Buffer.contents t.data; nbits = t.nbits; flushes }
+
+(** Storage size in bytes of the shipped log. *)
+let size_bytes (l : log) = String.length l.bytes
+
+let get_bit (l : log) i =
+  if i < 0 || i >= l.nbits then invalid_arg "Branch_log.get_bit"
+  else Char.code l.bytes.[i / 8] land (1 lsl (i mod 8)) <> 0
+
+module Reader = struct
+  type t = { log : log; mutable pos : int }
+
+  let create log = { log; pos = 0 }
+
+  (** Next bit, or [None] when the log is exhausted (e.g. the crash happened
+      mid-buffer and the tail was truncated). *)
+  let next t =
+    if t.pos >= t.log.nbits then None
+    else begin
+      let b = get_bit t.log t.pos in
+      t.pos <- t.pos + 1;
+      Some b
+    end
+
+  let pos t = t.pos
+  let remaining t = t.log.nbits - t.pos
+end
+
+(** Build a log directly from a list of booleans (tests, synthetic logs). *)
+let of_bits ?(buffer_bytes = default_buffer_bytes) bits =
+  let w = Writer.create ~buffer_bytes () in
+  List.iter (Writer.add_bit w) bits;
+  finish w
+
+let to_bits (l : log) = List.init l.nbits (get_bit l)

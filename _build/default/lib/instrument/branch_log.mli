@@ -1,0 +1,46 @@
+(** The branch log: one bit per executed instrumented branch.
+
+    Matches the paper's implementation (§4): bits are packed into a 4 KB
+    buffer "flushed to disk" when full (flushes are counted — their cost is
+    part of the 17-instruction overhead figure), with no compression and no
+    per-branch location data.  Replay therefore consumes bits strictly in
+    execution order. *)
+
+val default_buffer_bytes : int
+
+module Writer : sig
+  type t
+
+  val create : ?buffer_bytes:int -> unit -> t
+  val add_bit : t -> bool -> unit
+  val nbits : t -> int
+end
+
+(** A finished log: the artifact shipped in a bug report. *)
+type log = { bytes : string; nbits : int; flushes : int }
+
+val finish : Writer.t -> log
+
+(** Storage size in bytes of the shipped log. *)
+val size_bytes : log -> int
+
+(** Raises [Invalid_argument] when out of range. *)
+val get_bit : log -> int -> bool
+
+module Reader : sig
+  type t
+
+  val create : log -> t
+
+  (** Next bit, or [None] when the log is exhausted (e.g. the crash happened
+      mid-buffer and the tail was truncated). *)
+  val next : t -> bool option
+
+  val pos : t -> int
+  val remaining : t -> int
+end
+
+(** Build a log directly from booleans (tests, synthetic logs). *)
+val of_bits : ?buffer_bytes:int -> bool list -> log
+
+val to_bits : log -> bool list

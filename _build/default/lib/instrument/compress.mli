@@ -1,0 +1,23 @@
+(** Branch-log compression for transfer (§5.3: the paper observes 10-20x
+    with gzip).
+
+    Three encodings, best chosen per log: run-length over the bit stream
+    (loop repetition), LZSS over the packed bytes (cross-request
+    repetition, what gzip exploits), and raw fallback.  Transfer-size
+    accounting only — the paper never compresses online. *)
+
+type compressed = {
+  data : string;
+  nbits : int;  (** original bit count *)
+  encoding : [ `Rle | `Lzss | `Raw ];
+}
+
+val compress : Branch_log.log -> compressed
+
+(** Exact inverse of {!compress} (property-tested). *)
+val decompress : compressed -> Branch_log.log
+
+val size_bytes : compressed -> int
+
+(** Original size / compressed size. *)
+val ratio : Branch_log.log -> compressed -> float

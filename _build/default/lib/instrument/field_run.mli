@@ -1,0 +1,25 @@
+(** The user-site (field) execution of an instrumented program.
+
+    Runs the scenario concretely, recording one bit per executed
+    instrumented branch and — optionally — the results of the loggable
+    system calls.  Produces the overhead figures of Figures 2, 4 and 5 and
+    the logs a {!Report.t} ships. *)
+
+type result = {
+  outcome : Interp.Crash.outcome;
+  cost : Interp.Cost.t;
+  output : string;
+  steps : int;
+  branch_log : Branch_log.log;
+  syscall_log : Syscall_log.log option;
+  schedule_log : Schedule_log.log option;
+      (** recorded thread-scheduling decisions; empty when single-threaded *)
+  world : Osmodel.World.t;  (** final world (server responses, access log) *)
+}
+
+(** Execute [sc] with instrumentation [plan].  [log_syscalls] defaults to
+    true, the paper's recommended configuration. *)
+val run : ?log_syscalls:bool -> plan:Plan.t -> Concolic.Scenario.t -> result
+
+(** Total shipped-log storage in bytes. *)
+val storage_bytes : result -> int

@@ -1,0 +1,20 @@
+(** The instrumentation methods compared in the paper (§2.3). *)
+
+type t =
+  | No_instrumentation  (** the [none] baseline configuration *)
+  | Dynamic  (** branches labelled symbolic by dynamic analysis *)
+  | Static  (** branches labelled symbolic by static analysis *)
+  | Dynamic_static  (** the combined method *)
+  | All_branches
+
+let to_string = function
+  | No_instrumentation -> "none"
+  | Dynamic -> "dynamic"
+  | Static -> "static"
+  | Dynamic_static -> "dynamic+static"
+  | All_branches -> "all branches"
+
+let all = [ No_instrumentation; Dynamic; Static; Dynamic_static; All_branches ]
+
+(** The four instrumented configurations (everything but [none]). *)
+let instrumented = [ Dynamic; Static; Dynamic_static; All_branches ]

@@ -1,0 +1,16 @@
+(** The instrumentation methods compared in the paper (§2.3). *)
+
+type t =
+  | No_instrumentation  (** the [none] baseline configuration *)
+  | Dynamic  (** branches labelled symbolic by dynamic analysis *)
+  | Static  (** branches labelled symbolic by static analysis *)
+  | Dynamic_static  (** the combined method — the paper's winner *)
+  | All_branches
+
+val to_string : t -> string
+
+(** All five configurations. *)
+val all : t list
+
+(** The four instrumented configurations (everything but [none]). *)
+val instrumented : t list

@@ -1,0 +1,34 @@
+(** The branch-prediction logging alternative the paper rejects (§4).
+
+    Logging only mispredicted branches requires recording the branch
+    location with each entry ("at least another 32 bits of storage per
+    branch, probably ruining any savings").  This module implements two
+    classic predictors over a branch-execution stream so the benchmark
+    harness can quantify that argument. *)
+
+type scheme =
+  | Last_direction  (** predict the direction taken last time *)
+  | Two_bit  (** 2-bit saturating counter per branch location *)
+
+val scheme_to_string : scheme -> string
+
+type t = {
+  scheme : scheme;
+  state : int array;
+  mutable executions : int;
+  mutable mispredictions : int;
+}
+
+val create : nbranches:int -> scheme -> t
+
+(** Feed one branch execution; true if it was mispredicted (and would be
+    logged under this scheme). *)
+val observe : t -> int -> taken:bool -> bool
+
+(** Log size under the misprediction scheme: 32 bits per entry. *)
+val log_size_bytes : t -> int
+
+val misprediction_rate : t -> float
+
+(** Observation-only hooks running the predictor alongside a field run. *)
+val hooks : ?inner:Interp.Eval.hooks -> t -> plan:Plan.t -> Interp.Eval.hooks

@@ -1,0 +1,56 @@
+(** The bug report shipped from the user site to the developer.
+
+    Deliberately excludes program input: it carries only the branch
+    direction bits, optional system-call results, the crash site (the
+    WER-style "where it died" datum) and the input *shape* (argument count
+    and buffer capacities, stream counts) — never content. *)
+
+type t = {
+  program : string;  (** program name, identifies the retained plan *)
+  method_used : Methods.t;
+  branch_log : Branch_log.log;
+  syscall_log : Syscall_log.log option;
+  schedule_log : Schedule_log.log option;
+      (** thread-scheduling decisions (§6 multithreading); [None] or empty
+          for single-threaded programs *)
+  crash : Interp.Crash.t;
+  shape : Concolic.Scenario.shape;
+}
+
+(** Assemble a report from a crashed field run.  Returns [None] if the run
+    did not crash (nothing to report). *)
+let of_field_run ~(sc : Concolic.Scenario.t) ~(plan : Plan.t)
+    (r : Field_run.result) : t option =
+  match r.outcome with
+  | Interp.Crash.Crash crash ->
+      Some
+        {
+          program = sc.name;
+          method_used = plan.meth;
+          branch_log = r.branch_log;
+          syscall_log = r.syscall_log;
+          schedule_log = r.schedule_log;
+          crash;
+          shape = Concolic.Scenario.shape_of sc;
+        }
+  | Interp.Crash.Exit _ | Interp.Crash.Budget_exhausted | Interp.Crash.Aborted _ ->
+      None
+
+let transfer_bytes t =
+  Branch_log.size_bytes t.branch_log
+  + (match t.syscall_log with Some l -> Syscall_log.size_bytes l | None -> 0)
+  + match t.schedule_log with Some l -> Schedule_log.size_bytes l | None -> 0
+
+let describe t =
+  let sched =
+    match t.schedule_log with
+    | Some l when Schedule_log.length l > 0 ->
+        Printf.sprintf ", %d schedule entries" (Schedule_log.length l)
+    | _ -> ""
+  in
+  Printf.sprintf "%s: %s [%s; %d branch bits, %d syscall entries%s]" t.program
+    (Interp.Crash.to_string t.crash)
+    (Methods.to_string t.method_used)
+    t.branch_log.nbits
+    (match t.syscall_log with Some l -> Syscall_log.length l | None -> 0)
+    sched

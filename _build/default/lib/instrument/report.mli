@@ -1,0 +1,26 @@
+(** The bug report shipped from the user site to the developer.
+
+    Deliberately excludes program input: it carries only the branch
+    direction bits, optional system-call results, the crash site and the
+    input *shape* (argument count and buffer capacities, stream counts) —
+    never content. *)
+
+type t = {
+  program : string;  (** program name, identifies the retained plan *)
+  method_used : Methods.t;
+  branch_log : Branch_log.log;
+  syscall_log : Syscall_log.log option;
+  schedule_log : Schedule_log.log option;
+      (** thread-scheduling decisions (§6 multithreading); [None] or empty
+          for single-threaded programs *)
+  crash : Interp.Crash.t;
+  shape : Concolic.Scenario.shape;
+}
+
+(** Assemble a report from a crashed field run; [None] if the run did not
+    crash. *)
+val of_field_run :
+  sc:Concolic.Scenario.t -> plan:Plan.t -> Field_run.result -> t option
+
+val transfer_bytes : t -> int
+val describe : t -> string

@@ -1,0 +1,55 @@
+(** Thread-schedule logging — the second half of the paper's §6
+    multithreading sketch ("the ordering of thread execution needs to be
+    recorded as well").
+
+    The field run's scheduler picks the next thread pseudo-randomly at each
+    scheduling point (yield, join, system call) and records the choice; the
+    replay scheduler replays those choices, aborting the run on divergence.
+    Decisions are only taken (and logged) when two or more threads are
+    ready, so single-threaded programs ship an empty schedule log.
+
+    Note that with a recorded schedule a *single* interleaved branch
+    bitvector suffices: between scheduling points execution is sequential,
+    so bits attribute deterministically to the running thread.  (The paper
+    proposes one trace per thread; with cooperative scheduling points the
+    interleaved log carries the same information.) *)
+
+type t = { mutable rev : int list; mutable n : int }
+
+let create () = { rev = []; n = 0 }
+
+let record t tid =
+  t.rev <- tid :: t.rev;
+  t.n <- t.n + 1
+
+type log = { tids : int array }
+
+let finish (t : t) : log = { tids = Array.of_list (List.rev t.rev) }
+
+let length (l : log) = Array.length l.tids
+
+(** Shipped size: one byte per decision (up to 256 threads). *)
+let size_bytes (l : log) = Array.length l.tids
+
+(** Field-run scheduler: seeded random choice among the ready threads,
+    recorded into [t]. *)
+let recording_scheduler ~(rng : Osmodel.Rng.t) (t : t) : int list -> int =
+ fun ready ->
+  let tid = List.nth ready (Osmodel.Rng.int rng (List.length ready)) in
+  record t tid;
+  tid
+
+(** Replay scheduler: replays the logged decisions; raises
+    {!Interp.Eval.Abort_run} when the logged thread is not ready (schedule
+    divergence caused by a wrong input guess); falls back to round-robin
+    when the log is exhausted (the crash truncated it). *)
+let replaying_scheduler (l : log) : int list -> int =
+  let pos = ref 0 in
+  fun ready ->
+    if !pos >= Array.length l.tids then List.hd ready
+    else begin
+      let tid = l.tids.(!pos) in
+      incr pos;
+      if List.mem tid ready then tid
+      else raise (Interp.Eval.Abort_run "schedule divergence")
+    end

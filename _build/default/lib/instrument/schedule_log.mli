@@ -1,0 +1,30 @@
+(** Thread-schedule logging — the second half of the paper's §6
+    multithreading sketch ("the ordering of thread execution needs to be
+    recorded as well").
+
+    Decisions are only taken (and logged) when two or more threads are
+    ready, so single-threaded programs ship an empty schedule log.  With
+    cooperative scheduling points, a single interleaved branch bitvector
+    plus the schedule carries the same information as per-thread traces. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+
+type log = { tids : int array }
+
+val finish : t -> log
+val length : log -> int
+
+(** Shipped size: one byte per decision. *)
+val size_bytes : log -> int
+
+(** Field-run scheduler: seeded random choice among the ready threads,
+    recorded into [t]. *)
+val recording_scheduler : rng:Osmodel.Rng.t -> t -> int list -> int
+
+(** Replay scheduler: replays the logged decisions; raises
+    {!Interp.Eval.Abort_run} when the logged thread is not ready (schedule
+    divergence); falls back to round-robin when the log is exhausted. *)
+val replaying_scheduler : log -> int list -> int

@@ -1,0 +1,49 @@
+(** Selective system-call result logging (§2.3).
+
+    Records the *numeric results* of the system calls whose outcomes would
+    otherwise force the replay engine to search (read counts, select ready
+    sets, accept results).  Input data itself is never logged — privacy is
+    the point of the whole design. *)
+
+type entry = { kind : string; value : int }
+
+type t = { mutable rev_entries : entry list; mutable n : int }
+
+let create () = { rev_entries = []; n = 0 }
+
+let record t ~kind ~value =
+  t.rev_entries <- { kind; value } :: t.rev_entries;
+  t.n <- t.n + 1
+
+type log = { entries : entry array }
+
+let finish (t : t) : log = { entries = Array.of_list (List.rev t.rev_entries) }
+
+let length (l : log) = Array.length l.entries
+
+(** Approximate shipped size: one byte of tag + two bytes of value. *)
+let size_bytes (l : log) = 3 * Array.length l.entries
+
+module Reader = struct
+  type t = { log : log; mutable pos : int }
+
+  let create log = { log; pos = 0 }
+
+  (** Next logged result for a call of [kind]; [None] when exhausted.
+      A kind mismatch means record/replay divergence: surfaced as an error
+      so the replay engine can abort the run. *)
+  let next t ~kind : (int option, string) result =
+    if t.pos >= Array.length t.log.entries then Ok None
+    else
+      let e = t.log.entries.(t.pos) in
+      if String.equal e.kind kind then begin
+        t.pos <- t.pos + 1;
+        Ok (Some e.value)
+      end
+      else
+        Error
+          (Printf.sprintf "syscall log mismatch: log has %s, replay called %s"
+             e.kind kind)
+
+  let pos t = t.pos
+end

@@ -1,0 +1,32 @@
+(** Selective system-call result logging (§2.3).
+
+    Records the numeric results of the system calls whose outcomes would
+    otherwise force the replay engine to search (read counts, select ready
+    sets, accept results).  Input data itself is never logged. *)
+
+type entry = { kind : string; value : int }
+
+type t
+
+val create : unit -> t
+val record : t -> kind:string -> value:int -> unit
+
+type log = { entries : entry array }
+
+val finish : t -> log
+val length : log -> int
+
+(** Approximate shipped size: one tag byte + two value bytes per entry. *)
+val size_bytes : log -> int
+
+module Reader : sig
+  type t
+
+  val create : log -> t
+
+  (** Next logged result for a call of [kind]; [Ok None] when exhausted; an
+      [Error] on a kind mismatch (record/replay divergence). *)
+  val next : t -> kind:string -> (int option, string) result
+
+  val pos : t -> int
+end

@@ -1,0 +1,207 @@
+(** Wire format for bug reports.
+
+    The report is the only artifact that crosses the user/developer
+    boundary, so it gets a proper serialisation: a line-oriented text
+    format with hex-encoded log bytes.  Everything in it is shippable by
+    design — branch bits, numeric syscall results, schedule decisions, the
+    crash site and the input shape; no input content exists to leak. *)
+
+let magic = "bugrepro-report/1"
+
+let hex_of_string s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then Error "odd hex length"
+  else
+    try
+      Ok
+        (String.init
+           (String.length h / 2)
+           (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2))))
+    with _ -> Error "bad hex"
+
+let method_code = function
+  | Methods.No_instrumentation -> "none"
+  | Methods.Dynamic -> "dynamic"
+  | Methods.Static -> "static"
+  | Methods.Dynamic_static -> "dynamic+static"
+  | Methods.All_branches -> "all"
+
+let method_of_code = function
+  | "none" -> Ok Methods.No_instrumentation
+  | "dynamic" -> Ok Methods.Dynamic
+  | "static" -> Ok Methods.Static
+  | "dynamic+static" -> Ok Methods.Dynamic_static
+  | "all" -> Ok Methods.All_branches
+  | s -> Error ("unknown method " ^ s)
+
+let crash_kind_code (k : Interp.Crash.kind) = Interp.Crash.kind_to_string k
+
+let crash_kind_of_code s : (Interp.Crash.kind, string) result =
+  let all : Interp.Crash.kind list =
+    [
+      Out_of_bounds; Null_deref; Use_after_free; Div_by_zero; Assert_failure;
+      Explicit_crash; Stack_overflow; Invalid_pointer;
+    ]
+  in
+  match List.find_opt (fun k -> Interp.Crash.kind_to_string k = s) all with
+  | Some k -> Ok k
+  | None -> Error ("unknown crash kind " ^ s)
+
+let ints_to_string l = String.concat "," (List.map string_of_int l)
+
+let ints_of_string s =
+  if String.trim s = "" then Ok []
+  else
+    try Ok (List.map int_of_string (String.split_on_char ',' s))
+    with _ -> Error "bad integer list"
+
+(** Serialize a report to its wire form. *)
+let serialize (t : Report.t) : string =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "program: %s" t.program;
+  line "method: %s" (method_code t.method_used);
+  line "crash: %s|%s|%d|%d|%s"
+    (crash_kind_code t.crash.kind)
+    t.crash.loc.file t.crash.loc.line t.crash.loc.col t.crash.in_func;
+  line "shape-args: %s" (ints_to_string t.shape.arg_caps);
+  line "shape-conns: %d,%d" t.shape.n_conns t.shape.conn_cap;
+  line "shape-files: %s" (String.concat "," t.shape.file_names);
+  line "shape-filecap: %d" t.shape.file_cap;
+  line "branch-bits: %d" t.branch_log.nbits;
+  line "branch-log: %s" (hex_of_string t.branch_log.bytes);
+  (match t.syscall_log with
+  | Some l ->
+      line "syscalls: %s"
+        (String.concat ","
+           (Array.to_list
+              (Array.map
+                 (fun (e : Syscall_log.entry) -> Printf.sprintf "%s:%d" e.kind e.value)
+                 l.entries)))
+  | None -> ());
+  (match t.schedule_log with
+  | Some l when Schedule_log.length l > 0 ->
+      line "schedule: %s" (ints_to_string (Array.to_list l.tids))
+  | _ -> ());
+  Buffer.contents b
+
+let ( let* ) = Result.bind
+
+(** Parse a wire-form report.  Tolerates unknown trailing fields (forward
+    compatibility); fails with a message on anything malformed. *)
+let deserialize (s : string) : (Report.t, string) result =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | m :: rest when m = magic ->
+      let fields =
+        List.filter_map
+          (fun l ->
+            match String.index_opt l ':' with
+            | Some i ->
+                Some
+                  ( String.sub l 0 i,
+                    String.trim (String.sub l (i + 1) (String.length l - i - 1)) )
+            | None -> None)
+          rest
+      in
+      let get k =
+        match List.assoc_opt k fields with
+        | Some v -> Ok v
+        | None -> Error ("missing field " ^ k)
+      in
+      let* program = get "program" in
+      let* meth_s = get "method" in
+      let* method_used = method_of_code meth_s in
+      let* crash_s = get "crash" in
+      let* crash =
+        match String.split_on_char '|' crash_s with
+        | [ kind; file; line; col; in_func ] -> (
+            let* kind = crash_kind_of_code kind in
+            try
+              Ok
+                {
+                  Interp.Crash.kind;
+                  loc =
+                    Minic.Loc.make ~file ~line:(int_of_string line)
+                      ~col:(int_of_string col);
+                  in_func;
+                }
+            with _ -> Error "bad crash location")
+        | _ -> Error "bad crash field"
+      in
+      let* arg_caps = Result.bind (get "shape-args") ints_of_string in
+      let* conns_s = get "shape-conns" in
+      let* n_conns, conn_cap =
+        match String.split_on_char ',' conns_s with
+        | [ a; b ] -> (
+            try Ok (int_of_string a, int_of_string b) with _ -> Error "bad conns")
+        | _ -> Error "bad shape-conns"
+      in
+      let* files_s = get "shape-files" in
+      let file_names =
+        if files_s = "" then [] else String.split_on_char ',' files_s
+      in
+      let* file_cap =
+        Result.bind (get "shape-filecap") (fun v ->
+            try Ok (int_of_string v) with _ -> Error "bad filecap")
+      in
+      let* nbits =
+        Result.bind (get "branch-bits") (fun v ->
+            try Ok (int_of_string v) with _ -> Error "bad bit count")
+      in
+      let* log_hex = get "branch-log" in
+      let* bytes = string_of_hex log_hex in
+      if nbits > 8 * String.length bytes then Error "bit count exceeds log bytes"
+      else
+        let branch_log = { Branch_log.bytes; nbits; flushes = 0 } in
+        let syscall_log =
+          match List.assoc_opt "syscalls" fields with
+          | None -> Ok None
+          | Some "" -> Ok (Some { Syscall_log.entries = [||] })
+          | Some v -> (
+              try
+                Ok
+                  (Some
+                     {
+                       Syscall_log.entries =
+                         String.split_on_char ',' v
+                         |> List.map (fun kv ->
+                                match String.rindex_opt kv ':' with
+                                | Some i ->
+                                    {
+                                      Syscall_log.kind = String.sub kv 0 i;
+                                      value =
+                                        int_of_string
+                                          (String.sub kv (i + 1)
+                                             (String.length kv - i - 1));
+                                    }
+                                | None -> failwith "bad")
+                         |> Array.of_list;
+                     })
+              with _ -> Error "bad syscall log")
+        in
+        let* syscall_log = syscall_log in
+        let* schedule_log =
+          match List.assoc_opt "schedule" fields with
+          | None -> Ok None
+          | Some v ->
+              let* tids = ints_of_string v in
+              Ok (Some { Schedule_log.tids = Array.of_list tids })
+        in
+        Ok
+          {
+            Report.program;
+            method_used;
+            branch_log;
+            syscall_log;
+            schedule_log;
+            crash;
+            shape =
+              { Concolic.Scenario.arg_caps; n_conns; conn_cap; file_names; file_cap };
+          }
+  | _ -> Error "not a bugrepro report (bad magic)"

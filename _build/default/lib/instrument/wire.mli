@@ -1,0 +1,13 @@
+(** Wire format for bug reports.
+
+    Line-oriented text with hex-encoded log bytes; everything in it is
+    shippable by design (branch bits, numeric syscall results, schedule
+    decisions, crash site, input shape — no input content exists to leak).
+    Round-trip identity is property-tested. *)
+
+val magic : string
+val serialize : Report.t -> string
+
+(** Tolerates unknown trailing fields; fails with a message on anything
+    malformed (bad magic, bad hex, bit counts exceeding the log). *)
+val deserialize : string -> (Report.t, string) result

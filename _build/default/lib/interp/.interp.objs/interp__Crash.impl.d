@@ -1,0 +1,1 @@
+lib/interp/crash.ml: Minic Printf String

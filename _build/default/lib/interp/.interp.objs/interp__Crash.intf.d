@@ -1,0 +1,1 @@
+lib/interp/crash.mli: Minic

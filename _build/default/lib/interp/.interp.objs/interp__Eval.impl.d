@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Ast Buffer Char Cost Crash Effect Hashtbl Inputs Kernel List Loc Memory Minic Option Osmodel Printf Program Solver String Types Value

@@ -1,0 +1,1 @@
+lib/interp/eval.mli: Cost Crash Inputs Kernel Minic Solver Value

@@ -1,0 +1,1 @@
+lib/interp/inputs.ml: Array Char List Printf Solver String

@@ -1,0 +1,1 @@
+lib/interp/inputs.mli: Solver

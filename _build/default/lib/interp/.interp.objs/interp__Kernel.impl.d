@@ -1,0 +1,1 @@
+lib/interp/kernel.ml: Osmodel Solver

@@ -1,0 +1,1 @@
+lib/interp/kernel.mli: Osmodel Solver

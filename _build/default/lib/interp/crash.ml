@@ -1,0 +1,46 @@
+(** Crash classification and run outcomes.
+
+    A crash site (kind + location) is the identity of a bug: the paper's
+    replay succeeds when it finds an input whose execution crashes at the
+    same location as the user's execution. *)
+
+type kind =
+  | Out_of_bounds
+  | Null_deref
+  | Use_after_free
+  | Div_by_zero
+  | Assert_failure
+  | Explicit_crash  (** the [crash()] builtin (SIGSEGV analogue) *)
+  | Stack_overflow
+  | Invalid_pointer  (** dereferencing a non-pointer value *)
+
+let kind_to_string = function
+  | Out_of_bounds -> "out-of-bounds"
+  | Null_deref -> "null-deref"
+  | Use_after_free -> "use-after-free"
+  | Div_by_zero -> "div-by-zero"
+  | Assert_failure -> "assert-failure"
+  | Explicit_crash -> "crash"
+  | Stack_overflow -> "stack-overflow"
+  | Invalid_pointer -> "invalid-pointer"
+
+type t = { kind : kind; loc : Minic.Loc.t; in_func : string }
+
+let equal_site (a : t) (b : t) =
+  a.kind = b.kind && Minic.Loc.equal a.loc b.loc && String.equal a.in_func b.in_func
+
+let to_string c =
+  Printf.sprintf "%s at %s (in %s)" (kind_to_string c.kind)
+    (Minic.Loc.to_string c.loc) c.in_func
+
+type outcome =
+  | Exit of int
+  | Crash of t
+  | Budget_exhausted  (** step limit hit *)
+  | Aborted of string  (** a hook aborted the run (replay divergence) *)
+
+let outcome_to_string = function
+  | Exit n -> Printf.sprintf "exit(%d)" n
+  | Crash c -> Printf.sprintf "CRASH: %s" (to_string c)
+  | Budget_exhausted -> "budget exhausted"
+  | Aborted why -> Printf.sprintf "aborted: %s" why

@@ -1,0 +1,30 @@
+(** Crash classification and run outcomes.
+
+    A crash site (kind + location + function) is the identity of a bug: the
+    paper's replay succeeds when it finds an input whose execution crashes
+    at the same location as the user's execution. *)
+
+type kind =
+  | Out_of_bounds
+  | Null_deref
+  | Use_after_free
+  | Div_by_zero
+  | Assert_failure
+  | Explicit_crash  (** the [crash()] builtin (SIGSEGV analogue) *)
+  | Stack_overflow
+  | Invalid_pointer  (** dereferencing a non-pointer value *)
+
+val kind_to_string : kind -> string
+
+type t = { kind : kind; loc : Minic.Loc.t; in_func : string }
+
+val equal_site : t -> t -> bool
+val to_string : t -> string
+
+type outcome =
+  | Exit of int
+  | Crash of t
+  | Budget_exhausted  (** step limit hit *)
+  | Aborted of string  (** a hook abandoned the run (replay divergence) *)
+
+val outcome_to_string : outcome -> string

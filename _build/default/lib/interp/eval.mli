@@ -1,0 +1,56 @@
+(** The MiniC evaluator.
+
+    One evaluator serves every pipeline stage; stages differ only in the
+    {!hooks}, the {!Kernel.t} and the symbolic shadows on inputs.  Using
+    the same semantics for recording and replay is what guarantees that a
+    fully-logged execution replays along the identical path. *)
+
+(** Access to a running program's global variables, handed to the
+    checkpoint hook so checkpoint/restore machinery can snapshot or rewrite
+    global state without reaching into evaluator internals. *)
+type global_access = {
+  list_globals : unit -> (string * int) list;  (** name and cell count *)
+  read_global : string -> int -> Value.t option;
+  write_global : string -> int -> Value.t -> bool;
+}
+
+type hooks = {
+  on_branch : bid:int -> taken:bool -> cond:Value.t -> unit;
+      (** called at every executed branch, before entering the arm; may
+          raise {!Abort_run} *)
+  on_concretize : Solver.Expr.t -> int -> unit;
+      (** a symbolic value was forced to its concrete value (array index,
+          pointer arithmetic, syscall argument) *)
+  on_checkpoint : global_access -> unit;
+      (** the program executed the [checkpoint()] builtin *)
+}
+
+val no_hooks : hooks
+
+exception Abort_run of string
+(** Raised by hooks to abandon the current run (replay divergence). *)
+
+type config = {
+  inputs : Inputs.t;
+  kernel : Kernel.t;
+  hooks : hooks;
+  max_steps : int;  (** statement budget; exceeding yields [Budget_exhausted] *)
+  scheduler : (int list -> int) option;
+      (** thread-scheduling policy (§6 multithreading): given the ready
+          thread ids in queue order, return the one to run.  Consulted only
+          when two or more threads are ready; [None] = round-robin.  The
+          field run logs these decisions; replay replays them.  May raise
+          {!Abort_run} on schedule divergence. *)
+}
+
+val default_config : config
+
+type result = {
+  outcome : Crash.outcome;
+  cost : Cost.t;
+  output : string;  (** text printed via print_int / print_str *)
+  steps : int;
+}
+
+(** Run [prog]'s [main] under the given configuration. *)
+val run : Minic.Program.t -> config -> result

@@ -1,0 +1,28 @@
+(** The kernel interface seen by the evaluator.
+
+    A kernel reply carries the concrete system-call result plus optional
+    symbolic shadows: the numeric return value's shadow ([ret_sym]) and a
+    per-byte shadow for transferred data ([data_sym]).  Different pipeline
+    stages wrap different kernels:
+
+    - field run: the simulated OS, no shadows, optional result logging;
+    - dynamic analysis: the simulated OS with symbolic data bytes;
+    - replay with a syscall log: logged results, symbolic data bytes;
+    - replay without a log: fully symbolic models (§3.3). *)
+
+type reply = {
+  res : Osmodel.Sysreq.res;
+  ret_sym : Solver.Expr.t option;
+  data_sym : Solver.Expr.t option array;
+      (** shadows for the bytes of an [R_read] payload; length must be >= the
+          payload's [count] or empty for "no shadows" *)
+}
+
+type t = Osmodel.Sysreq.req -> reply
+
+let concrete_reply res = { res; ret_sym = None; data_sym = [||] }
+
+(** Kernel backed directly by a simulated world: concrete results, no
+    symbolic shadows.  This is the user-site (field run) kernel. *)
+let of_world (handle : Osmodel.Sysreq.req -> Osmodel.Sysreq.res) : t =
+ fun req -> concrete_reply (handle req)

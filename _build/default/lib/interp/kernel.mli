@@ -1,0 +1,22 @@
+(** The kernel interface seen by the evaluator.
+
+    A kernel reply carries the concrete system-call result plus optional
+    symbolic shadows.  Different pipeline stages wrap different kernels: the
+    simulated OS (field run), the simulated OS with symbolic data (dynamic
+    analysis), logged results (replay with a syscall log) or fully symbolic
+    models (replay without one, §3.3). *)
+
+type reply = {
+  res : Osmodel.Sysreq.res;
+  ret_sym : Solver.Expr.t option;  (** shadow of the numeric return value *)
+  data_sym : Solver.Expr.t option array;
+      (** per-byte shadows for an [R_read] payload; may be empty *)
+}
+
+type t = Osmodel.Sysreq.req -> reply
+
+val concrete_reply : Osmodel.Sysreq.res -> reply
+
+(** Kernel backed directly by a simulated world: concrete results, no
+    shadows.  This is the user-site (field run) kernel. *)
+val of_world : (Osmodel.Sysreq.req -> Osmodel.Sysreq.res) -> t

@@ -1,0 +1,66 @@
+(** Block-based memory.
+
+    Every variable owns a block (scalars have size 1, arrays their declared
+    size); pointers are (block, offset) pairs.  Out-of-bounds offsets,
+    dangling blocks (frame popped) and unknown blocks fault — giving MiniC
+    programs memory-safety crashes at well-defined source locations, which
+    is exactly the crash behaviour the paper reproduces. *)
+
+type fault = Oob | Dead_block | Unknown_block
+
+type block = {
+  bid : int;
+  bname : string;
+  cells : Value.t array;
+  mutable alive : bool;
+}
+
+type t = { tbl : (int, block) Hashtbl.t; mutable next : int }
+
+let create () = { tbl = Hashtbl.create 256; next = 1 }
+
+(** Allocate a zero-initialised block; returns its id. *)
+let alloc t ~name ~size =
+  let bid = t.next in
+  t.next <- bid + 1;
+  Hashtbl.replace t.tbl bid
+    { bid; bname = name; cells = Array.make (max size 0) Value.zero; alive = true };
+  bid
+
+(** Mark a block dead (its id is never reused, so later accesses fault with
+    [Dead_block] — a use-after-free detector for free). *)
+let kill t bid =
+  match Hashtbl.find_opt t.tbl bid with
+  | Some b ->
+      b.alive <- false;
+      Hashtbl.remove t.tbl bid
+  | None -> ()
+
+let size t bid =
+  match Hashtbl.find_opt t.tbl bid with
+  | Some b -> Some (Array.length b.cells)
+  | None -> None
+
+let load t ~base ~off : (Value.t, fault) result =
+  match Hashtbl.find_opt t.tbl base with
+  | None -> Error (if base < t.next then Dead_block else Unknown_block)
+  | Some b ->
+      if not b.alive then Error Dead_block
+      else if off < 0 || off >= Array.length b.cells then Error Oob
+      else Ok b.cells.(off)
+
+let store t ~base ~off (v : Value.t) : (unit, fault) result =
+  match Hashtbl.find_opt t.tbl base with
+  | None -> Error (if base < t.next then Dead_block else Unknown_block)
+  | Some b ->
+      if not b.alive then Error Dead_block
+      else if off < 0 || off >= Array.length b.cells then Error Oob
+      else begin
+        b.cells.(off) <- v;
+        Ok ()
+      end
+
+let fault_to_crash_kind = function
+  | Oob -> Crash.Out_of_bounds
+  | Dead_block -> Crash.Use_after_free
+  | Unknown_block -> Crash.Invalid_pointer

@@ -1,0 +1,26 @@
+(** Block-based memory.
+
+    Every variable owns a block (scalars have size 1, arrays their declared
+    size); pointers are (block, offset) pairs.  Out-of-bounds offsets,
+    dangling blocks and unknown blocks fault, giving MiniC programs
+    memory-safety crashes at well-defined source locations. *)
+
+type fault = Oob | Dead_block | Unknown_block
+
+type t
+
+val create : unit -> t
+
+(** Allocate a zero-initialised block; returns its id. *)
+val alloc : t -> name:string -> size:int -> int
+
+(** Mark a block dead; ids are never reused, so later accesses fault with
+    [Dead_block] — a use-after-free detector for free. *)
+val kill : t -> int -> unit
+
+(** Cell count of a live block. *)
+val size : t -> int -> int option
+
+val load : t -> base:int -> off:int -> (Value.t, fault) result
+val store : t -> base:int -> off:int -> Value.t -> (unit, fault) result
+val fault_to_crash_kind : fault -> Crash.kind

@@ -1,0 +1,29 @@
+(** Runtime values: a concrete part plus an optional symbolic shadow.
+
+    One evaluator serves every stage of the paper's pipeline because the
+    shadow is optional: a plain field run carries no shadows; dynamic
+    analysis and replay shadow each input-derived value with a
+    {!Solver.Expr.t}.  Pointers are never symbolic — program input consists
+    of bytes. *)
+
+type conc =
+  | Int of int
+  | Ptr of { base : int; off : int }  (** block id and cell offset *)
+
+type t = { conc : conc; sym : Solver.Expr.t option }
+
+val int_ : int -> t
+val ptr : base:int -> off:int -> t
+val with_sym : t -> Solver.Expr.t option -> t
+val zero : t
+val one : t
+val is_symbolic : t -> bool
+
+(** Concrete truth value (C semantics: nonzero / non-null). *)
+val truthy : t -> bool
+
+(** The symbolic shadow of [v], or the constant embedding of its concrete
+    value; [None] if the value is a pointer. *)
+val sym_or_const : t -> Solver.Expr.t option
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/minic/astcmp.ml: Ast List Option String Types

@@ -1,0 +1,1 @@
+lib/minic/builtin.mli: Types

@@ -1,0 +1,1 @@
+lib/minic/label.ml: Array Format

@@ -1,0 +1,1 @@
+lib/minic/normalize.ml: Ast List Loc Option Printf Types

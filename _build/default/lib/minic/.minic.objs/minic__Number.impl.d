@@ -1,0 +1,1 @@
+lib/minic/number.ml: Array Ast List Loc

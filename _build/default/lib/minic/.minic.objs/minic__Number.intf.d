@@ -1,0 +1,1 @@
+lib/minic/number.mli: Ast Loc

@@ -1,0 +1,1 @@
+lib/minic/program.ml: Array Ast Hashtbl List Loc Normalize Number Parser Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Builtin Format Hashtbl List Loc Types

@@ -1,0 +1,165 @@
+(** Abstract syntax of MiniC.
+
+    The AST mirrors CIL-normalised C: function calls appear only in statement
+    position ([Scall]), every conditional is an explicit two-way branch, and
+    loops are [while] loops ([for] is desugared by the parser).  This is the
+    program shape on which the paper's Algorithms 1 and 2 operate.
+
+    Logical [&&] and [||] are strict in MiniC (both operands are evaluated);
+    this keeps "one [if] = one branch location", which is what the branch
+    numbering, instrumentation and replay all rely on. *)
+
+type unop =
+  | Neg  (** arithmetic negation *)
+  | Lognot  (** logical not: [!e] is 1 when [e = 0], else 0 *)
+  | Bitnot  (** bitwise complement *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** strict logical and *)
+  | Lor  (** strict logical or *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type expr =
+  | Cint of int
+  | Cstr of string  (** string literal; evaluates to a pointer to interned bytes *)
+  | Lval of lval
+  | Addr of lval  (** [&lv] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ecall of string * expr list
+      (** call in expression position; removed by {!Normalize} *)
+
+and lval =
+  | Var of string
+  | Index of lval * expr  (** [a[i]]; also pointer indexing [p[i]] *)
+  | Star of expr  (** [*e] *)
+
+(** A branch site.  Ids are assigned program-wide by {!Number} after linking;
+    [-1] means "not yet numbered". *)
+type branch = { mutable bid : int; bloc : Loc.t }
+
+type stmt = { sloc : Loc.t; sdesc : stmt_desc }
+
+and stmt_desc =
+  | Sassign of lval * expr
+  | Scall of lval option * string * expr list
+  | Sif of branch * expr * block * block
+  | Swhile of branch * expr * block
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+
+and block = stmt list
+
+type var_decl = {
+  vname : string;
+  vtyp : Types.t;
+  vinit : expr option;  (** globals: constant only; locals: arbitrary *)
+  vloc : Loc.t;
+}
+
+type func = {
+  fname : string;
+  fret : Types.t;
+  fparams : (string * Types.t) list;
+  mutable flocals : var_decl list;
+  mutable fbody : block;
+  floc : Loc.t;
+  fis_lib : bool;  (** true for runtime-library functions (the uClibc analogue) *)
+}
+
+(** A translation unit as produced by the parser (before linking). *)
+type unit_ = { u_globals : var_decl list; u_funcs : func list }
+
+let mk_stmt ?(loc = Loc.none) sdesc = { sloc = loc; sdesc }
+
+let mk_branch ?(loc = Loc.none) () = { bid = -1; bloc = loc }
+
+let unop_to_string = function Neg -> "-" | Lognot -> "!" | Bitnot -> "~"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+(** Iterate over every statement of a block, recursing into nested blocks and
+    branch arms, in source order. *)
+let rec iter_stmts f (b : block) =
+  List.iter
+    (fun s ->
+      f s;
+      match s.sdesc with
+      | Sif (_, _, t, e) ->
+          iter_stmts f t;
+          iter_stmts f e
+      | Swhile (_, _, body) -> iter_stmts f body
+      | Sblock body -> iter_stmts f body
+      | Sassign _ | Scall _ | Sreturn _ | Sbreak | Scontinue -> ())
+    b
+
+(** Fold over every expression occurring in a block (conditions, right-hand
+    sides, call arguments, lvalue indices). *)
+let fold_exprs f acc (b : block) =
+  let acc = ref acc in
+  let rec on_expr e =
+    acc := f !acc e;
+    match e with
+    | Cint _ | Cstr _ -> ()
+    | Lval lv | Addr lv -> on_lval lv
+    | Unop (_, a) -> on_expr a
+    | Binop (_, a, b) ->
+        on_expr a;
+        on_expr b
+    | Ecall (_, args) -> List.iter on_expr args
+  and on_lval = function
+    | Var _ -> ()
+    | Index (lv, e) ->
+        on_lval lv;
+        on_expr e
+    | Star e -> on_expr e
+  in
+  iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Sassign (lv, e) ->
+          on_lval lv;
+          on_expr e
+      | Scall (lvo, _, args) ->
+          Option.iter on_lval lvo;
+          List.iter on_expr args
+      | Sif (_, c, _, _) | Swhile (_, c, _) -> on_expr c
+      | Sreturn (Some e) -> on_expr e
+      | Sreturn None | Sbreak | Scontinue | Sblock _ -> ())
+    b;
+  !acc

@@ -1,0 +1,67 @@
+(** Structural AST equality, ignoring source locations and branch ids.
+
+    Used by the parser/pretty-printer round-trip property tests. *)
+
+let rec equal_expr (a : Ast.expr) (b : Ast.expr) =
+  match a, b with
+  | Cint x, Cint y -> x = y
+  | Cstr x, Cstr y -> String.equal x y
+  | Lval x, Lval y | Addr x, Addr y -> equal_lval x y
+  | Unop (o1, x), Unop (o2, y) -> o1 = o2 && equal_expr x y
+  | Binop (o1, x1, y1), Binop (o2, x2, y2) ->
+      o1 = o2 && equal_expr x1 x2 && equal_expr y1 y2
+  | Ecall (f, xs), Ecall (g, ys) ->
+      String.equal f g && List.length xs = List.length ys
+      && List.for_all2 equal_expr xs ys
+  | (Cint _ | Cstr _ | Lval _ | Addr _ | Unop _ | Binop _ | Ecall _), _ -> false
+
+and equal_lval (a : Ast.lval) (b : Ast.lval) =
+  match a, b with
+  | Var x, Var y -> String.equal x y
+  | Index (b1, i1), Index (b2, i2) -> equal_lval b1 b2 && equal_expr i1 i2
+  | Star x, Star y -> equal_expr x y
+  | (Var _ | Index _ | Star _), _ -> false
+
+let rec equal_stmt (a : Ast.stmt) (b : Ast.stmt) =
+  match a.sdesc, b.sdesc with
+  | Sassign (l1, e1), Sassign (l2, e2) -> equal_lval l1 l2 && equal_expr e1 e2
+  | Scall (lo1, f1, a1), Scall (lo2, f2, a2) ->
+      Option.equal equal_lval lo1 lo2
+      && String.equal f1 f2
+      && List.length a1 = List.length a2
+      && List.for_all2 equal_expr a1 a2
+  | Sif (_, c1, t1, e1), Sif (_, c2, t2, e2) ->
+      equal_expr c1 c2 && equal_block t1 t2 && equal_block e1 e2
+  | Swhile (_, c1, b1), Swhile (_, c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | Sreturn e1, Sreturn e2 -> Option.equal equal_expr e1 e2
+  | Sbreak, Sbreak | Scontinue, Scontinue -> true
+  | Sblock b1, Sblock b2 -> equal_block b1 b2
+  | ( ( Sassign _ | Scall _ | Sif _ | Swhile _ | Sreturn _ | Sbreak | Scontinue
+      | Sblock _ ),
+      _ ) ->
+      false
+
+and equal_block a b =
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+let equal_var_decl (a : Ast.var_decl) (b : Ast.var_decl) =
+  String.equal a.vname b.vname
+  && Types.equal a.vtyp b.vtyp
+  && Option.equal equal_expr a.vinit b.vinit
+
+let equal_func (a : Ast.func) (b : Ast.func) =
+  String.equal a.fname b.fname
+  && Types.equal a.fret b.fret
+  && List.length a.fparams = List.length b.fparams
+  && List.for_all2
+       (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && Types.equal t1 t2)
+       a.fparams b.fparams
+  && List.length a.flocals = List.length b.flocals
+  && List.for_all2 equal_var_decl a.flocals b.flocals
+  && equal_block a.fbody b.fbody
+
+let equal_unit (a : Ast.unit_) (b : Ast.unit_) =
+  List.length a.u_globals = List.length b.u_globals
+  && List.for_all2 equal_var_decl a.u_globals b.u_globals
+  && List.length a.u_funcs = List.length b.u_funcs
+  && List.for_all2 equal_func a.u_funcs b.u_funcs

@@ -1,0 +1,10 @@
+(** Structural AST equality, ignoring source locations and branch ids.
+    Used by the parser/pretty-printer round-trip property tests. *)
+
+val equal_expr : Ast.expr -> Ast.expr -> bool
+val equal_lval : Ast.lval -> Ast.lval -> bool
+val equal_stmt : Ast.stmt -> Ast.stmt -> bool
+val equal_block : Ast.block -> Ast.block -> bool
+val equal_var_decl : Ast.var_decl -> Ast.var_decl -> bool
+val equal_func : Ast.func -> Ast.func -> bool
+val equal_unit : Ast.unit_ -> Ast.unit_ -> bool

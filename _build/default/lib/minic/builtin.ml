@@ -1,0 +1,82 @@
+(** Built-in functions of the MiniC runtime.
+
+    These are the primitives the interpreter implements natively; everything
+    else (strlen, atoi, ...) is written in MiniC itself and linked as the
+    runtime library, mirroring the paper's use of uClibc.
+
+    The table also records the information the static analysis needs: which
+    pointer arguments receive input bytes ([taints_args]) and whether the
+    return value is itself program input ([returns_input]) — the paper marks
+    "the return values of any functions that return input" symbolic. *)
+
+type t = {
+  name : string;
+  ret : Types.t;
+  params : Types.t list;
+  taints_args : int list;
+      (** indices (0-based) of pointer parameters whose pointees become input *)
+  returns_input : bool;
+  is_syscall : bool;  (** result is produced by the simulated kernel *)
+}
+
+let ptr_int = Types.Tptr Types.Tint
+
+let all : t list =
+  [
+    (* program arguments: argv is input (paper §2.1) *)
+    { name = "argc"; ret = Types.Tint; params = []; taints_args = [];
+      returns_input = false; is_syscall = false };
+    { name = "arg"; ret = Types.Tint; params = [ Types.Tint; ptr_int; Types.Tint ];
+      taints_args = [ 1 ]; returns_input = true; is_syscall = false };
+    (* file and socket I/O: data is input; results are non-deterministic *)
+    { name = "read"; ret = Types.Tint; params = [ Types.Tint; ptr_int; Types.Tint ];
+      taints_args = [ 1 ]; returns_input = true; is_syscall = true };
+    { name = "write"; ret = Types.Tint; params = [ Types.Tint; ptr_int; Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = true };
+    { name = "open"; ret = Types.Tint; params = [ ptr_int; Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = true };
+    { name = "close"; ret = Types.Tint; params = [ Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = true };
+    { name = "select"; ret = Types.Tint; params = [];
+      taints_args = []; returns_input = true; is_syscall = true };
+    { name = "ready_fd"; ret = Types.Tint; params = [ Types.Tint ];
+      taints_args = []; returns_input = true; is_syscall = true };
+    { name = "accept"; ret = Types.Tint; params = [];
+      taints_args = []; returns_input = true; is_syscall = true };
+    { name = "listen"; ret = Types.Tint; params = [ Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = true };
+    (* diagnostics and termination *)
+    { name = "print_int"; ret = Types.Tvoid; params = [ Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "print_str"; ret = Types.Tvoid; params = [ ptr_int ];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "exit"; ret = Types.Tvoid; params = [ Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "crash"; ret = Types.Tvoid; params = [];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "assert"; ret = Types.Tvoid; params = [ Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = false };
+    (* checkpoint support (§6 long-running applications): discards the
+       branch log collected so far; invisible to the program (returns 0) *)
+    { name = "checkpoint"; ret = Types.Tint; params = [];
+      taints_args = []; returns_input = false; is_syscall = false };
+    (* cooperative threads (§6 multithreading): spawn a named function with
+       one integer argument, yield the processor, join a thread, query the
+       current thread id *)
+    { name = "spawn"; ret = Types.Tint; params = [ ptr_int; Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "yield"; ret = Types.Tvoid; params = [];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "join"; ret = Types.Tint; params = [ Types.Tint ];
+      taints_args = []; returns_input = false; is_syscall = false };
+    { name = "my_tid"; ret = Types.Tint; params = [];
+      taints_args = []; returns_input = false; is_syscall = false };
+  ]
+
+let tbl : (string, t) Hashtbl.t =
+  let h = Hashtbl.create 32 in
+  List.iter (fun b -> Hashtbl.replace h b.name b) all;
+  h
+
+let find name = Hashtbl.find_opt tbl name
+let is_builtin name = Hashtbl.mem tbl name

@@ -1,0 +1,22 @@
+(** Built-in functions of the MiniC runtime.
+
+    The primitives the interpreter implements natively; everything else
+    (strlen, atoi, ...) is written in MiniC itself and linked as the
+    runtime library, mirroring the paper's use of uClibc.  The table also
+    records what static analysis needs: which pointer arguments receive
+    input bytes and whether the return value is itself program input. *)
+
+type t = {
+  name : string;
+  ret : Types.t;
+  params : Types.t list;
+  taints_args : int list;
+      (** indices (0-based) of pointer parameters whose pointees become
+          input *)
+  returns_input : bool;
+  is_syscall : bool;  (** result produced by the simulated kernel *)
+}
+
+val all : t list
+val find : string -> t option
+val is_builtin : string -> bool

@@ -1,0 +1,31 @@
+(** Branch labels produced by the paper's analyses.
+
+    Dynamic analysis labels branches [Symbolic], [Concrete] or leaves them
+    [Unvisited]; static analysis labels every branch [Symbolic] or
+    [Concrete].  The instrumentation methods of §2.3 combine these maps. *)
+
+type t = Symbolic | Concrete | Unvisited
+
+let to_string = function
+  | Symbolic -> "symbolic"
+  | Concrete -> "concrete"
+  | Unvisited -> "unvisited"
+
+let pp fmt l = Format.pp_print_string fmt (to_string l)
+
+let equal (a : t) b = a = b
+
+(** A labelling of all branch locations of a program: index = branch id. *)
+type map = t array
+
+let make ~nbranches init : map = Array.make nbranches init
+
+(** Sticky upgrade used by dynamic analysis (§2.1): once symbolic, always
+    symbolic; concrete may be upgraded to symbolic on a later visit. *)
+let observe (m : map) bid ~symbolic =
+  match m.(bid) with
+  | Symbolic -> ()
+  | Concrete | Unvisited -> if symbolic then m.(bid) <- Symbolic else m.(bid) <- Concrete
+
+let count (m : map) l =
+  Array.fold_left (fun n x -> if equal x l then n + 1 else n) 0 m

@@ -1,0 +1,22 @@
+(** Branch labels produced by the paper's analyses.
+
+    Dynamic analysis labels branches [Symbolic], [Concrete] or leaves them
+    [Unvisited]; static analysis labels every branch [Symbolic] or
+    [Concrete].  The instrumentation methods of §2.3 combine these maps. *)
+
+type t = Symbolic | Concrete | Unvisited
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** A labelling of all branch locations of a program: index = branch id. *)
+type map = t array
+
+val make : nbranches:int -> t -> map
+
+(** Sticky upgrade used by dynamic analysis (§2.1): once symbolic, always
+    symbolic; concrete may be upgraded to symbolic on a later visit. *)
+val observe : map -> int -> symbolic:bool -> unit
+
+val count : map -> t -> int

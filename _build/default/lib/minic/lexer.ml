@@ -1,0 +1,232 @@
+(** Hand-written lexer for MiniC.
+
+    Supports line ([//]) and block ([/* */]) comments, decimal and hex
+    integer literals, character literals (['a'], ['\n'], ...), and string
+    literals with the usual escapes. *)
+
+exception Error of string * Loc.t
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+}
+
+let create ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc lx = Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol + 1)
+
+let error lx msg = raise (Error (msg, loc lx))
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.pos + 1
+  | Some _ | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when peek2 lx = Some '/' ->
+      let rec to_eol () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | Some '/' when peek2 lx = Some '*' ->
+      advance lx;
+      advance lx;
+      let rec to_close () =
+        match peek lx with
+        | None -> error lx "unterminated block comment"
+        | Some '*' when peek2 lx = Some '/' ->
+            advance lx;
+            advance lx
+        | Some _ ->
+            advance lx;
+            to_close ()
+      in
+      to_close ();
+      skip_ws lx
+  | Some _ | None -> ()
+
+let lex_escape lx =
+  match peek lx with
+  | None -> error lx "unterminated escape"
+  | Some c ->
+      advance lx;
+      (match c with
+      | 'n' -> '\n'
+      | 't' -> '\t'
+      | 'r' -> '\r'
+      | '0' -> '\000'
+      | '\\' -> '\\'
+      | '\'' -> '\''
+      | '"' -> '"'
+      | c -> error lx (Printf.sprintf "unknown escape '\\%c'" c))
+
+let lex_number lx =
+  let start = lx.pos in
+  let hex =
+    peek lx = Some '0' && (peek2 lx = Some 'x' || peek2 lx = Some 'X')
+  in
+  if hex then (
+    advance lx;
+    advance lx;
+    while (match peek lx with Some c -> is_hex c | None -> false) do
+      advance lx
+    done)
+  else
+    while (match peek lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> Token.INT n
+  | None -> error lx (Printf.sprintf "bad integer literal %s" s)
+
+let keyword_of_string = function
+  | "int" -> Some Token.KW_INT
+  | "void" -> Some Token.KW_VOID
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | "switch" -> Some Token.KW_SWITCH
+  | "case" -> Some Token.KW_CASE
+  | "default" -> Some Token.KW_DEFAULT
+  | _ -> None
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_ident c | None -> false) do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match keyword_of_string s with Some kw -> kw | None -> Token.IDENT s
+
+let lex_string lx =
+  advance lx;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> error lx "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' ->
+        advance lx;
+        Buffer.add_char buf (lex_escape lx);
+        go ()
+    | Some c ->
+        advance lx;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Token.STR (Buffer.contents buf)
+
+let lex_char lx =
+  advance lx;
+  let c =
+    match peek lx with
+    | None -> error lx "unterminated character literal"
+    | Some '\\' ->
+        advance lx;
+        lex_escape lx
+    | Some c ->
+        advance lx;
+        c
+  in
+  (match peek lx with
+  | Some '\'' -> advance lx
+  | Some _ | None -> error lx "unterminated character literal");
+  Token.INT (Char.code c)
+
+(** Next token together with its start location. *)
+let next lx : Token.t * Loc.t =
+  skip_ws lx;
+  let l = loc lx in
+  let two tok =
+    advance lx;
+    advance lx;
+    tok
+  in
+  let one tok =
+    advance lx;
+    tok
+  in
+  let tok =
+    match peek lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c -> lex_ident lx
+    | Some '"' -> lex_string lx
+    | Some '\'' -> lex_char lx
+    | Some '(' -> one Token.LPAREN
+    | Some ')' -> one Token.RPAREN
+    | Some '{' -> one Token.LBRACE
+    | Some '}' -> one Token.RBRACE
+    | Some '[' -> one Token.LBRACKET
+    | Some ']' -> one Token.RBRACKET
+    | Some ';' -> one Token.SEMI
+    | Some ',' -> one Token.COMMA
+    | Some ':' -> one Token.COLON
+    | Some '+' ->
+        if peek2 lx = Some '=' then two Token.PLUSEQ
+        else if peek2 lx = Some '+' then two Token.PLUSPLUS
+        else one Token.PLUS
+    | Some '-' ->
+        if peek2 lx = Some '=' then two Token.MINUSEQ
+        else if peek2 lx = Some '-' then two Token.MINUSMINUS
+        else one Token.MINUS
+    | Some '*' -> one Token.STAR
+    | Some '/' -> one Token.SLASH
+    | Some '%' -> one Token.PERCENT
+    | Some '~' -> one Token.TILDE
+    | Some '^' -> one Token.CARET
+    | Some '=' -> if peek2 lx = Some '=' then two Token.EQ else one Token.ASSIGN
+    | Some '!' -> if peek2 lx = Some '=' then two Token.NE else one Token.NOT
+    | Some '<' ->
+        if peek2 lx = Some '=' then two Token.LE
+        else if peek2 lx = Some '<' then two Token.SHL
+        else one Token.LT
+    | Some '>' ->
+        if peek2 lx = Some '=' then two Token.GE
+        else if peek2 lx = Some '>' then two Token.SHR
+        else one Token.GT
+    | Some '&' -> if peek2 lx = Some '&' then two Token.ANDAND else one Token.AMP
+    | Some '|' -> if peek2 lx = Some '|' then two Token.OROR else one Token.PIPE
+    | Some c -> error lx (Printf.sprintf "unexpected character %C" c)
+  in
+  (tok, l)
+
+(** Lex an entire source string. *)
+let tokenize ~file src : (Token.t * Loc.t) list =
+  let lx = create ~file src in
+  let rec go acc =
+    let t, l = next lx in
+    if t = Token.EOF then List.rev ((t, l) :: acc) else go ((t, l) :: acc)
+  in
+  go []

@@ -1,0 +1,17 @@
+(** Hand-written lexer for MiniC.
+
+    Supports line ([//]) and block ([/* */]) comments, decimal and hex
+    integer literals, character literals, and string literals with the
+    usual escapes. *)
+
+exception Error of string * Loc.t
+
+type t
+
+val create : file:string -> string -> t
+
+(** Next token with its start location; returns {!Token.EOF} at the end. *)
+val next : t -> Token.t * Loc.t
+
+(** Lex an entire source string (ends with an [EOF] token). *)
+val tokenize : file:string -> string -> (Token.t * Loc.t) list

@@ -1,0 +1,24 @@
+(** Source locations for MiniC programs.
+
+    Every statement and branch carries a location so that crash sites and
+    branch locations can be reported the way the paper reports them (file,
+    line). *)
+
+type t = { file : string; line : int; col : int }
+
+let none = { file = "<builtin>"; line = 0; col = 0 }
+
+let make ~file ~line ~col = { file; line; col }
+
+let equal a b = String.equal a.file b.file && a.line = b.line && a.col = b.col
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let pp fmt l = Format.fprintf fmt "%s:%d:%d" l.file l.line l.col
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,11 @@
+(** Source locations.  Crash sites and branch locations are reported the
+    way the paper reports them: file and line. *)
+
+type t = { file : string; line : int; col : int }
+
+val none : t
+val make : file:string -> line:int -> col:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

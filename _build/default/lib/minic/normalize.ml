@@ -1,0 +1,116 @@
+(** CIL-style normalisation: lift calls out of expression position.
+
+    After this pass, calls occur only as [Scall] statements, which is the
+    program shape the paper's Algorithm 1 analyses.  A call in a [while]
+    condition forces the CIL loop transformation:
+
+    {v while (c) b   ==>   while (1) { pre; if (c') { b } else break; } v}
+
+    where [pre] re-evaluates the lifted calls on every iteration. *)
+
+type state = { mutable counter : int; func : Ast.func }
+
+let fresh st =
+  let name = Printf.sprintf "__t%d" st.counter in
+  st.counter <- st.counter + 1;
+  st.func.flocals <-
+    st.func.flocals
+    @ [ { Ast.vname = name; vtyp = Types.Tint; vinit = None; vloc = Loc.none } ];
+  name
+
+let rec has_call (e : Ast.expr) =
+  match e with
+  | Cint _ | Cstr _ -> false
+  | Ecall _ -> true
+  | Lval lv | Addr lv -> lval_has_call lv
+  | Unop (_, a) -> has_call a
+  | Binop (_, a, b) -> has_call a || has_call b
+
+and lval_has_call = function
+  | Ast.Var _ -> false
+  | Ast.Index (lv, e) -> lval_has_call lv || has_call e
+  | Ast.Star e -> has_call e
+
+(* Rewrite [e], emitting lifted calls through [emit]. *)
+let rec norm_expr st ~loc ~emit (e : Ast.expr) : Ast.expr =
+  match e with
+  | Cint _ | Cstr _ -> e
+  | Lval lv -> Lval (norm_lval st ~loc ~emit lv)
+  | Addr lv -> Addr (norm_lval st ~loc ~emit lv)
+  | Unop (op, a) -> Unop (op, norm_expr st ~loc ~emit a)
+  | Binop (op, a, b) ->
+      let a = norm_expr st ~loc ~emit a in
+      let b = norm_expr st ~loc ~emit b in
+      Binop (op, a, b)
+  | Ecall (f, args) ->
+      let args = List.map (norm_expr st ~loc ~emit) args in
+      let tmp = fresh st in
+      emit (Ast.mk_stmt ~loc (Ast.Scall (Some (Ast.Var tmp), f, args)));
+      Lval (Var tmp)
+
+and norm_lval st ~loc ~emit (lv : Ast.lval) : Ast.lval =
+  match lv with
+  | Var _ -> lv
+  | Index (b, i) -> Index (norm_lval st ~loc ~emit b, norm_expr st ~loc ~emit i)
+  | Star e -> Star (norm_expr st ~loc ~emit e)
+
+let rec norm_stmt st (s : Ast.stmt) : Ast.stmt list =
+  let loc = s.sloc in
+  let pre = ref [] in
+  let emit x = pre := x :: !pre in
+  let finish desc = List.rev !pre @ [ Ast.mk_stmt ~loc desc ] in
+  match s.sdesc with
+  | Sassign (lv, Ecall (f, args)) ->
+      let args = List.map (norm_expr st ~loc ~emit) args in
+      let lv = norm_lval st ~loc ~emit lv in
+      finish (Scall (Some lv, f, args))
+  | Sassign (lv, e) ->
+      let lv = norm_lval st ~loc ~emit lv in
+      let e = norm_expr st ~loc ~emit e in
+      finish (Sassign (lv, e))
+  | Scall (lvo, f, args) ->
+      let args = List.map (norm_expr st ~loc ~emit) args in
+      let lvo = Option.map (norm_lval st ~loc ~emit) lvo in
+      finish (Scall (lvo, f, args))
+  | Sif (br, c, t, e) ->
+      let c = norm_expr st ~loc ~emit c in
+      let t = norm_block st t in
+      let e = norm_block st e in
+      finish (Sif (br, c, t, e))
+  | Swhile (br, c, body) when has_call c ->
+      (* CIL loop transformation: the loop head becomes an unconditional
+         branch; the symbolic test moves to a fresh [if] inside. *)
+      let body = norm_block st body in
+      let c = norm_expr st ~loc ~emit c in
+      let inner =
+        Ast.mk_stmt ~loc
+          (Ast.Sif
+             ( Ast.mk_branch ~loc (),
+               c,
+               body,
+               [ Ast.mk_stmt ~loc Ast.Sbreak ] ))
+      in
+      [ Ast.mk_stmt ~loc (Ast.Swhile (br, Ast.Cint 1, List.rev !pre @ [ inner ])) ]
+  | Swhile (br, c, body) -> [ Ast.mk_stmt ~loc (Swhile (br, c, norm_block st body)) ]
+  | Sreturn (Some e) ->
+      let e = norm_expr st ~loc ~emit e in
+      finish (Sreturn (Some e))
+  | Sreturn None | Sbreak | Scontinue -> [ s ]
+  | Sblock b -> [ Ast.mk_stmt ~loc (Sblock (norm_block st b)) ]
+
+and norm_block st (b : Ast.block) : Ast.block =
+  List.concat_map (norm_stmt st) b
+
+(** Normalise a function in place. *)
+let func (f : Ast.func) =
+  let st = { counter = 0; func = f } in
+  f.fbody <- norm_block st f.fbody
+
+(** [block_is_normalised b] checks the invariant that no call remains in
+    expression position (used by tests and as a linker sanity check). *)
+let block_is_normalised (b : Ast.block) =
+  (* fold_exprs visits call statements' arguments, not the statement call
+     itself, so any Ecall seen here is in expression position. *)
+  Ast.fold_exprs
+    (fun ok e -> ok && (match e with Ast.Ecall _ -> false | _ -> true))
+    true b

@@ -1,0 +1,16 @@
+(** CIL-style normalisation: lift calls out of expression position.
+
+    After this pass, calls occur only as [Scall] statements — the program
+    shape the paper's Algorithm 1 analyses.  A call in a [while] condition
+    forces the CIL loop transformation
+    [while (c) b  ==>  while (1) { pre; if (c') b else break; }]. *)
+
+(** Does any call remain in expression position? *)
+val has_call : Ast.expr -> bool
+
+(** Normalise a function in place (appends fresh temporaries to its
+    locals). *)
+val func : Ast.func -> unit
+
+(** The normalisation invariant, used by tests and the linker. *)
+val block_is_normalised : Ast.block -> bool

@@ -1,0 +1,45 @@
+(** Program-wide branch numbering.
+
+    Every [if] and [while] in the linked program receives a unique branch id,
+    assigned in deterministic program order (application functions first,
+    then library functions, in declaration order).  The paper's analyses,
+    instrumentation plans and branch logs are all keyed on these ids. *)
+
+type kind = If_branch | While_branch
+
+type info = {
+  bid : int;
+  bloc : Loc.t;
+  bfunc : string;  (** enclosing function *)
+  bis_lib : bool;  (** true for runtime-library branches *)
+  bkind : kind;
+}
+
+let kind_to_string = function If_branch -> "if" | While_branch -> "while"
+
+(** Assign ids to all branches of [funcs] (in place) and return the branch
+    info table, indexed by branch id. *)
+let number (funcs : Ast.func list) : info array =
+  let infos = ref [] in
+  let next = ref 0 in
+  let assign (br : Ast.branch) ~bfunc ~bis_lib ~bkind =
+    br.bid <- !next;
+    infos := { bid = !next; bloc = br.bloc; bfunc; bis_lib; bkind } :: !infos;
+    incr next
+  in
+  let app, lib = List.partition (fun (f : Ast.func) -> not f.fis_lib) funcs in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_stmts
+        (fun s ->
+          match s.sdesc with
+          | Sif (br, _, _, _) ->
+              assign br ~bfunc:f.fname ~bis_lib:f.fis_lib ~bkind:If_branch
+          | Swhile (br, _, _) ->
+              assign br ~bfunc:f.fname ~bis_lib:f.fis_lib ~bkind:While_branch
+          | Sassign _ | Scall _ | Sreturn _ | Sbreak | Scontinue | Sblock _ -> ())
+        f.fbody)
+    (app @ lib);
+  let arr = Array.of_list (List.rev !infos) in
+  Array.iteri (fun i b -> assert (b.bid = i)) arr;
+  arr

@@ -1,0 +1,22 @@
+(** Program-wide branch numbering.
+
+    Every [if] and [while] in the linked program receives a unique branch
+    id, assigned in deterministic program order (application functions
+    first, then library functions).  The paper's analyses, instrumentation
+    plans and branch logs are all keyed on these ids. *)
+
+type kind = If_branch | While_branch
+
+type info = {
+  bid : int;
+  bloc : Loc.t;
+  bfunc : string;  (** enclosing function *)
+  bis_lib : bool;  (** true for runtime-library branches *)
+  bkind : kind;
+}
+
+val kind_to_string : kind -> string
+
+(** Assign ids to all branches of the functions (mutating their [branch]
+    records) and return the info table indexed by branch id. *)
+val number : Ast.func list -> info array

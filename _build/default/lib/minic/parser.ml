@@ -1,0 +1,580 @@
+(** Recursive-descent parser for MiniC.
+
+    The surface syntax is a small C subset.  Local variables may be declared
+    in any block; they are hoisted to function scope (duplicate names within
+    one function are rejected).  [for] loops are desugared to [while] loops.
+    Calls may appear in expression position; {!Normalize} lifts them out
+    afterwards so that the final AST is CIL-shaped. *)
+
+exception Error of string * Loc.t
+
+type t = {
+  mutable toks : (Token.t * Loc.t) list;
+  mutable locals : Ast.var_decl list;  (** locals of the function being parsed *)
+  mutable switch_count : int;  (** fresh temporaries for switch scrutinees *)
+}
+
+let error p msg =
+  let loc = match p.toks with (_, l) :: _ -> l | [] -> Loc.none in
+  raise (Error (msg, loc))
+
+let peek p = match p.toks with (t, _) :: _ -> t | [] -> Token.EOF
+let peek_loc p = match p.toks with (_, l) :: _ -> l | [] -> Loc.none
+
+let junk p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let eat p tok =
+  if peek p = tok then junk p
+  else
+    error p
+      (Printf.sprintf "expected '%s' but found '%s'" (Token.to_string tok)
+         (Token.to_string (peek p)))
+
+let eat_ident p =
+  match peek p with
+  | Token.IDENT s ->
+      junk p;
+      s
+  | t -> error p (Printf.sprintf "expected identifier, found '%s'" (Token.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let is_type_start = function Token.KW_INT | Token.KW_VOID -> true | _ -> false
+
+let parse_base_type p =
+  match peek p with
+  | Token.KW_INT ->
+      junk p;
+      Types.Tint
+  | Token.KW_VOID ->
+      junk p;
+      Types.Tvoid
+  | t -> error p (Printf.sprintf "expected type, found '%s'" (Token.to_string t))
+
+let rec parse_stars p ty =
+  if peek p = Token.STAR then (
+    junk p;
+    parse_stars p (Types.Tptr ty))
+  else ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing *)
+
+let as_lval p (e : Ast.expr) : Ast.lval =
+  match e with
+  | Ast.Lval lv -> lv
+  | Ast.Cint _ | Ast.Cstr _ | Ast.Addr _ | Ast.Unop _ | Ast.Binop _ | Ast.Ecall _ ->
+      error p "expression is not assignable"
+
+let rec parse_expr p = parse_binary p 0
+
+and binop_of_token lvl tok =
+  (* Precedence levels, loosest first. *)
+  match lvl, tok with
+  | 0, Token.OROR -> Some Ast.Lor
+  | 1, Token.ANDAND -> Some Ast.Land
+  | 2, Token.PIPE -> Some Ast.Bor
+  | 3, Token.CARET -> Some Ast.Bxor
+  | 4, Token.AMP -> Some Ast.Band
+  | 5, Token.EQ -> Some Ast.Eq
+  | 5, Token.NE -> Some Ast.Ne
+  | 6, Token.LT -> Some Ast.Lt
+  | 6, Token.LE -> Some Ast.Le
+  | 6, Token.GT -> Some Ast.Gt
+  | 6, Token.GE -> Some Ast.Ge
+  | 7, Token.SHL -> Some Ast.Shl
+  | 7, Token.SHR -> Some Ast.Shr
+  | 8, Token.PLUS -> Some Ast.Add
+  | 8, Token.MINUS -> Some Ast.Sub
+  | 9, Token.STAR -> Some Ast.Mul
+  | 9, Token.SLASH -> Some Ast.Div
+  | 9, Token.PERCENT -> Some Ast.Mod
+  | _ -> None
+
+and parse_binary p lvl =
+  if lvl > 9 then parse_unary p
+  else
+    let rec loop lhs =
+      match binop_of_token lvl (peek p) with
+      | Some op ->
+          junk p;
+          let rhs = parse_binary p (lvl + 1) in
+          loop (Ast.Binop (op, lhs, rhs))
+      | None -> lhs
+    in
+    loop (parse_binary p (lvl + 1))
+
+and parse_unary p =
+  match peek p with
+  | Token.MINUS -> (
+      junk p;
+      (* fold negated literals so that -5 round-trips as a constant *)
+      match parse_unary p with
+      | Ast.Cint n -> Ast.Cint (-n)
+      | e -> Ast.Unop (Ast.Neg, e))
+  | Token.NOT ->
+      junk p;
+      Ast.Unop (Ast.Lognot, parse_unary p)
+  | Token.TILDE ->
+      junk p;
+      Ast.Unop (Ast.Bitnot, parse_unary p)
+  | Token.STAR ->
+      junk p;
+      Ast.Lval (Ast.Star (parse_unary p))
+  | Token.AMP ->
+      junk p;
+      let e = parse_unary p in
+      Ast.Addr (as_lval p e)
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = parse_primary p in
+  let rec loop e =
+    match peek p with
+    | Token.LBRACKET ->
+        junk p;
+        let idx = parse_expr p in
+        eat p Token.RBRACKET;
+        loop (Ast.Lval (Ast.Index (as_lval p e, idx)))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary p =
+  match peek p with
+  | Token.INT n ->
+      junk p;
+      Ast.Cint n
+  | Token.STR s ->
+      junk p;
+      Ast.Cstr s
+  | Token.LPAREN ->
+      junk p;
+      let e = parse_expr p in
+      eat p Token.RPAREN;
+      e
+  | Token.IDENT name ->
+      junk p;
+      if peek p = Token.LPAREN then (
+        junk p;
+        let args = parse_args p in
+        Ast.Ecall (name, args))
+      else Ast.Lval (Ast.Var name)
+  | t -> error p (Printf.sprintf "unexpected token '%s'" (Token.to_string t))
+
+and parse_args p =
+  if peek p = Token.RPAREN then (
+    junk p;
+    [])
+  else
+    let rec loop acc =
+      let e = parse_expr p in
+      match peek p with
+      | Token.COMMA ->
+          junk p;
+          loop (e :: acc)
+      | Token.RPAREN ->
+          junk p;
+          List.rev (e :: acc)
+      | t ->
+          error p
+            (Printf.sprintf "expected ',' or ')' in arguments, found '%s'"
+               (Token.to_string t))
+    in
+    loop []
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let add_local p (d : Ast.var_decl) =
+  if List.exists (fun (x : Ast.var_decl) -> String.equal x.vname d.vname) p.locals
+  then error p (Printf.sprintf "duplicate local variable '%s'" d.vname)
+  else p.locals <- d :: p.locals
+
+(* An assignment-or-call "simple statement" (used in statements and in the
+   init/step slots of a for loop).  No trailing semicolon consumed.
+   [x += e], [x -= e], [x++] and [x--] are sugar for plain assignments
+   (note: the lvalue is duplicated, so keep such targets side-effect
+   free — C compound assignment has the same single-evaluation caveat in
+   reverse). *)
+let parse_simple p : Ast.stmt =
+  let loc = peek_loc p in
+  let e = parse_expr p in
+  match peek p with
+  | Token.ASSIGN -> (
+      let lv = as_lval p e in
+      junk p;
+      let rhs = parse_expr p in
+      match rhs with
+      | Ast.Ecall (f, args) -> Ast.mk_stmt ~loc (Ast.Scall (Some lv, f, args))
+      | _ -> Ast.mk_stmt ~loc (Ast.Sassign (lv, rhs)))
+  | Token.PLUSEQ | Token.MINUSEQ ->
+      let op = if peek p = Token.PLUSEQ then Ast.Add else Ast.Sub in
+      let lv = as_lval p e in
+      junk p;
+      let rhs = parse_expr p in
+      Ast.mk_stmt ~loc (Ast.Sassign (lv, Ast.Binop (op, Ast.Lval lv, rhs)))
+  | Token.PLUSPLUS | Token.MINUSMINUS ->
+      let op = if peek p = Token.PLUSPLUS then Ast.Add else Ast.Sub in
+      let lv = as_lval p e in
+      junk p;
+      Ast.mk_stmt ~loc (Ast.Sassign (lv, Ast.Binop (op, Ast.Lval lv, Ast.Cint 1)))
+  | _ -> (
+      match e with
+      | Ast.Ecall (f, args) -> Ast.mk_stmt ~loc (Ast.Scall (None, f, args))
+      | _ -> error p "expression statement must be a call or an assignment")
+
+let rec parse_stmt p : Ast.stmt =
+  let loc = peek_loc p in
+  match peek p with
+  | Token.LBRACE -> Ast.mk_stmt ~loc (Ast.Sblock (parse_block p))
+  | Token.KW_IF ->
+      junk p;
+      eat p Token.LPAREN;
+      let cond = parse_expr p in
+      eat p Token.RPAREN;
+      let then_b = parse_arm p in
+      let else_b =
+        if peek p = Token.KW_ELSE then (
+          junk p;
+          parse_arm p)
+        else []
+      in
+      Ast.mk_stmt ~loc (Ast.Sif (Ast.mk_branch ~loc (), cond, then_b, else_b))
+  | Token.KW_WHILE ->
+      junk p;
+      eat p Token.LPAREN;
+      let cond = parse_expr p in
+      eat p Token.RPAREN;
+      let body = parse_arm p in
+      Ast.mk_stmt ~loc (Ast.Swhile (Ast.mk_branch ~loc (), cond, body))
+  | Token.KW_FOR ->
+      junk p;
+      eat p Token.LPAREN;
+      let init = if peek p = Token.SEMI then None else Some (parse_simple p) in
+      eat p Token.SEMI;
+      let cond = if peek p = Token.SEMI then Ast.Cint 1 else parse_expr p in
+      eat p Token.SEMI;
+      let step = if peek p = Token.RPAREN then None else Some (parse_simple p) in
+      eat p Token.RPAREN;
+      let body = parse_arm p in
+      (* for (i; c; s) b  ==>  { i; while (c) { b; s } }.
+         [continue] inside a for body is rejected by {!Typecheck} because the
+         desugaring would skip the step expression. *)
+      let while_body = body @ Option.to_list step in
+      let w =
+        Ast.mk_stmt ~loc (Ast.Swhile (Ast.mk_branch ~loc (), cond, while_body))
+      in
+      Ast.mk_stmt ~loc (Ast.Sblock (Option.to_list init @ [ w ]))
+  | Token.KW_SWITCH -> parse_switch p loc
+  | Token.KW_RETURN ->
+      junk p;
+      if peek p = Token.SEMI then (
+        junk p;
+        Ast.mk_stmt ~loc (Ast.Sreturn None))
+      else
+        let e = parse_expr p in
+        eat p Token.SEMI;
+        Ast.mk_stmt ~loc (Ast.Sreturn (Some e))
+  | Token.KW_BREAK ->
+      junk p;
+      eat p Token.SEMI;
+      Ast.mk_stmt ~loc Ast.Sbreak
+  | Token.KW_CONTINUE ->
+      junk p;
+      eat p Token.SEMI;
+      Ast.mk_stmt ~loc Ast.Scontinue
+  | Token.SEMI ->
+      junk p;
+      Ast.mk_stmt ~loc (Ast.Sblock [])
+  | _ ->
+      let s = parse_simple p in
+      eat p Token.SEMI;
+      s
+
+(* switch (e) { case C1: case C2: stmts ... default: stmts }
+
+   MiniC switch has no fallthrough: a case's body extends to the next
+   [case]/[default] label (stacked labels share one body).  It desugars to
+   an if/else-if chain over a fresh scrutinee temporary, which is exactly
+   how CIL lowers small switches — every case test is an ordinary branch
+   location for the analyses.  [break] inside a switch is not supported
+   (it would bind to the enclosing loop). *)
+and parse_switch p loc : Ast.stmt =
+  junk p (* switch *);
+  eat p Token.LPAREN;
+  let scrutinee = parse_expr p in
+  eat p Token.RPAREN;
+  eat p Token.LBRACE;
+  let parse_case_labels () =
+    (* one or more stacked labels *)
+    let rec labels acc =
+      match peek p with
+      | Token.KW_CASE ->
+          junk p;
+          let v =
+            match peek p with
+            | Token.INT n ->
+                junk p;
+                n
+            | Token.MINUS -> (
+                junk p;
+                match peek p with
+                | Token.INT n ->
+                    junk p;
+                    -n
+                | _ -> error p "expected integer after 'case -'")
+            | _ -> error p "case label must be an integer or character literal"
+          in
+          eat p Token.COLON;
+          labels (`Case v :: acc)
+      | Token.KW_DEFAULT ->
+          junk p;
+          eat p Token.COLON;
+          labels (`Default :: acc)
+      | _ -> List.rev acc
+    in
+    labels []
+  in
+  let parse_case_body () =
+    let rec body acc =
+      match peek p with
+      | Token.KW_CASE | Token.KW_DEFAULT | Token.RBRACE -> List.rev acc
+      | t when is_type_start t ->
+          let stmts = parse_local_decl p in
+          body (List.rev_append stmts acc)
+      | _ -> body (parse_stmt p :: acc)
+    in
+    body []
+  in
+  let rec parse_cases acc =
+    match peek p with
+    | Token.RBRACE ->
+        junk p;
+        List.rev acc
+    | Token.KW_CASE | Token.KW_DEFAULT ->
+        let labels = parse_case_labels () in
+        let body = parse_case_body () in
+        parse_cases ((labels, body) :: acc)
+    | t -> error p (Printf.sprintf "expected 'case' or 'default', found '%s'" (Token.to_string t))
+  in
+  let cases = parse_cases [] in
+  (* fresh scrutinee temporary, hoisted like any local *)
+  let tmp = Printf.sprintf "__sw%d" p.switch_count in
+  p.switch_count <- p.switch_count + 1;
+  add_local p { Ast.vname = tmp; vtyp = Types.Tint; vinit = None; vloc = loc };
+  let assign =
+    match scrutinee with
+    | Ast.Ecall (f, args) -> Ast.mk_stmt ~loc (Ast.Scall (Some (Ast.Var tmp), f, args))
+    | _ -> Ast.mk_stmt ~loc (Ast.Sassign (Ast.Var tmp, scrutinee))
+  in
+  let test_of labels =
+    let consts =
+      List.filter_map (function `Case v -> Some v | `Default -> None) labels
+    in
+    match consts with
+    | [] -> None (* pure default *)
+    | c0 :: rest ->
+        Some
+          (List.fold_left
+             (fun acc c ->
+               Ast.Binop
+                 ( Ast.Lor,
+                   acc,
+                   Ast.Binop (Ast.Eq, Ast.Lval (Ast.Var tmp), Ast.Cint c) ))
+             (Ast.Binop (Ast.Eq, Ast.Lval (Ast.Var tmp), Ast.Cint c0))
+             rest)
+  in
+  let default_body =
+    match
+      List.find_opt
+        (fun (labels, _) -> List.exists (fun l -> l = `Default) labels)
+        cases
+    with
+    | Some (_, body) -> body
+    | None -> []
+  in
+  let chain =
+    List.fold_right
+      (fun (labels, body) else_b ->
+        match test_of labels with
+        | None -> else_b (* the default arm is attached at the tail *)
+        | Some cond ->
+            [ Ast.mk_stmt ~loc (Ast.Sif (Ast.mk_branch ~loc (), cond, body, else_b)) ])
+      cases default_body
+  in
+  Ast.mk_stmt ~loc (Ast.Sblock (assign :: chain))
+
+(* A statement used as a branch arm or loop body: normalised to a block. *)
+and parse_arm p : Ast.block =
+  let s = parse_stmt p in
+  match s.sdesc with Ast.Sblock b -> b | _ -> [ s ]
+
+and parse_block p : Ast.block =
+  eat p Token.LBRACE;
+  let rec loop acc =
+    match peek p with
+    | Token.RBRACE ->
+        junk p;
+        List.rev acc
+    | t when is_type_start t ->
+        let stmts = parse_local_decl p in
+        loop (List.rev_append stmts acc)
+    | _ -> loop (parse_stmt p :: acc)
+  in
+  loop []
+
+(* Local declaration: hoisted to function scope; an initialiser becomes an
+   assignment statement in place. *)
+and parse_local_decl p : Ast.stmt list =
+  let loc = peek_loc p in
+  let base = parse_base_type p in
+  let rec one acc =
+    let ty = parse_stars p base in
+    let name = eat_ident p in
+    let ty =
+      if peek p = Token.LBRACKET then (
+        junk p;
+        let n =
+          match peek p with
+          | Token.INT n ->
+              junk p;
+              n
+          | _ -> error p "array size must be an integer literal"
+        in
+        eat p Token.RBRACKET;
+        Types.Tarr (ty, n))
+      else ty
+    in
+    add_local p { Ast.vname = name; vtyp = ty; vinit = None; vloc = loc };
+    let acc =
+      if peek p = Token.ASSIGN then (
+        junk p;
+        let rhs = parse_expr p in
+        let stmt =
+          match rhs with
+          | Ast.Ecall (f, args) ->
+              Ast.mk_stmt ~loc (Ast.Scall (Some (Ast.Var name), f, args))
+          | _ -> Ast.mk_stmt ~loc (Ast.Sassign (Ast.Var name, rhs))
+        in
+        stmt :: acc)
+      else acc
+    in
+    match peek p with
+    | Token.COMMA ->
+        junk p;
+        one acc
+    | Token.SEMI ->
+        junk p;
+        List.rev acc
+    | t ->
+        error p
+          (Printf.sprintf "expected ',' or ';' in declaration, found '%s'"
+             (Token.to_string t))
+  in
+  one []
+
+(* ------------------------------------------------------------------ *)
+(* Top-level declarations *)
+
+let parse_params p : (string * Types.t) list =
+  eat p Token.LPAREN;
+  match peek p with
+  | Token.RPAREN ->
+      junk p;
+      []
+  | Token.KW_VOID when (match p.toks with _ :: (Token.RPAREN, _) :: _ -> true | _ -> false)
+    ->
+      junk p;
+      junk p;
+      []
+  | _ ->
+      let rec loop acc =
+        let base = parse_base_type p in
+        let ty = parse_stars p base in
+        let name = eat_ident p in
+        let ty =
+          if peek p = Token.LBRACKET then (
+            junk p;
+            eat p Token.RBRACKET;
+            Types.Tptr ty)
+          else ty
+        in
+        let acc = (name, ty) :: acc in
+        match peek p with
+        | Token.COMMA ->
+            junk p;
+            loop acc
+        | Token.RPAREN ->
+            junk p;
+            List.rev acc
+        | t ->
+            error p
+              (Printf.sprintf "expected ',' or ')' in parameters, found '%s'"
+                 (Token.to_string t))
+      in
+      loop []
+
+let parse_global_init p : Ast.expr option =
+  if peek p = Token.ASSIGN then (
+    junk p;
+    let e = parse_expr p in
+    match e with
+    | Ast.Cint _ | Ast.Cstr _ | Ast.Unop (Ast.Neg, Ast.Cint _) -> Some e
+    | _ -> error p "global initialiser must be a constant")
+  else None
+
+let parse_decl p ~is_lib (globals, funcs) =
+  let loc = peek_loc p in
+  let base = parse_base_type p in
+  let ty = parse_stars p base in
+  let name = eat_ident p in
+  if peek p = Token.LPAREN then (
+    p.locals <- [];
+    p.switch_count <- 0;
+    let params = parse_params p in
+    let body = parse_block p in
+    let f =
+      {
+        Ast.fname = name;
+        fret = ty;
+        fparams = params;
+        flocals = List.rev p.locals;
+        fbody = body;
+        floc = loc;
+        fis_lib = is_lib;
+      }
+    in
+    (globals, f :: funcs))
+  else
+    let ty =
+      if peek p = Token.LBRACKET then (
+        junk p;
+        let n =
+          match peek p with
+          | Token.INT n ->
+              junk p;
+              n
+          | _ -> error p "array size must be an integer literal"
+        in
+        eat p Token.RBRACKET;
+        Types.Tarr (ty, n))
+      else ty
+    in
+    let init = parse_global_init p in
+    eat p Token.SEMI;
+    ({ Ast.vname = name; vtyp = ty; vinit = init; vloc = loc } :: globals, funcs)
+
+(** Parse a full translation unit.  [is_lib] marks every parsed function as a
+    runtime-library function (the paper's uClibc analogue). *)
+let parse_unit ?(is_lib = false) ~file src : Ast.unit_ =
+  let p = { toks = Lexer.tokenize ~file src; locals = []; switch_count = 0 } in
+  let rec loop acc =
+    match peek p with
+    | Token.EOF ->
+        let globals, funcs = acc in
+        { Ast.u_globals = List.rev globals; u_funcs = List.rev funcs }
+    | _ -> loop (parse_decl p ~is_lib acc)
+  in
+  loop ([], [])

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for MiniC (a small C subset).
+
+    Local variables may be declared in any block and are hoisted to function
+    scope; [for] loops desugar to [while]; negated integer literals fold to
+    constants.  Calls may appear in expression position in the parsed unit;
+    {!Normalize} (run by {!Program.link}) lifts them out afterwards. *)
+
+exception Error of string * Loc.t
+
+(** Parse a translation unit.  [is_lib] marks every parsed function as a
+    runtime-library function (the paper's uClibc analogue).  Raises
+    {!Error} or {!Lexer.Error}. *)
+val parse_unit : ?is_lib:bool -> file:string -> string -> Ast.unit_

@@ -1,0 +1,101 @@
+(** Pretty-printer for MiniC.
+
+    Prints a parseable program; expressions are conservatively parenthesised
+    so that [parse (print (parse src))] yields a structurally identical AST
+    (a property checked by the test suite). *)
+
+open Format
+
+let pp_escaped fmt s =
+  pp_print_char fmt '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> pp_print_string fmt "\\n"
+      | '\t' -> pp_print_string fmt "\\t"
+      | '\r' -> pp_print_string fmt "\\r"
+      | '\000' -> pp_print_string fmt "\\0"
+      | '\\' -> pp_print_string fmt "\\\\"
+      | '"' -> pp_print_string fmt "\\\""
+      | c -> pp_print_char fmt c)
+    s;
+  pp_print_char fmt '"'
+
+let rec pp_expr fmt (e : Ast.expr) =
+  match e with
+  | Cint n -> pp_print_int fmt n
+  | Cstr s -> pp_escaped fmt s
+  | Lval lv -> pp_lval fmt lv
+  | Addr lv -> fprintf fmt "(&%a)" pp_lval lv
+  | Unop (op, a) -> fprintf fmt "(%s%a)" (Ast.unop_to_string op) pp_expr a
+  | Binop (op, a, b) ->
+      fprintf fmt "(%a %s %a)" pp_expr a (Ast.binop_to_string op) pp_expr b
+  | Ecall (f, args) -> fprintf fmt "%s(%a)" f pp_args args
+
+and pp_args fmt args =
+  pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_expr fmt args
+
+and pp_lval fmt (lv : Ast.lval) =
+  match lv with
+  | Var x -> pp_print_string fmt x
+  | Index (b, i) -> fprintf fmt "%a[%a]" pp_lval b pp_expr i
+  | Star e -> fprintf fmt "(*%a)" pp_expr e
+
+(* A declaration "ty name" with C array syntax. *)
+let rec type_prefix = function
+  | Types.Tvoid -> "void"
+  | Types.Tint -> "int"
+  | Types.Tptr t -> type_prefix t ^ "*"
+  | Types.Tarr (t, _) -> type_prefix t
+
+let pp_decl fmt (name, ty) =
+  match ty with
+  | Types.Tarr (t, n) -> fprintf fmt "%s %s[%d]" (type_prefix t) name n
+  | t -> fprintf fmt "%s %s" (type_prefix t) name
+
+let rec pp_stmt fmt (s : Ast.stmt) =
+  match s.sdesc with
+  | Sassign (lv, e) -> fprintf fmt "@[<h>%a = %a;@]" pp_lval lv pp_expr e
+  | Scall (None, f, args) -> fprintf fmt "@[<h>%s(%a);@]" f pp_args args
+  | Scall (Some lv, f, args) ->
+      fprintf fmt "@[<h>%a = %s(%a);@]" pp_lval lv f pp_args args
+  | Sif (_, c, t, []) ->
+      fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | Sif (_, c, t, e) ->
+      fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c
+        pp_block t pp_block e
+  | Swhile (_, c, b) ->
+      fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block b
+  | Sreturn None -> pp_print_string fmt "return;"
+  | Sreturn (Some e) -> fprintf fmt "@[<h>return %a;@]" pp_expr e
+  | Sbreak -> pp_print_string fmt "break;"
+  | Scontinue -> pp_print_string fmt "continue;"
+  | Sblock b -> fprintf fmt "@[<v 2>{@,%a@]@,}" pp_block b
+
+and pp_block fmt (b : Ast.block) =
+  pp_print_list ~pp_sep:pp_print_cut pp_stmt fmt b
+
+let pp_var_decl fmt (d : Ast.var_decl) =
+  match d.vinit with
+  | None -> fprintf fmt "%a;" pp_decl (d.vname, d.vtyp)
+  | Some e -> fprintf fmt "%a = %a;" pp_decl (d.vname, d.vtyp) pp_expr e
+
+let pp_func fmt (f : Ast.func) =
+  let pp_param fmt (name, ty) = pp_decl fmt (name, ty) in
+  fprintf fmt "@[<v 2>%a(%a) {@,"
+    pp_decl
+    (f.fname, f.fret)
+    (pp_print_list ~pp_sep:(fun fmt () -> pp_print_string fmt ", ") pp_param)
+    f.fparams;
+  List.iter (fun d -> fprintf fmt "%a@," pp_var_decl d) f.flocals;
+  fprintf fmt "%a@]@,}" pp_block f.fbody
+
+let pp_unit fmt (u : Ast.unit_) =
+  fprintf fmt "@[<v>";
+  List.iter (fun d -> fprintf fmt "%a@," pp_var_decl d) u.u_globals;
+  pp_print_list ~pp_sep:(fun fmt () -> fprintf fmt "@,@,") pp_func fmt u.u_funcs;
+  fprintf fmt "@]"
+
+let unit_to_string u = asprintf "%a" pp_unit u
+let expr_to_string e = asprintf "%a" pp_expr e
+let stmt_to_string s = asprintf "@[<v>%a@]" pp_stmt s

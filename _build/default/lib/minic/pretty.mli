@@ -1,0 +1,16 @@
+(** Pretty-printer for MiniC.
+
+    Prints a parseable program; expressions are conservatively parenthesised
+    so that [parse (print (parse src))] yields a structurally identical AST
+    (property-tested). *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lval : Format.formatter -> Ast.lval -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_block : Format.formatter -> Ast.block -> unit
+val pp_var_decl : Format.formatter -> Ast.var_decl -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_unit : Format.formatter -> Ast.unit_ -> unit
+val unit_to_string : Ast.unit_ -> string
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string

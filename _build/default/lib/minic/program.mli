@@ -1,0 +1,41 @@
+(** Linked MiniC programs.
+
+    {!link} combines an application unit with runtime-library units (the
+    paper merges all C files into one before analysis, §4), normalises calls
+    out of expressions, type checks, and numbers every branch location
+    program-wide.  The result is the immutable artifact every later stage
+    (static analysis, concolic execution, instrumentation, replay) works
+    on. *)
+
+exception Link_error of string
+
+type t = {
+  name : string;
+  globals : Ast.var_decl list;
+  funcs : Ast.func list;
+  fun_tbl : (string, Ast.func) Hashtbl.t;
+  branches : Number.info array;  (** indexed by branch id *)
+}
+
+(** Total number of branch locations. *)
+val nbranches : t -> int
+
+(** Metadata of a branch id; raises [Invalid_argument] if out of range. *)
+val branch_info : t -> int -> Number.info
+
+val find_func : t -> string -> Ast.func option
+val app_branch_count : t -> int
+val lib_branch_count : t -> int
+
+(** Branch ids belonging to application (non-library) code, ascending. *)
+val app_branch_ids : t -> int list
+
+val lib_branch_ids : t -> int list
+
+(** Link parsed units into a checked, normalised, branch-numbered program.
+    Raises {!Link_error} on duplicate names, a missing [main], or type
+    errors. *)
+val link : ?name:string -> app:Ast.unit_ -> libs:Ast.unit_ list -> unit -> t
+
+(** Convenience: parse source strings and link. *)
+val of_sources : ?name:string -> app:string -> libs:string list -> unit -> t

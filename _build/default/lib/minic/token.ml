@@ -1,0 +1,105 @@
+(** Tokens of the MiniC surface syntax. *)
+
+type t =
+  | INT of int
+  | STR of string
+  | IDENT of string
+  | KW_INT
+  | KW_VOID
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | COLON
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUSEQ
+  | MINUSEQ
+  | PLUSPLUS
+  | MINUSMINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | NOT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | SHL
+  | SHR
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | STR s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_VOID -> "void"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_SWITCH -> "switch"
+  | KW_CASE -> "case"
+  | KW_DEFAULT -> "default"
+  | COLON -> ":"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUSEQ -> "+="
+  | MINUSEQ -> "-="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | NOT -> "!"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | EOF -> "<eof>"

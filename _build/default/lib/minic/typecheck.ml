@@ -1,0 +1,143 @@
+(** Light-weight type checker for linked MiniC programs.
+
+    MiniC deliberately follows C's laissez-faire attitude (pointers compare
+    against integer 0, array decay, no implicit-conversion diagnostics), but
+    catches the errors that actually bite when authoring workloads: unknown
+    variables and functions, wrong arity, indexing a scalar, dereferencing a
+    non-pointer, assigning to an array, and [break]/[continue] outside a
+    loop. *)
+
+exception Error of string * Loc.t
+
+type env = {
+  globals : (string, Types.t) Hashtbl.t;
+  funcs : (string, Ast.func) Hashtbl.t;
+  mutable vars : (string * Types.t) list;  (** params + locals of current fn *)
+}
+
+let err loc fmt = Format.kasprintf (fun m -> raise (Error (m, loc))) fmt
+
+let lookup_var env loc x =
+  match List.assoc_opt x env.vars with
+  | Some t -> t
+  | None -> (
+      match Hashtbl.find_opt env.globals x with
+      | Some t -> t
+      | None -> err loc "unknown variable '%s'" x)
+
+let rec check_lval env loc (lv : Ast.lval) : Types.t =
+  match lv with
+  | Var x -> lookup_var env loc x
+  | Index (b, i) -> (
+      let bt = check_lval env loc b in
+      let (_ : Types.t) = check_expr env loc i in
+      match Types.element bt with
+      | Some t -> t
+      | None -> err loc "indexing a non-array, non-pointer value")
+  | Star e -> (
+      let t = check_expr env loc e in
+      match Types.element t with
+      | Some t -> t
+      | None -> err loc "dereferencing a non-pointer value")
+
+and check_expr env loc (e : Ast.expr) : Types.t =
+  match e with
+  | Cint _ -> Types.Tint
+  | Cstr _ -> Types.Tptr Types.Tint
+  | Lval lv -> Types.decay (check_lval env loc lv)
+  | Addr lv -> Types.Tptr (check_lval env loc lv)
+  | Unop (_, a) ->
+      let (_ : Types.t) = check_expr env loc a in
+      Types.Tint
+  | Binop (op, a, b) -> (
+      let ta = check_expr env loc a in
+      let tb = check_expr env loc b in
+      match op with
+      | Add | Sub -> (
+          (* pointer arithmetic: ptr +/- int is a pointer *)
+          match ta, tb with
+          | Types.Tptr _, _ -> ta
+          | _, Types.Tptr _ -> tb
+          | _ -> Types.Tint)
+      | Mul | Div | Mod | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor | Band | Bor
+      | Bxor | Shl | Shr ->
+          Types.Tint)
+  | Ecall (f, _) -> err loc "internal: call '%s' in expression position" f
+
+let check_call env loc lvo fname args =
+  let ret, nparams =
+    match Builtin.find fname with
+    | Some b -> (b.ret, List.length b.params)
+    | None -> (
+        match Hashtbl.find_opt env.funcs fname with
+        | Some f -> (f.fret, List.length f.fparams)
+        | None -> err loc "unknown function '%s'" fname)
+  in
+  if List.length args <> nparams then
+    err loc "function '%s' expects %d argument(s), got %d" fname nparams
+      (List.length args);
+  List.iter (fun a -> ignore (check_expr env loc a)) args;
+  match lvo with
+  | None -> ()
+  | Some lv ->
+      if Types.equal ret Types.Tvoid then
+        err loc "void function '%s' used in assignment" fname
+      else ignore (check_lval env loc lv)
+
+let rec check_stmt env ~in_loop (s : Ast.stmt) =
+  let loc = s.sloc in
+  match s.sdesc with
+  | Sassign (lv, e) -> (
+      let tl = check_lval env loc lv in
+      let (_ : Types.t) = check_expr env loc e in
+      match tl with
+      | Types.Tarr _ -> err loc "cannot assign to an array"
+      | Types.Tvoid | Types.Tint | Types.Tptr _ -> ())
+  | Scall (lvo, f, args) -> check_call env loc lvo f args
+  | Sif (_, c, t, e) ->
+      ignore (check_expr env loc c);
+      check_block env ~in_loop t;
+      check_block env ~in_loop e
+  | Swhile (_, c, b) ->
+      ignore (check_expr env loc c);
+      check_block env ~in_loop:true b
+  | Sreturn (Some e) -> ignore (check_expr env loc e)
+  | Sreturn None -> ()
+  | Sbreak -> if not in_loop then err loc "break outside of a loop"
+  | Scontinue -> if not in_loop then err loc "continue outside of a loop"
+  | Sblock b -> check_block env ~in_loop b
+
+and check_block env ~in_loop b = List.iter (check_stmt env ~in_loop) b
+
+let check_func env (f : Ast.func) =
+  env.vars <-
+    f.fparams @ List.map (fun (d : Ast.var_decl) -> (d.vname, d.vtyp)) f.flocals;
+  (* duplicate parameter/local detection *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (x, _) ->
+      if Hashtbl.mem seen x then err f.floc "duplicate variable '%s' in '%s'" x f.fname
+      else Hashtbl.replace seen x ())
+    env.vars;
+  check_block env ~in_loop:false f.fbody
+
+(** Check a linked set of globals and functions.  Raises {!Error}. *)
+let check ~(globals : Ast.var_decl list) ~(funcs : Ast.func list) =
+  let env =
+    { globals = Hashtbl.create 64; funcs = Hashtbl.create 64; vars = [] }
+  in
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      if Hashtbl.mem env.globals d.vname then
+        err d.vloc "duplicate global '%s'" d.vname;
+      Hashtbl.replace env.globals d.vname d.vtyp)
+    globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem env.funcs f.fname then
+        err f.floc "duplicate function '%s'" f.fname;
+      if Builtin.is_builtin f.fname then
+        err f.floc "function '%s' shadows a builtin" f.fname;
+      Hashtbl.replace env.funcs f.fname f)
+    funcs;
+  List.iter (check_func env) funcs

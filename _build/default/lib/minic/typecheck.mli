@@ -1,0 +1,12 @@
+(** Light-weight type checker for linked MiniC programs.
+
+    Follows C's laissez-faire attitude (pointer/integer comparison against
+    0, array decay) but catches the errors that bite when authoring
+    workloads: unknown variables and functions, wrong arity, indexing a
+    scalar, dereferencing a non-pointer, assigning to an array, and
+    [break]/[continue] outside a loop. *)
+
+exception Error of string * Loc.t
+
+(** Check a linked set of globals and functions; raises {!Error}. *)
+val check : globals:Ast.var_decl list -> funcs:Ast.func list -> unit

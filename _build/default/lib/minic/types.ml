@@ -1,0 +1,39 @@
+(** MiniC types.
+
+    MiniC is deliberately small: machine integers, pointers and
+    statically-sized arrays.  This is the fragment CIL-normalised C programs
+    use in the paper's analyses (byte buffers, pointers into them, integer
+    scalars). *)
+
+type t =
+  | Tvoid
+  | Tint
+  | Tptr of t
+  | Tarr of t * int  (** element type and static size *)
+
+let rec equal a b =
+  match a, b with
+  | Tvoid, Tvoid | Tint, Tint -> true
+  | Tptr a, Tptr b -> equal a b
+  | Tarr (a, n), Tarr (b, m) -> n = m && equal a b
+  | (Tvoid | Tint | Tptr _ | Tarr _), _ -> false
+
+let rec pp fmt = function
+  | Tvoid -> Format.pp_print_string fmt "void"
+  | Tint -> Format.pp_print_string fmt "int"
+  | Tptr t -> Format.fprintf fmt "%a*" pp t
+  | Tarr (t, n) -> Format.fprintf fmt "%a[%d]" pp t n
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** [decay t] is the type of [t] when used in an expression: arrays decay to
+    pointers to their element type, as in C. *)
+let decay = function Tarr (t, _) -> Tptr t | t -> t
+
+let is_pointer t =
+  match decay t with Tptr _ | Tarr _ -> true | Tvoid | Tint -> false
+
+(** Element type of a pointer or array, if any. *)
+let element = function
+  | Tptr t | Tarr (t, _) -> Some t
+  | Tvoid | Tint -> None

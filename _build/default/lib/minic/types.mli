@@ -1,0 +1,20 @@
+(** MiniC types: machine integers, pointers and statically-sized arrays —
+    the fragment CIL-normalised C programs use in the paper's analyses. *)
+
+type t =
+  | Tvoid
+  | Tint
+  | Tptr of t
+  | Tarr of t * int  (** element type and static size *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Array-to-pointer decay, as in C expressions. *)
+val decay : t -> t
+
+val is_pointer : t -> bool
+
+(** Element type of a pointer or array. *)
+val element : t -> t option

@@ -1,0 +1,1 @@
+lib/osmodel/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/osmodel/sysreq.ml: Array Format

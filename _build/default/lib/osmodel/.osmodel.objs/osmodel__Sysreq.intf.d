@@ -1,0 +1,1 @@
+lib/osmodel/sysreq.mli: Format

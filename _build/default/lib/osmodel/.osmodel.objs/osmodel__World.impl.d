@@ -1,0 +1,1 @@
+lib/osmodel/world.ml: Array Char Hashtbl Int List Printf Rng String Sysreq

@@ -1,0 +1,1 @@
+lib/osmodel/world.mli: Hashtbl Rng Sysreq

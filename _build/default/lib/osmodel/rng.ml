@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (64-bit LCG).
+
+    Used for every source of simulated-kernel non-determinism (partial read
+    sizes, ready-set ordering, connection arrival) so that field runs are
+    reproducible given their seed, while still exercising the
+    non-determinism-handling paths of the paper (§2.3, §3.3). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+let next t =
+  (* Knuth MMIX LCG *)
+  t.state <-
+    Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
+  t.state
+
+(** Uniform int in [0, bound) ; [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 17) in
+    v mod bound
+
+(** Uniform int in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range" else lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 1
+
+(** Fisher-Yates shuffle (in place). *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random number generator (64-bit LCG).
+
+    Drives every source of simulated-kernel non-determinism (partial read
+    sizes, ready-set ordering, connection arrival, the field thread
+    scheduler) so that a (config, seed) pair fully determines behaviour. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform int in [0, bound); raises [Invalid_argument] on bound <= 0. *)
+val int : t -> int -> int
+
+(** Uniform int in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** Fisher-Yates shuffle (in place). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,53 @@
+(** System-call requests and results exchanged between the interpreter and a
+    kernel implementation.
+
+    Data payloads are byte arrays ([int array] with values 0-255).  A kernel
+    is any [req -> res] function: the simulated OS ({!World}), a
+    log-replaying kernel, or the symbolic models used during replay without
+    system-call logs (§3.3). *)
+
+type req =
+  | Read of { fd : int; count : int }
+  | Write of { fd : int; data : int array }
+  | Open of { path : string; flags : int }
+  | Close of { fd : int }
+  | Select
+  | Ready_fd of { index : int }
+  | Accept
+  | Listen of { port : int }
+
+type res =
+  | R_int of int  (** plain numeric result (or -1 for error) *)
+  | R_read of { count : int; data : int array }
+      (** result of [Read]: [count] bytes actually transferred *)
+
+let req_name = function
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Select -> "select"
+  | Ready_fd _ -> "ready_fd"
+  | Accept -> "accept"
+  | Listen _ -> "listen"
+
+(** The numeric outcome of a result: what a C program sees as return value. *)
+let res_int = function R_int n -> n | R_read r -> r.count
+
+(** Whether results of this request kind are worth logging for replay (the
+    paper logs "system calls that can produce a large number of possible
+    outcomes during replay": read counts, select ready sets, accept). *)
+let loggable = function
+  | Read _ | Select | Ready_fd _ | Accept -> true
+  | Write _ | Open _ | Close _ | Listen _ -> false
+
+let pp_req fmt r =
+  match r with
+  | Read { fd; count } -> Format.fprintf fmt "read(fd=%d, n=%d)" fd count
+  | Write { fd; data } -> Format.fprintf fmt "write(fd=%d, n=%d)" fd (Array.length data)
+  | Open { path; flags } -> Format.fprintf fmt "open(%S, %d)" path flags
+  | Close { fd } -> Format.fprintf fmt "close(%d)" fd
+  | Select -> Format.fprintf fmt "select()"
+  | Ready_fd { index } -> Format.fprintf fmt "ready_fd(%d)" index
+  | Accept -> Format.fprintf fmt "accept()"
+  | Listen { port } -> Format.fprintf fmt "listen(%d)" port

@@ -1,0 +1,31 @@
+(** System-call requests and results exchanged between the interpreter and
+    a kernel implementation.
+
+    Data payloads are byte arrays (values 0-255).  A kernel is any
+    [req -> res] function: the simulated OS, a log-replaying kernel, or the
+    symbolic models used during replay (§3.3). *)
+
+type req =
+  | Read of { fd : int; count : int }
+  | Write of { fd : int; data : int array }
+  | Open of { path : string; flags : int }
+  | Close of { fd : int }
+  | Select
+  | Ready_fd of { index : int }
+  | Accept
+  | Listen of { port : int }
+
+type res =
+  | R_int of int  (** plain numeric result (-1 for error) *)
+  | R_read of { count : int; data : int array }
+
+val req_name : req -> string
+
+(** The numeric outcome a C program sees as return value. *)
+val res_int : res -> int
+
+(** Whether results of this request kind are worth logging for replay
+    (read counts, select ready sets, accept results — §2.3). *)
+val loggable : req -> bool
+
+val pp_req : Format.formatter -> req -> unit

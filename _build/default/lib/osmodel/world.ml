@@ -1,0 +1,212 @@
+(** The simulated operating system.
+
+    An in-memory filesystem plus a connection model with seeded
+    non-determinism, standing in for the Linux kernel the paper's programs
+    run on.  The non-determinism the paper cares about is faithfully
+    exposed: [read] on a socket returns a *random partial* byte count,
+    [select] returns ready descriptors in a *random order*, and connections
+    *arrive over time* so [accept] may return -1.
+
+    Everything is driven by {!Rng}, so a (config, seed) pair fully
+    determines kernel behaviour — which is what makes recorded field runs
+    replayable in tests. *)
+
+let bytes_of_string s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+let string_of_bytes a =
+  String.init (Array.length a) (fun i -> Char.chr (a.(i) land 0xff))
+
+type conn = {
+  conn_id : int;
+  payload : int array;  (** bytes the client will send *)
+  mutable sent : int;  (** bytes already delivered to the server *)
+  mutable outbox : int list;  (** bytes written by the server (reversed) *)
+  mutable closed : bool;
+}
+
+type fd_state =
+  | Fd_file of { name : string; mutable pos : int }
+  | Fd_conn of conn
+  | Fd_listener
+  | Fd_stdout
+
+type config = {
+  seed : int;
+  files : (string * string) list;  (** path → contents *)
+  conns : string list;  (** payload of each client connection, arrival order *)
+  max_chunk : int;  (** max bytes a socket [read] delivers at once *)
+  arrivals_per_select : int;  (** max new connections becoming ready per select *)
+}
+
+let default_config =
+  { seed = 42; files = []; conns = []; max_chunk = 64; arrivals_per_select = 2 }
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  files : (string, int array) Hashtbl.t;
+  fds : (int, fd_state) Hashtbl.t;
+  mutable next_fd : int;
+  mutable pending : conn list;  (** connections not yet arrived *)
+  mutable backlog : conn list;  (** arrived, not yet accepted (FIFO) *)
+  mutable ready : int list;  (** fds returned by the last select *)
+  mutable stdout : int list;  (** bytes written to fd 1 (reversed) *)
+  mutable syscall_count : int;
+  mutable last_read : (string * int) option;
+      (** provenance of the last successful [Read]: stream name and starting
+          offset within it.  Streams are named ["file:<path>"] and
+          ["net<conn_id>"]; concolic stages use these names to attach stable
+          symbolic variables to input bytes. *)
+}
+
+let create (cfg : config) : t =
+  let files = Hashtbl.create 16 in
+  List.iter (fun (p, c) -> Hashtbl.replace files p (bytes_of_string c)) cfg.files;
+  let pending =
+    List.mapi
+      (fun i payload ->
+        { conn_id = i; payload = bytes_of_string payload; sent = 0; outbox = [];
+          closed = false })
+      cfg.conns
+  in
+  let fds = Hashtbl.create 16 in
+  Hashtbl.replace fds 1 Fd_stdout;
+  { cfg; rng = Rng.create cfg.seed; files; fds; next_fd = 4; pending;
+    backlog = []; ready = []; stdout = []; syscall_count = 0; last_read = None }
+
+let stdout_string t = string_of_bytes (Array.of_list (List.rev t.stdout))
+
+let conn_outbox_string (c : conn) =
+  string_of_bytes (Array.of_list (List.rev c.outbox))
+
+(** All connections (for inspecting server responses in tests/benches). *)
+let connections t =
+  Hashtbl.fold
+    (fun _ st acc -> match st with Fd_conn c -> c :: acc | _ -> acc)
+    t.fds []
+  |> List.sort (fun a b -> Int.compare a.conn_id b.conn_id)
+
+let alloc_fd t st =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd st;
+  fd
+
+(* Move 0..arrivals_per_select pending connections into the backlog. *)
+let arrive t =
+  let n =
+    match t.pending with
+    | [] -> 0
+    | _ -> Rng.range t.rng 0 t.cfg.arrivals_per_select
+  in
+  for _ = 1 to n do
+    match t.pending with
+    | [] -> ()
+    | c :: rest ->
+        t.pending <- rest;
+        t.backlog <- t.backlog @ [ c ]
+  done
+
+let do_select t =
+  arrive t;
+  (* Ready: any accepted connection with undelivered payload; plus the
+     listener (fd 3) if the backlog is non-empty. *)
+  let conn_fds =
+    Hashtbl.fold
+      (fun fd st acc ->
+        match st with
+        | Fd_conn c when (not c.closed) && c.sent < Array.length c.payload ->
+            fd :: acc
+        | _ -> acc)
+      t.fds []
+  in
+  let arr = Array.of_list conn_fds in
+  Rng.shuffle t.rng arr;
+  let ready = Array.to_list arr in
+  let ready = if t.backlog <> [] then ready @ [ 3 ] else ready in
+  t.ready <- ready;
+  Sysreq.R_int (List.length ready)
+
+let do_read t fd count =
+  match Hashtbl.find_opt t.fds fd with
+  | None -> Sysreq.R_int (-1)
+  | Some Fd_stdout | Some Fd_listener -> Sysreq.R_int (-1)
+  | Some (Fd_file f) -> (
+      match Hashtbl.find_opt t.files f.name with
+      | None -> Sysreq.R_int (-1)
+      | Some data ->
+          let avail = Array.length data - f.pos in
+          let n = max 0 (min count avail) in
+          let chunk = Array.sub data f.pos n in
+          t.last_read <- Some ("file:" ^ f.name, f.pos);
+          f.pos <- f.pos + n;
+          Sysreq.R_read { count = n; data = chunk })
+  | Some (Fd_conn c) ->
+      if c.closed then Sysreq.R_int (-1)
+      else
+        let avail = Array.length c.payload - c.sent in
+        if avail = 0 then Sysreq.R_read { count = 0; data = [||] }
+        else
+          (* partial read: the kernel delivers a random chunk *)
+          let cap = min (min count avail) t.cfg.max_chunk in
+          let n = if cap <= 1 then cap else Rng.range t.rng 1 cap in
+          let chunk = Array.sub c.payload c.sent n in
+          t.last_read <- Some (Printf.sprintf "net%d" c.conn_id, c.sent);
+          c.sent <- c.sent + n;
+          Sysreq.R_read { count = n; data = chunk }
+
+let do_write t fd data =
+  match Hashtbl.find_opt t.fds fd with
+  | Some Fd_stdout ->
+      Array.iter (fun b -> t.stdout <- b :: t.stdout) data;
+      Sysreq.R_int (Array.length data)
+  | Some (Fd_conn c) when not c.closed ->
+      Array.iter (fun b -> c.outbox <- b :: c.outbox) data;
+      Sysreq.R_int (Array.length data)
+  | Some (Fd_file f) ->
+      (* append semantics for simplicity *)
+      let old =
+        match Hashtbl.find_opt t.files f.name with Some d -> d | None -> [||]
+      in
+      Hashtbl.replace t.files f.name (Array.append old data);
+      Sysreq.R_int (Array.length data)
+  | Some Fd_listener | Some Fd_conn _ | None -> Sysreq.R_int (-1)
+
+let handle (t : t) (req : Sysreq.req) : Sysreq.res =
+  t.syscall_count <- t.syscall_count + 1;
+  match req with
+  | Listen { port = _ } ->
+      Hashtbl.replace t.fds 3 Fd_listener;
+      Sysreq.R_int 3
+  | Select -> do_select t
+  | Ready_fd { index } -> (
+      match List.nth_opt t.ready index with
+      | Some fd -> Sysreq.R_int fd
+      | None -> Sysreq.R_int (-1))
+  | Accept -> (
+      match t.backlog with
+      | [] -> Sysreq.R_int (-1)
+      | c :: rest ->
+          t.backlog <- rest;
+          Sysreq.R_int (alloc_fd t (Fd_conn c)))
+  | Open { path; flags = _ } ->
+      if Hashtbl.mem t.files path then
+        Sysreq.R_int (alloc_fd t (Fd_file { name = path; pos = 0 }))
+      else Sysreq.R_int (-1)
+  | Close { fd } -> (
+      match Hashtbl.find_opt t.fds fd with
+      | Some (Fd_conn c) ->
+          c.closed <- true;
+          Hashtbl.remove t.fds fd;
+          Sysreq.R_int 0
+      | Some _ ->
+          Hashtbl.remove t.fds fd;
+          Sysreq.R_int 0
+      | None -> Sysreq.R_int (-1))
+  | Read { fd; count } -> do_read t fd count
+  | Write { fd; data } -> do_write t fd data
+
+(** A kernel function backed by a fresh world. *)
+let kernel (cfg : config) : t * (Sysreq.req -> Sysreq.res) =
+  let t = create cfg in
+  (t, handle t)

@@ -1,0 +1,70 @@
+(** The simulated operating system.
+
+    An in-memory filesystem plus a connection model with seeded
+    non-determinism, standing in for the kernel the paper's programs run
+    on.  The non-determinism the paper cares about is faithfully exposed:
+    [read] on a socket returns a random partial byte count, [select]
+    returns ready descriptors in a random order, and connections arrive
+    over time so [accept] may return -1.  A (config, seed) pair fully
+    determines kernel behaviour. *)
+
+val bytes_of_string : string -> int array
+val string_of_bytes : int array -> string
+
+type conn = {
+  conn_id : int;
+  payload : int array;  (** bytes the client will send *)
+  mutable sent : int;
+  mutable outbox : int list;  (** bytes written by the server (reversed) *)
+  mutable closed : bool;
+}
+
+type config = {
+  seed : int;
+  files : (string * string) list;  (** path → contents *)
+  conns : string list;  (** payload of each client connection, arrival order *)
+  max_chunk : int;  (** max bytes a socket [read] delivers at once *)
+  arrivals_per_select : int;  (** max new connections becoming ready per select *)
+}
+
+val default_config : config
+
+type fd_state =
+  | Fd_file of { name : string; mutable pos : int }
+  | Fd_conn of conn
+  | Fd_listener
+  | Fd_stdout
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  files : (string, int array) Hashtbl.t;
+  fds : (int, fd_state) Hashtbl.t;
+  mutable next_fd : int;
+  mutable pending : conn list;
+  mutable backlog : conn list;
+  mutable ready : int list;
+  mutable stdout : int list;
+  mutable syscall_count : int;
+  mutable last_read : (string * int) option;
+      (** provenance of the last successful [Read]: stream name
+          (["file:<path>"] or ["net<conn_id>"]) and starting offset —
+          concolic stages use these to attach stable symbolic variables to
+          input bytes *)
+}
+
+val create : config -> t
+
+(** Text written to fd 1. *)
+val stdout_string : t -> string
+
+val conn_outbox_string : conn -> string
+
+(** All connections, by id (for inspecting server responses). *)
+val connections : t -> conn list
+
+(** Handle one system call. *)
+val handle : t -> Sysreq.req -> Sysreq.res
+
+(** A fresh world plus its handler function. *)
+val kernel : config -> t * (Sysreq.req -> Sysreq.res)

@@ -1,0 +1,1 @@
+lib/replay/guided.ml: Branch_log Concolic Instrument Interp Minic Plan Report Rkernel Solver Unix

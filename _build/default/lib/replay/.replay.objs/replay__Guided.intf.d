@@ -1,0 +1,1 @@
+lib/replay/guided.mli: Concolic Instrument Interp Minic Solver

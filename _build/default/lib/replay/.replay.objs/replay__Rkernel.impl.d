@@ -1,0 +1,1 @@
+lib/replay/rkernel.ml: Array Concolic Hashtbl Instrument Int Interp List Option Osmodel Printf Solver

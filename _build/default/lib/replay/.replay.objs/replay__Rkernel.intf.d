@@ -1,0 +1,1 @@
+lib/replay/rkernel.mli: Concolic Instrument Interp Solver

@@ -1,0 +1,244 @@
+(** Guided replay: reproduce a bug from a partial branch log (§3.1).
+
+    Drives the concolic {!Concolic.Engine} with the report's bitvector.  At
+    every executed branch the four cases of the paper apply:
+
+    + symbolic, not instrumented — fork: assert the taken direction, leave
+      the alternative on the pending list;
+    + symbolic, instrumented — consume a bit; (a) if it matches, pin the
+      direction (no fork); (b) if not, queue the constraint set that forces
+      the logged direction and abort the run;
+    + concrete, instrumented — consume a bit; on mismatch abort (only
+      possible after an earlier wrong turn at an uninstrumented symbolic
+      branch);
+    + concrete, not instrumented — proceed.
+
+    A run reproduces the bug when it crashes at the recorded crash site.
+    Pending-set selection is depth-first, as in the paper. *)
+
+open Instrument
+
+type case_stats = {
+  mutable case1 : int;  (** symbolic, unlogged *)
+  mutable case2a : int;  (** symbolic, logged, direction matches *)
+  mutable case2b : int;  (** symbolic, logged, mismatch (abort + force) *)
+  mutable case3a : int;  (** concrete, logged, matches *)
+  mutable case3b : int;  (** concrete, logged, mismatch (abort) *)
+  mutable case4 : int;  (** concrete, unlogged *)
+  mutable log_exhausted : int;  (** bits missing (truncated log) *)
+}
+
+let new_case_stats () =
+  { case1 = 0; case2a = 0; case2b = 0; case3a = 0; case3b = 0; case4 = 0;
+    log_exhausted = 0 }
+
+type result =
+  | Reproduced of {
+      model : Solver.Model.t;
+      crash : Interp.Crash.t;
+      runs : int;
+      elapsed_s : float;
+    }
+  | Not_reproduced of { runs : int; elapsed_s : float; timed_out : bool }
+
+type stats = {
+  engine : Concolic.Engine.stats;
+  cases : case_stats;
+  vars : Solver.Symvars.t;
+}
+
+let reproduced = function Reproduced _ -> true | Not_reproduced _ -> false
+
+let elapsed = function
+  | Reproduced r -> r.elapsed_s
+  | Not_reproduced r -> r.elapsed_s
+
+(** Checkpointed replay (§6): rewrites global state symbolically at the
+    first [checkpoint()] the run executes.  Receives the run's variable
+    registry, solver model and observation callback so restored cells
+    integrate with the search like any other input. *)
+type restore_fn =
+  vars:Solver.Symvars.t ->
+  model:Solver.Model.t ->
+  observe:(int -> int -> unit) ->
+  Interp.Eval.global_access ->
+  unit
+
+(* One guided replay run under input [model]. *)
+let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
+    ~(plan : Plan.t) ~(report : Report.t) ~vars ~seed ~max_steps
+    ~(cases : case_stats) (model : Solver.Model.t) :
+    Concolic.Engine.run_result =
+  let observed = ref Solver.Model.empty in
+  let observe id v = observed := Solver.Model.add id v !observed in
+  (* with a checkpoint restore pending, the shipped logs describe only the
+     post-checkpoint epoch: stay gated until the program checkpoints *)
+  let gate = ref (restore = None) in
+  let rk =
+    Rkernel.create ~observe ~active:!gate ~vars ~model ~shape:report.shape
+      ~syscall_log:report.syscall_log ~seed ()
+  in
+  let reader = Branch_log.Reader.create report.branch_log in
+  let trace = Concolic.Path.create () in
+  let on_checkpoint access =
+    match restore with
+    | Some f when not !gate ->
+        f ~vars ~model ~observe access;
+        Rkernel.activate rk;
+        gate := true
+    | _ -> ()
+  in
+  let on_branch ~bid ~taken ~(cond : Interp.Value.t) =
+    if not !gate then ()
+    else
+    let instrumented = Plan.is_instrumented plan bid in
+    match cond.sym, instrumented with
+    | Some sym, false ->
+        cases.case1 <- cases.case1 + 1;
+        Concolic.Path.record_branch trace ~bid ~taken sym
+    | Some sym, true -> (
+        match Branch_log.Reader.next reader with
+        | None ->
+            cases.log_exhausted <- cases.log_exhausted + 1;
+            Concolic.Path.record_branch trace ~bid ~taken sym
+        | Some logged ->
+            if logged = taken then begin
+              cases.case2a <- cases.case2a + 1;
+              Concolic.Path.record_branch ~negatable:false trace ~bid ~taken sym
+            end
+            else begin
+              (* record the (wrong) taken direction as negatable: the engine
+                 turns it into a pending set forcing the logged direction *)
+              cases.case2b <- cases.case2b + 1;
+              Concolic.Path.record_branch trace ~bid ~taken sym;
+              raise (Interp.Eval.Abort_run "2b: log contradicts symbolic branch")
+            end)
+    | None, true -> (
+        match Branch_log.Reader.next reader with
+        | None -> cases.log_exhausted <- cases.log_exhausted + 1
+        | Some logged ->
+            if logged = taken then cases.case3a <- cases.case3a + 1
+            else begin
+              cases.case3b <- cases.case3b + 1;
+              raise (Interp.Eval.Abort_run "3b: log contradicts concrete branch")
+            end)
+    | None, false -> cases.case4 <- cases.case4 + 1
+  in
+  let cfg =
+    {
+      Interp.Eval.inputs = Rkernel.symbolic_args rk;
+      kernel = Rkernel.kernel rk;
+      hooks =
+        {
+          Interp.Eval.on_branch;
+          on_concretize =
+            (fun sym v ->
+              (* negatable: a pinned index may contradict a later log-forced
+                 constraint (checkpoint-restored state especially); let the
+                 engine revisit the pin *)
+              if !gate then
+                Concolic.Path.record_concretize ~negatable:true trace sym v);
+          on_checkpoint;
+        };
+      max_steps;
+      scheduler =
+        (match report.schedule_log with
+        | Some l when Instrument.Schedule_log.length l > 0 ->
+            Some (Instrument.Schedule_log.replaying_scheduler l)
+        | _ -> None);
+    }
+  in
+  let r =
+    try Interp.Eval.run prog cfg with
+    | Rkernel.Log_mismatch msg ->
+        {
+          Interp.Eval.outcome = Interp.Crash.Aborted msg;
+          cost = Interp.Cost.create ();
+          output = "";
+          steps = 0;
+        }
+  in
+  {
+    Concolic.Engine.outcome = r.outcome;
+    trace = Concolic.Path.entries trace;
+    observed = !observed;
+  }
+
+(** Reproduce the bug described by [report].  [budget] is the developer's
+    patience (the paper's one-hour limit, scaled). *)
+let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
+    ?(max_steps = 5_000_000) ?restore ~(prog : Minic.Program.t)
+    ~(plan : Plan.t) (report : Report.t) : result * stats =
+  (* A depth-first chain can die on a genuinely unsatisfiable forced
+     pending (a concretisation pinned incompatibly early in the run).
+     When the frontier exhausts with budget left, restart with a different
+     seed: the initial random input changes and so do the pins — the
+     paper's engine enjoys the same freedom in choosing fresh inputs. *)
+  let deadline = Unix.gettimeofday () +. budget.Concolic.Engine.max_time_s in
+  let total_runs = ref 0 in
+  let rec attempt attempt_seed acc_stats =
+    let vars = Solver.Symvars.create () in
+    let cases = new_case_stats () in
+    let run =
+      run_once ?restore ~prog ~plan ~report ~vars ~seed:attempt_seed ~max_steps
+        ~cases
+    in
+    let should_stop _model (r : Concolic.Engine.run_result) =
+      match r.outcome with
+      | Interp.Crash.Crash c -> Interp.Crash.equal_site c report.crash
+      | Interp.Crash.Exit _ | Interp.Crash.Budget_exhausted
+      | Interp.Crash.Aborted _ ->
+          false
+    in
+    let remaining_time = deadline -. Unix.gettimeofday () in
+    let remaining_runs = budget.Concolic.Engine.max_runs - !total_runs in
+    let engine_stats, found =
+      Concolic.Engine.explore ~vars
+        ~budget:
+          { Concolic.Engine.max_runs = max 1 remaining_runs;
+            max_time_s = max 0.1 remaining_time }
+        ~run ~should_stop ()
+    in
+    total_runs := !total_runs + engine_stats.runs;
+    let stats = { engine = engine_stats; cases; vars } in
+    (match acc_stats with
+    | Some (prev : stats) ->
+        (* accumulate case counters across restarts for reporting *)
+        cases.case1 <- cases.case1 + prev.cases.case1;
+        cases.case2a <- cases.case2a + prev.cases.case2a;
+        cases.case2b <- cases.case2b + prev.cases.case2b;
+        cases.case3a <- cases.case3a + prev.cases.case3a;
+        cases.case3b <- cases.case3b + prev.cases.case3b;
+        cases.case4 <- cases.case4 + prev.cases.case4;
+        engine_stats.runs <- !total_runs
+    | None -> ());
+    match found with
+    | Some (model, r) ->
+        let crash =
+          match r.outcome with Interp.Crash.Crash c -> c | _ -> assert false
+        in
+        ( Reproduced
+            {
+              model;
+              crash;
+              runs = !total_runs;
+              elapsed_s = budget.Concolic.Engine.max_time_s -. (deadline -. Unix.gettimeofday ());
+            },
+          stats )
+    | None ->
+        if
+          Unix.gettimeofday () < deadline
+          && !total_runs < budget.Concolic.Engine.max_runs
+        then attempt (attempt_seed + 1) (Some stats)
+        else
+          ( Not_reproduced
+              {
+                runs = !total_runs;
+                elapsed_s =
+                  budget.Concolic.Engine.max_time_s
+                  -. (deadline -. Unix.gettimeofday ());
+                timed_out = true;
+              },
+            stats )
+  in
+  attempt seed None

@@ -1,0 +1,68 @@
+(** Guided replay: reproduce a bug from a partial branch log (§3.1).
+
+    Drives the concolic engine with the report's bitvector.  At every
+    executed branch the four cases of the paper apply:
+
+    + symbolic, not instrumented — fork: assert the taken direction, leave
+      the alternative on the pending list;
+    + symbolic, instrumented — consume a bit; (a) match: pin the direction;
+      (b) mismatch: queue the constraint set forcing the logged direction
+      and abort the run;
+    + concrete, instrumented — consume a bit; abort on mismatch (only
+      possible after an earlier wrong turn at an uninstrumented symbolic
+      branch);
+    + concrete, not instrumented — proceed.
+
+    A run reproduces the bug when it crashes at the recorded crash site.
+    Pending-set selection is depth-first, as in the paper. *)
+
+type case_stats = {
+  mutable case1 : int;  (** symbolic, unlogged *)
+  mutable case2a : int;  (** symbolic, logged, direction matches *)
+  mutable case2b : int;  (** symbolic, logged, mismatch (abort + force) *)
+  mutable case3a : int;  (** concrete, logged, matches *)
+  mutable case3b : int;  (** concrete, logged, mismatch (abort) *)
+  mutable case4 : int;  (** concrete, unlogged *)
+  mutable log_exhausted : int;  (** bits missing (truncated log) *)
+}
+
+type result =
+  | Reproduced of {
+      model : Solver.Model.t;  (** the synthesised crashing input *)
+      crash : Interp.Crash.t;
+      runs : int;
+      elapsed_s : float;
+    }
+  | Not_reproduced of { runs : int; elapsed_s : float; timed_out : bool }
+
+type stats = {
+  engine : Concolic.Engine.stats;
+  cases : case_stats;
+  vars : Solver.Symvars.t;  (** variable registry, for decoding the model *)
+}
+
+val reproduced : result -> bool
+val elapsed : result -> float
+
+(** Checkpointed replay (§6): rewrites global state symbolically at the
+    first [checkpoint()] the run executes; until then the shipped logs are
+    gated off.  See {!Checkpoint.Creplay}. *)
+type restore_fn =
+  vars:Solver.Symvars.t ->
+  model:Solver.Model.t ->
+  observe:(int -> int -> unit) ->
+  Interp.Eval.global_access ->
+  unit
+
+(** Reproduce the bug described by [report].  [budget] is the developer's
+    patience (the paper's one-hour limit, scaled); [seed] varies the random
+    initial input. *)
+val reproduce :
+  ?budget:Concolic.Engine.budget ->
+  ?seed:int ->
+  ?max_steps:int ->
+  ?restore:restore_fn ->
+  prog:Minic.Program.t ->
+  plan:Instrument.Plan.t ->
+  Instrument.Report.t ->
+  result * stats

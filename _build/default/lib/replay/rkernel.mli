@@ -1,0 +1,37 @@
+(** The developer-site kernel used during replay.
+
+    No real environment stands behind it: system-call results come either
+    from the shipped syscall log (replayed verbatim, §3.3) or from symbolic
+    models (a fresh variable per call occurrence, constrained to the call's
+    feasible range), and all input data bytes are symbolic variables whose
+    concrete values come from the current solver model, falling back to
+    seeded per-variable defaults (the paper's "initial run with random
+    inputs"). *)
+
+type t
+
+exception Log_mismatch of string
+(** Record/replay divergence detected through the syscall log. *)
+
+(** [active = false] starts the kernel gated (checkpointed replay): before
+    {!activate}, loggable syscalls answer with plain defaults and no
+    symbolic variables are created. *)
+val create :
+  ?observe:(int -> int -> unit) ->
+  ?active:bool ->
+  vars:Solver.Symvars.t ->
+  model:Solver.Model.t ->
+  shape:Concolic.Scenario.shape ->
+  syscall_log:Instrument.Syscall_log.log option ->
+  seed:int ->
+  unit ->
+  t
+
+val activate : t -> unit
+
+(** The kernel function handed to the evaluator during replay runs. *)
+val kernel : t -> Interp.Kernel.t
+
+(** Symbolic argv for replay: capacities from the report's shape; concrete
+    bytes from the model, else seeded defaults. *)
+val symbolic_args : t -> Interp.Inputs.t

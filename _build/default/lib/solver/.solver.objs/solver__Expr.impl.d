@@ -1,0 +1,1 @@
+lib/solver/expr.ml: Format Int List Stdlib

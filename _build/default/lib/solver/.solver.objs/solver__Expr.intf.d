@@ -1,0 +1,1 @@
+lib/solver/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/solver/model.ml: Expr Format Int List Map Symvars

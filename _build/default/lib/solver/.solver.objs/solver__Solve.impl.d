@@ -1,0 +1,1 @@
+lib/solver/solve.ml: Array Expr Format Hashtbl Int Interval List Model Option Printf Simplify Symvars

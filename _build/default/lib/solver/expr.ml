@@ -1,0 +1,140 @@
+(** Symbolic expressions.
+
+    The concolic engine attaches one of these to every value that depends on
+    program input; branch conditions over such values become path
+    constraints.  Semantics are C-like machine integers (OCaml native ints;
+    division truncates toward zero, like C99). *)
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** strict: both sides evaluated; nonzero = true *)
+  | Lor
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type t =
+  | Var of int  (** symbolic input variable, see {!Symvars} *)
+  | Const of int
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+let var v = Var v
+let const n = Const n
+
+let rec compare_t (a : t) (b : t) = Stdlib.compare a b
+and equal a b = compare_t a b = 0
+
+(** Free variables of an expression (sorted, deduplicated). *)
+let vars e =
+  let rec go acc = function
+    | Var v -> v :: acc
+    | Const _ -> acc
+    | Unop (_, a) -> go acc a
+    | Binop (_, a, b) -> go (go acc a) b
+  in
+  List.sort_uniq Int.compare (go [] e)
+
+let rec size = function
+  | Var _ | Const _ -> 1
+  | Unop (_, a) -> 1 + size a
+  | Binop (_, a, b) -> 1 + size a + size b
+
+exception Undefined
+(** Raised by {!eval} on division/modulo by zero or shift out of range:
+    an assignment making a constraint undefined cannot satisfy it. *)
+
+let bool_of_int n = n <> 0
+let int_of_bool b = if b then 1 else 0
+
+let eval_unop op a =
+  match op with
+  | Neg -> -a
+  | Lognot -> int_of_bool (a = 0)
+  | Bitnot -> lnot a
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise Undefined else a / b
+  | Mod -> if b = 0 then raise Undefined else a mod b
+  | Eq -> int_of_bool (a = b)
+  | Ne -> int_of_bool (a <> b)
+  | Lt -> int_of_bool (a < b)
+  | Le -> int_of_bool (a <= b)
+  | Gt -> int_of_bool (a > b)
+  | Ge -> int_of_bool (a >= b)
+  | Land -> int_of_bool (bool_of_int a && bool_of_int b)
+  | Lor -> int_of_bool (bool_of_int a || bool_of_int b)
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Shl -> if b < 0 || b > 62 then raise Undefined else a lsl b
+  | Shr -> if b < 0 || b > 62 then raise Undefined else a asr b
+
+(** Evaluate under an environment.  Raises [Not_found] (from [env]) for
+    unbound variables and {!Undefined} for undefined arithmetic. *)
+let rec eval (env : int -> int) = function
+  | Var v -> env v
+  | Const n -> n
+  | Unop (op, a) -> eval_unop op (eval env a)
+  | Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+
+let unop_to_string = function Neg -> "-" | Lognot -> "!" | Bitnot -> "~"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let rec pp fmt = function
+  | Var v -> Format.fprintf fmt "v%d" v
+  | Const n -> Format.pp_print_int fmt n
+  | Unop (op, a) -> Format.fprintf fmt "%s%a" (unop_to_string op) pp a
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (binop_to_string op) pp b
+
+let to_string e = Format.asprintf "%a" pp e
+
+(** Logical negation of a boolean expression, pushing through comparisons
+    where possible so that interval propagation sees canonical shapes. *)
+let negate = function
+  | Binop (Eq, a, b) -> Binop (Ne, a, b)
+  | Binop (Ne, a, b) -> Binop (Eq, a, b)
+  | Binop (Lt, a, b) -> Binop (Ge, a, b)
+  | Binop (Le, a, b) -> Binop (Gt, a, b)
+  | Binop (Gt, a, b) -> Binop (Le, a, b)
+  | Binop (Ge, a, b) -> Binop (Lt, a, b)
+  | Unop (Lognot, a) -> Binop (Ne, a, Const 0)
+  | e -> Binop (Eq, e, Const 0)

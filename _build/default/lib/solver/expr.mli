@@ -1,0 +1,68 @@
+(** Symbolic expressions over program-input variables.
+
+    The concolic engine attaches one of these to every value that depends on
+    program input; branch conditions over such values become path
+    constraints.  Semantics are C-like machine integers (division truncates
+    toward zero). *)
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** strict logical and: both sides evaluated; nonzero = true *)
+  | Lor  (** strict logical or *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type t =
+  | Var of int  (** symbolic input variable, see {!Symvars} *)
+  | Const of int
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+val var : int -> t
+val const : int -> t
+
+val equal : t -> t -> bool
+
+(** Free variables of an expression (sorted, deduplicated). *)
+val vars : t -> int list
+
+(** Node count. *)
+val size : t -> int
+
+exception Undefined
+(** Raised by {!eval} on division/modulo by zero or a shift out of range: an
+    assignment making a constraint undefined cannot satisfy it. *)
+
+val eval_unop : unop -> int -> int
+
+(** May raise {!Undefined}. *)
+val eval_binop : binop -> int -> int -> int
+
+(** Evaluate under an environment.  Propagates the environment's exception
+    for unbound variables and raises {!Undefined} for undefined
+    arithmetic. *)
+val eval : (int -> int) -> t -> int
+
+val unop_to_string : unop -> string
+val binop_to_string : binop -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Logical negation of a boolean expression, pushing through comparisons
+    where possible so that interval propagation sees canonical shapes. *)
+val negate : t -> t

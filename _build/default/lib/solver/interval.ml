@@ -1,0 +1,168 @@
+(** Integer interval domain used for constraint propagation.
+
+    Bounds are clamped to +-2^40 so interval arithmetic cannot overflow
+    native integers; the clamp only ever widens intervals, preserving
+    soundness (every concrete value remains inside its interval). *)
+
+let clamp_lo = -(1 lsl 40)
+let clamp_hi = 1 lsl 40
+
+type t = { lo : int; hi : int }
+(** inclusive; empty iff [lo > hi].  A bound equal to the clamp is a
+    sentinel meaning "unbounded on that side": clamped arithmetic results
+    may correspond to true values beyond the clamp. *)
+
+
+let top = { lo = clamp_lo; hi = clamp_hi }
+let empty = { lo = 1; hi = 0 }
+let is_empty i = i.lo > i.hi
+let of_const n = { lo = n; hi = n }
+let of_bounds lo hi = { lo = max lo clamp_lo; hi = min hi clamp_hi }
+
+let unbounded_lo i = i.lo <= clamp_lo
+let unbounded_hi i = i.hi >= clamp_hi
+
+(** Is the interval's lower/upper bound exact (not a clamp sentinel)? *)
+let exact i = (not (unbounded_lo i)) && not (unbounded_hi i)
+
+let mem n i =
+  (n >= i.lo || unbounded_lo i) && (n <= i.hi || unbounded_hi i)
+let size i = if is_empty i then 0 else i.hi - i.lo + 1
+
+let meet a b =
+  let r = { lo = max a.lo b.lo; hi = min a.hi b.hi } in
+  if is_empty r then empty else r
+
+let join a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+
+let clamp i = { lo = max i.lo clamp_lo; hi = min i.hi clamp_hi }
+
+let add a b =
+  if is_empty a || is_empty b then empty else clamp { lo = a.lo + b.lo; hi = a.hi + b.hi }
+
+let neg a = if is_empty a then empty else clamp { lo = -a.hi; hi = -a.lo }
+
+let sub a b = add a (neg b)
+
+(* Saturating product: bounds are within +-2^40, whose squares overflow
+   native ints, so saturate at the clamps instead of multiplying blindly. *)
+let sat_mul x y =
+  if x = 0 || y = 0 then 0
+  else if abs x > clamp_hi / abs y then if (x > 0) = (y > 0) then clamp_hi else clamp_lo
+  else x * y
+
+let mul a b =
+  if is_empty a || is_empty b then empty
+  else
+    let products =
+      [ sat_mul a.lo b.lo; sat_mul a.lo b.hi; sat_mul a.hi b.lo; sat_mul a.hi b.hi ]
+    in
+    clamp
+      {
+        lo = List.fold_left min max_int products;
+        hi = List.fold_left max min_int products;
+      }
+
+(* Sound but coarse division/modulo. *)
+let div a b =
+  if is_empty a || is_empty b then empty
+  else if b.lo = 0 && b.hi = 0 then empty
+  else
+    let mags = [ abs a.lo; abs a.hi ] in
+    let m = List.fold_left max 0 mags in
+    clamp { lo = -m; hi = m }
+
+let rem a b =
+  if is_empty a || is_empty b then empty
+  else
+    let m = max (abs b.lo) (abs b.hi) in
+    if m = 0 then empty
+    else if a.lo >= 0 then { lo = 0; hi = min a.hi (m - 1) }
+    else clamp { lo = -(m - 1); hi = m - 1 }
+
+let pp fmt i =
+  if is_empty i then Format.pp_print_string fmt "[]"
+  else Format.fprintf fmt "[%d,%d]" i.lo i.hi
+
+(** Abstract forward evaluation of an expression. *)
+let rec eval (env : int -> t) (e : Expr.t) : t =
+  match e with
+  | Expr.Var v -> env v
+  | Expr.Const n -> of_const n
+  | Expr.Unop (op, a) -> (
+      let ia = eval env a in
+      match op with
+      | Expr.Neg -> neg ia
+      | Expr.Lognot | Expr.Bitnot ->
+          if is_empty ia then empty
+          else if op = Expr.Lognot then of_bounds 0 1
+          else top)
+  | Expr.Binop (op, a, b) -> (
+      let ia = eval env a and ib = eval env b in
+      if is_empty ia || is_empty ib then empty
+      else
+        match op with
+        | Expr.Add -> add ia ib
+        | Expr.Sub -> sub ia ib
+        | Expr.Mul -> mul ia ib
+        | Expr.Div -> div ia ib
+        | Expr.Mod -> rem ia ib
+        | Expr.Eq ->
+            if ia.lo = ia.hi && equal ia ib && exact ia then of_const 1
+            else if is_empty (meet ia ib) && exact ia && exact ib then of_const 0
+            else of_bounds 0 1
+        | Expr.Ne ->
+            if is_empty (meet ia ib) && exact ia && exact ib then of_const 1
+            else if ia.lo = ia.hi && equal ia ib && exact ia then of_const 0
+            else of_bounds 0 1
+        | Expr.Lt ->
+            if ia.hi < ib.lo && (not (unbounded_hi ia)) && not (unbounded_lo ib)
+            then of_const 1
+            else if
+              ia.lo >= ib.hi && (not (unbounded_lo ia)) && not (unbounded_hi ib)
+            then of_const 0
+            else of_bounds 0 1
+        | Expr.Le ->
+            if ia.hi <= ib.lo && (not (unbounded_hi ia)) && not (unbounded_lo ib)
+            then of_const 1
+            else if
+              ia.lo > ib.hi && (not (unbounded_lo ia)) && not (unbounded_hi ib)
+            then of_const 0
+            else of_bounds 0 1
+        | Expr.Gt ->
+            if ia.lo > ib.hi && (not (unbounded_lo ia)) && not (unbounded_hi ib)
+            then of_const 1
+            else if
+              ia.hi <= ib.lo && (not (unbounded_hi ia)) && not (unbounded_lo ib)
+            then of_const 0
+            else of_bounds 0 1
+        | Expr.Ge ->
+            if ia.lo >= ib.hi && (not (unbounded_lo ia)) && not (unbounded_hi ib)
+            then of_const 1
+            else if
+              ia.hi < ib.lo && (not (unbounded_hi ia)) && not (unbounded_lo ib)
+            then of_const 0
+            else of_bounds 0 1
+        | Expr.Land ->
+            if (not (mem 0 ia)) && not (mem 0 ib) then of_const 1
+            else if (ia.lo = 0 && ia.hi = 0) || (ib.lo = 0 && ib.hi = 0) then
+              of_const 0
+            else of_bounds 0 1
+        | Expr.Lor ->
+            if (not (mem 0 ia)) || not (mem 0 ib) then of_const 1
+            else if ia.lo = 0 && ia.hi = 0 && ib.lo = 0 && ib.hi = 0 then
+              of_const 0
+            else of_bounds 0 1
+        | Expr.Band | Expr.Bor | Expr.Bxor ->
+            if ia.lo >= 0 && ib.lo >= 0 then
+              (* nonneg bitops stay below the next power of two *)
+              let m = max ia.hi ib.hi in
+              let rec pow2 p = if p > m then p else pow2 (2 * p) in
+              of_bounds 0 (pow2 1 - 1)
+            else top
+        | Expr.Shl | Expr.Shr -> top)

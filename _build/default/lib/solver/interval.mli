@@ -1,0 +1,41 @@
+(** Integer interval domain used for constraint propagation.
+
+    Bounds are clamped to +-2^40; a bound equal to the clamp is a sentinel
+    meaning "unbounded on that side", which keeps every operation sound for
+    values beyond the clamp (checked by property tests). *)
+
+val clamp_lo : int
+val clamp_hi : int
+
+type t = { lo : int; hi : int }  (** inclusive; empty iff [lo > hi] *)
+
+val top : t
+val empty : t
+val is_empty : t -> bool
+val of_const : int -> t
+val of_bounds : int -> int -> t
+
+(** Is the bound a clamp sentinel (the true bound may lie beyond)? *)
+val unbounded_lo : t -> bool
+
+val unbounded_hi : t -> bool
+
+(** Membership honouring clamp sentinels. *)
+val mem : int -> t -> bool
+
+val size : t -> int
+val meet : t -> t -> t
+val join : t -> t -> t
+val equal : t -> t -> bool
+val add : t -> t -> t
+val neg : t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val rem : t -> t -> t
+val pp : Format.formatter -> t -> unit
+
+(** Abstract forward evaluation of an expression: the result interval
+    contains every value the expression can take when each variable ranges
+    over its environment interval. *)
+val eval : (int -> t) -> Expr.t -> t

@@ -1,0 +1,41 @@
+(** Assignments of concrete values to symbolic variables.
+
+    A model is both the solver's output and the concolic engine's input: the
+    next run executes with the model's values substituted at each input
+    byte. *)
+
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty : t = Imap.empty
+let add id v (m : t) : t = Imap.add id v m
+let find_opt id (m : t) = Imap.find_opt id m
+let mem id (m : t) = Imap.mem id m
+let bindings (m : t) = Imap.bindings m
+let cardinal (m : t) = Imap.cardinal m
+let of_list l : t = List.fold_left (fun m (id, v) -> Imap.add id v m) Imap.empty l
+
+let union_prefer_left (a : t) (b : t) : t =
+  Imap.union (fun _ va _ -> Some va) a b
+
+(** Evaluate [e] under the model; unbound variables default to [default]. *)
+let eval ?(default = 0) (m : t) (e : Expr.t) =
+  Expr.eval (fun id -> match Imap.find_opt id m with Some v -> v | None -> default) e
+
+(** True if [e] evaluates to nonzero under the model ([default] for unbound
+    variables); undefined arithmetic counts as false. *)
+let satisfies ?(default = 0) (m : t) (e : Expr.t) =
+  match eval ~default m e with
+  | n -> n <> 0
+  | exception Expr.Undefined -> false
+
+let satisfies_all ?(default = 0) (m : t) (cs : Expr.t list) =
+  List.for_all (satisfies ~default m) cs
+
+let pp vars fmt (m : t) =
+  Format.fprintf fmt "@[<v>";
+  Imap.iter
+    (fun id v -> Format.fprintf fmt "%s = %d@," (Symvars.name vars id) v)
+    m;
+  Format.fprintf fmt "@]"

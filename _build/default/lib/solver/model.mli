@@ -1,0 +1,29 @@
+(** Assignments of concrete values to symbolic variables.
+
+    A model is both the solver's output and the concolic engine's input: the
+    next run executes with the model's values substituted at each input
+    byte. *)
+
+type t
+
+val empty : t
+val add : int -> int -> t -> t
+val find_opt : int -> t -> int option
+val mem : int -> t -> bool
+val bindings : t -> (int * int) list
+val cardinal : t -> int
+val of_list : (int * int) list -> t
+
+(** Union preferring the left operand's bindings on conflicts. *)
+val union_prefer_left : t -> t -> t
+
+(** Evaluate [e] under the model; unbound variables default to [default].
+    May raise {!Expr.Undefined}. *)
+val eval : ?default:int -> t -> Expr.t -> int
+
+(** True if [e] evaluates to nonzero under the model; undefined arithmetic
+    counts as false. *)
+val satisfies : ?default:int -> t -> Expr.t -> bool
+
+val satisfies_all : ?default:int -> t -> Expr.t list -> bool
+val pp : Symvars.t -> Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+(** Structural simplification of symbolic expressions.
+
+    Constant folding plus the algebraic identities that show up constantly in
+    concolic traces (additions of zero from pointer arithmetic, double
+    negations from branch flips, comparison canonicalisation).  Soundness —
+    the simplified expression evaluates identically under every environment —
+    is checked by property tests. *)
+
+open Expr
+
+let is_bool_shaped = function
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge | Land | Lor), _, _) -> true
+  | Unop (Lognot, _) -> true
+  | Const (0 | 1) -> true
+  | _ -> false
+
+let rec simplify (e : t) : t =
+  match e with
+  | Var _ | Const _ -> e
+  | Unop (op, a) -> simp_unop op (simplify a)
+  | Binop (op, a, b) -> simp_binop op (simplify a) (simplify b)
+
+and simp_unop op a =
+  match op, a with
+  | _, Const n -> (
+      match eval_unop op n with
+      | v -> Const v
+      | exception Undefined -> Unop (op, a))
+  | Neg, Unop (Neg, x) -> x
+  | Bitnot, Unop (Bitnot, x) -> x
+  | Lognot, Unop (Lognot, x) when is_bool_shaped x -> x
+  | Lognot, Binop (Eq, x, y) -> Binop (Ne, x, y)
+  | Lognot, Binop (Ne, x, y) -> Binop (Eq, x, y)
+  | Lognot, Binop (Lt, x, y) -> Binop (Ge, x, y)
+  | Lognot, Binop (Le, x, y) -> Binop (Gt, x, y)
+  | Lognot, Binop (Gt, x, y) -> Binop (Le, x, y)
+  | Lognot, Binop (Ge, x, y) -> Binop (Lt, x, y)
+  | _, _ -> Unop (op, a)
+
+and simp_binop op a b =
+  match op, a, b with
+  | _, Const x, Const y -> (
+      match eval_binop op x y with
+      | v -> Const v
+      | exception Undefined -> Binop (op, a, b))
+  (* additive/multiplicative identities *)
+  | Add, x, Const 0 | Add, Const 0, x -> x
+  | Sub, x, Const 0 -> x
+  | Mul, x, Const 1 | Mul, Const 1, x -> x
+  | Mul, _, Const 0 | Mul, Const 0, _ -> Const 0
+  | Div, x, Const 1 -> x
+  | Shl, x, Const 0 | Shr, x, Const 0 -> x
+  | Band, _, Const 0 | Band, Const 0, _ -> Const 0
+  | Bor, x, Const 0 | Bor, Const 0, x -> x
+  | Bxor, x, Const 0 | Bxor, Const 0, x -> x
+  (* x - x, x ^ x *)
+  | Sub, x, y when equal x y -> Const 0
+  | Bxor, x, y when equal x y -> Const 0
+  (* constant right-association: (x + c1) + c2 -> x + (c1+c2) *)
+  | Add, Binop (Add, x, Const c1), Const c2 -> simp_binop Add x (Const (c1 + c2))
+  | Sub, Binop (Add, x, Const c1), Const c2 -> simp_binop Add x (Const (c1 - c2))
+  | Add, Binop (Sub, x, Const c1), Const c2 -> simp_binop Add x (Const (c2 - c1))
+  (* comparisons: move constants right across +/- : (x + c1) == c2 -> x == c2-c1 *)
+  | (Eq | Ne | Lt | Le | Gt | Ge), Binop (Add, x, Const c1), Const c2 ->
+      simp_binop op x (Const (c2 - c1))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Binop (Sub, x, Const c1), Const c2 ->
+      simp_binop op x (Const (c2 + c1))
+  (* shared offsets cancel: (x + c1) == (y + c2) -> x == y + (c2 - c1),
+     exposing var-var (in)equalities to the solver's union-find *)
+  | (Eq | Ne | Lt | Le | Gt | Ge), Binop (Add, x, Const c1), Binop (Add, y, Const c2)
+    ->
+      simp_binop op x (simp_binop Add y (Const (c2 - c1)))
+  | (Eq | Ne | Lt | Le | Gt | Ge), Binop (Sub, x, Const c1), Binop (Sub, y, Const c2)
+    ->
+      simp_binop op x (simp_binop Add y (Const (c1 - c2)))
+  (* x == x and friends *)
+  | (Eq | Le | Ge), x, y when equal x y -> Const 1
+  | (Ne | Lt | Gt), x, y when equal x y -> Const 0
+  (* logical operators *)
+  | Land, Const c, x | Land, x, Const c ->
+      if c = 0 then Const 0 else bool_coerce x
+  | Lor, Const c, x | Lor, x, Const c ->
+      if c <> 0 then Const 1 else bool_coerce x
+  | _, _, _ -> Binop (op, a, b)
+
+(* Coerce an arbitrary int expression to the 0/1 result C's && / || produce. *)
+and bool_coerce x =
+  if is_bool_shaped x then x else Binop (Ne, x, Const 0)
+
+(** Simplify a conjunction, splitting top-level [&&] into separate
+    constraints, dropping trivially-true members, and short-circuiting to
+    [None] (unsatisfiable) if any member is trivially false. *)
+let conjuncts (cs : t list) : t list option =
+  let rec add acc c =
+    match acc with
+    | None -> None
+    | Some acc -> (
+        match simplify c with
+        | Const 0 -> None
+        | Const _ -> Some acc
+        | Binop (Land, a, b) -> add (add (Some acc) a) b
+        | c -> Some (c :: acc))
+  in
+  Option.map List.rev (List.fold_left add (Some []) cs)

@@ -1,0 +1,17 @@
+(** Structural simplification of symbolic expressions.
+
+    Constant folding plus the algebraic identities concolic traces produce
+    constantly (additions of zero, double negations, comparison
+    canonicalisation).  Semantics-preserving under every environment
+    (checked by property tests). *)
+
+(** Simplify one expression. *)
+val simplify : Expr.t -> Expr.t
+
+(** Coerce an arbitrary integer expression to the 0/1 shape of a C boolean
+    (identity on expressions that are already boolean-shaped). *)
+val bool_coerce : Expr.t -> Expr.t
+
+(** Simplify a conjunction: split top-level [&&], drop trivially-true
+    members, return [None] if any member is trivially false. *)
+val conjuncts : Expr.t list -> Expr.t list option

@@ -1,0 +1,1 @@
+lib/staticanalysis/aloc.ml: List Map Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/staticanalysis/aloc.mli: Map Set

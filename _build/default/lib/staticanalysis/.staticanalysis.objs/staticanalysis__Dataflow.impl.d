@@ -1,0 +1,1 @@
+lib/staticanalysis/dataflow.ml: Ast List Minic

@@ -1,0 +1,1 @@
+lib/staticanalysis/dataflow.mli: Minic

@@ -1,0 +1,1 @@
+lib/staticanalysis/pointsto.ml: Aloc Ast Hashtbl List Minic Program String Types

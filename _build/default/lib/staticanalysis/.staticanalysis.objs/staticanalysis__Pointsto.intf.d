@@ -1,0 +1,1 @@
+lib/staticanalysis/pointsto.mli: Aloc Minic

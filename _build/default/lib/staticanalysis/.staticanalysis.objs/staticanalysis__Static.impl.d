@@ -1,0 +1,1 @@
+lib/staticanalysis/static.ml: Array Label Minic Pointsto Program Taint

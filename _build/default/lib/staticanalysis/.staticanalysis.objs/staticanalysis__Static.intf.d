@@ -1,0 +1,1 @@
+lib/staticanalysis/static.mli: Minic

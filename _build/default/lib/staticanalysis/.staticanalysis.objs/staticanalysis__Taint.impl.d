@@ -1,0 +1,1 @@
+lib/staticanalysis/taint.ml: Aloc Array Ast Builtin Dataflow List Map Minic Number Pointsto Program Stdlib String

@@ -1,0 +1,1 @@
+lib/staticanalysis/taint.mli: Minic Pointsto

@@ -1,0 +1,36 @@
+(** Abstract locations for the static analyses.
+
+    Arrays collapse to a single abstract cell and locals are
+    context-insensitive (one location per function/variable pair) — the two
+    standard Andersen-style coarsenings.  They are also the deliberate
+    sources of over-approximation that make the paper's [static] method mark
+    some concrete branches symbolic (§2.2). *)
+
+type t =
+  | Global of string
+  | Local of string * string  (** function name, variable name *)
+  | Strlit of string  (** a string literal *)
+  | Ret of string  (** the return cell of a function *)
+
+let compare = Stdlib.compare
+
+let to_string = function
+  | Global g -> "g:" ^ g
+  | Local (f, v) -> Printf.sprintf "l:%s.%s" f v
+  | Strlit s -> Printf.sprintf "s:%S" s
+  | Ret f -> "r:" ^ f
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let set_to_string s =
+  Set.elements s |> List.map to_string |> String.concat ", "

@@ -1,0 +1,20 @@
+(** Abstract locations for the static analyses.
+
+    Arrays collapse to a single abstract cell and locals are
+    context-insensitive — the standard Andersen coarsenings, and the
+    deliberate sources of over-approximation that make the paper's [static]
+    method mark some concrete branches symbolic (§2.2). *)
+
+type t =
+  | Global of string
+  | Local of string * string  (** function name, variable name *)
+  | Strlit of string  (** a string literal *)
+  | Ret of string  (** the return cell of a function *)
+
+val compare : t -> t -> int
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_to_string : Set.t -> string

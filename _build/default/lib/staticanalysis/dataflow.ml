@@ -1,0 +1,99 @@
+(** Generic forward dataflow over structured MiniC ASTs.
+
+    MiniC control flow is fully structured (if / while / break / continue /
+    return), so instead of a CFG the framework interprets the tree
+    abstractly: branch arms are joined, loop bodies iterate to a fixpoint
+    (the "fixed-point dataflow algorithm" of the paper's Algorithm 1), and
+    escaping paths (break/continue/return) are collected and joined where
+    they land.
+
+    The state type is supplied by the client as a join-semilattice; the
+    framework guarantees termination whenever the client's lattice has
+    finite height (joins eventually stop changing). *)
+
+open Minic
+
+module type DOMAIN = sig
+  type t
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (D : DOMAIN) = struct
+  type client = {
+    transfer : D.t -> Ast.stmt -> D.t;
+        (** straight-line statements only: [Sassign] and [Scall] *)
+    on_branch : D.t -> Ast.branch -> Ast.expr -> unit;
+        (** called with the state reaching a branch condition *)
+    on_return : D.t -> Ast.expr option -> unit;
+  }
+
+  (* [None] = unreachable *)
+  let join_opt a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (D.join a b)
+
+  let equal_opt a b =
+    match a, b with
+    | None, None -> true
+    | Some a, Some b -> D.equal a b
+    | None, Some _ | Some _, None -> false
+
+  type loop_ctx = { mutable breaks : D.t option; mutable continues : D.t option }
+
+  let rec stmt client (loop : loop_ctx option) (state : D.t option) (s : Ast.stmt)
+      : D.t option =
+    match state with
+    | None -> None
+    | Some st -> (
+        match s.sdesc with
+        | Sassign _ | Scall _ -> Some (client.transfer st s)
+        | Sreturn e ->
+            client.on_return st e;
+            None
+        | Sbreak ->
+            (match loop with
+            | Some l -> l.breaks <- join_opt l.breaks (Some st)
+            | None -> ());
+            None
+        | Scontinue ->
+            (match loop with
+            | Some l -> l.continues <- join_opt l.continues (Some st)
+            | None -> ());
+            None
+        | Sblock b -> block client loop state b
+        | Sif (br, cond, then_b, else_b) ->
+            client.on_branch st br cond;
+            let t_out = block client loop (Some st) then_b in
+            let e_out = block client loop (Some st) else_b in
+            join_opt t_out e_out
+        | Swhile (br, cond, body) ->
+            let rec fix head iters =
+              let ctx = { breaks = None; continues = None } in
+              client.on_branch head br cond;
+              let body_out = block client (Some ctx) (Some head) body in
+              let next_head =
+                match join_opt (Some head) (join_opt body_out ctx.continues) with
+                | Some h -> h
+                | None -> head
+              in
+              if D.equal next_head head || iters > 200 then
+                (* exit state: condition-false path from the stable head,
+                   joined with any break states *)
+                join_opt (Some head) ctx.breaks
+              else fix next_head (iters + 1)
+            in
+            fix st 0)
+
+  and block client loop state (b : Ast.block) : D.t option =
+    List.fold_left (fun st s -> stmt client loop st s) state b
+
+  (** Analyze a function body from an entry state; returns the fall-through
+      exit state ([None] if all paths return). *)
+  let func client (entry : D.t) (body : Ast.block) : D.t option =
+    block client None (Some entry) body
+
+  let _ = equal_opt
+end

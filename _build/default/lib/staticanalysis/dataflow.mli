@@ -1,0 +1,29 @@
+(** Generic forward dataflow over structured MiniC ASTs.
+
+    MiniC control flow is fully structured, so instead of a CFG the
+    framework interprets the tree abstractly: branch arms are joined, loop
+    bodies iterate to a fixpoint (the paper's "fixed-point dataflow
+    algorithm"), and escaping paths (break/continue/return) are collected
+    where they land.  Termination is guaranteed for finite-height client
+    lattices. *)
+
+module type DOMAIN = sig
+  type t
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (D : DOMAIN) : sig
+  type client = {
+    transfer : D.t -> Minic.Ast.stmt -> D.t;
+        (** straight-line statements only ([Sassign] and [Scall]) *)
+    on_branch : D.t -> Minic.Ast.branch -> Minic.Ast.expr -> unit;
+        (** called with the state reaching a branch condition *)
+    on_return : D.t -> Minic.Ast.expr option -> unit;
+  }
+
+  (** Analyze a function body from an entry state; returns the fall-through
+      exit state ([None] if no path falls through). *)
+  val func : client -> D.t -> Minic.Ast.block -> D.t option
+end

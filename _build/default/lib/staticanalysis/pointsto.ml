@@ -1,0 +1,175 @@
+(** Andersen-style, flow- and context-insensitive points-to analysis.
+
+    Computes, for every abstract location, the set of abstract locations its
+    cell may point to.  Used by the taint analysis to resolve writes and
+    reads through pointers ([*p = e], [p[i]], by-reference out-parameters) —
+    the paper's "combination of dataflow and points-to analysis" (§2.2).
+
+    The analysis is deliberately conservative: array cells are collapsed,
+    assignments through pointers are weak updates, and calls are resolved by
+    name over the whole program.  Its imprecision is what makes the paper's
+    [static] instrumentation method over-approximate. *)
+
+open Minic
+
+type t = {
+  prog : Program.t;
+  mutable pts : Aloc.Set.t Aloc.Map.t;
+  var_scope : (string, unit) Hashtbl.t;  (** names of globals *)
+}
+
+let find t a =
+  match Aloc.Map.find_opt a t.pts with Some s -> s | None -> Aloc.Set.empty
+
+(* Abstract location of a variable as seen from function [fn]. *)
+let aloc_of_var t ~fn x : Aloc.t =
+  let is_local =
+    match Program.find_func t.prog fn with
+    | Some f ->
+        List.exists (fun (p, _) -> String.equal p x) f.fparams
+        || List.exists (fun (d : Ast.var_decl) -> String.equal d.vname x) f.flocals
+    | None -> false
+  in
+  if is_local then Aloc.Local (fn, x) else Aloc.Global x
+
+let var_type t ~fn x : Types.t =
+  let local_ty =
+    match Program.find_func t.prog fn with
+    | Some f -> (
+        match List.assoc_opt x f.fparams with
+        | Some ty -> Some ty
+        | None ->
+            List.find_map
+              (fun (d : Ast.var_decl) ->
+                if String.equal d.vname x then Some d.vtyp else None)
+              f.flocals)
+    | None -> None
+  in
+  match local_ty with
+  | Some ty -> ty
+  | None -> (
+      match
+        List.find_map
+          (fun (d : Ast.var_decl) ->
+            if String.equal d.vname x then Some d.vtyp else None)
+          t.prog.globals
+      with
+      | Some ty -> ty
+      | None -> Types.Tint)
+
+let is_array_type = function Types.Tarr _ -> true | _ -> false
+
+(** The abstract cells an lvalue may denote (the storage written by an
+    assignment to it). *)
+let rec denotes t ~fn (lv : Ast.lval) : Aloc.Set.t =
+  match lv with
+  | Var x -> Aloc.Set.singleton (aloc_of_var t ~fn x)
+  | Index (base, _) ->
+      (* indexing an array denotes the (collapsed) array cell itself;
+         indexing a pointer denotes whatever the pointer may point to *)
+      let rec base_type (l : Ast.lval) =
+        match l with
+        | Var x -> var_type t ~fn x
+        | Index (b, _) -> (
+            match Types.element (base_type b) with
+            | Some ty -> ty
+            | None -> Types.Tint)
+        | Star _ -> Types.Tint
+      in
+      if is_array_type (base_type base) then denotes t ~fn base
+      else
+        Aloc.Set.fold
+          (fun a acc -> Aloc.Set.union (find t a) acc)
+          (denotes t ~fn base) Aloc.Set.empty
+  | Star e -> points t ~fn e
+
+(** The abstract locations a (pointer-valued) expression may point to. *)
+and points t ~fn (e : Ast.expr) : Aloc.Set.t =
+  match e with
+  | Cint _ -> Aloc.Set.empty
+  | Cstr s -> Aloc.Set.singleton (Aloc.Strlit s)
+  | Addr lv -> denotes t ~fn lv
+  | Lval (Var x) when is_array_type (var_type t ~fn x) ->
+      (* array decay: the expression points to the array cell *)
+      Aloc.Set.singleton (aloc_of_var t ~fn x)
+  | Lval lv ->
+      Aloc.Set.fold
+        (fun a acc -> Aloc.Set.union (find t a) acc)
+        (denotes t ~fn lv) Aloc.Set.empty
+  | Unop (_, a) -> points t ~fn a
+  | Binop (_, a, b) -> Aloc.Set.union (points t ~fn a) (points t ~fn b)
+  | Ecall _ -> Aloc.Set.empty
+
+let add_pts t a set changed =
+  let cur = find t a in
+  let next = Aloc.Set.union cur set in
+  if not (Aloc.Set.equal cur next) then begin
+    t.pts <- Aloc.Map.add a next t.pts;
+    changed := true
+  end
+
+(* One pass over every statement of every function, accumulating points-to
+   facts; repeated to a fixpoint by [analyze]. *)
+let pass t changed =
+  List.iter
+    (fun (f : Ast.func) ->
+      let fn = f.fname in
+      Ast.iter_stmts
+        (fun s ->
+          match s.sdesc with
+          | Sassign (lv, e) ->
+              let rhs = points t ~fn e in
+              if not (Aloc.Set.is_empty rhs) then
+                Aloc.Set.iter (fun a -> add_pts t a rhs changed) (denotes t ~fn lv)
+          | Scall (lvo, callee, args) -> (
+              (match Program.find_func t.prog callee with
+              | Some g ->
+                  (* bind actuals to formal cells *)
+                  List.iteri
+                    (fun i arg ->
+                      match List.nth_opt g.fparams i with
+                      | Some (pname, _) ->
+                          let rhs = points t ~fn arg in
+                          if not (Aloc.Set.is_empty rhs) then
+                            add_pts t (Aloc.Local (callee, pname)) rhs changed
+                      | None -> ())
+                    args
+              | None -> ());
+              match lvo with
+              | Some lv ->
+                  let rhs = find t (Aloc.Ret callee) in
+                  if not (Aloc.Set.is_empty rhs) then
+                    Aloc.Set.iter
+                      (fun a -> add_pts t a rhs changed)
+                      (denotes t ~fn lv)
+              | None -> ())
+          | Sreturn (Some e) ->
+              let rhs = points t ~fn e in
+              if not (Aloc.Set.is_empty rhs) then
+                add_pts t (Aloc.Ret fn) rhs changed
+          | Sreturn None | Sif _ | Swhile _ | Sbreak | Scontinue | Sblock _ -> ())
+        f.fbody)
+    t.prog.funcs
+
+(** Run the analysis to a fixpoint. *)
+let analyze (prog : Program.t) : t =
+  let t = { prog; pts = Aloc.Map.empty; var_scope = Hashtbl.create 16 } in
+  List.iter
+    (fun (d : Ast.var_decl) -> Hashtbl.replace t.var_scope d.vname ())
+    prog.globals;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 100 do
+    changed := false;
+    incr rounds;
+    pass t changed
+  done;
+  t
+
+(** Points-to set of an expression in function [fn] (post-fixpoint query). *)
+let points_of t ~fn e = points t ~fn e
+
+(** Cells an lvalue in [fn] may write (post-fixpoint query). *)
+let denotes_of t ~fn lv = denotes t ~fn lv
+
+let aloc_of t ~fn x = aloc_of_var t ~fn x

@@ -1,0 +1,25 @@
+(** Andersen-style, flow- and context-insensitive points-to analysis.
+
+    Computes, for every abstract location, the set of locations its cell may
+    point to; used by the taint analysis to resolve reads and writes through
+    pointers.  Deliberately conservative (collapsed arrays, weak updates):
+    its imprecision is what makes the paper's [static] method
+    over-approximate. *)
+
+type t
+
+(** Run the analysis to a fixpoint. *)
+val analyze : Minic.Program.t -> t
+
+(** Points-to set of an expression evaluated in function [fn]. *)
+val points_of : t -> fn:string -> Minic.Ast.expr -> Aloc.Set.t
+
+(** Abstract cells an lvalue in [fn] may denote (the storage an assignment
+    to it writes). *)
+val denotes_of : t -> fn:string -> Minic.Ast.lval -> Aloc.Set.t
+
+(** Abstract location of variable [x] as seen from [fn]. *)
+val aloc_of : t -> fn:string -> string -> Aloc.t
+
+(** Static type of variable [x] as seen from [fn] ([Tint] if unknown). *)
+val var_type : t -> fn:string -> string -> Minic.Types.t

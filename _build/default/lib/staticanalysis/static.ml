@@ -1,0 +1,34 @@
+(** Static branch labelling: the paper's "static analysis" instrumentation
+    input (§2.2).
+
+    Combines {!Pointsto} and {!Taint} and produces a total labelling: every
+    branch is either [Symbolic] or [Concrete] (static analysis leaves no
+    branch unvisited).  Guarantee: every truly symbolic branch is labelled
+    [Symbolic]; imprecision only ever adds spurious [Symbolic] labels. *)
+
+open Minic
+
+type result = {
+  labels : Label.map;
+  n_symbolic : int;
+  n_concrete : int;
+  contexts : int;  (** (function, context) pairs analysed *)
+}
+
+(** Analyze [prog].  [analyze_lib = false] reproduces the paper's uServer
+    setup: library code is not analysed and all its branches are
+    conservatively labelled symbolic. *)
+let analyze ?(analyze_lib = true) (prog : Program.t) : result =
+  let pta = Pointsto.analyze prog in
+  let taint = Taint.analyze ~cfg:{ Taint.analyze_lib } prog pta in
+  let n = Program.nbranches prog in
+  let labels = Label.make ~nbranches:n Label.Concrete in
+  for bid = 0 to n - 1 do
+    if Taint.is_branch_symbolic taint bid then labels.(bid) <- Label.Symbolic
+  done;
+  {
+    labels;
+    n_symbolic = Label.count labels Label.Symbolic;
+    n_concrete = Label.count labels Label.Concrete;
+    contexts = Taint.contexts_analyzed taint;
+  }

@@ -1,0 +1,21 @@
+(** Static branch labelling: the paper's "static analysis" instrumentation
+    input (§2.2).
+
+    Combines Andersen points-to analysis with interprocedural taint
+    propagation (Algorithms 1-2) and produces a total labelling: every
+    branch is [Symbolic] or [Concrete].  Guarantee: every truly symbolic
+    branch is labelled [Symbolic]; imprecision only ever adds spurious
+    [Symbolic] labels (the over-approximation is property-tested against
+    dynamic analysis). *)
+
+type result = {
+  labels : Minic.Label.map;
+  n_symbolic : int;
+  n_concrete : int;
+  contexts : int;  (** (function, context) pairs analysed *)
+}
+
+(** Analyze [prog].  [analyze_lib = false] reproduces the paper's uServer
+    setup (§5.3): library code is not analysed and all its branches are
+    conservatively labelled symbolic. *)
+val analyze : ?analyze_lib:bool -> Minic.Program.t -> result

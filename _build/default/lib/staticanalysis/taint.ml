@@ -1,0 +1,298 @@
+(** Interprocedural symbolic-variable propagation (the paper's Algorithms 1
+    and 2).
+
+    Identifies the sources of input (argv via [arg], I/O via [read], and
+    the return values of input-returning builtins), propagates "symbolic"
+    taint through assignments, calls and memory via the {!Pointsto} results,
+    and labels every branch whose condition may read tainted data.
+
+    Structure follows the paper:
+    - a worklist of (function, context) pairs, where a context records which
+      parameters hold symbolic *values* (the footnote's "particular
+      combination of symbolic and concrete parameters");
+    - per-(function, context) summaries recording whether the return value
+      is symbolic;
+    - memory reached through pointers/arrays and globals is tracked in a
+      single monotone tainted-location set, resolved with points-to
+      information (weak updates only — one of the imprecision sources the
+      paper attributes to its static method).
+
+    When [analyze_lib] is false, library functions are not analysed: calls
+    into them get a conservative summary and all their branches are labelled
+    symbolic, reproducing §5.3's treatment of uClibc. *)
+
+open Minic
+
+type ctx = bool list  (** value-taint of each parameter *)
+
+module Summary_key = struct
+  type t = string * ctx
+
+  let compare = Stdlib.compare
+end
+
+module Smap = Map.Make (Summary_key)
+
+type config = { analyze_lib : bool }
+
+let default_config = { analyze_lib = true }
+
+type t = {
+  prog : Program.t;
+  pta : Pointsto.t;
+  cfg : config;
+  mutable tainted : Aloc.Set.t;  (** monotone: arrays, pointees, globals *)
+  mutable summaries : bool Smap.t;  (** (f, ctx) -> return value tainted *)
+  mutable dependents : Summary_key.t list Smap.t;  (** callee -> callers *)
+  mutable queued : Summary_key.t list;
+  mutable in_queue : unit Smap.t;
+  symbolic_branches : bool array;  (** by branch id *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Local state domain: tainted scalar locals of the function under
+   analysis.  Everything else lives in [t.tainted]. *)
+
+module Dom = struct
+  type t = Aloc.Set.t
+
+  let join = Aloc.Set.union
+  let equal = Aloc.Set.equal
+end
+
+module Flow = Dataflow.Make (Dom)
+
+let global_tainted t a = Aloc.Set.mem a t.tainted
+
+let mark_global t a =
+  if not (Aloc.Set.mem a t.tainted) then t.tainted <- Aloc.Set.add a t.tainted
+
+(* Taint cells reached through pointers, arrays or globals: these must be
+   visible to every function (a callee reads a caller's buffer through its
+   points-to set), so they go into the monotone global set. *)
+let taint_globally t cells = Aloc.Set.iter (mark_global t) cells
+
+(* Taint the target of a direct assignment.  Only a scalar local of the
+   current function stays in the flow-sensitive state; everything reached
+   through memory goes global. *)
+let taint_lval t ~fn (state : Dom.t) (lv : Ast.lval) : Dom.t =
+  match lv with
+  | Ast.Var x -> (
+      match Pointsto.aloc_of t.pta ~fn x with
+      | Aloc.Local (f, _) as a when String.equal f fn -> Aloc.Set.add a state
+      | a ->
+          mark_global t a;
+          state)
+  | Ast.Index _ | Ast.Star _ ->
+      taint_globally t (Pointsto.denotes_of t.pta ~fn lv);
+      state
+
+let cell_tainted t state a = Aloc.Set.mem a state || global_tainted t a
+
+(* Value-taint of an expression: true if evaluating it may read symbolic
+   data.  Addresses themselves are never symbolic. *)
+let rec expr_tainted t ~fn state (e : Ast.expr) : bool =
+  match e with
+  | Cint _ | Cstr _ | Addr _ -> false
+  | Lval lv ->
+      Aloc.Set.exists (cell_tainted t state) (Pointsto.denotes_of t.pta ~fn lv)
+  | Unop (_, a) -> expr_tainted t ~fn state a
+  | Binop (_, a, b) -> expr_tainted t ~fn state a || expr_tainted t ~fn state b
+  | Ecall _ -> true (* normalised ASTs have no expression calls; be safe *)
+
+(* Argument taint as used for contexts: symbolic value. *)
+let arg_bits t ~fn state args = List.map (expr_tainted t ~fn state) args
+
+(* Does any argument carry taint either by value or through its pointees?
+   Used for conservative (library / unknown) summaries. *)
+let arg_reaches_taint t ~fn state arg =
+  expr_tainted t ~fn state arg
+  || Aloc.Set.exists (cell_tainted t state) (Pointsto.points_of t.pta ~fn arg)
+
+(* ------------------------------------------------------------------ *)
+(* Worklist *)
+
+let enqueue t key =
+  if not (Smap.mem key t.in_queue) then begin
+    t.in_queue <- Smap.add key () t.in_queue;
+    t.queued <- key :: t.queued
+  end
+
+let add_dependent t ~callee ~caller =
+  let cur = match Smap.find_opt callee t.dependents with Some l -> l | None -> [] in
+  if not (List.mem caller cur) then
+    t.dependents <- Smap.add callee (caller :: cur) t.dependents
+
+let summary t key = match Smap.find_opt key t.summaries with Some b -> b | None -> false
+
+let set_summary t key v =
+  let old = summary t key in
+  if v && not old then begin
+    t.summaries <- Smap.add key true t.summaries;
+    (* return value became symbolic: recompute callers *)
+    match Smap.find_opt key t.dependents with
+    | Some callers -> List.iter (enqueue t) callers
+    | None -> ()
+  end
+  else if not (Smap.mem key t.summaries) then
+    t.summaries <- Smap.add key v t.summaries
+
+(* ------------------------------------------------------------------ *)
+(* Transfer functions *)
+
+let apply_builtin t ~fn state lvo name args =
+  match Builtin.find name with
+  | None -> state
+  | Some b ->
+      (* pointer arguments receiving input: taint their pointees *)
+      List.iter
+        (fun i ->
+          match List.nth_opt args i with
+          | Some arg -> taint_globally t (Pointsto.points_of t.pta ~fn arg)
+          | None -> ())
+        b.taints_args;
+      (* input-returning builtins taint their result *)
+      match lvo, b.returns_input with
+      | Some lv, true -> taint_lval t ~fn state lv
+      | _ -> state
+
+let conservative_lib_call t ~fn state lvo args =
+  let any = List.exists (arg_reaches_taint t ~fn state) args in
+  if not any then state
+  else begin
+    (* assume the callee may copy input anywhere reachable from its
+       pointer arguments (strcpy-style) and return input *)
+    List.iter
+      (fun arg -> taint_globally t (Pointsto.points_of t.pta ~fn arg))
+      args;
+    match lvo with
+    | Some lv -> taint_lval t ~fn state lv
+    | None -> state
+  end
+
+let apply_call t ~fn ~caller_key state lvo callee args =
+  if Builtin.is_builtin callee then apply_builtin t ~fn state lvo callee args
+  else
+    match Program.find_func t.prog callee with
+    | None -> state
+    | Some g when g.fis_lib && not t.cfg.analyze_lib ->
+        conservative_lib_call t ~fn state lvo args
+    | Some _ ->
+        let bits = arg_bits t ~fn state args in
+        let key = (callee, bits) in
+        add_dependent t ~callee:key ~caller:caller_key;
+        if not (Smap.mem key t.summaries) then begin
+          t.summaries <- Smap.add key false t.summaries;
+          enqueue t key
+        end;
+        if summary t key then
+          match lvo with
+          | Some lv -> taint_lval t ~fn state lv
+          | None -> state
+        else state
+
+let transfer t ~fn ~caller_key (state : Dom.t) (s : Ast.stmt) : Dom.t =
+  match s.sdesc with
+  | Sassign (lv, e) ->
+      if expr_tainted t ~fn state e then taint_lval t ~fn state lv
+      else begin
+        (* strong update only for a direct local scalar assignment *)
+        match lv with
+        | Ast.Var x -> (
+            match Pointsto.aloc_of t.pta ~fn x with
+            | Aloc.Local (f, _) as a
+              when String.equal f fn && not (global_tainted t a) ->
+                Aloc.Set.remove a state
+            | _ -> state)
+        | Ast.Index _ | Ast.Star _ -> state
+      end
+  | Scall (lvo, callee, args) -> apply_call t ~fn ~caller_key state lvo callee args
+  | Sif _ | Swhile _ | Sreturn _ | Sbreak | Scontinue | Sblock _ -> state
+
+(* ------------------------------------------------------------------ *)
+(* Per-(function, context) analysis *)
+
+let analyze_one t ((fname, bits) as key) =
+  match Program.find_func t.prog fname with
+  | None -> ()
+  | Some f ->
+      let entry =
+        List.fold_left2
+          (fun st (p, _) bit ->
+            if bit then Aloc.Set.add (Aloc.Local (fname, p)) st else st)
+          Aloc.Set.empty f.fparams
+          (if List.length bits = List.length f.fparams then bits
+           else List.map (fun _ -> false) f.fparams)
+      in
+      let ret_tainted = ref (summary t key) in
+      let client =
+        {
+          Flow.transfer = (fun st s -> transfer t ~fn:fname ~caller_key:key st s);
+          on_branch =
+            (fun st br cond ->
+              if br.bid >= 0 && expr_tainted t ~fn:fname st cond then
+                t.symbolic_branches.(br.bid) <- true);
+          on_return =
+            (fun st e ->
+              match e with
+              | Some e when expr_tainted t ~fn:fname st e -> ret_tainted := true
+              | _ -> ());
+        }
+      in
+      ignore (Flow.func client entry f.fbody);
+      set_summary t key !ret_tainted
+
+(** Run the whole-program taint analysis from [main]. *)
+let analyze ?(cfg = default_config) (prog : Program.t) (pta : Pointsto.t) : t =
+  let t =
+    {
+      prog;
+      pta;
+      cfg;
+      tainted = Aloc.Set.empty;
+      summaries = Smap.empty;
+      dependents = Smap.empty;
+      queued = [];
+      in_queue = Smap.empty;
+      symbolic_branches = Array.make (Program.nbranches prog) false;
+    }
+  in
+  let main_key = ("main", []) in
+  t.summaries <- Smap.add main_key false t.summaries;
+  enqueue t main_key;
+  let iterations = ref 0 in
+  let rec drain last_tainted =
+    match t.queued with
+    | [] ->
+        (* the global tainted set may have grown during the last sweep;
+           if so, re-analyse everything once more *)
+        if
+          not (Aloc.Set.equal last_tainted t.tainted)
+          && !iterations < 10_000
+        then begin
+          let snapshot = t.tainted in
+          Smap.iter (fun key _ -> enqueue t key) t.summaries;
+          drain snapshot
+        end
+    | key :: rest ->
+        t.queued <- rest;
+        t.in_queue <- Smap.remove key t.in_queue;
+        incr iterations;
+        if !iterations < 10_000 then begin
+          analyze_one t key;
+          drain last_tainted
+        end
+  in
+  drain t.tainted;
+  (* §5.3: with analyze_lib = false every library branch is treated as
+     symbolic by the static analysis *)
+  if not t.cfg.analyze_lib then
+    Array.iter
+      (fun (b : Number.info) ->
+        if b.bis_lib then t.symbolic_branches.(b.bid) <- true)
+      prog.branches;
+  t
+
+let is_branch_symbolic t bid = t.symbolic_branches.(bid)
+
+let contexts_analyzed t = Smap.cardinal t.summaries

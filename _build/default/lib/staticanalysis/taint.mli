@@ -1,0 +1,29 @@
+(** Interprocedural symbolic-variable propagation (the paper's Algorithms 1
+    and 2).
+
+    A worklist of (function, context) pairs — a context records which
+    parameters hold symbolic values (the paper's footnote about revisiting
+    functions per combination of symbolic/concrete parameters) — with
+    per-context return summaries; memory reached through pointers, arrays
+    and globals is tracked in a monotone tainted-location set resolved with
+    {!Pointsto} (weak updates: one of the paper's imprecision sources).
+
+    With [analyze_lib = false], library functions get a conservative
+    summary and all their branches are labelled symbolic (§5.3). *)
+
+type ctx = bool list  (** value-taint of each parameter *)
+
+type config = { analyze_lib : bool }
+
+val default_config : config
+
+type t
+
+(** Run the whole-program analysis from [main] to a fixpoint. *)
+val analyze : ?cfg:config -> Minic.Program.t -> Pointsto.t -> t
+
+(** May the branch's condition read input-derived data? *)
+val is_branch_symbolic : t -> int -> bool
+
+(** Number of (function, context) pairs analysed. *)
+val contexts_analyzed : t -> int

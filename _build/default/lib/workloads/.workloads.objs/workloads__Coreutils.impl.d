@@ -1,0 +1,1 @@
+lib/workloads/coreutils.ml: Concolic Lazy List Minic Runtime_lib String

@@ -1,0 +1,1 @@
+lib/workloads/coreutils.mli: Concolic Lazy Minic

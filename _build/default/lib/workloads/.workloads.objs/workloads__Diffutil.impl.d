@@ -1,0 +1,1 @@
+lib/workloads/diffutil.ml: Array Char Concolic Lazy List Minic Osmodel Runtime_lib String

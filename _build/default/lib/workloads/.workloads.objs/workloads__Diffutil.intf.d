@@ -1,0 +1,1 @@
+lib/workloads/diffutil.mli: Concolic Lazy Minic

@@ -1,0 +1,1 @@
+lib/workloads/http_gen.ml: Array Buffer Char List Osmodel Printf String

@@ -1,0 +1,1 @@
+lib/workloads/http_gen.mli: Osmodel

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Concolic Lazy Minic Printf Runtime_lib

@@ -1,0 +1,1 @@
+lib/workloads/mtrace.ml: Concolic Lazy Minic Osmodel Runtime_lib String

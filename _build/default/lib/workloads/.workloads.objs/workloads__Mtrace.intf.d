@@ -1,0 +1,1 @@
+lib/workloads/mtrace.mli: Concolic Lazy Minic

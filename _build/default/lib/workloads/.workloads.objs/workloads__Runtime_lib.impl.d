@@ -1,0 +1,1 @@
+lib/workloads/runtime_lib.ml: Lazy Minic

@@ -1,0 +1,1 @@
+lib/workloads/userver.ml: Concolic Lazy List Minic Osmodel Printf Runtime_lib Str String

@@ -1,0 +1,1 @@
+lib/workloads/userver.mli: Concolic Lazy Minic

@@ -1,0 +1,378 @@
+(** Coreutils analogues with real, input-dependent crash bugs (§5.2).
+
+    Four small argv-driven programs modelled on mkdir, mknod, mkfifo and
+    paste, each containing a crash that only manifests for a specific
+    combination of arguments — the paste bug is shaped after the historical
+    [paste -d\\ ...] read-past-end-of-delimiter-list bug the paper (and
+    KLEE) used.  "Filesystem effects" are simulated by printing the actions
+    the program would take. *)
+
+(* ------------------------------------------------------------------ *)
+(* mkdir [-p] [-m MODE] dir...
+
+   Bug: 4-digit octal modes (setuid/sticky bits, e.g. `-m 1777`) take the
+   special-bits path, whose bookkeeping table has a single entry and is
+   written at index 1 — one past the end, for every such mode. *)
+let mkdir_source =
+  {|
+int perm_name[512];
+int special_bits[1];
+
+int apply_mode(int mode) {
+  if (mode > 511) {
+    // BUG: the special-bits counter table has one entry, not two
+    special_bits[1] = special_bits[1] + 1;
+    return 1;
+  }
+  perm_name[mode] = perm_name[mode] + 1;
+  return perm_name[mode];
+}
+
+int main() {
+  int opt[128];
+  int dir[128];
+  int i = 0;
+  int parents = 0;
+  int mode = 493; // 0755
+  int made = 0;
+  int n = argc();
+  while (i < n) {
+    arg(i, opt, 128);
+    if (str_eq(opt, "-p")) {
+      parents = 1;
+      i = i + 1;
+    }
+    else if (str_eq(opt, "-m")) {
+      if (i + 1 >= n) {
+        print_str("mkdir: option requires an argument -- m\n");
+        return 1;
+      }
+      arg(i + 1, opt, 128);
+      mode = parse_octal(opt);
+      i = i + 2;
+    }
+    else {
+      arg(i, dir, 128);
+      if (strlen(dir) == 0) {
+        print_str("mkdir: cannot create directory ''\n");
+        return 1;
+      }
+      apply_mode(mode);
+      if (parents == 1) {
+        // report each missing parent component
+        int j = 0;
+        while (dir[j] != 0) {
+          if (dir[j] == '/') { print_str("mkdir: created parent\n"); }
+          j = j + 1;
+        }
+      }
+      print_str("mkdir: created directory '");
+      print_str(dir);
+      print_str("'\n");
+      made = made + 1;
+      i = i + 1;
+    }
+  }
+  if (made == 0) {
+    print_str("mkdir: missing operand\n");
+    return 1;
+  }
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* mknod name type [major minor]
+
+   Bug: the device registry holds majors 0-255; the large-major code path
+   forgets to reject out-of-range majors, so any major above 255 (with a
+   valid minor) writes past the registry. *)
+let mknod_source =
+  {|
+int devtab[2048];
+
+int register_dev(int major, int minor) {
+  if (major <= 255) {
+    devtab[major * 8 + minor] = 1;
+    return major * 8 + minor;
+  }
+  // BUG: extended majors were never given their own registry
+  devtab[major * 8 + minor] = 1;
+  return major * 8 + minor;
+}
+
+int main() {
+  int name[128];
+  int type[16];
+  int numbuf[32];
+  int n = argc();
+  if (n < 2) {
+    print_str("mknod: missing operand\n");
+    return 1;
+  }
+  arg(0, name, 128);
+  arg(1, type, 16);
+  if (strlen(type) != 1) {
+    print_str("mknod: invalid device type\n");
+    return 1;
+  }
+  switch (type[0]) {
+    case 'p':
+      print_str("mknod: created fifo '");
+      print_str(name);
+      print_str("'\n");
+      return 0;
+    case 'b':
+    case 'c': {
+      int major = 0;
+      int minor = 0;
+      if (n < 4) {
+        print_str("mknod: special files require major and minor numbers\n");
+        return 1;
+      }
+      arg(2, numbuf, 32);
+      major = atoi(numbuf);
+      arg(3, numbuf, 32);
+      minor = atoi(numbuf);
+      if (minor < 0) {
+        print_str("mknod: invalid minor\n");
+        return 1;
+      }
+      if (minor > 7) {
+        print_str("mknod: invalid minor\n");
+        return 1;
+      }
+      register_dev(major, minor);
+      print_str("mknod: created device '");
+      print_str(name);
+      print_str("'\n");
+      return 0;
+    }
+    default:
+      print_str("mknod: invalid device type\n");
+      return 1;
+  }
+  return 1;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* mkfifo [-m MODE] name...
+
+   Bug: paths are split into at most 16 components but the splitter does
+   not bound the component counter, so a name with 17+ slashes writes past
+   the component-offset table. *)
+let mkfifo_source =
+  {|
+int comp_off[16];
+
+int split_components(int *path) {
+  int ncomp = 0;
+  int i = 0;
+  comp_off[0] = 0;
+  ncomp = 1;
+  while (path[i] != 0) {
+    if (path[i] == '/') {
+      comp_off[ncomp] = i + 1;
+      ncomp = ncomp + 1;
+    }
+    i = i + 1;
+  }
+  return ncomp;
+}
+
+int main() {
+  int opt[160];
+  int mode = 420; // 0644
+  int i = 0;
+  int made = 0;
+  int n = argc();
+  while (i < n) {
+    arg(i, opt, 160);
+    if (str_eq(opt, "-m")) {
+      if (i + 1 >= n) {
+        print_str("mkfifo: option requires an argument -- m\n");
+        return 1;
+      }
+      arg(i + 1, opt, 160);
+      mode = parse_octal(opt);
+      if (mode > 511) {
+        print_str("mkfifo: invalid mode\n");
+        return 1;
+      }
+      i = i + 2;
+    }
+    else {
+      int ncomp = split_components(opt);
+      print_str("mkfifo: created fifo '");
+      print_str(opt);
+      print_str("' with ");
+      print_int(ncomp);
+      print_str(" components\n");
+      made = made + 1;
+      i = i + 1;
+    }
+  }
+  if (made == 0) {
+    print_str("mkfifo: missing operand\n");
+    return 1;
+  }
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* paste -d LIST column...
+
+   Bug (after the real coreutils one): a backslash at the end of the
+   delimiter list makes the escape decoder read the byte after the
+   terminator and index the escape table with NUL - 'a' = -97. *)
+let paste_source =
+  {|
+int esc_table[26];
+
+int init_esc() {
+  int i;
+  for (i = 0; i < 26; i = i + 1) { esc_table[i] = i; }
+  esc_table['n' - 'a'] = '\n';
+  esc_table['t' - 'a'] = '\t';
+  esc_table[0] = 0; // \a and friends collapse to NUL
+  return 0;
+}
+
+// decode the delimiter at position j of the list; advances are handled by
+// the caller via the returned consumed count encoded as decoded*256+used
+int decode_delim(int *delims, int j) {
+  if (delims[j] == '\\') {
+    // BUG: no check that a character follows the backslash
+    int c = delims[j + 1];
+    int decoded = esc_table[c - 'a'];
+    return decoded * 256 + 2;
+  }
+  return delims[j] * 256 + 1;
+}
+
+int main() {
+  int delims[64];
+  int col[128];
+  int out[512];
+  int i = 0;
+  int outn = 0;
+  int dlen;
+  int dpos = 0;
+  int n = argc();
+  init_esc();
+  strcpy(delims, "\t");
+  arg(0, col, 128);
+  if (str_eq(col, "-d")) {
+    if (n < 2) {
+      print_str("paste: option requires an argument -- d\n");
+      return 1;
+    }
+    arg(1, delims, 64);
+    i = 2;
+  }
+  dlen = strlen(delims);
+  if (dlen == 0) {
+    print_str("paste: empty delimiter list\n");
+    return 1;
+  }
+  while (i < n) {
+    int k = 0;
+    arg(i, col, 128);
+    while (col[k] != 0) {
+      if (outn < 500) {
+        out[outn] = col[k];
+        outn = outn + 1;
+      }
+      k = k + 1;
+    }
+    if (i + 1 < n) {
+      int packed = decode_delim(delims, dpos);
+      int d = packed / 256;
+      int used = packed - d * 256;
+      dpos = dpos + used;
+      if (dpos >= dlen) { dpos = 0; }
+      if (d != 0) {
+        if (outn < 500) {
+          out[outn] = d;
+          outn = outn + 1;
+        }
+      }
+    }
+    i = i + 1;
+  }
+  out[outn] = 0;
+  print_str(out);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Programs and bug scenarios *)
+
+type entry = {
+  util : string;
+  prog : Minic.Program.t Lazy.t;
+  crashing_args : string list;  (** the specific combination that crashes *)
+  benign_args : string list;  (** a normal invocation *)
+  bug_description : string;
+}
+
+let catalog : entry list =
+  [
+    {
+      util = "mkdir";
+      prog = lazy (Runtime_lib.link ~name:"mkdir" mkdir_source);
+      crashing_args = [ "-m"; "1777"; "newdir" ];
+      benign_args = [ "-p"; "a/b/c" ];
+      bug_description =
+        "special-bits table written one past the end for 4-digit octal modes (mkdir -m 1777 d)";
+    };
+    {
+      util = "mknod";
+      prog = lazy (Runtime_lib.link ~name:"mknod" mknod_source);
+      crashing_args = [ "dev0"; "b"; "300"; "0" ];
+      benign_args = [ "fifo0"; "p" ];
+      bug_description = "device registry overflows for major numbers above 255";
+    };
+    {
+      util = "mkfifo";
+      prog = lazy (Runtime_lib.link ~name:"mkfifo" mkfifo_source);
+      crashing_args = [ "a/b/c/d/e/f/g/h/i/j/k/l/m/n/o/p/q/r" ];
+      benign_args = [ "-m"; "644"; "pipe0" ];
+      bug_description = "component-offset table overflows for paths with 16+ slashes";
+    };
+    {
+      util = "paste";
+      prog = lazy (Runtime_lib.link ~name:"paste" paste_source);
+      crashing_args = [ "-d"; "\\"; "abc"; "def" ];
+      benign_args = [ "-d"; ","; "one"; "two"; "three" ];
+      bug_description =
+        "backslash at end of delimiter list reads past the terminator (paste -d\\\\)";
+    };
+  ]
+
+let find util =
+  match List.find_opt (fun e -> String.equal e.util util) catalog with
+  | Some e -> e
+  | None -> invalid_arg ("unknown coreutils workload: " ^ util)
+
+(** Scenario that triggers the bug. *)
+let crash_scenario (e : entry) : Concolic.Scenario.t =
+  Concolic.Scenario.make ~name:e.util ~args:e.crashing_args (Lazy.force e.prog)
+
+(** Normal (non-crashing) scenario. *)
+let benign_scenario (e : entry) : Concolic.Scenario.t =
+  Concolic.Scenario.make ~name:e.util ~args:e.benign_args (Lazy.force e.prog)
+
+(** Test scenario used for pre-deployment dynamic analysis.  The paper runs
+    the coreutils "with up to 10 arguments, each 100 bytes long" — a generic
+    argv shape, not the bug-triggering input (which the developer does not
+    know).  Four 8-byte placeholder arguments keep exploration tractable at
+    our scale. *)
+let analysis_scenario (e : entry) : Concolic.Scenario.t =
+  Concolic.Scenario.make ~name:(e.util ^ "-analysis")
+    ~args:[ "aaaaaaaa"; "aaaaaaaa"; "aaaaaaaa"; "aaaaaaaa" ]
+    (Lazy.force e.prog)

@@ -1,0 +1,32 @@
+(** Coreutils analogues with real, input-dependent crash bugs (§5.2).
+
+    Four argv-driven programs modelled on mkdir, mknod, mkfifo and paste;
+    each contains a crash that manifests only for a specific combination of
+    arguments (the paste bug is shaped after the historical
+    [paste -d\ ...] delimiter-list bug the paper used).  Every bug is
+    branch-determined: any input satisfying its branch-guarded path
+    crashes, which is what guided replay reconstructs. *)
+
+type entry = {
+  util : string;
+  prog : Minic.Program.t Lazy.t;
+  crashing_args : string list;  (** the specific combination that crashes *)
+  benign_args : string list;  (** a normal invocation *)
+  bug_description : string;
+}
+
+val catalog : entry list
+
+(** Raises [Invalid_argument] for an unknown name. *)
+val find : string -> entry
+
+(** Scenario that triggers the bug. *)
+val crash_scenario : entry -> Concolic.Scenario.t
+
+(** Normal (non-crashing) scenario. *)
+val benign_scenario : entry -> Concolic.Scenario.t
+
+(** Pre-deployment dynamic-analysis scenario: a generic argv shape (the
+    paper ran the coreutils "with up to 10 arguments, each 100 bytes
+    long"), not the unknown crashing input. *)
+val analysis_scenario : entry -> Concolic.Scenario.t

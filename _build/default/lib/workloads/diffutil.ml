@@ -1,0 +1,270 @@
+(** The diff analogue (§5.4): an input-intensive line differ in MiniC.
+
+    Reads two files, splits them into lines, and computes an LCS table over
+    line equality (byte-by-byte comparison, like diff's hash-then-verify
+    path), then prints removed/added lines.  Nearly every branch depends on
+    file contents, which is what made diff the paper's hardest case for
+    dynamic analysis (20% coverage after an hour) and the generator of
+    "very long constraint sets".
+
+    With [-i], line comparison folds case inline — branch locations that
+    pre-deployment testing plausibly never exercises, which is what starves
+    the dynamic method on diff (Table 6).  When invoked with [-s] the
+    program calls [crash()] after printing the diff — the analogue of the
+    paper's practice of stopping the process with a signal at a fixed
+    location so that replay has a crash site to reproduce. *)
+
+let source =
+  {|
+// up to 32 lines of up to 1024 bytes total per file
+int buf_a[1024];
+int buf_b[1024];
+int len_a = 0;
+int len_b = 0;
+int line_off_a[33];
+int line_off_b[33];
+int nlines_a = 0;
+int nlines_b = 0;
+int ignore_case = 0;
+int lcs[1089]; // (32+1)^2 DP table
+
+int read_file(int *path, int *buf) {
+  int fd = open(path, 0);
+  int total = 0;
+  if (fd < 0) {
+    print_str("diff: cannot open file\n");
+    exit(2);
+  }
+  while (total < 1000) {
+    int n = read(fd, buf + total, 128);
+    if (n <= 0) { break; }
+    total = total + n;
+  }
+  close(fd);
+  return total;
+}
+
+// record line offsets; returns the number of lines (max 32)
+int split_lines(int *buf, int len, int *off) {
+  int n = 0;
+  int i = 0;
+  off[0] = 0;
+  if (len == 0) { return 0; }
+  n = 1;
+  while (i < len) {
+    if (buf[i] == '\n') {
+      if (n < 32) {
+        off[n] = i + 1;
+        n = n + 1;
+      }
+    }
+    i = i + 1;
+  }
+  return n;
+}
+
+int line_end(int *buf, int len, int *off, int nlines, int which) {
+  if (which + 1 < nlines) { return off[which + 1] - 1; }
+  return len;
+}
+
+// byte-by-byte equality of line i of file A and line j of file B
+int line_eq(int i, int j) {
+  int sa = line_off_a[i];
+  int sb = line_off_b[j];
+  int ea = line_end(buf_a, len_a, line_off_a, nlines_a, i);
+  int eb = line_end(buf_b, len_b, line_off_b, nlines_b, j);
+  if (ea - sa != eb - sb) { return 0; }
+  while (sa < ea) {
+    int ca = buf_a[sa];
+    int cb = buf_b[sb];
+    if (ignore_case == 1) {
+      // inline case folding: these branch locations only execute under -i
+      if (ca >= 'A') { if (ca <= 'Z') { ca = ca + 32; } }
+      if (cb >= 'A') { if (cb <= 'Z') { cb = cb + 32; } }
+    }
+    if (ca != cb) { return 0; }
+    sa = sa + 1;
+    sb = sb + 1;
+  }
+  return 1;
+}
+
+int print_line(int *buf, int len, int *off, int nlines, int which) {
+  int i = off[which];
+  int e = line_end(buf, len, off, nlines, which);
+  int out[256];
+  int k = 0;
+  while (i < e) {
+    if (k < 255) {
+      out[k] = buf[i];
+      k = k + 1;
+    }
+    i = i + 1;
+  }
+  out[k] = 0;
+  print_str(out);
+  print_str("\n");
+  return 0;
+}
+
+int build_lcs() {
+  int i;
+  int j;
+  for (i = 0; i <= nlines_a; i = i + 1) {
+    for (j = 0; j <= nlines_b; j = j + 1) {
+      lcs[i * 33 + j] = 0;
+    }
+  }
+  for (i = 1; i <= nlines_a; i = i + 1) {
+    for (j = 1; j <= nlines_b; j = j + 1) {
+      if (line_eq(i - 1, j - 1) == 1) {
+        lcs[i * 33 + j] = lcs[(i - 1) * 33 + (j - 1)] + 1;
+      }
+      else {
+        lcs[i * 33 + j] =
+          max_int(lcs[(i - 1) * 33 + j], lcs[i * 33 + (j - 1)]);
+      }
+    }
+  }
+  return lcs[nlines_a * 33 + nlines_b];
+}
+
+// emit the diff by walking the DP table backwards; prints in reverse
+// region order like classic diff's ed-script flavour
+int emit_diff(int i, int j) {
+  while (i > 0 || j > 0) {
+    int take_a = 0;
+    if (i > 0) {
+      if (j > 0) {
+        if (line_eq(i - 1, j - 1) == 1) {
+          // common line: skip
+          i = i - 1;
+          j = j - 1;
+          take_a = 2;
+        }
+      }
+    }
+    if (take_a == 0) {
+      int del_score = -1;
+      int add_score = -1;
+      if (i > 0) { del_score = lcs[(i - 1) * 33 + j]; }
+      if (j > 0) { add_score = lcs[i * 33 + (j - 1)]; }
+      if (del_score >= add_score) {
+        print_str("< ");
+        print_line(buf_a, len_a, line_off_a, nlines_a, i - 1);
+        i = i - 1;
+      }
+      else {
+        print_str("> ");
+        print_line(buf_b, len_b, line_off_b, nlines_b, j - 1);
+        j = j - 1;
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int fa[64];
+  int fb[64];
+  int flag[8];
+  int snapshot = 0;
+  int argbase = 0;
+  int more = 1;
+  int common;
+  if (argc() < 2) {
+    print_str("usage: diff [-s] [-i] file1 file2\n");
+    return 2;
+  }
+  while (more == 1) {
+    arg(argbase, flag, 8);
+    if (str_eq(flag, "-s")) {
+      snapshot = 1;
+      argbase = argbase + 1;
+    }
+    else if (str_eq(flag, "-i")) {
+      ignore_case = 1;
+      argbase = argbase + 1;
+    }
+    else { more = 0; }
+  }
+  arg(argbase, fa, 64);
+  arg(argbase + 1, fb, 64);
+  len_a = read_file(fa, buf_a);
+  len_b = read_file(fb, buf_b);
+  nlines_a = split_lines(buf_a, len_a, line_off_a);
+  nlines_b = split_lines(buf_b, len_b, line_off_b);
+  common = build_lcs();
+  if (common == min_int(nlines_a, nlines_b)) {
+    if (nlines_a == nlines_b) {
+      print_str("files are identical\n");
+      if (snapshot == 1) { crash(); }
+      return 0;
+    }
+  }
+  emit_diff(nlines_a, nlines_b);
+  if (snapshot == 1) { crash(); }
+  return 1;
+}
+|}
+
+let prog : Minic.Program.t Lazy.t = lazy (Runtime_lib.link ~name:"diff" source)
+
+(** Scenario comparing two in-memory files.  [snapshot] adds [-s] so the
+    run ends in a crash at a fixed site (the replay target); [ignore_case]
+    adds [-i]. *)
+let scenario ?(name = "diff") ?(snapshot = true) ?(ignore_case = false)
+    ?(max_steps = 20_000_000) ~(file_a : string) ~(file_b : string) () :
+    Concolic.Scenario.t =
+  let args =
+    (if snapshot then [ "-s" ] else [])
+    @ (if ignore_case then [ "-i" ] else [])
+    @ [ "a.txt"; "b.txt" ]
+  in
+  let world =
+    {
+      Osmodel.World.default_config with
+      files = [ ("a.txt", file_a); ("b.txt", file_b) ];
+    }
+  in
+  Concolic.Scenario.make ~name ~args ~world ~max_steps (Lazy.force prog)
+
+(* ------------------------------------------------------------------ *)
+(* Text-pair generator for the two diff experiments *)
+
+let random_line rng len =
+  (* mixed case, so that -i comparisons are meaningful *)
+  String.init len (fun _ ->
+      let c = Char.chr (Char.code 'a' + Osmodel.Rng.int rng 26) in
+      if Osmodel.Rng.int rng 4 = 0 then Char.uppercase_ascii c else c)
+
+(** A pair of files: [lines] lines of [width] chars, with [edits] random
+    line replacements and one insertion in the second file. *)
+let file_pair ?(seed = 3) ~lines ~width ~edits () : string * string =
+  let rng = Osmodel.Rng.create seed in
+  let base = Array.init lines (fun _ -> random_line rng width) in
+  let second = Array.copy base in
+  for _ = 1 to edits do
+    let i = Osmodel.Rng.int rng lines in
+    second.(i) <- random_line rng width
+  done;
+  let a = String.concat "\n" (Array.to_list base) ^ "\n" in
+  let insert_at = Osmodel.Rng.int rng lines in
+  let b =
+    Array.to_list second
+    |> List.mapi (fun i l ->
+           if i = insert_at then l ^ "\n" ^ random_line rng width else l)
+    |> String.concat "\n"
+  in
+  (a, b ^ "\n")
+
+(** The two experiments of Table 6.  Both use [-i], whose inline
+    case-folding branches pre-deployment dynamic analysis never visited. *)
+let experiment_1 () : Concolic.Scenario.t =
+  let a, b = file_pair ~seed:11 ~lines:6 ~width:8 ~edits:1 () in
+  scenario ~name:"diff-exp1" ~ignore_case:true ~file_a:a ~file_b:b ()
+
+let experiment_2 () : Concolic.Scenario.t =
+  let a, b = file_pair ~seed:23 ~lines:12 ~width:10 ~edits:3 () in
+  scenario ~name:"diff-exp2" ~ignore_case:true ~file_a:a ~file_b:b ()

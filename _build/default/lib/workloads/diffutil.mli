@@ -1,0 +1,31 @@
+(** The diff analogue (§5.4): an input-intensive line differ in MiniC.
+
+    LCS over byte-wise line equality; [-i] folds case inline (branch
+    locations pre-deployment testing plausibly never exercises — what
+    starves the dynamic method in Table 6); [-s] ends the run with
+    [crash()], the analogue of the paper stopping the process with a signal
+    so replay has a crash site. *)
+
+val source : string
+val prog : Minic.Program.t Lazy.t
+
+(** Scenario comparing two in-memory files. *)
+val scenario :
+  ?name:string ->
+  ?snapshot:bool ->
+  ?ignore_case:bool ->
+  ?max_steps:int ->
+  file_a:string ->
+  file_b:string ->
+  unit ->
+  Concolic.Scenario.t
+
+(** A pair of similar random files ([lines] lines of [width] chars, [edits]
+    replacements plus one insertion). *)
+val file_pair :
+  ?seed:int -> lines:int -> width:int -> edits:int -> unit -> string * string
+
+(** The two experiments of Table 6 (both use [-i]). *)
+val experiment_1 : unit -> Concolic.Scenario.t
+
+val experiment_2 : unit -> Concolic.Scenario.t

@@ -1,0 +1,78 @@
+(** HTTP workload generator — the httperf analogue (§4).
+
+    Produces benign request streams with varying methods (GET, POST, HEAD),
+    paths, Cookie headers and Content-Lengths, with total request sizes in
+    the paper's 5-400 byte range.  Benign means: path < 64 bytes, POST
+    bodies of 64+ bytes, no unterminated quotes, well-formed method and
+    version — the planted µServer bugs stay dormant. *)
+
+let crlf = "\r\n"
+
+type spec = {
+  meth : string;
+  path : string;
+  version : string;
+  cookies : (string * string) list;
+  body : string option;
+}
+
+let render (s : spec) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%s %s HTTP/%s%s" s.meth s.path s.version crlf);
+  Buffer.add_string b ("Host: bench.example" ^ crlf);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "Cookie: %s=%s%s" k v crlf))
+    s.cookies;
+  (match s.body with
+  | Some body ->
+      Buffer.add_string b
+        (Printf.sprintf "Content-Length: %d%s%s%s" (String.length body) crlf crlf
+           body)
+  | None -> Buffer.add_string b crlf);
+  Buffer.contents b
+
+let words =
+  [| "index"; "about"; "static"; "img"; "api"; "posts"; "a"; "data"; "v1"; "x" |]
+
+let random_path rng =
+  let depth = Osmodel.Rng.range rng 0 3 in
+  let parts =
+    List.init depth (fun _ -> words.(Osmodel.Rng.int rng (Array.length words)))
+  in
+  let base = "/" ^ String.concat "/" parts in
+  let base = if String.length base > 1 then base ^ ".html" else base in
+  if String.length base > 50 then "/" else base
+
+let random_cookie rng =
+  let n = Osmodel.Rng.range rng 4 12 in
+  let v = String.init n (fun _ -> Char.chr (Char.code 'a' + Osmodel.Rng.int rng 26)) in
+  ("session", v)
+
+(** One random benign request. *)
+let random_request rng : string =
+  let meth =
+    match Osmodel.Rng.int rng 10 with
+    | 0 | 1 -> "POST"
+    | 2 -> "HEAD"
+    | _ -> "GET"
+  in
+  let version = if Osmodel.Rng.bool rng then "1.0" else "1.1" in
+  let cookies =
+    if Osmodel.Rng.int rng 3 = 0 then [ random_cookie rng ] else []
+  in
+  let body =
+    if String.equal meth "POST" then
+      let n = Osmodel.Rng.range rng 64 300 in
+      Some (String.init n (fun i -> Char.chr (Char.code '0' + (i mod 10))))
+    else None
+  in
+  render { meth; path = random_path rng; version; cookies; body }
+
+(** A stream of [n] benign requests (seeded, deterministic). *)
+let workload ?(seed = 7) n : string list =
+  let rng = Osmodel.Rng.create seed in
+  List.init n (fun _ -> random_request rng)
+
+(** The short fixed requests used for quick overhead measurements. *)
+let tiny_get = render { meth = "GET"; path = "/"; version = "1.0"; cookies = []; body = None }

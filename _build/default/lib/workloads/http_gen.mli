@@ -1,0 +1,24 @@
+(** HTTP workload generator — the httperf analogue (§4).
+
+    Benign request streams with varying methods, paths, Cookie headers and
+    Content-Lengths, sized within the paper's 5-400 byte range; benign
+    means the planted µServer bugs stay dormant. *)
+
+type spec = {
+  meth : string;
+  path : string;
+  version : string;
+  cookies : (string * string) list;
+  body : string option;
+}
+
+val render : spec -> string
+
+(** One random benign request. *)
+val random_request : Osmodel.Rng.t -> string
+
+(** A stream of [n] benign requests (seeded, deterministic). *)
+val workload : ?seed:int -> int -> string list
+
+(** A minimal fixed GET request. *)
+val tiny_get : string

@@ -1,0 +1,72 @@
+(** The two microbenchmarks of §5.1.
+
+    The first is a counter loop whose only branch is the loop bound check —
+    used to measure the per-branch instrumentation cost in isolation.  The
+    second is the paper's Listing 1: a program that computes a Fibonacci
+    number for one of two values selected by the input option; only the two
+    option branches are symbolic.  (The Fibonacci computation is iterative
+    so the interpreted iteration counts stay proportional to the paper's
+    native ones.) *)
+
+(** Counter loop: one branch location executed [iterations]+1 times. *)
+let counter_loop_source ~iterations =
+  Printf.sprintf
+    {|
+int main() {
+  int i = 0;
+  int c = 0;
+  while (i < %d) {
+    c = c + 1;
+    i = i + 1;
+  }
+  print_int(c);
+  return 0;
+}
+|}
+    iterations
+
+let counter_loop ?(iterations = 100_000) () : Concolic.Scenario.t =
+  let prog =
+    Runtime_lib.link ~name:"counter_loop" (counter_loop_source ~iterations)
+  in
+  Concolic.Scenario.make ~name:"counter_loop" ~max_steps:max_int prog
+
+(** Listing 1: Fibonacci selected by an option argument. *)
+let fibonacci_source =
+  {|
+int fibonacci(int n) {
+  int a = 0;
+  int b = 1;
+  int i = 0;
+  while (i < n) {
+    int t = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+
+int main() {
+  int buf[8];
+  int result = 0;
+  arg(0, buf, 8);
+  int option = buf[0];
+  if (option == 'a') {
+    result = fibonacci(2000);
+  }
+  else if (option == 'b') {
+    result = fibonacci(4000);
+  }
+  print_int(result);
+  return 0;
+}
+|}
+
+let fibonacci_prog : Minic.Program.t Lazy.t =
+  lazy (Runtime_lib.link ~name:"fibonacci" fibonacci_source)
+
+let fibonacci ?(option = "a") () : Concolic.Scenario.t =
+  Concolic.Scenario.make ~name:"fibonacci" ~args:[ option ]
+    ~max_steps:50_000_000
+    (Lazy.force fibonacci_prog)

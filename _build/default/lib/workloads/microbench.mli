@@ -1,0 +1,13 @@
+(** The two microbenchmarks of §5.1. *)
+
+(** Counter loop: one branch location executed [iterations]+1 times. *)
+val counter_loop_source : iterations:int -> string
+
+val counter_loop : ?iterations:int -> unit -> Concolic.Scenario.t
+
+(** Listing 1: Fibonacci selected by an option argument; only the two
+    option branches are symbolic. *)
+val fibonacci_source : string
+
+val fibonacci_prog : Minic.Program.t Lazy.t
+val fibonacci : ?option:string -> unit -> Concolic.Scenario.t

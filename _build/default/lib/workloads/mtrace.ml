@@ -1,0 +1,87 @@
+(** Multithreaded workload with an interleaving-dependent crash (§6).
+
+    Two worker threads scan alternating positions of the input; alert
+    characters (['!']) are appended to a shared, fixed-size alert log with
+    an unguarded check-then-append — the classic race.  A worker can pass
+    the bound check, lose the processor in the window, and perform its
+    append after the other worker has filled the log, writing one past the
+    end.
+
+    The crash therefore depends on *both* the input (enough alert
+    characters) and the thread schedule — exactly the §6 scenario where the
+    branch log alone cannot reproduce a bug and "the ordering of thread
+    execution needs to be recorded as well". *)
+
+let source =
+  {|
+int input[128];
+int input_len = 0;
+int alerts[16];
+int alert_n = 0;
+int counts[2];
+
+int worker(int which) {
+  int i = which;
+  while (i < input_len) {
+    int c = input[i];
+    counts[which] = counts[which] + 1;
+    if (c == '!') {
+      if (alert_n < 16) {
+        // BUG: check-then-act race; the other worker can run in this
+        // window and fill the alert log before our append lands
+        yield();
+        alerts[alert_n] = i;
+        alert_n = alert_n + 1;
+      }
+    }
+    i = i + 2;
+  }
+  return counts[which];
+}
+
+int main() {
+  int tmp[128];
+  int n;
+  int i;
+  arg(0, tmp, 128);
+  n = strlen(tmp);
+  for (i = 0; i < n; i = i + 1) { input[i] = tmp[i]; }
+  input_len = n;
+  int t1 = spawn("worker", 0);
+  int t2 = spawn("worker", 1);
+  int a = join(t1);
+  int b = join(t2);
+  print_str("scanned ");
+  print_int(a + b);
+  print_str(" cells, ");
+  print_int(alert_n);
+  print_str(" alerts\n");
+  return 0;
+}
+|}
+
+let prog : Minic.Program.t Lazy.t = lazy (Runtime_lib.link ~name:"mtrace" source)
+
+(** A scenario over an input with [alerts] alert characters mixed into
+    filler ([seed] drives the simulated kernel, including the field
+    scheduler). *)
+let scenario ?(seed = 42) ?(alerts = 60) ?(len = 120) () : Concolic.Scenario.t =
+  let rng = Osmodel.Rng.create (seed * 31 + 5) in
+  let input =
+    String.init len (fun _ -> if Osmodel.Rng.int rng 2 = 0 then '!' else '.')
+  in
+  let input =
+    if alerts > len then input
+    else
+      (* guarantee at least [alerts] alert characters *)
+      String.mapi (fun i c -> if i mod 2 = 0 && i / 2 < alerts then '!' else c) input
+  in
+  let world = { Osmodel.World.default_config with seed } in
+  Concolic.Scenario.make ~name:"mtrace" ~args:[ input ] ~world (Lazy.force prog)
+
+(** A benign scenario: too few alerts to fill the log. *)
+let benign_scenario ?(seed = 1) () : Concolic.Scenario.t =
+  let world = { Osmodel.World.default_config with seed } in
+  Concolic.Scenario.make ~name:"mtrace-benign"
+    ~args:[ "..!....!...!....!.." ]
+    ~world (Lazy.force prog)

@@ -1,0 +1,17 @@
+(** Multithreaded workload with an interleaving-dependent crash (§6).
+
+    Two worker threads append to a shared, fixed-size alert log with an
+    unguarded check-then-append; with enough alert characters in the input
+    and an adversarial schedule, an append lands one past the end.  The
+    crash depends on both the input and the thread schedule — the scenario
+    that §6's schedule recording makes reproducible. *)
+
+val source : string
+val prog : Minic.Program.t Lazy.t
+
+(** A scenario whose input carries [alerts] alert characters; [seed] drives
+    the simulated kernel and the field scheduler. *)
+val scenario : ?seed:int -> ?alerts:int -> ?len:int -> unit -> Concolic.Scenario.t
+
+(** Too few alerts to fill the log: never crashes. *)
+val benign_scenario : ?seed:int -> unit -> Concolic.Scenario.t

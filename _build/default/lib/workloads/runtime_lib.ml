@@ -1,0 +1,244 @@
+(** The MiniC runtime library — the uClibc analogue.
+
+    Every workload links against this source (marked [is_lib]), reproducing
+    the paper's setup where programs are linked with uClibc (§4): library
+    branches dominate execution counts (Figure 3), most are concrete, and
+    string functions called on input buffers execute with symbolic
+    conditions.
+
+    MiniC note: [&&]/[||] are strict, so bounds guards must be nested [if]s
+    rather than short-circuit conjunctions. *)
+
+let source =
+  {|
+// ------------------------------------------------------------------
+// string functions
+// ------------------------------------------------------------------
+
+int strlen(int *s) {
+  int n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+int strcmp(int *a, int *b) {
+  int i = 0;
+  // bytes equal and nonzero: advance.  i never exceeds min(len a, len b).
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+int strncmp(int *a, int *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) { return a[i] - b[i]; }
+    if (a[i] == 0) { return 0; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+int str_eq(int *a, int *b) {
+  if (strcmp(a, b) == 0) { return 1; }
+  return 0;
+}
+
+int starts_with(int *s, int *prefix) {
+  int i = 0;
+  while (prefix[i] != 0) {
+    if (s[i] != prefix[i]) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int strcpy(int *dst, int *src) {
+  int i = 0;
+  while (src[i] != 0) {
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+// copy at most n-1 bytes and NUL-terminate; returns bytes copied
+int strlcpy(int *dst, int *src, int n) {
+  int i = 0;
+  while (i < n - 1) {
+    if (src[i] == 0) { break; }
+    dst[i] = src[i];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+int strcat(int *dst, int *src) {
+  int n = strlen(dst);
+  int i = 0;
+  while (src[i] != 0) {
+    dst[n + i] = src[i];
+    i = i + 1;
+  }
+  dst[n + i] = 0;
+  return n + i;
+}
+
+// index of first occurrence of c in s starting at from, or -1
+int str_index(int *s, int c, int from) {
+  int i = from;
+  while (s[i] != 0) {
+    if (s[i] == c) { return i; }
+    i = i + 1;
+  }
+  if (c == 0) { return i; }
+  return -1;
+}
+
+// ------------------------------------------------------------------
+// character classification
+// ------------------------------------------------------------------
+
+int isdigit(int c) {
+  if (c >= '0') { if (c <= '9') { return 1; } }
+  return 0;
+}
+
+int isalpha(int c) {
+  if (c >= 'a') { if (c <= 'z') { return 1; } }
+  if (c >= 'A') { if (c <= 'Z') { return 1; } }
+  return 0;
+}
+
+int isspace(int c) {
+  if (c == ' ') { return 1; }
+  if (c == '\t') { return 1; }
+  if (c == '\r') { return 1; }
+  if (c == '\n') { return 1; }
+  return 0;
+}
+
+int toupper(int c) {
+  if (c >= 'a') { if (c <= 'z') { return c - 32; } }
+  return c;
+}
+
+int tolower(int c) {
+  if (c >= 'A') { if (c <= 'Z') { return c + 32; } }
+  return c;
+}
+
+// ------------------------------------------------------------------
+// conversions
+// ------------------------------------------------------------------
+
+int atoi(int *s) {
+  int i = 0;
+  int sign = 1;
+  int v = 0;
+  while (isspace(s[i])) { i = i + 1; }
+  if (s[i] == '-') { sign = -1; i = i + 1; }
+  else if (s[i] == '+') { i = i + 1; }
+  while (isdigit(s[i])) {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return sign * v;
+}
+
+// parse an octal mode string; stops at the first non-octal character
+int parse_octal(int *s) {
+  int i = 0;
+  int v = 0;
+  while (s[i] >= '0') {
+    if (s[i] > '7') { break; }
+    v = v * 8 + (s[i] - '0');
+    i = i + 1;
+  }
+  return v;
+}
+
+// write the decimal representation of v into dst; returns its length
+int itoa(int v, int *dst) {
+  int tmp[24];
+  int n = 0;
+  int i = 0;
+  int neg = 0;
+  if (v < 0) { neg = 1; v = 0 - v; }
+  if (v == 0) { tmp[0] = '0'; n = 1; }
+  while (v > 0) {
+    tmp[n] = '0' + (v % 10);
+    v = v / 10;
+    n = n + 1;
+  }
+  if (neg == 1) { dst[i] = '-'; i = i + 1; }
+  while (n > 0) {
+    n = n - 1;
+    dst[i] = tmp[n];
+    i = i + 1;
+  }
+  dst[i] = 0;
+  return i;
+}
+
+// ------------------------------------------------------------------
+// memory
+// ------------------------------------------------------------------
+
+int memset(int *p, int v, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { p[i] = v; }
+  return n;
+}
+
+int memcpy(int *dst, int *src, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { dst[i] = src[i]; }
+  return n;
+}
+
+// ------------------------------------------------------------------
+// misc
+// ------------------------------------------------------------------
+
+int abs_int(int x) {
+  if (x < 0) { return 0 - x; }
+  return x;
+}
+
+int min_int(int a, int b) {
+  if (a < b) { return a; }
+  return b;
+}
+
+int max_int(int a, int b) {
+  if (a > b) { return a; }
+  return b;
+}
+
+// djb2-style string hash, used by diff for line identity
+int hash_str(int *s, int from, int to) {
+  int h = 5381;
+  int i = from;
+  while (i < to) {
+    h = (h * 33 + s[i]) % 1000003;
+    i = i + 1;
+  }
+  return h;
+}
+
+// write a NUL-terminated string to fd
+int write_str(int fd, int *s) {
+  return write(fd, s, strlen(s));
+}
+|}
+
+(** Parse the runtime library once (the unit is immutable; linking copies). *)
+let unit_ : Minic.Ast.unit_ Lazy.t =
+  lazy (Minic.Parser.parse_unit ~is_lib:true ~file:"runtime.c" source)
+
+(** Link an application source against the runtime library. *)
+let link ?(name = "program") app_source : Minic.Program.t =
+  let app = Minic.Parser.parse_unit ~file:(name ^ ".c") app_source in
+  Minic.Program.link ~name ~app ~libs:[ Lazy.force unit_ ] ()

@@ -1,0 +1,13 @@
+(** The MiniC runtime library — the uClibc analogue.
+
+    String/memory/conversion functions written in MiniC itself and linked
+    (marked [is_lib]) into every workload, reproducing the paper's
+    app-vs-library branch split. *)
+
+val source : string
+
+(** The parsed library unit (linking copies it, so sharing is safe). *)
+val unit_ : Minic.Ast.unit_ Lazy.t
+
+(** Parse [app_source] and link it against the runtime library. *)
+val link : ?name:string -> string -> Minic.Program.t

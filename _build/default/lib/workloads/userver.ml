@@ -1,0 +1,438 @@
+(** The µServer analogue (§5.3): an event-driven web server in MiniC.
+
+    Select/accept/read event loop, per-connection buffers, an HTTP parser
+    (method, path, version, Content-Length, Cookie), static responses and a
+    stdout access log.  Five crash bugs are planted in *different areas of
+    the HTTP parser*, mirroring the paper's five input scenarios:
+
+    + Exp 1 — request paths longer than 63 bytes overflow the path buffer;
+    + Exp 2 — POST with 0 < Content-Length < 64 divides by a zero chunk
+      count in the body-chunking computation;
+    + Exp 3 — an unterminated quote in a Cookie value makes the scanner run
+      past the connection-buffer array;
+    + Exp 4 — an empty method (request starting with a space) makes method
+      canonicalisation read index -1;
+    + Exp 5 — an HTTP minor version above 1 indexes past the
+      supported-version table. *)
+
+let source =
+  {|
+// 16 connection slots, 512 bytes of buffered request each
+int conn_fd[16];
+int conn_len[16];
+int conn_buf[8192];
+int vtab[2];
+int served = 0;
+int target = 1;
+
+int match_at(int *buf, int p, int *lit) {
+  int i = 0;
+  while (lit[i] != 0) {
+    if (buf[p + i] != lit[i]) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int atoi_at(int *buf, int p) {
+  int v = 0;
+  while (buf[p] == ' ') { p = p + 1; }
+  while (isdigit(buf[p])) {
+    v = v * 10 + (buf[p] - '0');
+    p = p + 1;
+  }
+  return v;
+}
+
+int find_slot(int fd) {
+  int s;
+  for (s = 0; s < 16; s = s + 1) {
+    if (conn_fd[s] == fd) { return s; }
+  }
+  return -1;
+}
+
+int alloc_slot(int fd) {
+  int s;
+  for (s = 0; s < 16; s = s + 1) {
+    if (conn_fd[s] == -1) {
+      conn_fd[s] = fd;
+      conn_len[s] = 0;
+      // clear the slot buffer (library call, concrete data)
+      memset(conn_buf + s * 512, 0, 512);
+      return s;
+    }
+  }
+  return -1;
+}
+
+int drop_conn(int slot, int fd) {
+  conn_fd[slot] = -1;
+  conn_len[slot] = 0;
+  close(fd);
+  return 0;
+}
+
+int respond(int fd, int code, int head_only) {
+  // build the response through the string library, like a real server
+  int resp[160];
+  int nb[16];
+  if (code == 200) {
+    strcpy(resp, "HTTP/1.0 200 OK\r\nContent-Length: ");
+    itoa(5, nb);
+    strcat(resp, nb);
+    strcat(resp, "\r\n\r\n");
+    if (head_only == 0) { strcat(resp, "Hello"); }
+  }
+  else if (code == 404) {
+    strcpy(resp, "HTTP/1.0 404 Not Found\r\n\r\n");
+  }
+  else {
+    strcpy(resp, "HTTP/1.0 400 Bad Request\r\n\r\n");
+  }
+  write_str(fd, resp);
+  return 0;
+}
+
+int access_log(int *method, int *path, int code) {
+  // one access-log line per request, written to stdout
+  int line[160];
+  int nb[16];
+  strcpy(line, method);
+  strcat(line, " ");
+  strcat(line, path);
+  strcat(line, " -> ");
+  itoa(code, nb);
+  strcat(line, nb);
+  strcat(line, "\n");
+  print_str(line);
+  return 0;
+}
+
+// scan a cookie header value; values may be quoted
+int parse_cookie(int start, int hend) {
+  int j = start;
+  int pairs = 0;
+  while (j < hend) {
+    if (conn_buf[j] == ';') { pairs = pairs + 1; }
+    if (conn_buf[j] == '"') {
+      // BUG 3: no bounds check while looking for the closing quote
+      int k = j + 1;
+      while (conn_buf[k] != '"') { k = k + 1; }
+      j = k + 1;
+    }
+    else { j = j + 1; }
+  }
+  return pairs;
+}
+
+// parse and answer the request buffered in [slot]; returns 1 when a
+// response was sent, 0 if the request is not complete yet
+int handle_request(int slot, int fd) {
+  int base = slot * 512;
+  int len = conn_len[slot];
+  int mbuf[16];
+  int pbuf[64];
+  int mlen = 0;
+  int hend = -1;
+  int q = base;
+  int p;
+  int code = 200;
+  // locate end of headers
+  while (q + 3 < base + len) {
+    if (conn_buf[q] == '\r') {
+      if (match_at(conn_buf, q, "\r\n\r\n") == 1) { hend = q; break; }
+    }
+    q = q + 1;
+  }
+  if (hend < 0) { return 0; }
+
+  // ---- method ----
+  p = base;
+  while (conn_buf[p] != ' ') {
+    if (conn_buf[p] == '\r') { break; }
+    if (mlen < 15) {
+      mbuf[mlen] = conn_buf[p];
+      mlen = mlen + 1;
+    }
+    p = p + 1;
+  }
+  mbuf[mlen] = 0;
+  // BUG 4: canonicalisation peeks at the last method byte (mlen may be 0)
+  int last = toupper(mbuf[mlen - 1]);
+  if (last == 0) { last = 'X'; }
+  int is_get = str_eq(mbuf, "GET");
+  int is_post = str_eq(mbuf, "POST");
+  int is_head = str_eq(mbuf, "HEAD");
+
+  // ---- path ----
+  int k = 0;
+  p = p + 1;
+  while (conn_buf[p] != ' ') {
+    if (conn_buf[p] == '\r') { break; }
+    if (conn_buf[p] == 0) { break; }
+    // BUG 1: no bound check against the 64-byte path buffer
+    pbuf[k] = conn_buf[p];
+    k = k + 1;
+    p = p + 1;
+  }
+  pbuf[k] = 0;
+
+  // ---- version ----
+  p = p + 1;
+  if (match_at(conn_buf, p, "HTTP/") == 0) {
+    respond(fd, 400, 0);
+    access_log(mbuf, pbuf, 400);
+    served = served + 1;
+    drop_conn(slot, fd);
+    return 1;
+  }
+  int minor = conn_buf[p + 7] - '0';
+  if (minor < 0) { minor = 0; }
+  int vsupported = 0;
+  if (minor > 1) {
+    // BUG 5: the forward-compatibility check indexes the version table
+    // with the unvalidated minor version
+    vsupported = vtab[minor];
+  }
+  else { vsupported = vtab[minor]; }
+  if (vsupported == 0) { code = 400; }
+
+  // ---- headers ----
+  int clen = -1;
+  int lp = base;
+  // advance to the second line
+  while (conn_buf[lp] != '\r') { lp = lp + 1; }
+  lp = lp + 2;
+  while (lp < hend) {
+    if (match_at(conn_buf, lp, "Content-Length:") == 1) {
+      clen = atoi_at(conn_buf, lp + 15);
+    }
+    if (match_at(conn_buf, lp, "Cookie:") == 1) {
+      int lend = lp;
+      while (conn_buf[lend] != '\r') { lend = lend + 1; }
+      parse_cookie(lp + 7, lend);
+    }
+    while (conn_buf[lp] != '\r') { lp = lp + 1; }
+    lp = lp + 2;
+  }
+
+  // ---- body (POST) ----
+  if (is_post == 1) {
+    if (clen > 0) {
+      int have = len - (hend + 4 - base);
+      if (have < clen) { return 0; }
+      int nchunk = clen / 64;
+      if (nchunk == 0) {
+        // BUG 2: padding for short bodies divides by the zero chunk count
+        int pad = 64 % nchunk;
+        nchunk = pad;
+      }
+    }
+  }
+
+  // ---- routing ----
+  if (is_get == 0) { if (is_post == 0) { if (is_head == 0) { code = 400; } } }
+  if (code == 200) {
+    if (pbuf[0] != '/') { code = 400; }
+    else if (str_eq(pbuf, "/")) { code = 200; }
+    else if (starts_with(pbuf, "/static/")) { code = 200; }
+    else if (str_eq(pbuf, "/index.html")) { code = 200; }
+    else { code = 404; }
+  }
+  respond(fd, code, is_head);
+  access_log(mbuf, pbuf, code);
+  served = served + 1;
+  drop_conn(slot, fd);
+  return 1;
+}
+
+int main() {
+  int nbuf[12];
+  int tmp[128];
+  int rounds = 0;
+  int s;
+  arg(0, nbuf, 12);
+  target = atoi(nbuf);
+  if (target <= 0) { target = 1; }
+  for (s = 0; s < 16; s = s + 1) { conn_fd[s] = -1; }
+  vtab[0] = 1;
+  vtab[1] = 1;
+  listen(80);
+  while (served < target) {
+    rounds = rounds + 1;
+    if (rounds > target * 50 + 1000) { break; }
+    int nr = select();
+    int i = 0;
+    while (i < nr) {
+      int fd = ready_fd(i);
+      if (fd == 3) {
+        int c = accept();
+        if (c >= 0) {
+          if (alloc_slot(c) < 0) { close(c); }
+        }
+      }
+      else if (fd > 3) {
+        int slot = find_slot(fd);
+        if (slot >= 0) {
+          int n = read(fd, tmp, 128);
+          if (n > 0) {
+            if (conn_len[slot] + n > 500) {
+              respond(fd, 400, 0);
+              served = served + 1;
+              drop_conn(slot, fd);
+            }
+            else {
+              int j = 0;
+              int base = slot * 512;
+              while (j < n) {
+                conn_buf[base + conn_len[slot] + j] = tmp[j];
+                j = j + 1;
+              }
+              conn_len[slot] = conn_len[slot] + n;
+              handle_request(slot, fd);
+            }
+          }
+          else if (n == 0) {
+            // peer done sending; request will never complete
+            drop_conn(slot, fd);
+          }
+        }
+      }
+      i = i + 1;
+    }
+  }
+  print_str("served ");
+  print_int(served);
+  print_str("\n");
+  return 0;
+}
+|}
+
+let prog : Minic.Program.t Lazy.t = lazy (Runtime_lib.link ~name:"userver" source)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointed variant (§6, long-running applications): identical server,
+   but the event loop checkpoints every 64 select rounds, discarding the
+   branch log accumulated so far.  A separate program so branch ids of the
+   baseline server are unaffected. *)
+
+let checkpointed_source =
+  let cadence =
+    "    if (rounds - last_ckpt >= 16) {\n      checkpoint();\n      last_ckpt = rounds;\n    }\n    int nr = select();"
+  in
+  let s = source in
+  let s =
+    Str.global_replace (Str.regexp_string "    int nr = select();") cadence s
+  in
+  Str.global_replace
+    (Str.regexp_string "int target = 1;")
+    "int target = 1;\nint last_ckpt = 0;" s
+
+let checkpointed_prog : Minic.Program.t Lazy.t =
+  lazy (Runtime_lib.link ~name:"userver-ckpt" checkpointed_source)
+
+(** Server scenario on the checkpointed build. *)
+let checkpointed_scenario ?(name = "userver-ckpt") ?(seed = 42) ?(max_chunk = 64)
+    ?(max_steps = 50_000_000) (requests : string list) : Concolic.Scenario.t =
+  let world =
+    {
+      Osmodel.World.default_config with
+      seed;
+      conns = requests;
+      max_chunk;
+      arrivals_per_select = 2;
+    }
+  in
+  Concolic.Scenario.make ~name
+    ~args:[ string_of_int (List.length requests) ]
+    ~world ~max_steps
+    (Lazy.force checkpointed_prog)
+
+(** Build a server scenario from a list of client request payloads. *)
+let scenario ?(name = "userver") ?(seed = 42) ?(max_chunk = 64)
+    ?(max_steps = 50_000_000) (requests : string list) : Concolic.Scenario.t =
+  let world =
+    {
+      Osmodel.World.default_config with
+      seed;
+      conns = requests;
+      max_chunk;
+      arrivals_per_select = 2;
+    }
+  in
+  Concolic.Scenario.make ~name
+    ~args:[ string_of_int (List.length requests) ]
+    ~world ~max_steps
+    (Lazy.force prog)
+
+(* ------------------------------------------------------------------ *)
+(* The five crash experiments (§5.3, Table 3) *)
+
+type experiment = {
+  id : int;
+  description : string;
+  requests : string list;  (** last one triggers the crash *)
+}
+
+let crlf = "\r\n"
+
+let get path = Printf.sprintf "GET %s HTTP/1.0%sHost: x%s%s" path crlf crlf crlf
+
+let experiments : experiment list =
+  [
+    {
+      id = 1;
+      description = "long URL overflows the path buffer (64 bytes)";
+      requests = [ get ("/" ^ String.make 80 'a') ];
+    }
+    ;
+    {
+      id = 2;
+      description = "POST with 0 < Content-Length < 64 divides by zero chunk count";
+      requests =
+        [
+          get "/index.html";
+          Printf.sprintf
+            "POST /form HTTP/1.0%sHost: x%sContent-Length: 10%s%s0123456789"
+            crlf crlf crlf crlf;
+        ];
+    }
+    ;
+    {
+      id = 3;
+      description = "unterminated quote in a Cookie value scans out of bounds";
+      requests =
+        [
+          Printf.sprintf
+            "GET /index.html HTTP/1.0%sHost: x%sCookie: session=\"abcdef%s%s"
+            crlf crlf crlf crlf;
+        ];
+    }
+    ;
+    {
+      id = 4;
+      description = "empty method (leading space) reads method buffer at -1";
+      requests = [ " GET / HTTP/1.0" ^ crlf ^ "Host: x" ^ crlf ^ crlf ];
+    }
+    ;
+    {
+      id = 5;
+      description = "HTTP minor version above 1 indexes past the version table";
+      requests =
+        [
+          get "/static/logo.png";
+          "GET / HTTP/1.7" ^ crlf ^ "Host: x" ^ crlf ^ crlf;
+        ];
+    }
+    ;
+  ]
+
+let experiment id =
+  match List.find_opt (fun e -> e.id = id) experiments with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "userver experiment %d" id)
+
+(** Scenario for one crash experiment. *)
+let experiment_scenario ?(seed = 42) (e : experiment) : Concolic.Scenario.t =
+  scenario ~name:(Printf.sprintf "userver-exp%d" e.id) ~seed e.requests

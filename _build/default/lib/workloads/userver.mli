@@ -1,0 +1,47 @@
+(** The µServer analogue (§5.3): an event-driven web server in MiniC.
+
+    Select/accept/read event loop, per-connection buffers, an HTTP parser
+    (method, path, version, Content-Length, Cookie), responses and access
+    log built through the runtime library.  Five crash bugs are planted in
+    different areas of the parser, mirroring the paper's five input
+    scenarios.  A checkpointed build (§6) is also provided. *)
+
+val source : string
+val prog : Minic.Program.t Lazy.t
+
+(** Build a server scenario from client request payloads (argv carries the
+    request-count target). *)
+val scenario :
+  ?name:string ->
+  ?seed:int ->
+  ?max_chunk:int ->
+  ?max_steps:int ->
+  string list ->
+  Concolic.Scenario.t
+
+type experiment = {
+  id : int;
+  description : string;
+  requests : string list;  (** the last one triggers the crash *)
+}
+
+(** The five crash experiments of Table 3. *)
+val experiments : experiment list
+
+(** Raises [Invalid_argument] for an unknown id. *)
+val experiment : int -> experiment
+
+val experiment_scenario : ?seed:int -> experiment -> Concolic.Scenario.t
+
+(** {1 Checkpointed variant (§6)} *)
+
+val checkpointed_source : string
+val checkpointed_prog : Minic.Program.t Lazy.t
+
+val checkpointed_scenario :
+  ?name:string ->
+  ?seed:int ->
+  ?max_chunk:int ->
+  ?max_steps:int ->
+  string list ->
+  Concolic.Scenario.t

@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Array Concolic Fun Interp List Minic Option Osmodel Printf Solver Workloads

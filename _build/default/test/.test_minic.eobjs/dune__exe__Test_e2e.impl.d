@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Bugrepro Concolic Hashtbl Instrument Interp Lazy List Printf Replay Workloads

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Bugrepro Checkpoint Concolic Instrument Interp Lazy List Minic Option Osmodel QCheck QCheck_alcotest Replay String Workloads

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Bugrepro Concolic Instrument Interp List Minic Option QCheck QCheck_alcotest Replay Str Workloads

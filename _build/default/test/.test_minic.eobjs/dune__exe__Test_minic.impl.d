@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Interp List Minic Option Printf QCheck QCheck_alcotest String

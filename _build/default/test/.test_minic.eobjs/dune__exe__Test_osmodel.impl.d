@@ -1,0 +1,1 @@
+test/test_osmodel.ml: Alcotest List Osmodel Rng String Sysreq World

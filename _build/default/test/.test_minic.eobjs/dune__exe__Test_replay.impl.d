@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Bugrepro Concolic Fun Gen Instrument List Minic Option Osmodel Printf QCheck QCheck_alcotest Replay Solver String Workloads

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Expr Gen Interval List Model Option Printf QCheck QCheck_alcotest Simplify Solve Solver Symvars

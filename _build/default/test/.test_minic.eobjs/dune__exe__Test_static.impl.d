@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Array Concolic Lazy List Minic Printf Staticanalysis Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bugrepro Char Concolic Interp List Osmodel Printf String Workloads

@@ -1,0 +1,397 @@
+(* Tests for instrumentation: plan combination rules (§2.3), the branch-log
+   bitvector, the syscall log, field runs and bug reports. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+open Minic.Label
+
+let map_of (l : t list) : map = Array.of_list l
+
+(* ------------------------------------------------------------------ *)
+(* Plan combination *)
+
+let dyn = map_of [ Symbolic; Concrete; Unvisited; Unvisited; Symbolic; Concrete ]
+let sta = map_of [ Symbolic; Symbolic; Symbolic; Concrete; Symbolic; Concrete ]
+
+let ids plan = Instrument.Plan.instrumented_ids plan
+
+let test_plan_dynamic () =
+  let p = Instrument.Plan.make ~nbranches:6 ~dynamic:dyn Instrument.Methods.Dynamic in
+  Alcotest.(check (list int)) "only dyn-symbolic" [ 0; 4 ] (ids p)
+
+let test_plan_static () =
+  let p = Instrument.Plan.make ~nbranches:6 ~static:sta Instrument.Methods.Static in
+  Alcotest.(check (list int)) "static-symbolic" [ 0; 1; 2; 4 ] (ids p)
+
+let test_plan_combined () =
+  let p =
+    Instrument.Plan.make ~nbranches:6 ~dynamic:dyn ~static:sta
+      Instrument.Methods.Dynamic_static
+  in
+  (* 0: dyn sym -> yes; 1: dyn concrete OVERRIDES static symbolic -> no;
+     2: unvisited -> static symbolic -> yes; 3: unvisited -> static concrete
+     -> no; 4: both symbolic -> yes; 5: both concrete -> no *)
+  Alcotest.(check (list int)) "combination rule" [ 0; 2; 4 ] (ids p)
+
+let test_plan_all_and_none () =
+  let all = Instrument.Plan.make ~nbranches:6 Instrument.Methods.All_branches in
+  let none = Instrument.Plan.make ~nbranches:6 Instrument.Methods.No_instrumentation in
+  check_int "all" 6 all.n_instrumented;
+  check_int "none" 0 none.n_instrumented
+
+let test_plan_missing_labels_rejected () =
+  match Instrument.Plan.make ~nbranches:6 Instrument.Methods.Dynamic with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* Branch log *)
+
+let test_branch_log_roundtrip () =
+  let bits = List.init 77 (fun i -> i mod 3 = 0) in
+  let log = Instrument.Branch_log.of_bits bits in
+  check_int "nbits" 77 log.nbits;
+  Alcotest.(check (list bool)) "roundtrip" bits (Instrument.Branch_log.to_bits log)
+
+let test_branch_log_reader_exhaustion () =
+  let log = Instrument.Branch_log.of_bits [ true; false ] in
+  let r = Instrument.Branch_log.Reader.create log in
+  check_bool "bit 0" true (Instrument.Branch_log.Reader.next r = Some true);
+  check_bool "bit 1" true (Instrument.Branch_log.Reader.next r = Some false);
+  check_bool "exhausted" true (Instrument.Branch_log.Reader.next r = None)
+
+let test_branch_log_flushes () =
+  (* tiny 2-byte buffer: 32 bits -> 4 bytes -> 2 full flushes *)
+  let w = Instrument.Branch_log.Writer.create ~buffer_bytes:2 () in
+  for _ = 1 to 32 do
+    Instrument.Branch_log.Writer.add_bit w true
+  done;
+  let log = Instrument.Branch_log.finish w in
+  check_int "flushes" 2 log.flushes;
+  check_int "bytes" 4 (Instrument.Branch_log.size_bytes log)
+
+let test_branch_log_size () =
+  let log = Instrument.Branch_log.of_bits (List.init 9 (fun _ -> true)) in
+  check_int "9 bits -> 2 bytes" 2 (Instrument.Branch_log.size_bytes log)
+
+let prop_branch_log_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"bit log write/read identity"
+    QCheck.(list bool)
+    (fun bits ->
+      let log = Instrument.Branch_log.of_bits bits in
+      Instrument.Branch_log.to_bits log = bits)
+
+(* ------------------------------------------------------------------ *)
+(* Syscall log *)
+
+let test_syscall_log_roundtrip () =
+  let t = Instrument.Syscall_log.create () in
+  Instrument.Syscall_log.record t ~kind:"read" ~value:17;
+  Instrument.Syscall_log.record t ~kind:"select" ~value:2;
+  let log = Instrument.Syscall_log.finish t in
+  let r = Instrument.Syscall_log.Reader.create log in
+  check_bool "read" true (Instrument.Syscall_log.Reader.next r ~kind:"read" = Ok (Some 17));
+  check_bool "select" true
+    (Instrument.Syscall_log.Reader.next r ~kind:"select" = Ok (Some 2));
+  check_bool "exhausted" true (Instrument.Syscall_log.Reader.next r ~kind:"read" = Ok None)
+
+let test_syscall_log_kind_mismatch () =
+  let t = Instrument.Syscall_log.create () in
+  Instrument.Syscall_log.record t ~kind:"read" ~value:1;
+  let log = Instrument.Syscall_log.finish t in
+  let r = Instrument.Syscall_log.Reader.create log in
+  match Instrument.Syscall_log.Reader.next r ~kind:"accept" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected kind mismatch"
+
+(* ------------------------------------------------------------------ *)
+(* Field runs *)
+
+let field_run ?(meth = Instrument.Methods.All_branches) ?analysis_sc sc =
+  let prog = (sc : Concolic.Scenario.t).prog in
+  let analysis =
+    Bugrepro.Pipeline.analyze
+      ~dynamic_budget:{ Concolic.Engine.max_runs = 40; max_time_s = 5.0 }
+      ?test_scenario:analysis_sc prog
+  in
+  let plan = Bugrepro.Pipeline.plan analysis meth in
+  (plan, Instrument.Field_run.run ~plan sc)
+
+let paste = Workloads.Coreutils.find "paste"
+
+let test_field_run_counts_bits () =
+  let sc = Workloads.Coreutils.benign_scenario paste in
+  let plan, r = field_run sc in
+  (* every executed branch logs exactly one bit under all-branches *)
+  check_int "bits = branch executions" r.cost.branches r.branch_log.nbits;
+  check_int "plan covers program" (Minic.Program.nbranches sc.prog)
+    plan.n_instrumented
+
+let test_field_run_cost_ordering () =
+  let sc = Workloads.Coreutils.benign_scenario paste in
+  let none =
+    Instrument.Field_run.run
+      ~plan:
+        (Instrument.Plan.make
+           ~nbranches:(Minic.Program.nbranches sc.prog)
+           Instrument.Methods.No_instrumentation)
+      sc
+  in
+  let _, all = field_run sc in
+  check_bool "all branches costs more than none" true
+    (all.cost.instr > none.cost.instr);
+  check_int "none logs nothing" 0 none.branch_log.nbits
+
+let test_field_run_report_only_on_crash () =
+  let benign = Workloads.Coreutils.benign_scenario paste in
+  let crash = Workloads.Coreutils.crash_scenario paste in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches benign.prog)
+      Instrument.Methods.All_branches
+  in
+  let _, rep_ok = Bugrepro.Pipeline.field_run_report ~plan benign in
+  let _, rep_crash = Bugrepro.Pipeline.field_run_report ~plan crash in
+  check_bool "no report for clean run" true (rep_ok = None);
+  check_bool "report for crash" true (rep_crash <> None)
+
+let test_report_has_no_input_content () =
+  (* the report must not contain the argv strings (privacy) *)
+  let crash = Workloads.Coreutils.crash_scenario paste in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches crash.prog)
+      Instrument.Methods.All_branches
+  in
+  let _, rep = Bugrepro.Pipeline.field_run_report ~plan crash in
+  match rep with
+  | None -> Alcotest.fail "expected a report"
+  | Some rep ->
+      check_int "shape has arg caps only" (List.length crash.args)
+        (List.length rep.shape.arg_caps)
+
+let test_syscall_logging_marginal_overhead () =
+  (* §5.3: logging syscall results adds only marginal overhead *)
+  let reqs = Workloads.Http_gen.workload 10 in
+  let sc = Workloads.Userver.scenario ~name:"u" reqs in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches sc.prog)
+      Instrument.Methods.All_branches
+  in
+  let with_log = Instrument.Field_run.run ~log_syscalls:true ~plan sc in
+  let without = Instrument.Field_run.run ~log_syscalls:false ~plan sc in
+  let overhead =
+    float_of_int (with_log.cost.instr - without.cost.instr)
+    /. float_of_int without.cost.instr
+  in
+  check_bool "syscall results recorded" true (with_log.syscall_log <> None);
+  check_bool "marginal (< 5%)" true (overhead < 0.05)
+
+let test_deterministic_field_runs () =
+  (* same scenario, same seed: identical logs *)
+  let sc = Workloads.Userver.scenario ~name:"u" (Workloads.Http_gen.workload 5) in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches sc.prog)
+      Instrument.Methods.All_branches
+  in
+  let r1 = Instrument.Field_run.run ~plan sc in
+  let r2 = Instrument.Field_run.run ~plan sc in
+  check_bool "identical bit logs" true (r1.branch_log.bytes = r2.branch_log.bytes);
+  check_int "identical bit counts" r1.branch_log.nbits r2.branch_log.nbits
+
+(* ------------------------------------------------------------------ *)
+(* Wire format *)
+
+let real_report () =
+  let crash = Workloads.Coreutils.crash_scenario paste in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches crash.prog)
+      Instrument.Methods.All_branches
+  in
+  let _, rep = Bugrepro.Pipeline.field_run_report ~plan crash in
+  Option.get rep
+
+let report_equal (a : Instrument.Report.t) (b : Instrument.Report.t) =
+  a.program = b.program
+  && a.method_used = b.method_used
+  && a.branch_log.bytes = b.branch_log.bytes
+  && a.branch_log.nbits = b.branch_log.nbits
+  && Interp.Crash.equal_site a.crash b.crash
+  && a.shape = b.shape
+  && (match a.syscall_log, b.syscall_log with
+     | Some x, Some y -> x.entries = y.entries
+     | None, None -> true
+     | _ -> false)
+  &&
+  match a.schedule_log, b.schedule_log with
+  | Some x, Some y -> x.tids = y.tids
+  | None, None -> true
+  | Some x, None | None, Some x -> Instrument.Schedule_log.length x = 0
+
+let test_wire_roundtrip () =
+  let rep = real_report () in
+  match Instrument.Wire.deserialize (Instrument.Wire.serialize rep) with
+  | Ok rep' -> check_bool "roundtrip" true (report_equal rep rep')
+  | Error e -> Alcotest.fail ("deserialize failed: " ^ e)
+
+let test_wire_roundtrip_mt () =
+  (* a report with a schedule log *)
+  let sc = Workloads.Mtrace.scenario ~seed:3 () in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches sc.prog)
+      Instrument.Methods.All_branches
+  in
+  let _, rep = Bugrepro.Pipeline.field_run_report ~plan sc in
+  let rep = Option.get rep in
+  match Instrument.Wire.deserialize (Instrument.Wire.serialize rep) with
+  | Ok rep' ->
+      check_bool "schedule preserved" true (report_equal rep rep');
+      check_bool "has schedule" true (rep'.schedule_log <> None)
+  | Error e -> Alcotest.fail ("deserialize failed: " ^ e)
+
+let test_wire_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Instrument.Wire.deserialize s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage %S" s)
+    [
+      "";
+      "hello";
+      "bugrepro-report/1\nprogram: x";
+      (* bad magic *)
+      "bugrepro-report/2\nprogram: x";
+    ]
+
+let test_wire_rejects_bit_overrun () =
+  let rep = real_report () in
+  let s = Instrument.Wire.serialize rep in
+  (* inflate the claimed bit count beyond the log bytes *)
+  let s =
+    Str.global_replace
+      (Str.regexp "branch-bits: [0-9]+")
+      "branch-bits: 999999" s
+  in
+  match Instrument.Wire.deserialize s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted overrun bit count"
+
+let prop_wire_roundtrip_synthetic =
+  QCheck.Test.make ~count:100 ~name:"wire roundtrip on synthetic reports"
+    QCheck.(
+      triple (list bool)
+        (list (pair (oneofl [ "read"; "select"; "accept"; "ready_fd" ]) small_nat))
+        (list small_nat))
+    (fun (bits, syscalls, tids) ->
+      let rep =
+        {
+          Instrument.Report.program = "synthetic";
+          method_used = Instrument.Methods.Dynamic_static;
+          branch_log = Instrument.Branch_log.of_bits bits;
+          syscall_log =
+            Some
+              {
+                Instrument.Syscall_log.entries =
+                  Array.of_list
+                    (List.map
+                       (fun (kind, value) -> { Instrument.Syscall_log.kind; value })
+                       syscalls);
+              };
+          schedule_log = Some { Instrument.Schedule_log.tids = Array.of_list tids };
+          crash =
+            {
+              Interp.Crash.kind = Interp.Crash.Out_of_bounds;
+              loc = Minic.Loc.make ~file:"x.c" ~line:3 ~col:7;
+              in_func = "main";
+            };
+          shape =
+            {
+              Concolic.Scenario.arg_caps = [ 4; 9 ];
+              n_conns = 2;
+              conn_cap = 64;
+              file_names = [ "a.txt" ];
+              file_cap = 32;
+            };
+        }
+      in
+      match Instrument.Wire.deserialize (Instrument.Wire.serialize rep) with
+      | Ok rep' -> report_equal rep rep'
+      | Error _ -> false)
+
+let test_wire_replay_from_deserialized () =
+  (* the full loop: serialize at the user site, parse at the developer
+     site, reproduce *)
+  let crash = Workloads.Coreutils.crash_scenario paste in
+  let prog = crash.prog in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches prog)
+      Instrument.Methods.All_branches
+  in
+  let _, rep = Bugrepro.Pipeline.field_run_report ~plan crash in
+  let wire = Instrument.Wire.serialize (Option.get rep) in
+  match Instrument.Wire.deserialize wire with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+      let result, _ =
+        Bugrepro.Pipeline.reproduce
+          ~budget:{ Concolic.Engine.max_runs = 2000; max_time_s = 15.0 }
+          ~prog ~plan rep
+      in
+      check_bool "reproduced from wire form" true (Replay.Guided.reproduced result)
+
+let () =
+  Alcotest.run "instrument"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "dynamic" `Quick test_plan_dynamic;
+          Alcotest.test_case "static" `Quick test_plan_static;
+          Alcotest.test_case "dynamic+static combination" `Quick test_plan_combined;
+          Alcotest.test_case "all/none" `Quick test_plan_all_and_none;
+          Alcotest.test_case "missing labels rejected" `Quick
+            test_plan_missing_labels_rejected;
+        ] );
+      ( "branch_log",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_branch_log_roundtrip;
+          Alcotest.test_case "reader exhaustion" `Quick
+            test_branch_log_reader_exhaustion;
+          Alcotest.test_case "flushes" `Quick test_branch_log_flushes;
+          Alcotest.test_case "size" `Quick test_branch_log_size;
+          QCheck_alcotest.to_alcotest prop_branch_log_roundtrip;
+        ] );
+      ( "syscall_log",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_syscall_log_roundtrip;
+          Alcotest.test_case "kind mismatch" `Quick test_syscall_log_kind_mismatch;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "roundtrip with schedule" `Quick test_wire_roundtrip_mt;
+          Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+          Alcotest.test_case "rejects bit overrun" `Quick test_wire_rejects_bit_overrun;
+          Alcotest.test_case "replay from wire form" `Quick
+            test_wire_replay_from_deserialized;
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip_synthetic;
+        ] );
+      ( "field_run",
+        [
+          Alcotest.test_case "bit accounting" `Quick test_field_run_counts_bits;
+          Alcotest.test_case "cost ordering" `Quick test_field_run_cost_ordering;
+          Alcotest.test_case "report only on crash" `Quick
+            test_field_run_report_only_on_crash;
+          Alcotest.test_case "report carries shape, not content" `Quick
+            test_report_has_no_input_content;
+          Alcotest.test_case "syscall logging marginal" `Slow
+            test_syscall_logging_marginal_overhead;
+          Alcotest.test_case "deterministic runs" `Quick
+            test_deterministic_field_runs;
+        ] );
+    ]

@@ -1,0 +1,347 @@
+(* Tests for the evaluator and the simulated OS: semantics, crashes,
+   builtins, I/O, cost accounting, hooks. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let compile ?(libs = []) src = Minic.Program.of_sources ~app:src ~libs ()
+
+let run ?(args = []) ?(world = Osmodel.World.default_config) ?(max_steps = 1_000_000)
+    ?(hooks = Interp.Eval.no_hooks) src =
+  let prog = compile src in
+  let _w, handle = Osmodel.World.kernel world in
+  let cfg =
+    {
+      Interp.Eval.inputs = Interp.Inputs.of_strings args;
+      kernel = Interp.Kernel.of_world handle;
+      hooks;
+      max_steps;
+      scheduler = None;
+    }
+  in
+  Interp.Eval.run prog cfg
+
+let exit_code (r : Interp.Eval.result) =
+  match r.outcome with
+  | Interp.Crash.Exit n -> n
+  | o -> Alcotest.failf "expected exit, got %s" (Interp.Crash.outcome_to_string o)
+
+let crash_kind (r : Interp.Eval.result) =
+  match r.outcome with
+  | Interp.Crash.Crash c -> c.kind
+  | o -> Alcotest.failf "expected crash, got %s" (Interp.Crash.outcome_to_string o)
+
+(* ------------------------------------------------------------------ *)
+(* Basic semantics *)
+
+let test_arith () =
+  check_int "17 % 5 + 3 * 4" 14 (exit_code (run "int main() { return 17 % 5 + 3 * 4; }"))
+
+let test_division_truncates_toward_zero () =
+  check_int "-7/2" (-3) (exit_code (run "int main() { return -7 / 2; }"));
+  check_int "-7%2" (-1) (exit_code (run "int main() { return -7 % 2; }"))
+
+let test_logical_strictness_result () =
+  check_int "0 && x -> 0" 0 (exit_code (run "int main() { return 0 && 9; }"));
+  check_int "nonzero coerced" 1 (exit_code (run "int main() { return 5 && 9; }"));
+  check_int "or" 1 (exit_code (run "int main() { return 0 || 3; }"))
+
+let test_while_loop () =
+  check_int "sum 1..10" 55
+    (exit_code
+       (run
+          "int main() { int s = 0; int i = 1; while (i <= 10) { s = s + i; i = i + 1; } return s; }"))
+
+let test_break_continue () =
+  check_int "break" 5
+    (exit_code
+       (run
+          "int main() { int i = 0; while (1) { if (i == 5) break; i = i + 1; } return i; }"));
+  check_int "continue skips" 25
+    (exit_code
+       (run
+          "int main() { int i = 0; int s = 0; while (i < 10) { i = i + 1; if (i % 2 == 0) continue; s = s + i; } return s; }"))
+
+let test_recursion () =
+  check_int "fib 10" 89
+    (exit_code
+       (run
+          "int fib(int n) { if (n <= 1) return 1; return fib(n - 1) + fib(n - 2); }\n\
+           int main() { return fib(10); }"))
+
+let test_arrays_and_pointers () =
+  check_int "ptr writes" 42
+    (exit_code
+       (run
+          "int main() { int a[5]; int *p; p = &a[2]; *p = 40; p[1] = 2; return a[2] + a[3]; }"));
+  check_int "pointer arith" 7
+    (exit_code
+       (run
+          "int main() { int a[3]; int *p = a; *(p + 1) = 7; return a[1]; }"))
+
+let test_globals () =
+  check_int "global init and update" 11
+    (exit_code (run "int g = 4; int main() { g = g + 7; return g; }"))
+
+let test_string_literal () =
+  let r = run "int main() { print_str(\"hi there\"); return 0; }" in
+  check_str "output" "hi there" r.output
+
+let test_string_literal_bytes () =
+  check_int "literal byte" 105
+    (exit_code (run "int main() { int *s = \"hi\"; return s[1]; }"))
+
+let test_by_reference_param () =
+  check_int "out param" 9
+    (exit_code
+       (run
+          "void set(int *out, int v) { *out = v; }\n\
+           int main() { int x = 0; set(&x, 9); return x; }"))
+
+let test_array_param () =
+  check_int "array passed as pointer" 6
+    (exit_code
+       (run
+          "int sum(int a[], int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) s = s + a[i]; return s; }\n\
+           int main() { int a[3]; a[0] = 1; a[1] = 2; a[2] = 3; return sum(a, 3); }"))
+
+(* ------------------------------------------------------------------ *)
+(* Crashes *)
+
+let test_crash_oob () =
+  check_bool "oob" true
+    (crash_kind (run "int main() { int a[3]; return a[3]; }") = Interp.Crash.Out_of_bounds)
+
+let test_crash_null () =
+  check_bool "null" true
+    (crash_kind (run "int main() { int *p; return *p; }") = Interp.Crash.Null_deref)
+
+let test_crash_div0 () =
+  check_bool "div0" true
+    (crash_kind (run "int main() { int z = 0; return 1 / z; }") = Interp.Crash.Div_by_zero)
+
+let test_crash_explicit () =
+  check_bool "crash()" true
+    (crash_kind (run "int main() { crash(); return 0; }") = Interp.Crash.Explicit_crash)
+
+let test_crash_assert () =
+  check_bool "assert" true
+    (crash_kind (run "int main() { assert(1 == 2); return 0; }")
+    = Interp.Crash.Assert_failure)
+
+let test_crash_use_after_free () =
+  let src =
+    "int *leak() { int x = 3; return &x; }\n\
+     int main() { int *p = leak(); return *p; }"
+  in
+  check_bool "uaf" true (crash_kind (run src) = Interp.Crash.Use_after_free)
+
+let test_crash_stack_overflow () =
+  let src = "int f(int n) { return f(n + 1); }\nint main() { return f(0); }" in
+  check_bool "stack overflow" true
+    (crash_kind (run src) = Interp.Crash.Stack_overflow)
+
+let test_crash_site_location () =
+  let r = run "int main() {\n  int a[2];\n  return a[9];\n}" in
+  match r.outcome with
+  | Interp.Crash.Crash c ->
+      check_int "crash line" 3 c.loc.line;
+      check_str "crash func" "main" c.in_func
+  | _ -> Alcotest.fail "expected crash"
+
+let test_budget_exhaustion () =
+  let r = run ~max_steps:1000 "int main() { while (1) { } return 0; }" in
+  check_bool "budget" true (r.outcome = Interp.Crash.Budget_exhausted)
+
+(* ------------------------------------------------------------------ *)
+(* Builtins and I/O *)
+
+let test_exit_builtin () =
+  check_int "exit(3)" 3 (exit_code (run "int main() { exit(3); return 0; }"))
+
+let test_args () =
+  let src =
+    "int main() { int buf[32]; int n = arg(0, buf, 32); if (buf[0] == 'x') return n; return 99; }"
+  in
+  check_int "arg copied" 3 (exit_code (run ~args:[ "xyz" ] src))
+
+let test_argc () =
+  check_int "argc" 2 (exit_code (run ~args:[ "a"; "b" ] "int main() { return argc(); }"))
+
+let test_read_file () =
+  let world =
+    { Osmodel.World.default_config with files = [ ("data.txt", "hello") ] }
+  in
+  let src =
+    "int main() { int buf[16]; int fd = open(\"data.txt\", 0); if (fd < 0) return 1; \
+     int n = read(fd, buf, 16); close(fd); if (buf[0] != 'h') return 2; return n; }"
+  in
+  check_int "read 5 bytes" 5 (exit_code (run ~world src))
+
+let test_open_missing_file () =
+  let src = "int main() { return open(\"nope\", 0); }" in
+  check_int "missing file" (-1) (exit_code (run src))
+
+let test_write_stdout () =
+  let world = Osmodel.World.default_config in
+  let prog =
+    compile
+      "int main() { int b[3]; b[0] = 'o'; b[1] = 'k'; b[2] = '\\n'; write(1, b, 3); return 0; }"
+  in
+  let w, handle = Osmodel.World.kernel world in
+  let cfg =
+    {
+      Interp.Eval.inputs = Interp.Inputs.of_strings [];
+      kernel = Interp.Kernel.of_world handle;
+      hooks = Interp.Eval.no_hooks;
+      max_steps = 100000;
+      scheduler = None;
+    }
+  in
+  let r = Interp.Eval.run prog cfg in
+  check_int "exit" 0 (exit_code r);
+  check_str "stdout" "ok\n" (Osmodel.World.stdout_string w)
+
+let test_server_accept_read () =
+  (* one connection sending "PING"; server accepts after select and echoes *)
+  let world =
+    {
+      Osmodel.World.default_config with
+      conns = [ "PING" ];
+      arrivals_per_select = 2;
+      max_chunk = 64;
+    }
+  in
+  let src =
+    "int main() {\n\
+     int buf[64]; int got = 0; int fd = -1; int tries = 0;\n\
+     listen(80);\n\
+     while (got < 4 && tries < 100) {\n\
+     tries = tries + 1;\n\
+     int nready = select();\n\
+     if (fd < 0) { fd = accept(); }\n\
+     if (fd >= 0) { int n = read(fd, buf, 64); if (n > 0) got = got + n; }\n\
+     }\n\
+     return got;\n\
+     }"
+  in
+  check_int "received 4 bytes" 4 (exit_code (run ~world src))
+
+let test_world_partial_reads () =
+  (* with max_chunk 2, a 6-byte payload takes >= 3 reads *)
+  let world =
+    { Osmodel.World.default_config with conns = [ "abcdef" ]; max_chunk = 2 }
+  in
+  let src =
+    "int main() {\n\
+     int buf[8]; int reads = 0; int got = 0; int fd = -1; int tries = 0;\n\
+     listen(80);\n\
+     while (got < 6 && tries < 200) {\n\
+     tries = tries + 1;\n\
+     select();\n\
+     if (fd < 0) fd = accept();\n\
+     if (fd >= 0) { int n = read(fd, buf, 8); if (n > 0) { got = got + n; reads = reads + 1; } }\n\
+     }\n\
+     return reads;\n\
+     }"
+  in
+  check_bool "at least 3 reads" true (exit_code (run ~world src) >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Hooks and cost *)
+
+let test_branch_hook_fires_per_execution () =
+  let count = ref 0 in
+  let hooks =
+    {
+      Interp.Eval.no_hooks with
+      Interp.Eval.on_branch = (fun ~bid:_ ~taken:_ ~cond:_ -> incr count);
+    }
+  in
+  let _ =
+    run ~hooks
+      "int main() { int i; for (i = 0; i < 10; i = i + 1) { if (i > 100) { } } return 0; }"
+  in
+  (* while executes 11 times (10 taken + 1 exit), if 10 times *)
+  check_int "branch executions" 21 !count
+
+let test_branch_hook_taken_direction () =
+  let dirs = ref [] in
+  let hooks =
+    {
+      Interp.Eval.no_hooks with
+      Interp.Eval.on_branch = (fun ~bid:_ ~taken ~cond:_ -> dirs := taken :: !dirs);
+    }
+  in
+  let _ = run ~hooks "int main() { if (1) { } if (0) { } return 0; }" in
+  Alcotest.(check (list bool)) "directions" [ false; true ] !dirs
+
+let test_cost_monotone_in_work () =
+  let r1 = run "int main() { int i; for (i = 0; i < 10; i = i + 1) { } return 0; }" in
+  let r2 = run "int main() { int i; for (i = 0; i < 1000; i = i + 1) { } return 0; }" in
+  check_bool "more iterations cost more" true (r2.cost.instr > r1.cost.instr)
+
+let test_abort_hook () =
+  let hooks =
+    {
+      Interp.Eval.no_hooks with
+      Interp.Eval.on_branch =
+        (fun ~bid:_ ~taken:_ ~cond:_ -> raise (Interp.Eval.Abort_run "test"));
+    }
+  in
+  let r = run ~hooks "int main() { if (1) { } return 0; }" in
+  check_bool "aborted" true
+    (match r.outcome with Interp.Crash.Aborted _ -> true | _ -> false)
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "C division" `Quick test_division_truncates_toward_zero;
+          Alcotest.test_case "logical ops" `Quick test_logical_strictness_result;
+          Alcotest.test_case "while" `Quick test_while_loop;
+          Alcotest.test_case "break/continue" `Quick test_break_continue;
+          Alcotest.test_case "recursion" `Quick test_recursion;
+          Alcotest.test_case "arrays and pointers" `Quick test_arrays_and_pointers;
+          Alcotest.test_case "globals" `Quick test_globals;
+          Alcotest.test_case "string literal output" `Quick test_string_literal;
+          Alcotest.test_case "string literal bytes" `Quick test_string_literal_bytes;
+          Alcotest.test_case "by-reference param" `Quick test_by_reference_param;
+          Alcotest.test_case "array param" `Quick test_array_param;
+        ] );
+      ( "crashes",
+        [
+          Alcotest.test_case "out of bounds" `Quick test_crash_oob;
+          Alcotest.test_case "null deref" `Quick test_crash_null;
+          Alcotest.test_case "div by zero" `Quick test_crash_div0;
+          Alcotest.test_case "explicit crash" `Quick test_crash_explicit;
+          Alcotest.test_case "assert failure" `Quick test_crash_assert;
+          Alcotest.test_case "use after free" `Quick test_crash_use_after_free;
+          Alcotest.test_case "stack overflow" `Quick test_crash_stack_overflow;
+          Alcotest.test_case "crash site location" `Quick test_crash_site_location;
+          Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "exit" `Quick test_exit_builtin;
+          Alcotest.test_case "arg" `Quick test_args;
+          Alcotest.test_case "argc" `Quick test_argc;
+          Alcotest.test_case "read file" `Quick test_read_file;
+          Alcotest.test_case "open missing" `Quick test_open_missing_file;
+          Alcotest.test_case "write stdout" `Quick test_write_stdout;
+          Alcotest.test_case "server accept/read" `Quick test_server_accept_read;
+          Alcotest.test_case "partial reads" `Quick test_world_partial_reads;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "branch hook count" `Quick
+            test_branch_hook_fires_per_execution;
+          Alcotest.test_case "branch directions" `Quick
+            test_branch_hook_taken_direction;
+          Alcotest.test_case "cost monotone" `Quick test_cost_monotone_in_work;
+          Alcotest.test_case "abort hook" `Quick test_abort_hook;
+        ] );
+    ]

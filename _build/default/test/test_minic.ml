@@ -1,0 +1,458 @@
+(* Tests for the MiniC front end: lexer, parser, pretty-printer round trip,
+   normalisation, type checking, branch numbering. *)
+
+let parse ?(file = "t.c") src = Minic.Parser.parse_unit ~file src
+
+let link ?(libs = []) src = Minic.Program.of_sources ~app:src ~libs ()
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_basic () =
+  let toks = Minic.Lexer.tokenize ~file:"t.c" "int x = 0x1f + 'a'; // cmt" in
+  let kinds = List.map fst toks in
+  Alcotest.(check (list string))
+    "tokens"
+    [ "int"; "x"; "="; "31"; "+"; "97"; ";"; "<eof>" ]
+    (List.map Minic.Token.to_string kinds)
+
+let test_lexer_string_escapes () =
+  match Minic.Lexer.tokenize ~file:"t.c" {|"a\n\t\0\\\"b"|} with
+  | [ (Minic.Token.STR s, _); (Minic.Token.EOF, _) ] ->
+      Alcotest.(check string) "escapes" "a\n\t\000\\\"b" s
+  | _ -> Alcotest.fail "expected single string token"
+
+let test_lexer_comments () =
+  let toks =
+    Minic.Lexer.tokenize ~file:"t.c" "/* multi\nline */ x // trailing\n y"
+  in
+  check_int "two idents + eof" 3 (List.length toks)
+
+let test_lexer_error_pos () =
+  match Minic.Lexer.tokenize ~file:"t.c" "x\n  @" with
+  | exception Minic.Lexer.Error (_, loc) ->
+      check_int "line" 2 loc.line;
+      check_int "col" 3 loc.col
+  | _ -> Alcotest.fail "expected lexer error"
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_precedence () =
+  let u = parse "int f() { return 1 + 2 * 3 == 7 && 4 < 5; }" in
+  let f = List.hd u.u_funcs in
+  match f.fbody with
+  | [ { sdesc = Minic.Ast.Sreturn (Some e); _ } ] ->
+      let s = Minic.Pretty.expr_to_string e in
+      Alcotest.(check string) "prec" "(((1 + (2 * 3)) == 7) && (4 < 5))" s
+  | _ -> Alcotest.fail "expected single return"
+
+let test_parse_for_desugar () =
+  let u = parse "int f() { int i; for (i = 0; i < 3; i = i + 1) { } return i; }" in
+  let f = List.hd u.u_funcs in
+  let has_while = ref false in
+  Minic.Ast.iter_stmts
+    (fun s -> match s.sdesc with Minic.Ast.Swhile _ -> has_while := true | _ -> ())
+    f.fbody;
+  check_bool "for became while" true !has_while
+
+let test_parse_locals_hoisted () =
+  let u = parse "int f() { int a; { int b = 2; } return a; }" in
+  let f = List.hd u.u_funcs in
+  check_int "two locals" 2 (List.length f.flocals)
+
+let test_parse_duplicate_local_rejected () =
+  match parse "int f() { int a; int a; return 0; }" with
+  | exception Minic.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-local error"
+
+let test_parse_pointer_syntax () =
+  let u = parse "int g(int *p, int buf[]) { *p = buf[1]; return p[0]; }" in
+  let f = List.hd u.u_funcs in
+  check_int "two params" 2 (List.length f.fparams);
+  let _, t1 = List.nth f.fparams 0 in
+  let _, t2 = List.nth f.fparams 1 in
+  check_bool "p is ptr" true (Minic.Types.is_pointer t1);
+  check_bool "buf decays to ptr" true (Minic.Types.is_pointer t2)
+
+let test_parse_else_if_chain () =
+  let u =
+    parse
+      "int f(int x) { if (x == 1) return 1; else if (x == 2) return 2; else return 3; }"
+  in
+  let f = List.hd u.u_funcs in
+  let count = ref 0 in
+  Minic.Ast.iter_stmts
+    (fun s -> match s.sdesc with Minic.Ast.Sif _ -> incr count | _ -> ())
+    f.fbody;
+  check_int "two ifs" 2 !count
+
+let test_parse_switch_desugars () =
+  let u =
+    parse
+      "int f(int x) { switch (x) { case 1: return 10; case 2: case 3: return 23; default: return 0; } return -1; }"
+  in
+  let f = List.hd u.u_funcs in
+  (* two case tests -> two if branches; scrutinee temp hoisted *)
+  let ifs = ref 0 in
+  Minic.Ast.iter_stmts
+    (fun s -> match s.sdesc with Minic.Ast.Sif _ -> incr ifs | _ -> ())
+    f.fbody;
+  check_int "two case tests" 2 !ifs;
+  check_bool "scrutinee temp" true
+    (List.exists (fun (d : Minic.Ast.var_decl) -> d.vname = "__sw0") f.flocals)
+
+let test_switch_semantics () =
+  let run x =
+    let src =
+      Printf.sprintf
+        "int main() { switch (%d) { case 1: return 10; case 2: case 3: return 23; default: return 99; } return -1; }"
+        x
+    in
+    let prog = Minic.Program.of_sources ~app:src ~libs:[] () in
+    let r =
+      Interp.Eval.run prog
+        { Interp.Eval.default_config with max_steps = 10_000 }
+    in
+    match r.outcome with Interp.Crash.Exit n -> n | _ -> -1
+  in
+  check_int "case 1" 10 (run 1);
+  check_int "stacked case 2" 23 (run 2);
+  check_int "stacked case 3" 23 (run 3);
+  check_int "default" 99 (run 7)
+
+let test_switch_negative_and_char_labels () =
+  let src =
+    "int main() { int x = -4; switch (x) { case -4: return 1; case 'a': return 2; default: return 0; } return -1; }"
+  in
+  let prog = Minic.Program.of_sources ~app:src ~libs:[] () in
+  let r =
+    Interp.Eval.run prog { Interp.Eval.default_config with max_steps = 10_000 }
+  in
+  check_bool "negative label" true (r.outcome = Interp.Crash.Exit 1)
+
+let test_compound_assignment_sugar () =
+  let src =
+    "int main() { int i = 10; int a[3]; i += 5; i -= 2; i++; a[0] = 0; a[0]--; return i + a[0]; }"
+  in
+  let prog = Minic.Program.of_sources ~app:src ~libs:[] () in
+  let r =
+    Interp.Eval.run prog { Interp.Eval.default_config with max_steps = 10_000 }
+  in
+  check_bool "sugar evaluates" true (r.outcome = Interp.Crash.Exit 13)
+
+let test_for_with_increment_sugar () =
+  let src =
+    "int main() { int s = 0; int i; for (i = 0; i < 5; i++) { s += i; } return s; }"
+  in
+  let prog = Minic.Program.of_sources ~app:src ~libs:[] () in
+  let r =
+    Interp.Eval.run prog { Interp.Eval.default_config with max_steps = 10_000 }
+  in
+  check_bool "for with ++" true (r.outcome = Interp.Crash.Exit 10)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty round trip *)
+
+let sample_sources =
+  [
+    "int g = 3; int main() { print_int(g); return 0; }";
+    "int a[10]; int main() { int i; for (i = 0; i < 10; i = i + 1) a[i] = i * i; return a[9]; }";
+    "int *p; int main() { int x; p = &x; *p = 5; return x; }";
+    "int f(int n) { if (n <= 1) return 1; return n * f(n - 1); }\n\
+     int main() { return f(5); }";
+    "int main() { int buf[4]; int n = read(0, buf, 4); while (n > 0) { n = n - 1; } return n; }";
+    "int main() { int s = 0; int i = 0; while (i < 5 || s < 3) { i = i + 1; s = s + (i & 1); } return s; }";
+  ]
+
+let test_pretty_roundtrip () =
+  List.iter
+    (fun src ->
+      let u1 = parse src in
+      let printed = Minic.Pretty.unit_to_string u1 in
+      let u2 = parse ~file:"rt.c" printed in
+      check_bool (Printf.sprintf "roundtrip %s" src) true
+        (Minic.Astcmp.equal_unit u1 u2))
+    sample_sources
+
+(* ------------------------------------------------------------------ *)
+(* Normalisation *)
+
+let test_normalize_lifts_calls () =
+  let p =
+    link
+      "int f(int x) { return x + 1; }\nint main() { int y = f(1) + f(2); return y; }"
+  in
+  List.iter
+    (fun (f : Minic.Ast.func) ->
+      check_bool (f.fname ^ " normalised") true
+        (Minic.Normalize.block_is_normalised f.fbody))
+    p.funcs
+
+let test_normalize_while_condition_call () =
+  (* strlen-style loop condition: must be re-evaluated each iteration *)
+  let p =
+    link
+      "int dec(int x) { return x - 1; }\n\
+       int main() { int n = 3; int c = 0; while (dec(n) > 0) { n = n - 1; c = c + 1; } return c; }"
+  in
+  let main = Option.get (Minic.Program.find_func p "main") in
+  check_bool "normalised" true (Minic.Normalize.block_is_normalised main.fbody);
+  let found_while_1 = ref false in
+  Minic.Ast.iter_stmts
+    (fun s ->
+      match s.sdesc with
+      | Minic.Ast.Swhile (_, Minic.Ast.Cint 1, _) -> found_while_1 := true
+      | _ -> ())
+    main.fbody;
+  check_bool "while(1) form" true !found_while_1
+
+(* ------------------------------------------------------------------ *)
+(* Typecheck *)
+
+let expect_link_error src =
+  match link src with
+  | exception Minic.Program.Link_error _ -> ()
+  | _ -> Alcotest.fail ("expected link error for: " ^ src)
+
+let test_typecheck_unknown_var () = expect_link_error "int main() { return zz; }"
+
+let test_typecheck_unknown_fun () =
+  expect_link_error "int main() { return nope(1); }"
+
+let test_typecheck_arity () =
+  expect_link_error "int f(int a) { return a; }\nint main() { return f(1, 2); }"
+
+let test_typecheck_index_scalar () =
+  expect_link_error "int main() { int x; return x[0]; }"
+
+let test_typecheck_deref_int () =
+  expect_link_error "int main() { int x; return *x; }"
+
+let test_typecheck_break_outside_loop () =
+  expect_link_error "int main() { break; return 0; }"
+
+let test_typecheck_assign_array () =
+  expect_link_error "int main() { int a[3]; int b[3]; a = b; return 0; }"
+
+let test_typecheck_void_assign () =
+  expect_link_error "int main() { int x = print_int(3); return x; }"
+
+let test_typecheck_builtin_shadow () =
+  expect_link_error "int read(int x) { return x; }\nint main() { return 0; }"
+
+let test_typecheck_no_main () =
+  match Minic.Program.of_sources ~app:"int f() { return 0; }" ~libs:[] () with
+  | exception Minic.Program.Link_error _ -> ()
+  | _ -> Alcotest.fail "expected no-main error"
+
+(* ------------------------------------------------------------------ *)
+(* Branch numbering *)
+
+let test_numbering_dense_and_ordered () =
+  let p =
+    link
+      "int main() { int i; if (i) { } while (i) { if (i > 1) { } break; } return 0; }"
+  in
+  check_int "three branches" 3 (Minic.Program.nbranches p);
+  Array.iteri
+    (fun i (b : Minic.Number.info) -> check_int "dense ids" i b.bid)
+    p.branches
+
+let test_numbering_app_before_lib () =
+  let lib = "int lib_f(int x) { if (x) return 1; return 0; }" in
+  let app = "int main() { if (argc()) return lib_f(1); return 0; }" in
+  let p = Minic.Program.of_sources ~app ~libs:[ lib ] () in
+  check_int "app branches" 1 (Minic.Program.app_branch_count p);
+  check_int "lib branches" 1 (Minic.Program.lib_branch_count p);
+  let b0 = Minic.Program.branch_info p 0 in
+  let b1 = Minic.Program.branch_info p 1 in
+  check_bool "b0 is app" false b0.bis_lib;
+  check_bool "b1 is lib" true b1.bis_lib
+
+(* ------------------------------------------------------------------ *)
+(* Label maps *)
+
+let test_label_sticky () =
+  let m = Minic.Label.make ~nbranches:3 Minic.Label.Unvisited in
+  Minic.Label.observe m 0 ~symbolic:false;
+  check_bool "concrete" true (Minic.Label.equal m.(0) Minic.Label.Concrete);
+  Minic.Label.observe m 0 ~symbolic:true;
+  check_bool "upgraded" true (Minic.Label.equal m.(0) Minic.Label.Symbolic);
+  Minic.Label.observe m 0 ~symbolic:false;
+  check_bool "sticky" true (Minic.Label.equal m.(0) Minic.Label.Symbolic);
+  check_int "unvisited count" 2 (Minic.Label.count m Minic.Label.Unvisited)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: generated expressions round-trip through the pretty printer *)
+
+let gen_expr : Minic.Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let ident = oneofl [ "a"; "b"; "c" ] in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun i -> Minic.Ast.Cint i) (int_range (-100) 100);
+                map (fun x -> Minic.Ast.Lval (Minic.Ast.Var x)) ident;
+              ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map (fun i -> Minic.Ast.Cint i) (int_range (-100) 100);
+                map2
+                  (fun op (a, b) -> Minic.Ast.Binop (op, a, b))
+                  (oneofl
+                     Minic.Ast.
+                       [ Add; Sub; Mul; Div; Eq; Ne; Lt; Le; Gt; Ge; Land; Lor ])
+                  (pair sub sub);
+                map (fun a -> Minic.Ast.Unop (Minic.Ast.Lognot, a)) sub;
+                map2
+                  (fun x i -> Minic.Ast.Lval (Minic.Ast.Index (Minic.Ast.Var x, i)))
+                  ident sub;
+              ])
+        n)
+
+(* random statement generator for whole-function round trips *)
+let gen_stmt_src : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "c" ] in
+  let expr =
+    oneof
+      [
+        map string_of_int (int_range 0 99);
+        var;
+        map2 (fun x y -> Printf.sprintf "(%s + %s)" x y) var var;
+        map2 (fun x y -> Printf.sprintf "(%s < %s)" x y) var var;
+      ]
+  in
+  let rec stmt depth =
+    if depth <= 0 then
+      oneof
+        [
+          map2 (Printf.sprintf "%s = %s;") var expr;
+          map (Printf.sprintf "print_int(%s);") expr;
+        ]
+    else
+      let sub = stmt (depth - 1) in
+      oneof
+        [
+          map2 (Printf.sprintf "%s = %s;") var expr;
+          map2 (Printf.sprintf "if (%s) { %s }") expr sub;
+          map3 (Printf.sprintf "if (%s) { %s } else { %s }") expr sub sub;
+          map2
+            (fun e s -> Printf.sprintf "while (%s) { %s break; }" e s)
+            expr sub;
+          map (Printf.sprintf "{ %s }") sub;
+        ]
+  in
+  let body = list_size (int_range 1 5) (stmt 2) in
+  map
+    (fun stmts ->
+      Printf.sprintf "int f(int a, int b, int c) { %s return a; }"
+        (String.concat " " stmts))
+    body
+
+let prop_stmt_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"pretty/parse function round trip"
+    (QCheck.make gen_stmt_src)
+    (fun src ->
+      (* 'break' outside a loop parses fine; only check parse/print/parse *)
+      let u1 = parse src in
+      let u2 = parse ~file:"rt.c" (Minic.Pretty.unit_to_string u1) in
+      Minic.Astcmp.equal_unit u1 u2)
+
+let prop_normalize_idempotent =
+  QCheck.Test.make ~count:100 ~name:"normalisation is idempotent"
+    (QCheck.make gen_stmt_src)
+    (fun src ->
+      let src = src ^ "\nint main() { return f(1, 2, 3); }" in
+      let p1 = Minic.Program.of_sources ~app:src ~libs:[] () in
+      (* re-normalising the already-normalised body must not change it *)
+      List.for_all
+        (fun (f : Minic.Ast.func) -> Minic.Normalize.block_is_normalised f.fbody)
+        p1.funcs)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"pretty/parse expression round trip"
+    (QCheck.make gen_expr)
+    (fun e ->
+      let src =
+        Printf.sprintf "int f(int a, int b, int c) { return %s; }"
+          (Minic.Pretty.expr_to_string e)
+      in
+      let u = parse src in
+      match (List.hd u.u_funcs).fbody with
+      | [ { sdesc = Minic.Ast.Sreturn (Some e2); _ } ] ->
+          Minic.Astcmp.equal_expr e e2
+      | _ -> false)
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic tokens" `Quick test_lexer_basic;
+          Alcotest.test_case "string escapes" `Quick test_lexer_string_escapes;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "error position" `Quick test_lexer_error_pos;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "for desugars to while" `Quick test_parse_for_desugar;
+          Alcotest.test_case "locals hoisted" `Quick test_parse_locals_hoisted;
+          Alcotest.test_case "duplicate local rejected" `Quick
+            test_parse_duplicate_local_rejected;
+          Alcotest.test_case "pointer syntax" `Quick test_parse_pointer_syntax;
+          Alcotest.test_case "else-if chain" `Quick test_parse_else_if_chain;
+          Alcotest.test_case "switch desugars" `Quick test_parse_switch_desugars;
+          Alcotest.test_case "switch semantics" `Quick test_switch_semantics;
+          Alcotest.test_case "switch negative/char labels" `Quick
+            test_switch_negative_and_char_labels;
+          Alcotest.test_case "compound assignment sugar" `Quick
+            test_compound_assignment_sugar;
+          Alcotest.test_case "for with ++" `Quick test_for_with_increment_sugar;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "sample round trips" `Quick test_pretty_roundtrip;
+          QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+          QCheck_alcotest.to_alcotest prop_stmt_roundtrip;
+          QCheck_alcotest.to_alcotest prop_normalize_idempotent;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "calls lifted" `Quick test_normalize_lifts_calls;
+          Alcotest.test_case "call in while condition" `Quick
+            test_normalize_while_condition_call;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "unknown variable" `Quick test_typecheck_unknown_var;
+          Alcotest.test_case "unknown function" `Quick test_typecheck_unknown_fun;
+          Alcotest.test_case "arity" `Quick test_typecheck_arity;
+          Alcotest.test_case "index scalar" `Quick test_typecheck_index_scalar;
+          Alcotest.test_case "deref int" `Quick test_typecheck_deref_int;
+          Alcotest.test_case "break outside loop" `Quick
+            test_typecheck_break_outside_loop;
+          Alcotest.test_case "assign to array" `Quick test_typecheck_assign_array;
+          Alcotest.test_case "void assignment" `Quick test_typecheck_void_assign;
+          Alcotest.test_case "builtin shadow" `Quick test_typecheck_builtin_shadow;
+          Alcotest.test_case "missing main" `Quick test_typecheck_no_main;
+        ] );
+      ( "numbering",
+        [
+          Alcotest.test_case "dense ordered ids" `Quick
+            test_numbering_dense_and_ordered;
+          Alcotest.test_case "app before lib" `Quick test_numbering_app_before_lib;
+        ] );
+      ( "labels",
+        [ Alcotest.test_case "sticky symbolic" `Quick test_label_sticky ] );
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the simulated OS: filesystem, connections, select/accept
+   semantics, seeded determinism and partial reads. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+open Osmodel
+
+let world ?(conns = []) ?(files = []) ?(seed = 42) ?(max_chunk = 64) () =
+  World.create { World.default_config with conns; files; seed; max_chunk }
+
+let res_int = Sysreq.res_int
+
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_range_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.range r 3 9 in
+    check_bool "in range" true (v >= 3 && v <= 9)
+  done
+
+let test_open_read_file () =
+  let w = world ~files:[ ("f.txt", "hello world") ] () in
+  let fd = res_int (World.handle w (Sysreq.Open { path = "f.txt"; flags = 0 })) in
+  check_bool "fd valid" true (fd >= 4);
+  match World.handle w (Sysreq.Read { fd; count = 5 }) with
+  | Sysreq.R_read { count; data } ->
+      check_int "count" 5 count;
+      Alcotest.(check string) "data" "hello" (World.string_of_bytes data)
+  | Sysreq.R_int _ -> Alcotest.fail "expected R_read"
+
+let test_file_read_to_eof () =
+  let w = world ~files:[ ("f", "abc") ] () in
+  let fd = res_int (World.handle w (Sysreq.Open { path = "f"; flags = 0 })) in
+  let r1 = World.handle w (Sysreq.Read { fd; count = 10 }) in
+  let r2 = World.handle w (Sysreq.Read { fd; count = 10 }) in
+  check_int "first read gets all" 3 (res_int r1);
+  check_int "eof" 0 (res_int r2)
+
+let test_open_missing () =
+  let w = world () in
+  check_int "missing file" (-1)
+    (res_int (World.handle w (Sysreq.Open { path = "no"; flags = 0 })))
+
+let test_accept_lifecycle () =
+  let w = world ~conns:[ "data" ] () in
+  ignore (World.handle w (Sysreq.Listen { port = 80 }));
+  (* before select, nothing has arrived *)
+  check_int "no backlog yet" (-1) (res_int (World.handle w Sysreq.Accept));
+  (* selects eventually deliver the connection *)
+  let rec wait n =
+    if n = 0 then Alcotest.fail "connection never arrived"
+    else begin
+      ignore (World.handle w Sysreq.Select);
+      let fd = res_int (World.handle w Sysreq.Accept) in
+      if fd >= 0 then fd else wait (n - 1)
+    end
+  in
+  let fd = wait 50 in
+  match World.handle w (Sysreq.Read { fd; count = 64 }) with
+  | Sysreq.R_read { count; _ } -> check_bool "got bytes" true (count > 0)
+  | Sysreq.R_int _ -> Alcotest.fail "expected data"
+
+let test_partial_reads_bounded_by_chunk () =
+  let w = world ~conns:[ String.make 100 'x' ] ~max_chunk:7 () in
+  ignore (World.handle w (Sysreq.Listen { port = 80 }));
+  let rec get_fd n =
+    ignore (World.handle w Sysreq.Select);
+    let fd = res_int (World.handle w Sysreq.Accept) in
+    if fd >= 0 then fd else if n = 0 then Alcotest.fail "no conn" else get_fd (n - 1)
+  in
+  let fd = get_fd 50 in
+  let total = ref 0 in
+  let reads = ref 0 in
+  while !total < 100 && !reads < 1000 do
+    match World.handle w (Sysreq.Read { fd; count = 64 }) with
+    | Sysreq.R_read { count; _ } ->
+        check_bool "chunk bound" true (count <= 7);
+        if count > 0 then total := !total + count;
+        incr reads
+    | Sysreq.R_int _ -> Alcotest.fail "read failed"
+  done;
+  check_int "all delivered" 100 !total
+
+let test_select_reports_listener () =
+  let w = world ~conns:[ "a" ] () in
+  ignore (World.handle w (Sysreq.Listen { port = 80 }));
+  let rec find_listener tries =
+    if tries = 0 then Alcotest.fail "listener never ready"
+    else
+      let n = res_int (World.handle w Sysreq.Select) in
+      let rec scan i =
+        if i >= n then false
+        else if res_int (World.handle w (Sysreq.Ready_fd { index = i })) = 3 then true
+        else scan (i + 1)
+      in
+      if n > 0 && scan 0 then () else find_listener (tries - 1)
+  in
+  find_listener 50
+
+let test_write_stdout_captured () =
+  let w = world () in
+  ignore (World.handle w (Sysreq.Write { fd = 1; data = [| 104; 105 |] }));
+  Alcotest.(check string) "stdout" "hi" (World.stdout_string w)
+
+let test_conn_outbox () =
+  let w = world ~conns:[ "q" ] () in
+  ignore (World.handle w (Sysreq.Listen { port = 80 }));
+  let rec get_fd n =
+    ignore (World.handle w Sysreq.Select);
+    let fd = res_int (World.handle w Sysreq.Accept) in
+    if fd >= 0 then fd else if n = 0 then Alcotest.fail "no conn" else get_fd (n - 1)
+  in
+  let fd = get_fd 50 in
+  ignore (World.handle w (Sysreq.Write { fd; data = [| 111; 107 |] }));
+  match World.connections w with
+  | [ c ] -> Alcotest.(check string) "outbox" "ok" (World.conn_outbox_string c)
+  | _ -> Alcotest.fail "expected one connection"
+
+let test_read_provenance () =
+  let w = world ~files:[ ("f", "abcdef") ] () in
+  let fd = res_int (World.handle w (Sysreq.Open { path = "f"; flags = 0 })) in
+  ignore (World.handle w (Sysreq.Read { fd; count = 2 }));
+  check_bool "provenance" true (w.last_read = Some ("file:f", 0));
+  ignore (World.handle w (Sysreq.Read { fd; count = 2 }));
+  check_bool "offset advances" true (w.last_read = Some ("file:f", 2))
+
+let test_close_invalidates () =
+  let w = world ~files:[ ("f", "x") ] () in
+  let fd = res_int (World.handle w (Sysreq.Open { path = "f"; flags = 0 })) in
+  ignore (World.handle w (Sysreq.Close { fd }));
+  check_int "read after close" (-1)
+    (res_int (World.handle w (Sysreq.Read { fd; count = 1 })))
+
+let test_determinism_across_worlds () =
+  let script w =
+    ignore (World.handle w (Sysreq.Listen { port = 80 }));
+    List.init 30 (fun _ ->
+        let n = res_int (World.handle w Sysreq.Select) in
+        let a = res_int (World.handle w Sysreq.Accept) in
+        (n, a))
+  in
+  let w1 = world ~conns:[ "aa"; "bb"; "cc" ] ~seed:7 () in
+  let w2 = world ~conns:[ "aa"; "bb"; "cc" ] ~seed:7 () in
+  check_bool "same trace" true (script w1 = script w2)
+
+let () =
+  Alcotest.run "osmodel"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "range bounds" `Quick test_rng_range_bounds;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "open/read" `Quick test_open_read_file;
+          Alcotest.test_case "read to eof" `Quick test_file_read_to_eof;
+          Alcotest.test_case "open missing" `Quick test_open_missing;
+          Alcotest.test_case "read provenance" `Quick test_read_provenance;
+          Alcotest.test_case "close invalidates" `Quick test_close_invalidates;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "accept lifecycle" `Quick test_accept_lifecycle;
+          Alcotest.test_case "partial reads" `Quick test_partial_reads_bounded_by_chunk;
+          Alcotest.test_case "select reports listener" `Quick
+            test_select_reports_listener;
+          Alcotest.test_case "stdout capture" `Quick test_write_stdout_captured;
+          Alcotest.test_case "conn outbox" `Quick test_conn_outbox;
+          Alcotest.test_case "determinism" `Quick test_determinism_across_worlds;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the static analysis: points-to, taint propagation (Algorithms
+   1-2), branch labelling, and the over-approximation invariant. *)
+
+let link ?(libs = []) src = Minic.Program.of_sources ~app:src ~libs ()
+
+let analyze ?(analyze_lib = true) src =
+  let prog = link src in
+  (prog, Staticanalysis.Static.analyze ~analyze_lib prog)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* label of the branch whose location line is [line] *)
+let label_at (prog : Minic.Program.t) (r : Staticanalysis.Static.result) ~line =
+  let found = ref None in
+  Array.iter
+    (fun (b : Minic.Number.info) ->
+      if b.bloc.line = line then found := Some r.labels.(b.bid))
+    prog.branches;
+  match !found with
+  | Some l -> l
+  | None -> Alcotest.failf "no branch at line %d" line
+
+let sym = Minic.Label.Symbolic
+let conc = Minic.Label.Concrete
+
+(* ------------------------------------------------------------------ *)
+
+let test_argv_branch_symbolic () =
+  let prog, r =
+    analyze
+      "int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  if (buf[0] == 'a') { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "buf branch symbolic" true (label_at prog r ~line:4 = sym)
+
+let test_constant_branch_concrete () =
+  let prog, r =
+    analyze
+      "int main() {\n\
+      \  int i = 0;\n\
+      \  int s = 0;\n\
+      \  while (i < 10) { s = s + i; i = i + 1; }\n\
+      \  if (s > 3) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "loop concrete" true (label_at prog r ~line:4 = conc);
+  check_bool "sum concrete" true (label_at prog r ~line:5 = conc)
+
+let test_read_result_symbolic () =
+  let prog, r =
+    analyze
+      "int main() {\n\
+      \  int buf[8];\n\
+      \  int n = read(0, buf, 8);\n\
+      \  if (n > 0) { return 1; }\n\
+      \  if (buf[0] == 'x') { return 2; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "read count symbolic" true (label_at prog r ~line:4 = sym);
+  check_bool "read data symbolic" true (label_at prog r ~line:5 = sym)
+
+let test_taint_through_assignment_chain () =
+  let prog, r =
+    analyze
+      "int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  int a = buf[0];\n\
+      \  int b = a * 2 + 1;\n\
+      \  if (b == 7) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "chained taint" true (label_at prog r ~line:6 = sym)
+
+let test_strong_update_clears_local () =
+  let prog, r =
+    analyze
+      "int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  int a = buf[0];\n\
+      \  a = 5;\n\
+      \  if (a == 5) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "strong update makes branch concrete" true
+    (label_at prog r ~line:6 = conc)
+
+let test_taint_through_function_return () =
+  let prog, r =
+    analyze
+      "int first(int *s) { return s[0]; }\n\
+       int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  int c = first(buf);\n\
+      \  if (c == 'x') { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "return taint" true (label_at prog r ~line:6 = sym)
+
+let test_context_sensitivity () =
+  (* f is called with both a concrete and a tainted argument; the branch in
+     f must be symbolic (some context), but the caller branch on the
+     concrete result must stay concrete *)
+  let prog, r =
+    analyze
+      "int half(int x) {\n\
+      \  if (x > 10) { return x / 2; }\n\
+      \  return x;\n\
+       }\n\
+       int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  int a = half(buf[0]);\n\
+      \  int b = half(4);\n\
+      \  if (a == 3) { return 1; }\n\
+      \  if (b == 4) { return 2; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "callee branch symbolic" true (label_at prog r ~line:2 = sym);
+  check_bool "tainted-context result symbolic" true (label_at prog r ~line:10 = sym);
+  check_bool "concrete-context result concrete" true (label_at prog r ~line:11 = conc)
+
+let test_taint_through_pointer_write () =
+  let prog, r =
+    analyze
+      "void put(int *dst, int v) { *dst = v; }\n\
+       int main() {\n\
+      \  int buf[8];\n\
+      \  int x = 0;\n\
+      \  arg(0, buf, 8);\n\
+      \  put(&x, buf[1]);\n\
+      \  if (x == 9) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "by-ref write taints caller var" true (label_at prog r ~line:7 = sym)
+
+let test_taint_through_global () =
+  let prog, r =
+    analyze
+      "int g;\n\
+       void set_g(int v) { g = v; }\n\
+       int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  set_g(buf[0]);\n\
+      \  if (g == 1) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_bool "global taint" true (label_at prog r ~line:7 = sym)
+
+let test_unreachable_function_concrete () =
+  let prog, r =
+    analyze
+      "int dead(int x) { if (x) { return 1; } return 0; }\n\
+       int main() { return 0; }"
+  in
+  check_bool "unreachable branch concrete" true (label_at prog r ~line:1 = conc)
+
+let test_lib_conservative_mode () =
+  let lib = "int lfun(int x) { if (x > 0) { return 1; } return 0; }" in
+  let app = "int main() { if (lfun(3) == 1) { return 1; } return 0; }" in
+  let prog = Minic.Program.of_sources ~app ~libs:[ lib ] () in
+  let r = Staticanalysis.Static.analyze ~analyze_lib:false prog in
+  (* all library branches symbolic in conservative mode (paper §5.3) *)
+  List.iter
+    (fun bid ->
+      check_bool "lib branch symbolic" true (r.labels.(bid) = Minic.Label.Symbolic))
+    (Minic.Program.lib_branch_ids prog)
+
+(* ------------------------------------------------------------------ *)
+(* The key soundness property: every branch dynamic analysis observes as
+   symbolic must be labelled symbolic by static analysis. *)
+
+let overapprox_sources =
+  [
+    ( "argv compare",
+      "int main() { int b[16]; arg(0, b, 16); if (b[0] == 'x') { if (b[1] == 'y') { crash(); } } return 0; }",
+      [ "xy" ] );
+    ( "length loop",
+      "int main() { int b[32]; arg(0, b, 32); int n = strlen(b); if (n > 3) { return 1; } return 0; }",
+      [ "hello" ] );
+    ( "mixed",
+      "int main() { int b[16]; int i; int acc = 0; arg(0, b, 16);\n\
+       for (i = 0; i < 4; i = i + 1) { if (b[i] == 'z') { acc = acc + 1; } }\n\
+       if (acc == 2) { return 1; } return 0; }",
+      [ "zaza" ] );
+  ]
+
+let test_static_overapproximates_dynamic () =
+  List.iter
+    (fun (name, src, args) ->
+      let prog = Workloads.Runtime_lib.link ~name src in
+      let sc = Concolic.Scenario.make ~name ~args prog in
+      let dyn =
+        Concolic.Dynamic.analyze
+          ~budget:{ Concolic.Engine.max_runs = 100; max_time_s = 5.0 }
+          sc
+      in
+      let sta = Staticanalysis.Static.analyze prog in
+      Array.iteri
+        (fun bid l ->
+          if l = Minic.Label.Symbolic then
+            check_bool
+              (Printf.sprintf "%s: branch %d symbolic in static" name bid)
+              true
+              (sta.labels.(bid) = Minic.Label.Symbolic))
+        dyn.labels)
+    overapprox_sources
+
+let test_workload_overapproximation () =
+  (* same property on the real coreutils workloads *)
+  List.iter
+    (fun (e : Workloads.Coreutils.entry) ->
+      let prog = Lazy.force e.prog in
+      let sc = Workloads.Coreutils.analysis_scenario e in
+      let dyn =
+        Concolic.Dynamic.analyze
+          ~budget:{ Concolic.Engine.max_runs = 80; max_time_s = 5.0 }
+          sc
+      in
+      let sta = Staticanalysis.Static.analyze prog in
+      Array.iteri
+        (fun bid l ->
+          if l = Minic.Label.Symbolic then
+            check_bool
+              (Printf.sprintf "%s: dyn-symbolic branch %d in static" e.util bid)
+              true
+              (sta.labels.(bid) = Minic.Label.Symbolic))
+        dyn.labels)
+    Workloads.Coreutils.catalog
+
+let test_pointsto_basics () =
+  let prog =
+    link
+      "int g;\n\
+       int *p;\n\
+       int main() { int x; p = &g; *p = 1; p = &x; return 0; }"
+  in
+  let pta = Staticanalysis.Pointsto.analyze prog in
+  let pts =
+    Staticanalysis.Pointsto.points_of pta ~fn:"main"
+      (Minic.Ast.Lval (Minic.Ast.Var "p"))
+  in
+  check_int "p points to two cells" 2 (Staticanalysis.Aloc.Set.cardinal pts)
+
+let () =
+  Alcotest.run "staticanalysis"
+    [
+      ( "labelling",
+        [
+          Alcotest.test_case "argv branch symbolic" `Quick test_argv_branch_symbolic;
+          Alcotest.test_case "constant branch concrete" `Quick
+            test_constant_branch_concrete;
+          Alcotest.test_case "read results symbolic" `Quick
+            test_read_result_symbolic;
+          Alcotest.test_case "assignment chain" `Quick
+            test_taint_through_assignment_chain;
+          Alcotest.test_case "strong update" `Quick test_strong_update_clears_local;
+          Alcotest.test_case "function return" `Quick
+            test_taint_through_function_return;
+          Alcotest.test_case "context sensitivity" `Quick test_context_sensitivity;
+          Alcotest.test_case "pointer write" `Quick test_taint_through_pointer_write;
+          Alcotest.test_case "global variable" `Quick test_taint_through_global;
+          Alcotest.test_case "unreachable concrete" `Quick
+            test_unreachable_function_concrete;
+          Alcotest.test_case "conservative library mode" `Quick
+            test_lib_conservative_mode;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "static overapproximates dynamic" `Slow
+            test_static_overapproximates_dynamic;
+          Alcotest.test_case "workload overapproximation" `Slow
+            test_workload_overapproximation;
+        ] );
+      ( "pointsto",
+        [ Alcotest.test_case "basics" `Quick test_pointsto_basics ] );
+    ]
