@@ -13,7 +13,8 @@ let prog () = Lazy.force Workloads.Userver.prog
 type analyses = {
   lc : Concolic.Dynamic.result;
   hc : Concolic.Dynamic.result;
-  static : Staticanalysis.Static.result;
+  static : Staticanalysis.Static.result;  (** refined precision pipeline *)
+  static_seed : Staticanalysis.Static.result;  (** unrefined baseline *)
 }
 
 let cache : analyses option ref = ref None
@@ -41,7 +42,10 @@ let analyses (c : Ctx.t) : analyses =
       let lc = Concolic.Dynamic.analyze ~budget:(Ctx.lc_budget c) (lc_workload ()) in
       let hc = Concolic.Dynamic.analyze ~budget:(Ctx.hc_budget c) (hc_workload ()) in
       let static = Staticanalysis.Static.analyze ~analyze_lib:false (prog ()) in
-      let a = { lc; hc; static } in
+      let static_seed =
+        Staticanalysis.Static.analyze ~analyze_lib:false ~refine:false (prog ())
+      in
+      let a = { lc; hc; static; static_seed } in
       cache := Some a;
       a
 
@@ -142,7 +146,34 @@ let e7 (c : Ctx.t) =
     a.lc.runs shc chc uhc
     (100.0 *. a.hc.coverage)
     a.hc.runs a.static.n_symbolic
-    (Minic.Program.nbranches (prog ()))
+    (Minic.Program.nbranches (prog ()));
+  (* precision of the static labels against the HC dynamic ground truth:
+     seed (unrefined) pipeline vs the refined one *)
+  let p = prog () in
+  let prec_seed =
+    Staticanalysis.Static.precision a.static_seed p ~dynamic:a.hc.labels
+  in
+  let prec = Staticanalysis.Static.precision a.static p ~dynamic:a.hc.labels in
+  let row name (s : Staticanalysis.Static.result)
+      (r : Staticanalysis.Precision.report) =
+    [
+      name;
+      string_of_int s.n_symbolic;
+      string_of_int s.n_const_proved;
+      string_of_int s.n_dead_proved;
+      string_of_int r.n_spurious;
+      string_of_int r.n_missed;
+      Printf.sprintf "%.1f%%" (100.0 *. r.spurious_rate);
+    ]
+  in
+  Util.table
+    ([ "static pipeline"; "symbolic"; "const-proved"; "dead";
+       "spurious (vs HC)"; "missed"; "spurious rate" ]
+    :: row "seed (no refinement)" a.static_seed prec_seed
+    :: [ row "refined (constprop+strong)" a.static prec ]);
+  Printf.printf "precision.json: %s\n"
+    (Staticanalysis.Precision.to_json
+       { prec with Staticanalysis.Precision.entries = [||] })
 
 (* Figure 4: CPU time and storage per request under each configuration. *)
 let e8 (c : Ctx.t) =

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 gate: everything that must pass before a commit.
+#
+#   $ bin/check.sh
+#
+# Runs the full build (including examples and benches), the test suites,
+# and — when ocamlformat is installed — the formatting check.  Fails fast
+# with the failing step's output.
+
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "== all checks passed =="

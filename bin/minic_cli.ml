@@ -4,23 +4,33 @@
    $ minic check prog.c                   # parse + type check, list branches
    $ minic pretty prog.c                  # normalised pretty-printed source
    $ minic analyze prog.c -- testarg      # static + dynamic branch labels
+   $ minic analyze prog.c --report        # + per-branch precision/provenance
+   $ minic analyze prog.c --json          # precision report as JSON
 
    The simulated OS starts empty; give file inputs with --file path=contents
-   and connection payloads with --conn data (repeatable). *)
+   and connection payloads with --conn data (repeatable).
+
+   Exit codes: 0 ok, 1 compile/link or runtime failure, 2 usage,
+   3 type error. *)
 
 let usage () =
   prerr_endline
-    "usage: minic (run|check|pretty|analyze) FILE [--file p=c] [--conn data] [-- args...]";
+    "usage: minic (run|check|pretty|analyze) FILE [--report] [--json] [--no-refine] [--file p=c] [--conn data] [-- args...]";
   exit 2
 
 type opts = {
   mutable files : (string * string) list;
   mutable conns : string list;
   mutable args : string list;
+  mutable report : bool;
+  mutable json : bool;
+  mutable refine : bool;
 }
 
 let parse_opts argv =
-  let o = { files = []; conns = []; args = [] } in
+  let o =
+    { files = []; conns = []; args = []; report = false; json = false; refine = true }
+  in
   let rec go = function
     | [] -> ()
     | "--" :: rest ->
@@ -40,17 +50,30 @@ let parse_opts argv =
     | "--conn" :: data :: rest ->
         o.conns <- o.conns @ [ data ];
         go rest
+    | "--report" :: rest ->
+        o.report <- true;
+        go rest
+    | "--json" :: rest ->
+        o.json <- true;
+        go rest
+    | "--no-refine" :: rest ->
+        o.refine <- false;
+        go rest
     | _ -> usage ()
   in
   go argv;
   o
 
 let load file =
-  let ic = open_in_bin file in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match open_in_bin file with
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
 
 let compile file =
   match Workloads.Runtime_lib.link ~name:(Filename.remove_extension file) (load file) with
@@ -64,6 +87,9 @@ let compile file =
   | exception Minic.Program.Link_error msg ->
       Printf.eprintf "link error: %s\n" msg;
       exit 1
+  | exception Minic.Typecheck.Error (msg, loc) ->
+      Printf.eprintf "%s: type error: %s\n" (Minic.Loc.to_string loc) msg;
+      exit 3
 
 let () =
   match Array.to_list Sys.argv with
@@ -120,11 +146,19 @@ let () =
               ~budget:{ Concolic.Engine.max_runs = 100; max_time_s = 10.0 }
               sc
           in
-          let sta = Staticanalysis.Static.analyze prog in
+          let sta = Staticanalysis.Static.analyze ~refine:o.refine prog in
+          if o.json then begin
+            (* machine-readable output only: the precision report *)
+            let rep = Staticanalysis.Static.precision sta prog ~dynamic:dyn.labels in
+            print_endline (Staticanalysis.Precision.to_json rep);
+            exit (if rep.n_missed > 0 then 1 else 0)
+          end;
           Printf.printf
-            "dynamic: %d runs, %.0f%% coverage; static: %d symbolic of %d\n"
+            "dynamic: %d runs, %.0f%% coverage; static: %d symbolic of %d (%d \
+             const-proved, %d dead)\n"
             dyn.runs (100.0 *. dyn.coverage) sta.n_symbolic
-            (Minic.Program.nbranches prog);
+            (Minic.Program.nbranches prog)
+            sta.n_const_proved sta.n_dead_proved;
           Array.iter
             (fun (b : Minic.Number.info) ->
               Printf.printf "  b%03d %-28s dynamic=%-9s static=%s\n" b.bid
@@ -132,6 +166,12 @@ let () =
                 (Minic.Label.to_string dyn.labels.(b.bid))
                 (Minic.Label.to_string sta.labels.(b.bid)))
             prog.branches;
+          if o.report then begin
+            let rep = Staticanalysis.Static.precision sta prog ~dynamic:dyn.labels in
+            print_newline ();
+            print_string (Staticanalysis.Precision.to_text rep);
+            exit (if rep.n_missed > 0 then 1 else 0)
+          end;
           exit 0
       | _ -> usage ())
   | _ -> usage ()

@@ -31,10 +31,19 @@ type analysis = {
     HC); [analyze_lib = false] reproduces the uServer setup where the
     merged source was too large for points-to analysis. *)
 let analyze ?(dynamic_budget = Concolic.Engine.default_budget)
-    ?(analyze_lib = true) ?test_scenario (prog : Program.t) : analysis =
+    ?(analyze_lib = true) ?(refine = true) ?test_scenario (prog : Program.t) :
+    analysis =
   let dynamic = Option.map (Concolic.Dynamic.analyze ~budget:dynamic_budget) test_scenario in
-  let static = Some (Staticanalysis.Static.analyze ~analyze_lib prog) in
+  let static = Some (Staticanalysis.Static.analyze ~analyze_lib ~refine prog) in
   { prog; dynamic; static }
+
+(** Precision report of the static labels against the dynamic ground
+    truth; [None] unless both analyses ran. *)
+let precision (a : analysis) : Staticanalysis.Precision.report option =
+  match a.static, a.dynamic with
+  | Some s, Some d ->
+      Some (Staticanalysis.Static.precision s a.prog ~dynamic:d.labels)
+  | (Some _ | None), _ -> None
 
 (** Instrumentation plan for a method, from the available analyses. *)
 let plan (a : analysis) (meth : Instrument.Methods.t) : Instrument.Plan.t =

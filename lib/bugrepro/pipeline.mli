@@ -16,13 +16,19 @@ type analysis = {
     environment for dynamic analysis; [dynamic_budget] is the
     symbolic-execution time knob (LC vs HC); [analyze_lib = false]
     reproduces the uServer setup where the merged source was too large for
-    points-to analysis. *)
+    points-to analysis; [refine = false] runs the seed (unrefined) static
+    pipeline. *)
 val analyze :
   ?dynamic_budget:Concolic.Engine.budget ->
   ?analyze_lib:bool ->
+  ?refine:bool ->
   ?test_scenario:Concolic.Scenario.t ->
   Minic.Program.t ->
   analysis
+
+(** Precision report of the static labels against the dynamic ground
+    truth; [None] unless both analyses ran. *)
+val precision : analysis -> Staticanalysis.Precision.report option
 
 (** Instrumentation plan for a method, from the available analyses. *)
 val plan : analysis -> Instrument.Methods.t -> Instrument.Plan.t

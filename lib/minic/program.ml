@@ -63,7 +63,9 @@ let copy_func (f : Ast.func) : Ast.func =
   { f with flocals = f.flocals; fbody = copy_block f.fbody }
 
 (** Link [app] with the given library units into a checked, normalised,
-    branch-numbered program.  Raises {!Link_error} on any problem. *)
+    branch-numbered program.  Raises {!Link_error} on structural problems
+    (missing [main], normalisation bugs) and lets {!Typecheck.Error}
+    propagate so callers can distinguish type errors. *)
 let link ?(name = "program") ~(app : Ast.unit_) ~(libs : Ast.unit_ list) () : t =
   let units = app :: libs in
   let globals = List.concat_map (fun (u : Ast.unit_) -> u.u_globals) units in
@@ -79,9 +81,7 @@ let link ?(name = "program") ~(app : Ast.unit_) ~(libs : Ast.unit_ list) () : t 
         raise
           (Link_error (Printf.sprintf "internal: '%s' not normalised" f.fname)))
     funcs;
-  (try Typecheck.check ~globals ~funcs with
-  | Typecheck.Error (msg, loc) ->
-      raise (Link_error (Printf.sprintf "%s: %s" (Loc.to_string loc) msg)));
+  Typecheck.check ~globals ~funcs;
   let branches = Number.number funcs in
   let fun_tbl = Hashtbl.create 64 in
   List.iter (fun (f : Ast.func) -> Hashtbl.replace fun_tbl f.fname f) funcs;

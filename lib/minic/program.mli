@@ -33,8 +33,9 @@ val app_branch_ids : t -> int list
 val lib_branch_ids : t -> int list
 
 (** Link parsed units into a checked, normalised, branch-numbered program.
-    Raises {!Link_error} on duplicate names, a missing [main], or type
-    errors. *)
+    Raises {!Link_error} on structural problems (a missing [main]) and
+    {!Typecheck.Error} on type errors — duplicate names included — so
+    callers can report the two distinctly. *)
 val link : ?name:string -> app:Ast.unit_ -> libs:Ast.unit_ list -> unit -> t
 
 (** Convenience: parse source strings and link. *)

@@ -1,0 +1,546 @@
+(** Interprocedural constant propagation and folding.
+
+    The first precision pass of the static pipeline: it proves branch
+    conditions constant so that {!Static} can label them [Concrete] no
+    matter what the taint analysis says (a condition that always evaluates
+    to the same value cannot vary with program input), and it identifies
+    provably dead code (arms of constant branches, functions unreachable
+    from [main]) whose branches can never execute.
+
+    Structure mirrors {!Taint}: a worklist of (function, context) pairs
+    where a context records the constant-ness of each parameter, with
+    per-context return summaries.  The analysis is *optimistic* (classic
+    Kildall style): the value lattice is [Bot <= Const v <= Top], unresolved
+    call summaries start at [Bot], and summaries only rise — callers are
+    re-analysed through the dependents map whenever a callee's summary
+    rises, so every value recorded at a branch forms a rising chain whose
+    join is the final verdict.
+
+    The per-function state is flow-sensitive (over {!Dataflow.Make}) and
+    tracks only *pure* scalar locals — [int] variables whose address is
+    never taken — so no call or pointer write can invalidate a tracked
+    binding behind the analysis' back.  Arithmetic is folded with
+    {!Solver.Expr.eval_binop}/[eval_unop], the exact semantics the
+    interpreter executes (native-int wrap-around; division by zero and
+    out-of-range shifts are runtime crashes, so they are never folded).
+    There are deliberately no value-absorbing rules ([0 && e], [e * 0]):
+    even if the *value* is fixed, a condition reading input is dynamically
+    symbolic, and MiniC's strict [&&]/[||] evaluate both sides.
+
+    Soundness of the two outputs:
+    - [branch_const bid = Some v]: every runtime evaluation of branch [bid]
+      yields [v] (evaluations that crash never reach the branch hook);
+    - [is_dead bid]: branch [bid] is never evaluated at runtime (it sits in
+      a dead arm or an unreachable function).
+
+    Constant branches prune dead arms during the analysis itself (the
+    {!Dataflow.visit} hints), which is also what downstream passes consume
+    through {!branch_visit}. *)
+
+open Minic
+
+type cv = Bot | Const of int | Top
+
+let cv_join a b =
+  match a, b with
+  | Bot, x | x, Bot -> x
+  | Const x, Const y when x = y -> a
+  | (Const _ | Top), (Const _ | Top) -> Top
+
+let cv_equal a b =
+  match a, b with
+  | Bot, Bot -> true
+  | Const x, Const y -> x = y
+  | Top, Top -> true
+  | (Bot | Const _ | Top), _ -> false
+
+type config = { analyze_lib : bool }
+
+let default_config = { analyze_lib = true }
+
+(* Cap on distinct constant contexts per function; beyond it new call sites
+   collapse into the all-Top context (sound, less precise). *)
+let max_contexts_per_function = 16
+
+module Smap = Map.Make (struct
+  type t = string * cv list
+
+  let compare = Stdlib.compare
+end)
+
+module SSet = Set.Make (String)
+module SM = Map.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Flow-sensitive domain: constant bindings of the tracked locals of the
+   function under analysis.  Absent = Top, so joins drop disagreeing
+   entries; the lattice height is bounded by the variable count and [join]
+   doubles as a terminating widening. *)
+
+module Dom = struct
+  type t = cv SM.t
+
+  let join a b =
+    SM.merge
+      (fun _ x y ->
+        match x, y with
+        | Some v, Some w ->
+            let j = cv_join v w in
+            if j = Top then None else Some j
+        | _, _ -> None)
+      a b
+
+  let widen = join
+  let equal = SM.equal cv_equal
+end
+
+module Flow = Dataflow.Make (Dom)
+
+type result = {
+  branch_const : int option array;
+      (** condition value, when provably constant across all evaluations *)
+  dead : bool array;  (** branch provably never evaluated at runtime *)
+  contexts : int;  (** (function, context) pairs analysed *)
+  collapsed_contexts : int;  (** call sites folded into the all-Top context *)
+  widened_loops : int;  (** loop fixpoints finished by widening *)
+}
+
+type t = {
+  prog : Program.t;
+  cfg : config;
+  tracked : SSet.t SM.t;  (** per function: pure scalar locals *)
+  all_locals : SSet.t SM.t;  (** per function: every param/local name *)
+  const_globals : int SM.t;  (** provably immutable scalar globals *)
+  branches : cv array;  (** accumulated condition verdict; Bot = dead *)
+  mutable summaries : cv Smap.t;  (** (f, ctx) -> return-value verdict *)
+  mutable dependents : (string * cv list) list Smap.t;
+  mutable queued : (string * cv list) list;
+  mutable in_queue : unit Smap.t;
+  mutable ctx_count : int SM.t;  (** distinct contexts per function *)
+  mutable collapsed : int;
+  stats : Dataflow.stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tracked-variable and immutable-global discovery *)
+
+let locals_of (f : Ast.func) : SSet.t =
+  let s = List.fold_left (fun s (p, _) -> SSet.add p s) SSet.empty f.fparams in
+  List.fold_left (fun s (d : Ast.var_decl) -> SSet.add d.vname s) s f.flocals
+
+(* Pure scalar locals: [int]-typed, address never taken anywhere in the
+   body.  Nothing can alias them, so flow-sensitive bindings survive calls
+   and pointer writes. *)
+let tracked_of (f : Ast.func) : SSet.t =
+  let scalar =
+    List.filter_map
+      (fun (n, ty) -> if Types.equal ty Types.Tint then Some n else None)
+      (f.fparams
+      @ List.map (fun (d : Ast.var_decl) -> (d.vname, d.vtyp)) f.flocals)
+  in
+  let addr_taken =
+    Ast.fold_exprs
+      (fun acc e ->
+        match e with Ast.Addr (Ast.Var x) -> SSet.add x acc | _ -> acc)
+      SSet.empty f.fbody
+  in
+  List.fold_left
+    (fun s n -> if SSet.mem n addr_taken then s else SSet.add n s)
+    SSet.empty scalar
+
+(* Scalar globals with a constant initialiser (or the zero default) that no
+   statement assigns and no pointer can reach: their value is fixed for the
+   whole execution. *)
+let const_globals_of (prog : Program.t) (pta : Pointsto.t) : int SM.t =
+  let candidates =
+    List.filter_map
+      (fun (d : Ast.var_decl) ->
+        if not (Types.equal d.vtyp Types.Tint) then None
+        else
+          match d.vinit with
+          | None -> Some (d.vname, 0)
+          | Some (Ast.Cint n) -> Some (d.vname, n)
+          | Some (Ast.Unop (Ast.Neg, Ast.Cint n)) -> Some (d.vname, -n)
+          | Some _ -> None)
+      prog.globals
+  in
+  let pointed = Pointsto.pointed_cells pta in
+  let assigned = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ast.func) ->
+      let locals = locals_of f in
+      let global_target (lv : Ast.lval) =
+        match lv with
+        | Ast.Var x when not (SSet.mem x locals) -> Hashtbl.replace assigned x ()
+        | Ast.Var _ | Ast.Index _ | Ast.Star _ -> ()
+      in
+      Ast.iter_stmts
+        (fun s ->
+          match s.sdesc with
+          | Sassign (lv, _) -> global_target lv
+          | Scall (Some lv, _, _) -> global_target lv
+          | Scall (None, _, _) | Sif _ | Swhile _ | Sreturn _ | Sbreak
+          | Scontinue | Sblock _ ->
+              ())
+        f.fbody)
+    prog.funcs;
+  List.fold_left
+    (fun m (name, v) ->
+      if Hashtbl.mem assigned name || Aloc.Set.mem (Aloc.Global name) pointed
+      then m
+      else SM.add name v m)
+    SM.empty candidates
+
+(* ------------------------------------------------------------------ *)
+(* Expression folding, with the interpreter's exact semantics *)
+
+let unop_of : Ast.unop -> Solver.Expr.unop = function
+  | Neg -> Solver.Expr.Neg
+  | Lognot -> Solver.Expr.Lognot
+  | Bitnot -> Solver.Expr.Bitnot
+
+let binop_of : Ast.binop -> Solver.Expr.binop = function
+  | Add -> Solver.Expr.Add
+  | Sub -> Solver.Expr.Sub
+  | Mul -> Solver.Expr.Mul
+  | Div -> Solver.Expr.Div
+  | Mod -> Solver.Expr.Mod
+  | Eq -> Solver.Expr.Eq
+  | Ne -> Solver.Expr.Ne
+  | Lt -> Solver.Expr.Lt
+  | Le -> Solver.Expr.Le
+  | Gt -> Solver.Expr.Gt
+  | Ge -> Solver.Expr.Ge
+  | Land -> Solver.Expr.Land
+  | Lor -> Solver.Expr.Lor
+  | Band -> Solver.Expr.Band
+  | Bor -> Solver.Expr.Bor
+  | Bxor -> Solver.Expr.Bxor
+  | Shl -> Solver.Expr.Shl
+  | Shr -> Solver.Expr.Shr
+
+let rec eval_expr t ~fn (state : Dom.t) (e : Ast.expr) : cv =
+  match e with
+  | Cint n -> Const n
+  | Cstr _ | Addr _ -> Top
+  | Lval (Var x) -> (
+      let tracked =
+        match SM.find_opt fn t.tracked with
+        | Some s -> SSet.mem x s
+        | None -> false
+      in
+      if tracked then
+        match SM.find_opt x state with Some v -> v | None -> Top
+      else
+        let is_local =
+          match SM.find_opt fn t.all_locals with
+          | Some s -> SSet.mem x s
+          | None -> false
+        in
+        if is_local then Top
+        else
+          match SM.find_opt x t.const_globals with
+          | Some v -> Const v
+          | None -> Top)
+  | Lval (Index _ | Star _) -> Top
+  | Unop (op, a) -> (
+      match eval_expr t ~fn state a with
+      | Const n -> Const (Solver.Expr.eval_unop (unop_of op) n)
+      | (Bot | Top) as v -> v)
+  | Binop (op, a, b) -> (
+      (* no absorbing rules (0 && e, e * 0, ...): a constant *value* is not
+         enough — if [e] reads input the condition is dynamically symbolic,
+         and MiniC's strict && / || really evaluate both sides, so
+         [0 && (1/0)] crashes and must not fold ([Undefined] handles it) *)
+      match eval_expr t ~fn state a, eval_expr t ~fn state b with
+      | Const x, Const y -> (
+          match Solver.Expr.eval_binop (binop_of op) x y with
+          | v -> Const v
+          | exception Solver.Expr.Undefined -> Top)
+      | Bot, _ | _, Bot -> Bot
+      | (Const _ | Top), (Const _ | Top) -> Top)
+  | Ecall _ -> Top
+
+(* ------------------------------------------------------------------ *)
+(* Worklist, summaries, contexts *)
+
+let enqueue t key =
+  if not (Smap.mem key t.in_queue) then begin
+    t.in_queue <- Smap.add key () t.in_queue;
+    t.queued <- key :: t.queued
+  end
+
+let add_dependent t ~callee ~caller =
+  let cur =
+    match Smap.find_opt callee t.dependents with Some l -> l | None -> []
+  in
+  if not (List.mem caller cur) then
+    t.dependents <- Smap.add callee (caller :: cur) t.dependents
+
+let summary t key =
+  match Smap.find_opt key t.summaries with Some s -> s | None -> Bot
+
+let set_summary t key v =
+  let old = summary t key in
+  let next = cv_join old v in
+  t.summaries <- Smap.add key next t.summaries;
+  if not (cv_equal next old) then
+    match Smap.find_opt key t.dependents with
+    | Some callers -> List.iter (enqueue t) callers
+    | None -> ()
+
+let top_ctx (f : Ast.func) : cv list = List.map (fun _ -> Top) f.fparams
+
+(* Intern a call context, collapsing into all-Top once the per-function
+   budget is spent (recorded in [collapsed]). *)
+let intern_ctx t (f : Ast.func) (ctx : cv list) : cv list =
+  let key = (f.fname, ctx) in
+  if Smap.mem key t.summaries then ctx
+  else
+    let n =
+      match SM.find_opt f.fname t.ctx_count with Some n -> n | None -> 0
+    in
+    if n < max_contexts_per_function then begin
+      t.ctx_count <- SM.add f.fname (n + 1) t.ctx_count;
+      ctx
+    end
+    else begin
+      if List.exists (function Const _ | Bot -> true | Top -> false) ctx then
+        t.collapsed <- t.collapsed + 1;
+      top_ctx f
+    end
+
+(* [Bot] records nothing: either the branch was not reached yet in the
+   rising fixpoint, or it sits behind a call that never returns — in both
+   cases a later pass (or nothing at all, if truly dead) supplies the
+   verdict. *)
+let record_branch t (br : Ast.branch) (v : cv) =
+  if br.bid >= 0 && v <> Bot then
+    t.branches.(br.bid) <- cv_join t.branches.(br.bid) v
+
+let analyzable t (f : Ast.func) = t.cfg.analyze_lib || not f.fis_lib
+
+(* Request analysis of a callee in a context; returns its current summary
+   ([Bot] until some return is seen — optimistic, re-analysed on rise). *)
+let request t ~caller_key (f : Ast.func) (ctx : cv list) : cv =
+  let ctx = intern_ctx t f ctx in
+  let key = (f.fname, ctx) in
+  add_dependent t ~callee:key ~caller:caller_key;
+  if not (Smap.mem key t.summaries) then begin
+    t.summaries <- Smap.add key Bot t.summaries;
+    (match SM.find_opt f.fname t.ctx_count with
+    | None -> t.ctx_count <- SM.add f.fname 1 t.ctx_count
+    | Some _ -> ());
+    enqueue t key
+  end;
+  summary t key
+
+let apply_call t ~fn ~caller_key (state : Dom.t) lvo callee args : Dom.t =
+  let ret : cv =
+    if String.equal callee "spawn" then begin
+      (* the spawned function runs with the given argument; make sure its
+         branches are analysed even though no direct call exists *)
+      (match args with
+      | [ Ast.Cstr target; arg ] -> (
+          match Program.find_func t.prog target with
+          | Some g when analyzable t g ->
+              let bit = eval_expr t ~fn state arg in
+              let n = List.length g.fparams in
+              let ctx =
+                if n = 0 then []
+                else bit :: List.init (n - 1) (fun _ -> Top)
+              in
+              ignore (request t ~caller_key g ctx)
+          | Some _ | None -> ())
+      | _ ->
+          (* unknown spawn target: any function may run *)
+          List.iter
+            (fun (g : Ast.func) ->
+              if analyzable t g then
+                ignore (request t ~caller_key g (top_ctx g)))
+            t.prog.funcs);
+      Top
+    end
+    else if Builtin.is_builtin callee then Top
+    else
+      match Program.find_func t.prog callee with
+      | None -> Top
+      | Some g when not (analyzable t g) -> Top
+      | Some g ->
+          let ctx =
+            List.mapi
+              (fun i (_, pty) ->
+                if not (Types.equal pty Types.Tint) then Top
+                else
+                  match List.nth_opt args i with
+                  | Some a -> eval_expr t ~fn state a
+                  | None -> Top)
+              g.fparams
+          in
+          request t ~caller_key g ctx
+  in
+  match lvo with
+  | Some (Ast.Var x)
+    when match SM.find_opt fn t.tracked with
+         | Some s -> SSet.mem x s
+         | None -> false -> (
+      match ret with
+      | Const _ | Bot -> SM.add x ret state
+      | Top -> SM.remove x state)
+  | Some _ | None -> state
+
+let transfer t ~fn ~caller_key (state : Dom.t) (s : Ast.stmt) : Dom.t =
+  match s.sdesc with
+  | Sassign (Ast.Var x, e)
+    when match SM.find_opt fn t.tracked with
+         | Some s -> SSet.mem x s
+         | None -> false -> (
+      match eval_expr t ~fn state e with
+      | (Const _ | Bot) as v -> SM.add x v state
+      | Top -> SM.remove x state)
+  | Sassign _ -> state (* pointer/array writes cannot reach tracked locals *)
+  | Scall (lvo, callee, args) -> apply_call t ~fn ~caller_key state lvo callee args
+  | Sif _ | Swhile _ | Sreturn _ | Sbreak | Scontinue | Sblock _ -> state
+
+let analyze_one t ((fname, ctx) as key) =
+  match Program.find_func t.prog fname with
+  | None -> ()
+  | Some f ->
+      let tracked =
+        match SM.find_opt fname t.tracked with Some s -> s | None -> SSet.empty
+      in
+      (* parameters from the context; other tracked locals start at the
+         interpreter's zero-initialised value *)
+      let entry =
+        List.fold_left2
+          (fun st (p, _) v ->
+            match v with
+            | (Const _ | Bot) when SSet.mem p tracked -> SM.add p v st
+            | Const _ | Bot | Top -> st)
+          SM.empty f.fparams
+          (if List.length ctx = List.length f.fparams then ctx else top_ctx f)
+      in
+      let entry =
+        List.fold_left
+          (fun st (d : Ast.var_decl) ->
+            if SSet.mem d.vname tracked then SM.add d.vname (Const 0) st else st)
+          entry f.flocals
+      in
+      let ret = ref Bot in
+      let client =
+        {
+          Flow.transfer = (fun st s -> transfer t ~fn:fname ~caller_key:key st s);
+          on_branch =
+            (fun st br cond ->
+              let v = eval_expr t ~fn:fname st cond in
+              record_branch t br v;
+              match v with
+              | Const n when n <> 0 -> Dataflow.Visit_then
+              | Const _ -> Dataflow.Visit_else
+              | Bot | Top -> Dataflow.Visit_both);
+          on_return =
+            (fun st e ->
+              let v =
+                match e with
+                | Some e -> eval_expr t ~fn:fname st e
+                | None -> Const 0 (* [return;] yields 0, like fall-through *)
+              in
+              ret := cv_join !ret v);
+        }
+      in
+      (match Flow.func ~stats:t.stats client entry f.fbody with
+      | Some _ -> ret := cv_join !ret (Const 0) (* fall-through returns 0 *)
+      | None -> ());
+      set_summary t key !ret
+
+(* Branches never evaluated by the fixpoint are provably dead: either their
+   function is unreachable from [main] (and [spawn] targets), or they sit
+   in the pruned arm of a constant branch, or behind a call that provably
+   never returns. *)
+let analyze ?(cfg = default_config) (prog : Program.t) (pta : Pointsto.t) :
+    result =
+  let tracked, all_locals =
+    List.fold_left
+      (fun (tr, al) (f : Ast.func) ->
+        (SM.add f.fname (tracked_of f) tr, SM.add f.fname (locals_of f) al))
+      (SM.empty, SM.empty) prog.funcs
+  in
+  let t =
+    {
+      prog;
+      cfg;
+      tracked;
+      all_locals;
+      const_globals = const_globals_of prog pta;
+      branches = Array.make (Program.nbranches prog) Bot;
+      summaries = Smap.empty;
+      dependents = Smap.empty;
+      queued = [];
+      in_queue = Smap.empty;
+      ctx_count = SM.empty;
+      collapsed = 0;
+      stats = Dataflow.create_stats ();
+    }
+  in
+  (match Program.find_func prog "main" with
+  | Some f -> ignore (request t ~caller_key:("main", []) f (top_ctx f))
+  | None -> ());
+  let iterations = ref 0 in
+  let rec drain () =
+    match t.queued with
+    | [] -> ()
+    | key :: rest ->
+        t.queued <- rest;
+        t.in_queue <- Smap.remove key t.in_queue;
+        incr iterations;
+        if !iterations < 10_000 then begin
+          analyze_one t key;
+          drain ()
+        end
+  in
+  drain ();
+  let n = Array.length t.branches in
+  if t.queued <> [] then
+    (* worklist exhausted before the fixpoint: no constancy or deadness
+       claim is trustworthy *)
+    {
+      branch_const = Array.make n None;
+      dead = Array.make n false;
+      contexts = Smap.cardinal t.summaries;
+      collapsed_contexts = t.collapsed;
+      widened_loops = t.stats.widened_loops;
+    }
+  else
+    {
+      branch_const =
+        Array.map
+          (function Const v -> Some v | Bot | Top -> None)
+          t.branches;
+      dead = Array.map (function Bot -> true | Const _ | Top -> false) t.branches;
+      contexts = Smap.cardinal t.summaries;
+      collapsed_contexts = t.collapsed;
+      widened_loops = t.stats.widened_loops;
+    }
+
+let branch_const_value (r : result) bid =
+  if bid < 0 || bid >= Array.length r.branch_const then None
+  else r.branch_const.(bid)
+
+let is_dead (r : result) bid =
+  bid >= 0 && bid < Array.length r.dead && r.dead.(bid)
+
+let n_const (r : result) =
+  Array.fold_left
+    (fun n v -> if Option.is_some v then n + 1 else n)
+    0 r.branch_const
+
+let n_dead (r : result) =
+  Array.fold_left (fun n d -> if d then n + 1 else n) 0 r.dead
+
+(** Arm-visit hint for downstream flow-sensitive passes: which arms of a
+    branch can execute, given the constancy verdict. *)
+let branch_visit (r : result) bid : Dataflow.visit =
+  match branch_const_value r bid with
+  | Some v when v <> 0 -> Dataflow.Visit_then
+  | Some _ -> Dataflow.Visit_else
+  | None -> Dataflow.Visit_both

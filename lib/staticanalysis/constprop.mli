@@ -1,0 +1,51 @@
+(** Interprocedural constant propagation and folding.
+
+    Runs after {!Pointsto} and before {!Taint}: proves branch conditions
+    constant (so {!Static} can label them [Concrete] regardless of taint)
+    and identifies provably dead branches (pruned arms of constant
+    branches, functions unreachable from [main] and [spawn] targets).
+
+    Only *pure* scalar locals — [int] variables whose address is never
+    taken — are tracked flow-sensitively, so the bindings are immune to
+    pointer writes and callee side effects.  Folding uses
+    {!Solver.Expr.eval_binop} / [eval_unop], the interpreter's exact
+    semantics; expressions that would crash at runtime (division by zero,
+    out-of-range shifts) are never folded. *)
+
+(** Optimistic value lattice, [Bot <= Const v <= Top].  [Bot] is the
+    not-yet-computed / unreachable element: unresolved call summaries start
+    there and only rise, so interprocedural constants survive the fixpoint
+    ([Top] would leak into callers analysed before their callees). *)
+type cv = Bot | Const of int | Top
+
+type config = { analyze_lib : bool }
+
+val default_config : config
+
+(** Distinct constant contexts analysed per function before new call sites
+    collapse into the all-[Top] context. *)
+val max_contexts_per_function : int
+
+type result = {
+  branch_const : int option array;
+      (** per-bid condition value, when provably constant *)
+  dead : bool array;  (** per-bid: branch provably never evaluated *)
+  contexts : int;  (** (function, context) pairs analysed *)
+  collapsed_contexts : int;  (** call sites folded into the all-Top context *)
+  widened_loops : int;  (** loop fixpoints finished by widening *)
+}
+
+val analyze : ?cfg:config -> Minic.Program.t -> Pointsto.t -> result
+
+(** [Some v] iff every runtime evaluation of branch [bid] yields [v].
+    Out-of-range bids return [None]. *)
+val branch_const_value : result -> int -> int option
+
+(** Branch [bid] is provably never evaluated at runtime. *)
+val is_dead : result -> int -> bool
+
+val n_const : result -> int
+val n_dead : result -> int
+
+(** Arm-visit hint for downstream flow-sensitive passes. *)
+val branch_visit : result -> int -> Dataflow.visit

@@ -7,16 +7,45 @@
     escaping paths (break/continue/return) are collected and joined where
     they land.
 
-    The state type is supplied by the client as a join-semilattice; the
-    framework guarantees termination whenever the client's lattice has
-    finite height (joins eventually stop changing). *)
+    The state type is supplied by the client as a join-semilattice.  Loop
+    heads iterate with [D.join] for up to {!loop_fixpoint_cap} rounds; past
+    the cap the framework switches to [D.widen], whose contract (stabilise
+    in finitely many steps) guarantees termination for any client lattice
+    while keeping the result an over-approximation — the previous behaviour
+    of silently bailing out mid-climb was unsound for slow lattices.  Each
+    widened loop is counted in the optional {!stats} record so analyses can
+    surface the precision loss. *)
 
 open Minic
+
+(** Arm-pruning hint returned by the client when it reaches a branch: which
+    successors are feasible.  A client that proves the condition constant
+    returns [Visit_then] / [Visit_else] and the framework skips the dead
+    arm (for a [while], [Visit_then] means the loop never falls out of its
+    condition — the exit state comes from [break]s only — and [Visit_else]
+    means the body never runs).  [Visit_both] is always sound. *)
+type visit = Visit_both | Visit_then | Visit_else
+
+(** Loop-head iteration budget under plain joins; after this many rounds
+    the framework joins with [D.widen] instead (it never bails out). *)
+let loop_fixpoint_cap = 200
+
+(** Per-analysis counters: [widened_loops] is the number of loop fixpoints
+    that exceeded {!loop_fixpoint_cap} and were finished by widening. *)
+type stats = { mutable widened_loops : int }
+
+let create_stats () = { widened_loops = 0 }
 
 module type DOMAIN = sig
   type t
 
   val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen prev next] over-approximates both arguments and must make any
+      chain [x, widen x y1, widen (widen x y1) y2, ...] stabilise in
+      finitely many steps.  For finite-height lattices [join] qualifies. *)
+
   val equal : t -> t -> bool
 end
 
@@ -24,8 +53,9 @@ module Make (D : DOMAIN) = struct
   type client = {
     transfer : D.t -> Ast.stmt -> D.t;
         (** straight-line statements only: [Sassign] and [Scall] *)
-    on_branch : D.t -> Ast.branch -> Ast.expr -> unit;
-        (** called with the state reaching a branch condition *)
+    on_branch : D.t -> Ast.branch -> Ast.expr -> visit;
+        (** called with the state reaching a branch condition; the returned
+            hint prunes provably dead arms ([Visit_both] when unknown) *)
     on_return : D.t -> Ast.expr option -> unit;
   }
 
@@ -43,8 +73,8 @@ module Make (D : DOMAIN) = struct
 
   type loop_ctx = { mutable breaks : D.t option; mutable continues : D.t option }
 
-  let rec stmt client (loop : loop_ctx option) (state : D.t option) (s : Ast.stmt)
-      : D.t option =
+  let rec stmt client ~stats (loop : loop_ctx option) (state : D.t option)
+      (s : Ast.stmt) : D.t option =
     match state with
     | None -> None
     | Some st -> (
@@ -63,37 +93,63 @@ module Make (D : DOMAIN) = struct
             | Some l -> l.continues <- join_opt l.continues (Some st)
             | None -> ());
             None
-        | Sblock b -> block client loop state b
-        | Sif (br, cond, then_b, else_b) ->
-            client.on_branch st br cond;
-            let t_out = block client loop (Some st) then_b in
-            let e_out = block client loop (Some st) else_b in
-            join_opt t_out e_out
+        | Sblock b -> block client ~stats loop state b
+        | Sif (br, cond, then_b, else_b) -> (
+            match client.on_branch st br cond with
+            | Visit_both ->
+                let t_out = block client ~stats loop (Some st) then_b in
+                let e_out = block client ~stats loop (Some st) else_b in
+                join_opt t_out e_out
+            | Visit_then -> block client ~stats loop (Some st) then_b
+            | Visit_else -> block client ~stats loop (Some st) else_b)
         | Swhile (br, cond, body) ->
+            let widened = ref false in
             let rec fix head iters =
               let ctx = { breaks = None; continues = None } in
-              client.on_branch head br cond;
-              let body_out = block client (Some ctx) (Some head) body in
-              let next_head =
-                match join_opt (Some head) (join_opt body_out ctx.continues) with
-                | Some h -> h
-                | None -> head
-              in
-              if D.equal next_head head || iters > 200 then
-                (* exit state: condition-false path from the stable head,
-                   joined with any break states *)
-                join_opt (Some head) ctx.breaks
-              else fix next_head (iters + 1)
+              match client.on_branch head br cond with
+              | Visit_else ->
+                  (* body provably never entered from this head *)
+                  join_opt (Some head) ctx.breaks
+              | (Visit_both | Visit_then) as v -> (
+                  let body_out = block client ~stats (Some ctx) (Some head) body in
+                  let next_head =
+                    match join_opt (Some head) (join_opt body_out ctx.continues) with
+                    | Some h -> h
+                    | None -> head
+                  in
+                  let next_head =
+                    if iters >= loop_fixpoint_cap then begin
+                      if not !widened then begin
+                        widened := true;
+                        match stats with
+                        | Some (s : stats) ->
+                            s.widened_loops <- s.widened_loops + 1
+                        | None -> ()
+                      end;
+                      D.widen head next_head
+                    end
+                    else next_head
+                  in
+                  if D.equal next_head head then
+                    (* exit state: condition-false path from the stable head
+                       (impossible when the condition is provably true),
+                       joined with any break states *)
+                    match v with
+                    | Visit_then -> ctx.breaks
+                    | Visit_both | Visit_else ->
+                        join_opt (Some head) ctx.breaks
+                  else fix next_head (iters + 1))
             in
             fix st 0)
 
-  and block client loop state (b : Ast.block) : D.t option =
-    List.fold_left (fun st s -> stmt client loop st s) state b
+  and block client ~stats loop state (b : Ast.block) : D.t option =
+    List.fold_left (fun st s -> stmt client ~stats loop st s) state b
 
   (** Analyze a function body from an entry state; returns the fall-through
-      exit state ([None] if all paths return). *)
-  let func client (entry : D.t) (body : Ast.block) : D.t option =
-    block client None (Some entry) body
+      exit state ([None] if all paths return).  [stats] accumulates widening
+      counts across calls. *)
+  let func ?stats client (entry : D.t) (body : Ast.block) : D.t option =
+    block client ~stats None (Some entry) body
 
   let _ = equal_opt
 end

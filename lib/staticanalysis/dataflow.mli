@@ -4,13 +4,38 @@
     framework interprets the tree abstractly: branch arms are joined, loop
     bodies iterate to a fixpoint (the paper's "fixed-point dataflow
     algorithm"), and escaping paths (break/continue/return) are collected
-    where they land.  Termination is guaranteed for finite-height client
-    lattices. *)
+    where they land.  Loop heads iterate with [join] for up to
+    {!loop_fixpoint_cap} rounds, then finish with [widen] — termination is
+    guaranteed for any client lattice whose [widen] stabilises, and the
+    result is always an over-approximation (the framework never bails out
+    of an unfinished climb). *)
+
+(** Arm-pruning hint returned by the client at a branch: [Visit_then] /
+    [Visit_else] skip the provably dead arm (for a [while], [Visit_then]
+    exits only through [break]s and [Visit_else] skips the body);
+    [Visit_both] is always sound. *)
+type visit = Visit_both | Visit_then | Visit_else
+
+(** Loop-head iteration budget under plain joins; past it the framework
+    switches to the domain's [widen]. *)
+val loop_fixpoint_cap : int
+
+(** Per-analysis counters: number of loop fixpoints finished by widening
+    (each one is a precision-loss warning the client should surface). *)
+type stats = { mutable widened_loops : int }
+
+val create_stats : unit -> stats
 
 module type DOMAIN = sig
   type t
 
   val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen prev next] over-approximates both arguments and must make
+      repeated widening stabilise in finitely many steps.  For finite-height
+      lattices [join] qualifies. *)
+
   val equal : t -> t -> bool
 end
 
@@ -18,12 +43,14 @@ module Make (D : DOMAIN) : sig
   type client = {
     transfer : D.t -> Minic.Ast.stmt -> D.t;
         (** straight-line statements only ([Sassign] and [Scall]) *)
-    on_branch : D.t -> Minic.Ast.branch -> Minic.Ast.expr -> unit;
-        (** called with the state reaching a branch condition *)
+    on_branch : D.t -> Minic.Ast.branch -> Minic.Ast.expr -> visit;
+        (** called with the state reaching a branch condition; the returned
+            hint prunes provably dead arms *)
     on_return : D.t -> Minic.Ast.expr option -> unit;
   }
 
   (** Analyze a function body from an entry state; returns the fall-through
-      exit state ([None] if no path falls through). *)
-  val func : client -> D.t -> Minic.Ast.block -> D.t option
+      exit state ([None] if no path falls through).  [stats] accumulates
+      widening counts across calls. *)
+  val func : ?stats:stats -> client -> D.t -> Minic.Ast.block -> D.t option
 end

@@ -122,6 +122,20 @@ let pass t changed =
               if not (Aloc.Set.is_empty rhs) then
                 Aloc.Set.iter (fun a -> add_pts t a rhs changed) (denotes t ~fn lv)
           | Scall (lvo, callee, args) -> (
+              (* a spawned thread runs its target with the given argument:
+                 bind it to the target's first parameter *)
+              (match callee, args with
+              | "spawn", [ Cstr target; arg ] -> (
+                  match Program.find_func t.prog target with
+                  | Some g -> (
+                      match g.fparams with
+                      | (pname, _) :: _ ->
+                          let rhs = points t ~fn arg in
+                          if not (Aloc.Set.is_empty rhs) then
+                            add_pts t (Aloc.Local (target, pname)) rhs changed
+                      | [] -> ())
+                  | None -> ())
+              | _ -> ());
               (match Program.find_func t.prog callee with
               | Some g ->
                   (* bind actuals to formal cells *)
@@ -173,3 +187,8 @@ let points_of t ~fn e = points t ~fn e
 let denotes_of t ~fn lv = denotes t ~fn lv
 
 let aloc_of t ~fn x = aloc_of_var t ~fn x
+
+(** Union of every points-to set: the cells some pointer may reach.  A cell
+    absent from this set can only be accessed by name. *)
+let pointed_cells t =
+  Aloc.Map.fold (fun _ s acc -> Aloc.Set.union s acc) t.pts Aloc.Set.empty

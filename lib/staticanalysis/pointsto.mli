@@ -23,3 +23,7 @@ val aloc_of : t -> fn:string -> string -> Aloc.t
 
 (** Static type of variable [x] as seen from [fn] ([Tint] if unknown). *)
 val var_type : t -> fn:string -> string -> Minic.Types.t
+
+(** Union of every points-to set: the cells some pointer may reach.  A cell
+    absent from this set can only be accessed by name. *)
+val pointed_cells : t -> Aloc.Set.t

@@ -1,0 +1,61 @@
+(** Precision report: static labels vs dynamic ground truth.
+
+    Diffs a static labelling against the dynamic analysis' observed labels
+    and issues per-branch verdicts; [Missed] (a dynamically-symbolic branch
+    labelled [Concrete]) is a soundness violation and is reported loudly.
+    The [spurious_rate] is the headline precision metric tracked by the
+    bench tables.  Rendered as text ([to_text]) or dependency-free JSON
+    ([to_json]). *)
+
+type verdict =
+  | Confirmed  (** static Symbolic, dynamic Symbolic *)
+  | Spurious  (** static Symbolic, dynamic Concrete: over-approximation *)
+  | Unknown  (** static Symbolic, branch never visited dynamically *)
+  | Missed  (** static Concrete, dynamic Symbolic: SOUNDNESS VIOLATION *)
+  | Agree_concrete  (** both Concrete *)
+  | Unobserved  (** static Concrete, never visited dynamically *)
+
+val verdict_to_string : verdict -> string
+val classify : Minic.Label.t -> Minic.Label.t -> verdict
+
+type entry = {
+  bid : int;
+  loc : Minic.Loc.t;
+  func : string;
+  is_lib : bool;
+  static_label : Minic.Label.t;
+  dynamic_label : Minic.Label.t;
+  verdict : verdict;
+  const_value : int option;  (** condition proved constant by constprop *)
+  dead : bool;  (** branch proved dead by constprop *)
+  witness : string option;  (** provenance chain for symbolic labels *)
+}
+
+type report = {
+  entries : entry array;
+  n_confirmed : int;
+  n_spurious : int;
+  n_unknown : int;
+  n_missed : int;
+  n_agree_concrete : int;
+  n_unobserved : int;
+  spurious_rate : float;
+      (** spurious / (confirmed + spurious); 0 when nothing refutable *)
+}
+
+val make :
+  ?constprop:Constprop.result ->
+  ?provenance:Provenance.t ->
+  Minic.Program.t ->
+  static:Minic.Label.map ->
+  dynamic:Minic.Label.map ->
+  report
+
+val n_static_symbolic : report -> int
+val entry_to_string : entry -> string
+
+(** Human-readable report; [all] lists every branch instead of only the
+    symbolic-labelled and [Missed] ones. *)
+val to_text : ?all:bool -> report -> string
+
+val to_json : report -> string

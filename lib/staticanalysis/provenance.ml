@@ -1,0 +1,98 @@
+(** Taint provenance: witness chains for [Symbolic] labels.
+
+    The taint analysis records, for every abstract location it taints, the
+    *first* event that tainted it (input builtin, assignment, call return,
+    argument binding, conservative library call) together with the source
+    location and the upstream tainted location it copied from.  Following
+    the [from] links yields a witness chain
+
+      branch condition reads [aloc] <- assigned at [loc] from [aloc'] <-
+      ... <- input from [arg()] at [loc'']
+
+    explaining *why* the analysis considers a branch symbolic.  First-wins
+    recording keeps chains acyclic-by-construction in the common case and
+    cheap: the map only grows while the monotone tainted set grows.
+
+    Witnesses are diagnostics, not proofs: they describe the analysis'
+    reasoning and are meant for debugging spurious labels (which hop of the
+    chain over-approximates, e.g. a collapsed array or a weak update). *)
+
+open Minic
+
+type step =
+  | Source of string  (** input-returning / arg-tainting builtin *)
+  | Assign  (** direct assignment of a tainted expression *)
+  | Call_return of string  (** tainted return value of [callee] *)
+  | Call_argument of string * int
+      (** bound to parameter [i] at a call to [callee] *)
+  | Library_call of string
+      (** conservative un-analysed library call ([analyze_lib = false]) *)
+
+type edge = { step : step; loc : Loc.t; from : Aloc.t option }
+
+(** Why a branch was labelled symbolic. *)
+type witness =
+  | Reads of Aloc.t  (** condition reads this tainted location *)
+  | Lib_forced  (** library branch forced symbolic (analyze-lib off) *)
+
+type t = {
+  mutable why : edge Aloc.Map.t;  (** first tainting event per location *)
+  branch : witness option array;  (** by branch id *)
+}
+
+let create ~nbranches = { why = Aloc.Map.empty; branch = Array.make nbranches None }
+
+(* First writer wins: the first event that tainted a location is its
+   provenance; later re-taints don't rewrite history. *)
+let record t a edge = if not (Aloc.Map.mem a t.why) then t.why <- Aloc.Map.add a edge t.why
+
+let record_branch t bid w =
+  if bid >= 0 && bid < Array.length t.branch && t.branch.(bid) = None then
+    t.branch.(bid) <- Some w
+
+let branch_witness t bid =
+  if bid >= 0 && bid < Array.length t.branch then t.branch.(bid) else None
+
+let chain_limit = 20
+
+(** Witness chain for a tainted location: the recorded edges from [a] back
+    toward an input source, cycle-guarded and capped at {!chain_limit}. *)
+let chain t (a : Aloc.t) : (Aloc.t * edge) list =
+  let rec follow seen acc a n =
+    if n >= chain_limit || Aloc.Set.mem a seen then List.rev acc
+    else
+      match Aloc.Map.find_opt a t.why with
+      | None -> List.rev acc
+      | Some e -> (
+          let acc = (a, e) :: acc in
+          match e.from with
+          | Some b -> follow (Aloc.Set.add a seen) acc b (n + 1)
+          | None -> List.rev acc)
+  in
+  follow Aloc.Set.empty [] a 0
+
+let step_to_string = function
+  | Source b -> Printf.sprintf "input from %s()" b
+  | Assign -> "assigned"
+  | Call_return f -> Printf.sprintf "returned by %s()" f
+  | Call_argument (f, i) -> Printf.sprintf "passed as arg %d to %s()" i f
+  | Library_call f -> Printf.sprintf "written by un-analysed library call %s()" f
+
+let edge_to_string (a, e) =
+  let src = match e.from with Some b -> Printf.sprintf " from %s" (Aloc.to_string b) | None -> "" in
+  Printf.sprintf "%s %s%s (%s:%d)" (Aloc.to_string a) (step_to_string e.step) src
+    e.loc.Loc.file e.loc.Loc.line
+
+(** One-line human-readable explanation of a symbolic branch, or [None] if
+    the branch has no recorded witness. *)
+let explain_branch t bid : string option =
+  match branch_witness t bid with
+  | None -> None
+  | Some Lib_forced ->
+      Some "library branch: forced symbolic (library analysis disabled)"
+  | Some (Reads a) ->
+      let hops = chain t a in
+      let head = Printf.sprintf "condition reads %s" (Aloc.to_string a) in
+      if hops = [] then Some head
+      else
+        Some (head ^ " <- " ^ String.concat " <- " (List.map edge_to_string hops))

@@ -1,0 +1,44 @@
+(** Taint provenance: witness chains for [Symbolic] labels.
+
+    Populated by {!Taint} as it propagates: for every abstract location the
+    first tainting event is recorded (first-wins), and for every branch
+    labelled symbolic the location its condition reads.  Following the
+    [from] links yields the chain input source -> hops -> branch condition
+    shown by [minic analyze --report].  Witnesses are diagnostics for
+    debugging spurious labels, not proofs. *)
+
+type step =
+  | Source of string  (** input-returning / arg-tainting builtin *)
+  | Assign  (** direct assignment of a tainted expression *)
+  | Call_return of string  (** tainted return value of [callee] *)
+  | Call_argument of string * int
+      (** bound to parameter [i] at a call to [callee] *)
+  | Library_call of string
+      (** conservative un-analysed library call ([analyze_lib = false]) *)
+
+type edge = { step : step; loc : Minic.Loc.t; from : Aloc.t option }
+
+(** Why a branch was labelled symbolic. *)
+type witness = Reads of Aloc.t | Lib_forced
+
+type t
+
+val create : nbranches:int -> t
+
+(** Record the first tainting event for a location (later calls no-op). *)
+val record : t -> Aloc.t -> edge -> unit
+
+(** Record why a branch is symbolic (first caller wins). *)
+val record_branch : t -> int -> witness -> unit
+
+val branch_witness : t -> int -> witness option
+
+(** Witness chain from a tainted location back toward an input source;
+    cycle-guarded, capped. *)
+val chain : t -> Aloc.t -> (Aloc.t * edge) list
+
+val step_to_string : step -> string
+val edge_to_string : Aloc.t * edge -> string
+
+(** One-line explanation of a symbolic branch ([None] when unwitnessed). *)
+val explain_branch : t -> int -> string option

@@ -1,5 +1,5 @@
 (** Interprocedural symbolic-variable propagation (the paper's Algorithms 1
-    and 2).
+    and 2), with strong-update refinement and provenance recording.
 
     Identifies the sources of input (argv via [arg], I/O via [read], and
     the return values of input-returning builtins), propagates "symbolic"
@@ -17,6 +17,25 @@
       information (weak updates only — one of the imprecision sources the
       paper attributes to its static method).
 
+    Precision refinements (on by default, [strong_updates = false] restores
+    the seed behaviour):
+    - *tracked cells*: scalar (non-array) locals of the function under
+      analysis are consulted flow-sensitively only — the monotone global
+      set is re-imported into the flow state at entry and after every call
+      (calls are the only scheduling points, so this also covers
+      cross-thread writes), which makes unconditional kills sound:
+      [x = concrete] untaints [x] even if its address escapes;
+    - *strong updates through singleton pointers*: [*p = concrete] kills
+      the taint of the pointed-to cell when the points-to set is provably a
+      single scalar local of the current, non-recursive function (a
+      recursive function may alias another frame's local under our
+      frame-collapsed abstraction);
+    - when a {!Constprop} result is supplied, provably dead branch arms are
+      pruned during the flow analysis (their writes never execute).
+
+    Every tainting event is recorded in a {!Provenance} tracker so each
+    [Symbolic] label carries a witness chain back to its input source.
+
     When [analyze_lib] is false, library functions are not analysed: calls
     into them get a conservative summary and all their branches are labelled
     symbolic, reproducing §5.3's treatment of uClibc. *)
@@ -32,21 +51,26 @@ module Summary_key = struct
 end
 
 module Smap = Map.Make (Summary_key)
+module SSet = Set.Make (String)
 
-type config = { analyze_lib : bool }
+type config = { analyze_lib : bool; strong_updates : bool }
 
-let default_config = { analyze_lib = true }
+let default_config = { analyze_lib = true; strong_updates = true }
 
 type t = {
   prog : Program.t;
   pta : Pointsto.t;
   cfg : config;
+  constprop : Constprop.result option;  (** dead-arm pruning hints *)
+  prov : Provenance.t;
+  recursive : SSet.t;  (** functions on a call-graph cycle *)
   mutable tainted : Aloc.Set.t;  (** monotone: arrays, pointees, globals *)
   mutable summaries : bool Smap.t;  (** (f, ctx) -> return value tainted *)
   mutable dependents : Summary_key.t list Smap.t;  (** callee -> callers *)
   mutable queued : Summary_key.t list;
   mutable in_queue : unit Smap.t;
   symbolic_branches : bool array;  (** by branch id *)
+  stats : Dataflow.stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -57,6 +81,7 @@ module Dom = struct
   type t = Aloc.Set.t
 
   let join = Aloc.Set.union
+  let widen = join
   let equal = Aloc.Set.equal
 end
 
@@ -67,27 +92,54 @@ let global_tainted t a = Aloc.Set.mem a t.tainted
 let mark_global t a =
   if not (Aloc.Set.mem a t.tainted) then t.tainted <- Aloc.Set.add a t.tainted
 
-(* Taint cells reached through pointers, arrays or globals: these must be
+let is_scalar t ~fn x =
+  match Pointsto.var_type t.pta ~fn x with
+  | Types.Tarr _ -> false
+  | _ -> true
+
+(* Tracked cells are consulted flow-sensitively *only*: scalar locals of
+   the function under analysis, when strong updates are enabled.  Their
+   global taint is re-imported at entry and after calls, so a kill between
+   calls is sound even for address-taken locals. *)
+let tracked t ~fn (a : Aloc.t) =
+  t.cfg.strong_updates
+  &&
+  match a with
+  | Aloc.Local (f, x) when String.equal f fn -> is_scalar t ~fn x
+  | Aloc.Local _ | Aloc.Global _ | Aloc.Strlit _ | Aloc.Ret _ -> false
+
+(* Taint cells reached through pointers, arrays or globals.  These must be
    visible to every function (a callee reads a caller's buffer through its
-   points-to set), so they go into the monotone global set. *)
-let taint_globally t cells = Aloc.Set.iter (mark_global t) cells
+   points-to set), so they go into the monotone global set; tracked cells
+   additionally enter the flow state, which is authoritative for them. *)
+let taint_cells t ~fn ~edge (state : Dom.t) cells : Dom.t =
+  Aloc.Set.fold
+    (fun a st ->
+      mark_global t a;
+      Provenance.record t.prov a edge;
+      if tracked t ~fn a then Aloc.Set.add a st else st)
+    cells state
 
 (* Taint the target of a direct assignment.  Only a scalar local of the
    current function stays in the flow-sensitive state; everything reached
    through memory goes global. *)
-let taint_lval t ~fn (state : Dom.t) (lv : Ast.lval) : Dom.t =
+let taint_lval t ~fn ~edge (state : Dom.t) (lv : Ast.lval) : Dom.t =
   match lv with
   | Ast.Var x -> (
       match Pointsto.aloc_of t.pta ~fn x with
-      | Aloc.Local (f, _) as a when String.equal f fn -> Aloc.Set.add a state
+      | Aloc.Local (f, _) as a when String.equal f fn ->
+          Provenance.record t.prov a edge;
+          Aloc.Set.add a state
       | a ->
           mark_global t a;
+          Provenance.record t.prov a edge;
           state)
   | Ast.Index _ | Ast.Star _ ->
-      taint_globally t (Pointsto.denotes_of t.pta ~fn lv);
-      state
+      taint_cells t ~fn ~edge state (Pointsto.denotes_of t.pta ~fn lv)
 
-let cell_tainted t state a = Aloc.Set.mem a state || global_tainted t a
+let cell_tainted t ~fn state a =
+  if tracked t ~fn a then Aloc.Set.mem a state
+  else Aloc.Set.mem a state || global_tainted t a
 
 (* Value-taint of an expression: true if evaluating it may read symbolic
    data.  Addresses themselves are never symbolic. *)
@@ -95,10 +147,29 @@ let rec expr_tainted t ~fn state (e : Ast.expr) : bool =
   match e with
   | Cint _ | Cstr _ | Addr _ -> false
   | Lval lv ->
-      Aloc.Set.exists (cell_tainted t state) (Pointsto.denotes_of t.pta ~fn lv)
+      Aloc.Set.exists (cell_tainted t ~fn state) (Pointsto.denotes_of t.pta ~fn lv)
   | Unop (_, a) -> expr_tainted t ~fn state a
   | Binop (_, a, b) -> expr_tainted t ~fn state a || expr_tainted t ~fn state b
   | Ecall _ -> true (* normalised ASTs have no expression calls; be safe *)
+
+(* Witness for provenance chains: some tainted location the expression
+   reads (mirrors [expr_tainted]). *)
+let rec first_tainted_aloc t ~fn state (e : Ast.expr) : Aloc.t option =
+  match e with
+  | Cint _ | Cstr _ | Addr _ | Ecall _ -> None
+  | Lval lv ->
+      Aloc.Set.fold
+        (fun a acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> if cell_tainted t ~fn state a then Some a else None)
+        (Pointsto.denotes_of t.pta ~fn lv)
+        None
+  | Unop (_, a) -> first_tainted_aloc t ~fn state a
+  | Binop (_, a, b) -> (
+      match first_tainted_aloc t ~fn state a with
+      | Some _ as r -> r
+      | None -> first_tainted_aloc t ~fn state b)
 
 (* Argument taint as used for contexts: symbolic value. *)
 let arg_bits t ~fn state args = List.map (expr_tainted t ~fn state) args
@@ -107,7 +178,18 @@ let arg_bits t ~fn state args = List.map (expr_tainted t ~fn state) args
    Used for conservative (library / unknown) summaries. *)
 let arg_reaches_taint t ~fn state arg =
   expr_tainted t ~fn state arg
-  || Aloc.Set.exists (cell_tainted t state) (Pointsto.points_of t.pta ~fn arg)
+  || Aloc.Set.exists (cell_tainted t ~fn state) (Pointsto.points_of t.pta ~fn arg)
+
+(* Re-import globally tainted tracked cells into the flow state.  Done at
+   entry and after every call: calls are the only points where another
+   function (or thread — calls are the scheduling points) can write a
+   local through an escaped pointer. *)
+let reimport t (scalars : Aloc.t list) (state : Dom.t) : Dom.t =
+  if not t.cfg.strong_updates then state
+  else
+    List.fold_left
+      (fun st a -> if global_tainted t a then Aloc.Set.add a st else st)
+      state scalars
 
 (* ------------------------------------------------------------------ *)
 (* Worklist *)
@@ -137,80 +219,175 @@ let set_summary t key v =
   else if not (Smap.mem key t.summaries) then
     t.summaries <- Smap.add key v t.summaries
 
+let request t key =
+  if not (Smap.mem key t.summaries) then begin
+    t.summaries <- Smap.add key false t.summaries;
+    enqueue t key
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Transfer functions *)
 
-let apply_builtin t ~fn state lvo name args =
+let record_param_taint t ~loc ~callee ~from i (g : Ast.func) =
+  match List.nth_opt g.fparams i with
+  | Some (p, _) ->
+      Provenance.record t.prov
+        (Aloc.Local (callee, p))
+        { Provenance.step = Provenance.Call_argument (callee, i); loc; from }
+  | None -> ()
+
+(* A spawned thread runs its target with the given argument: analyse the
+   target in the matching context even though no direct call edge exists. *)
+let apply_spawn t ~fn ~loc state args =
+  match args with
+  | Ast.Cstr target :: arg :: _ -> (
+      match Program.find_func t.prog target with
+      | Some g when not (g.fis_lib && not t.cfg.analyze_lib) ->
+          let bit = expr_tainted t ~fn state arg in
+          let n = List.length g.fparams in
+          let bits =
+            if n = 0 then [] else bit :: List.init (n - 1) (fun _ -> false)
+          in
+          if bit then
+            record_param_taint t ~loc ~callee:target
+              ~from:(first_tainted_aloc t ~fn state arg)
+              0 g;
+          request t (target, bits)
+      | Some _ | None -> ())
+  | _ ->
+      (* unknown spawn target: any function may run, with unknown input *)
+      List.iter
+        (fun (g : Ast.func) ->
+          if not (g.fis_lib && not t.cfg.analyze_lib) then
+            request t (g.fname, List.map (fun _ -> true) g.fparams))
+        t.prog.funcs
+
+let apply_builtin t ~fn ~loc state lvo name args =
   match Builtin.find name with
   | None -> state
   | Some b ->
+      let edge = { Provenance.step = Provenance.Source name; loc; from = None } in
       (* pointer arguments receiving input: taint their pointees *)
-      List.iter
-        (fun i ->
-          match List.nth_opt args i with
-          | Some arg -> taint_globally t (Pointsto.points_of t.pta ~fn arg)
-          | None -> ())
-        b.taints_args;
+      let state =
+        List.fold_left
+          (fun st i ->
+            match List.nth_opt args i with
+            | Some arg -> taint_cells t ~fn ~edge st (Pointsto.points_of t.pta ~fn arg)
+            | None -> st)
+          state b.taints_args
+      in
       (* input-returning builtins taint their result *)
       match lvo, b.returns_input with
-      | Some lv, true -> taint_lval t ~fn state lv
+      | Some lv, true -> taint_lval t ~fn ~edge state lv
       | _ -> state
 
-let conservative_lib_call t ~fn state lvo args =
+let conservative_lib_call t ~fn ~loc state lvo callee args =
   let any = List.exists (arg_reaches_taint t ~fn state) args in
   if not any then state
   else begin
     (* assume the callee may copy input anywhere reachable from its
        pointer arguments (strcpy-style) and return input *)
-    List.iter
-      (fun arg -> taint_globally t (Pointsto.points_of t.pta ~fn arg))
-      args;
+    let from =
+      List.find_map (fun arg -> first_tainted_aloc t ~fn state arg) args
+    in
+    let edge = { Provenance.step = Provenance.Library_call callee; loc; from } in
+    let state =
+      List.fold_left
+        (fun st arg -> taint_cells t ~fn ~edge st (Pointsto.points_of t.pta ~fn arg))
+        state args
+    in
     match lvo with
-    | Some lv -> taint_lval t ~fn state lv
+    | Some lv -> taint_lval t ~fn ~edge state lv
     | None -> state
   end
 
-let apply_call t ~fn ~caller_key state lvo callee args =
-  if Builtin.is_builtin callee then apply_builtin t ~fn state lvo callee args
+let apply_call t ~fn ~caller_key ~loc state lvo callee args =
+  if String.equal callee "spawn" then begin
+    apply_spawn t ~fn ~loc state args;
+    state
+  end
+  else if Builtin.is_builtin callee then apply_builtin t ~fn ~loc state lvo callee args
   else
     match Program.find_func t.prog callee with
     | None -> state
     | Some g when g.fis_lib && not t.cfg.analyze_lib ->
-        conservative_lib_call t ~fn state lvo args
-    | Some _ ->
+        conservative_lib_call t ~fn ~loc state lvo callee args
+    | Some g ->
         let bits = arg_bits t ~fn state args in
+        List.iteri
+          (fun i bit ->
+            if bit then
+              record_param_taint t ~loc ~callee
+                ~from:(first_tainted_aloc t ~fn state (List.nth args i))
+                i g)
+          bits;
         let key = (callee, bits) in
         add_dependent t ~callee:key ~caller:caller_key;
-        if not (Smap.mem key t.summaries) then begin
-          t.summaries <- Smap.add key false t.summaries;
-          enqueue t key
-        end;
+        request t key;
         if summary t key then
+          let edge =
+            {
+              Provenance.step = Provenance.Call_return callee;
+              loc;
+              from = Some (Aloc.Ret callee);
+            }
+          in
           match lvo with
-          | Some lv -> taint_lval t ~fn state lv
+          | Some lv -> taint_lval t ~fn ~edge state lv
           | None -> state
         else state
 
-let transfer t ~fn ~caller_key (state : Dom.t) (s : Ast.stmt) : Dom.t =
+let transfer t ~fn ~caller_key ~scalars (state : Dom.t) (s : Ast.stmt) : Dom.t =
   match s.sdesc with
   | Sassign (lv, e) ->
-      if expr_tainted t ~fn state e then taint_lval t ~fn state lv
+      if expr_tainted t ~fn state e then
+        let edge =
+          {
+            Provenance.step = Provenance.Assign;
+            loc = s.sloc;
+            from = first_tainted_aloc t ~fn state e;
+          }
+        in
+        taint_lval t ~fn ~edge state lv
       else begin
-        (* strong update only for a direct local scalar assignment *)
         match lv with
         | Ast.Var x -> (
             match Pointsto.aloc_of t.pta ~fn x with
-            | Aloc.Local (f, _) as a
-              when String.equal f fn && not (global_tainted t a) ->
-                Aloc.Set.remove a state
+            | Aloc.Local (f, _) as a when String.equal f fn ->
+                if tracked t ~fn a then
+                  (* the flow state is authoritative for tracked cells:
+                     kill unconditionally (re-imports cover aliasing) *)
+                  Aloc.Set.remove a state
+                else if not (global_tainted t a) then Aloc.Set.remove a state
+                else state
             | _ -> state)
-        | Ast.Index _ | Ast.Star _ -> state
+        | Ast.Index _ | Ast.Star _ -> (
+            (* strong update through a provably-singleton pointer: sound
+               only outside recursion (a recursive function may alias a
+               parent frame's local under the collapsed abstraction) *)
+            if not t.cfg.strong_updates || SSet.mem fn t.recursive then state
+            else
+              match Aloc.Set.elements (Pointsto.denotes_of t.pta ~fn lv) with
+              | [ (Aloc.Local (f, x) as a) ]
+                when String.equal f fn && is_scalar t ~fn x ->
+                  Aloc.Set.remove a state
+              | _ -> state)
       end
-  | Scall (lvo, callee, args) -> apply_call t ~fn ~caller_key state lvo callee args
+  | Scall (lvo, callee, args) ->
+      let state = apply_call t ~fn ~caller_key ~loc:s.sloc state lvo callee args in
+      (* a callee (or another thread — calls are the scheduling points) may
+         have tainted a tracked local through an escaped pointer *)
+      reimport t scalars state
   | Sif _ | Swhile _ | Sreturn _ | Sbreak | Scontinue | Sblock _ -> state
 
 (* ------------------------------------------------------------------ *)
 (* Per-(function, context) analysis *)
+
+let scalar_locals (t : t) (f : Ast.func) : Aloc.t list =
+  List.filter_map
+    (fun (n, _) ->
+      if is_scalar t ~fn:f.fname n then Some (Aloc.Local (f.fname, n)) else None)
+    (f.fparams @ List.map (fun (d : Ast.var_decl) -> (d.vname, d.vtyp)) f.flocals)
 
 let analyze_one t ((fname, bits) as key) =
   match Program.find_func t.prog fname with
@@ -224,37 +401,111 @@ let analyze_one t ((fname, bits) as key) =
           (if List.length bits = List.length f.fparams then bits
            else List.map (fun _ -> false) f.fparams)
       in
+      let scalars = scalar_locals t f in
+      let entry = reimport t scalars entry in
       let ret_tainted = ref (summary t key) in
       let client =
         {
-          Flow.transfer = (fun st s -> transfer t ~fn:fname ~caller_key:key st s);
+          Flow.transfer =
+            (fun st s -> transfer t ~fn:fname ~caller_key:key ~scalars st s);
           on_branch =
             (fun st br cond ->
-              if br.bid >= 0 && expr_tainted t ~fn:fname st cond then
-                t.symbolic_branches.(br.bid) <- true);
+              (if br.bid >= 0 && expr_tainted t ~fn:fname st cond then begin
+                 t.symbolic_branches.(br.bid) <- true;
+                 match first_tainted_aloc t ~fn:fname st cond with
+                 | Some a ->
+                     Provenance.record_branch t.prov br.bid (Provenance.Reads a)
+                 | None -> ()
+               end);
+              (* prune arms constprop proved dead: their writes never run *)
+              match t.constprop with
+              | Some cp when br.bid >= 0 -> Constprop.branch_visit cp br.bid
+              | Some _ | None -> Dataflow.Visit_both);
           on_return =
             (fun st e ->
               match e with
-              | Some e when expr_tainted t ~fn:fname st e -> ret_tainted := true
+              | Some e when expr_tainted t ~fn:fname st e ->
+                  ret_tainted := true;
+                  Provenance.record t.prov (Aloc.Ret fname)
+                    {
+                      Provenance.step = Provenance.Assign;
+                      loc = Loc.none;
+                      from = first_tainted_aloc t ~fn:fname st e;
+                    }
               | _ -> ());
         }
       in
-      ignore (Flow.func client entry f.fbody);
+      ignore (Flow.func ~stats:t.stats client entry f.fbody);
       set_summary t key !ret_tainted
 
-(** Run the whole-program taint analysis from [main]. *)
-let analyze ?(cfg = default_config) (prog : Program.t) (pta : Pointsto.t) : t =
+(* ------------------------------------------------------------------ *)
+(* Call-graph recursion detection (for the singleton-pointer kill guard) *)
+
+let recursive_functions (prog : Program.t) : SSet.t =
+  let succs = Hashtbl.create 16 in
+  let add_edge f g =
+    let cur = match Hashtbl.find_opt succs f with Some s -> s | None -> SSet.empty in
+    Hashtbl.replace succs f (SSet.add g cur)
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_stmts
+        (fun s ->
+          match s.sdesc with
+          | Scall (_, "spawn", Cstr target :: _) -> add_edge f.fname target
+          | Scall (_, "spawn", _) ->
+              (* unknown target: any function may run *)
+              List.iter (fun (g : Ast.func) -> add_edge f.fname g.fname) prog.funcs
+          | Scall (_, callee, _) when not (Builtin.is_builtin callee) ->
+              add_edge f.fname callee
+          | Scall _ | Sassign _ | Sif _ | Swhile _ | Sreturn _ | Sbreak
+          | Scontinue | Sblock _ ->
+              ())
+        f.fbody)
+    prog.funcs;
+  let reaches_self root =
+    let visited = Hashtbl.create 16 in
+    let rec go f =
+      match Hashtbl.find_opt succs f with
+      | None -> false
+      | Some s ->
+          SSet.mem root s
+          || SSet.exists
+               (fun g ->
+                 if Hashtbl.mem visited g then false
+                 else begin
+                   Hashtbl.replace visited g ();
+                   go g
+                 end)
+               s
+    in
+    go root
+  in
+  List.fold_left
+    (fun acc (f : Ast.func) ->
+      if reaches_self f.fname then SSet.add f.fname acc else acc)
+    SSet.empty prog.funcs
+
+(** Run the whole-program taint analysis from [main].  A [constprop] result
+    enables dead-arm pruning during the flow analysis. *)
+let analyze ?(cfg = default_config) ?constprop (prog : Program.t)
+    (pta : Pointsto.t) : t =
+  let nbranches = Program.nbranches prog in
   let t =
     {
       prog;
       pta;
       cfg;
+      constprop;
+      prov = Provenance.create ~nbranches;
+      recursive = recursive_functions prog;
       tainted = Aloc.Set.empty;
       summaries = Smap.empty;
       dependents = Smap.empty;
       queued = [];
       in_queue = Smap.empty;
-      symbolic_branches = Array.make (Program.nbranches prog) false;
+      symbolic_branches = Array.make nbranches false;
+      stats = Dataflow.create_stats ();
     }
   in
   let main_key = ("main", []) in
@@ -289,10 +540,17 @@ let analyze ?(cfg = default_config) (prog : Program.t) (pta : Pointsto.t) : t =
   if not t.cfg.analyze_lib then
     Array.iter
       (fun (b : Number.info) ->
-        if b.bis_lib then t.symbolic_branches.(b.bid) <- true)
+        if b.bis_lib then begin
+          t.symbolic_branches.(b.bid) <- true;
+          Provenance.record_branch t.prov b.bid Provenance.Lib_forced
+        end)
       prog.branches;
   t
 
 let is_branch_symbolic t bid = t.symbolic_branches.(bid)
 
 let contexts_analyzed t = Smap.cardinal t.summaries
+
+let provenance t = t.prov
+
+let widened_loops t = t.stats.Dataflow.widened_loops

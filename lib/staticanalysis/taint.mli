@@ -1,5 +1,5 @@
 (** Interprocedural symbolic-variable propagation (the paper's Algorithms 1
-    and 2).
+    and 2), with strong-update refinement and provenance recording.
 
     A worklist of (function, context) pairs — a context records which
     parameters hold symbolic values (the paper's footnote about revisiting
@@ -8,22 +8,38 @@
     and globals is tracked in a monotone tainted-location set resolved with
     {!Pointsto} (weak updates: one of the paper's imprecision sources).
 
+    With [strong_updates = true] (the default) scalar locals of the
+    function under analysis are consulted flow-sensitively only, making
+    kills ([x = concrete_expr]) and strong updates through provably
+    singleton pointers sound; [strong_updates = false] restores the seed's
+    maximally conservative behaviour.  Supplying a {!Constprop} result
+    additionally prunes provably dead branch arms during the flow analysis.
+
     With [analyze_lib = false], library functions get a conservative
     summary and all their branches are labelled symbolic (§5.3). *)
 
 type ctx = bool list  (** value-taint of each parameter *)
 
-type config = { analyze_lib : bool }
+type config = { analyze_lib : bool; strong_updates : bool }
 
 val default_config : config
+(** [{ analyze_lib = true; strong_updates = true }] *)
 
 type t
 
-(** Run the whole-program analysis from [main] to a fixpoint. *)
-val analyze : ?cfg:config -> Minic.Program.t -> Pointsto.t -> t
+(** Run the whole-program analysis from [main] to a fixpoint.  [constprop]
+    enables dead-arm pruning. *)
+val analyze :
+  ?cfg:config -> ?constprop:Constprop.result -> Minic.Program.t -> Pointsto.t -> t
 
 (** May the branch's condition read input-derived data? *)
 val is_branch_symbolic : t -> int -> bool
 
 (** Number of (function, context) pairs analysed. *)
 val contexts_analyzed : t -> int
+
+(** Witness chains recorded during propagation. *)
+val provenance : t -> Provenance.t
+
+(** Loop fixpoints finished by widening (precision-loss warnings). *)
+val widened_loops : t -> int

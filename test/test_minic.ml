@@ -213,36 +213,38 @@ let test_normalize_while_condition_call () =
 (* ------------------------------------------------------------------ *)
 (* Typecheck *)
 
-let expect_link_error src =
+(* type errors surface as Typecheck.Error (distinct from Link_error, so
+   the CLI can exit differently for the two) *)
+let expect_type_error src =
   match link src with
-  | exception Minic.Program.Link_error _ -> ()
-  | _ -> Alcotest.fail ("expected link error for: " ^ src)
+  | exception Minic.Typecheck.Error _ -> ()
+  | _ -> Alcotest.fail ("expected type error for: " ^ src)
 
-let test_typecheck_unknown_var () = expect_link_error "int main() { return zz; }"
+let test_typecheck_unknown_var () = expect_type_error "int main() { return zz; }"
 
 let test_typecheck_unknown_fun () =
-  expect_link_error "int main() { return nope(1); }"
+  expect_type_error "int main() { return nope(1); }"
 
 let test_typecheck_arity () =
-  expect_link_error "int f(int a) { return a; }\nint main() { return f(1, 2); }"
+  expect_type_error "int f(int a) { return a; }\nint main() { return f(1, 2); }"
 
 let test_typecheck_index_scalar () =
-  expect_link_error "int main() { int x; return x[0]; }"
+  expect_type_error "int main() { int x; return x[0]; }"
 
 let test_typecheck_deref_int () =
-  expect_link_error "int main() { int x; return *x; }"
+  expect_type_error "int main() { int x; return *x; }"
 
 let test_typecheck_break_outside_loop () =
-  expect_link_error "int main() { break; return 0; }"
+  expect_type_error "int main() { break; return 0; }"
 
 let test_typecheck_assign_array () =
-  expect_link_error "int main() { int a[3]; int b[3]; a = b; return 0; }"
+  expect_type_error "int main() { int a[3]; int b[3]; a = b; return 0; }"
 
 let test_typecheck_void_assign () =
-  expect_link_error "int main() { int x = print_int(3); return x; }"
+  expect_type_error "int main() { int x = print_int(3); return x; }"
 
 let test_typecheck_builtin_shadow () =
-  expect_link_error "int read(int x) { return x; }\nint main() { return 0; }"
+  expect_type_error "int read(int x) { return x; }\nint main() { return 0; }"
 
 let test_typecheck_no_main () =
   match Minic.Program.of_sources ~app:"int f() { return 0; }" ~libs:[] () with

@@ -199,6 +199,26 @@ let overapprox_sources =
        for (i = 0; i < 4; i = i + 1) { if (b[i] == 'z') { acc = acc + 1; } }\n\
        if (acc == 2) { return 1; } return 0; }",
       [ "zaza" ] );
+    ( "password check",
+      (* the examples/quickstart.ml program: nested input comparisons
+         across a call boundary, with a crashing arm *)
+      "int check(int *password) {\n\
+       if (password[0] == 'o') {\n\
+       if (password[1] == 'c') {\n\
+       if (password[2] == 'a') { crash(); } } }\n\
+       return 0; }\n\
+       int main() { int buf[16]; arg(0, buf, 16); check(buf); return 0; }",
+      [ "hello" ] );
+    ( "refined features",
+      (* dead arm + strong updates + constant branch, all in one program:
+         the refined pipeline must stay sound while pruning *)
+      "int main() { int b[8]; int x = 0; int t = 0; arg(0, b, 8);\n\
+       if (0) { if (b[0] == 'x') { t = 1; } }\n\
+       x = b[1]; x = 5;\n\
+       if (x == 5) { if (b[2] == 'y') { t = 2; } }\n\
+       if (6 / 4 == 1) { t = t + 1; }\n\
+       return t; }",
+      [ "xyz" ] );
   ]
 
 let test_static_overapproximates_dynamic () =
@@ -244,6 +264,264 @@ let test_workload_overapproximation () =
         dyn.labels)
     Workloads.Coreutils.catalog
 
+(* ------------------------------------------------------------------ *)
+(* Constant propagation (Constprop): folding edge cases and deadness *)
+
+let constprop_of src =
+  let prog = link src in
+  let pta = Staticanalysis.Pointsto.analyze prog in
+  (prog, Staticanalysis.Constprop.analyze prog pta)
+
+(* bid of the app branch whose location line is [line] (library sources are
+   separate files whose line numbers can collide) *)
+let bid_at (prog : Minic.Program.t) ~line =
+  let found = ref None in
+  Array.iter
+    (fun (b : Minic.Number.info) ->
+      if b.bloc.line = line && not b.bis_lib then found := Some b.bid)
+    prog.branches;
+  match !found with
+  | Some b -> b
+  | None -> Alcotest.failf "no branch at line %d" line
+
+let const_at prog cp ~line =
+  Staticanalysis.Constprop.branch_const_value cp (bid_at prog ~line)
+
+let check_const prog cp ~line expect =
+  Alcotest.(check (option int))
+    (Printf.sprintf "const at line %d" line)
+    expect (const_at prog cp ~line)
+
+let test_constprop_folding () =
+  (* interpreter-exact folding: division truncates; division by zero and
+     out-of-range shifts crash at runtime so they never fold; arithmetic
+     wraps around at native-int width *)
+  let prog, cp =
+    constprop_of
+      "int main() {\n\
+      \  int t = 0;\n\
+      \  if (6 / 4 == 1) { t = 1; }\n\
+      \  if (5 / 0 == 0) { t = 2; }\n\
+      \  if (((1 << 62) - 1) + 1 < 0) { t = 3; }\n\
+      \  if ((1 << 63) == 0) { t = 4; }\n\
+      \  if ((1 << 62) < 0) { t = 5; }\n\
+       \  return t;\n\
+       }"
+  in
+  check_const prog cp ~line:3 (Some 1);
+  (* 6 / 4 = 1 *)
+  check_const prog cp ~line:4 None;
+  (* division by zero: runtime crash, not a value *)
+  check_const prog cp ~line:5 (Some 1);
+  (* max_int + 1 wraps negative *)
+  check_const prog cp ~line:6 None;
+  (* shift past the native width: runtime crash *)
+  check_const prog cp ~line:7 (Some 1) (* 1 << 62 wraps negative *)
+
+let test_constprop_interprocedural () =
+  (* constants flow through summaries (rising from Bot) and contexts *)
+  let prog, cp =
+    constprop_of
+      "int three() { return 3; }\n\
+       int twice(int x) { return x * 2; }\n\
+       int main() {\n\
+      \  int a = three();\n\
+      \  int b = twice(a);\n\
+      \  if (b == 6) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_const prog cp ~line:6 (Some 1);
+  check_bool "at least one const branch" true
+    (Staticanalysis.Constprop.n_const cp >= 1)
+
+let test_constprop_strict_shortcircuit () =
+  (* MiniC's && is strict: [0 && (1/0)] crashes at runtime, so the
+     apparently-constant condition must NOT fold — no absorbing rules *)
+  let prog, cp =
+    constprop_of
+      "int main() {\n\
+      \  int b[8];\n\
+      \  arg(0, b, 8);\n\
+      \  int t = 0;\n\
+      \  if (0 && (1 / 0)) { t = 1; }\n\
+      \  if (0 && b[0]) { t = 2; }\n\
+      \  return t;\n\
+       }"
+  in
+  check_const prog cp ~line:5 None;
+  check_const prog cp ~line:6 None;
+  (* and the input-reading side stays Symbolic end to end: the condition's
+     *value* never varies, but dynamic analysis tracks value *taint* *)
+  let prog2, r = analyze
+      "int main() {\n\
+      \  int b[8];\n\
+      \  arg(0, b, 8);\n\
+      \  int t = 0;\n\
+      \  if (0 && b[0]) { t = 2; }\n\
+      \  return t;\n\
+       }"
+  in
+  check_bool "strict && on input stays symbolic" true
+    (label_at prog2 r ~line:5 = sym)
+
+(* ------------------------------------------------------------------ *)
+(* Refinement wins: programs where the refined pipeline (constprop +
+   strong updates) proves strictly fewer branches Symbolic than the seed
+   pipeline, without losing soundness. *)
+
+let seed_vs_refined src =
+  let prog = link src in
+  let seed = Staticanalysis.Static.analyze ~refine:false prog in
+  let refined = Staticanalysis.Static.analyze prog in
+  (prog, seed, refined)
+
+let check_refinement_win ~name prog (seed : Staticanalysis.Static.result)
+    (refined : Staticanalysis.Static.result) ~line =
+  check_bool (name ^ ": seed symbolic") true
+    (seed.labels.(bid_at prog ~line) = sym);
+  check_bool (name ^ ": refined concrete") true
+    (refined.labels.(bid_at prog ~line) = conc);
+  check_bool (name ^ ": strictly fewer symbolic") true
+    (refined.n_symbolic < seed.n_symbolic)
+
+let test_refine_kill_after_byref () =
+  (* x is tainted through &x, then overwritten with a constant; the seed
+     never kills globally-tainted cells, the refined pipeline does *)
+  let prog, seed, refined =
+    seed_vs_refined
+      "void put(int *dst, int v) { *dst = v; }\n\
+       int main() {\n\
+      \  int buf[8];\n\
+      \  int x = 0;\n\
+      \  arg(0, buf, 8);\n\
+      \  put(&x, buf[1]);\n\
+      \  x = 5;\n\
+      \  if (x == 5) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_refinement_win ~name:"kill after by-ref" prog seed refined ~line:8
+
+let test_refine_dead_arm () =
+  (* the input-reading branch sits in the arm of an always-false branch:
+     constprop prunes the arm and proves the inner branch dead *)
+  let prog, seed, refined =
+    seed_vs_refined
+      "int main() {\n\
+      \  int buf[8];\n\
+      \  arg(0, buf, 8);\n\
+      \  if (0) {\n\
+      \    if (buf[0] == 'x') { return 1; }\n\
+      \  }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_refinement_win ~name:"dead arm" prog seed refined ~line:5;
+  match refined.constprop with
+  | Some cp ->
+      check_bool "inner branch proved dead" true
+        (Staticanalysis.Constprop.is_dead cp (bid_at prog ~line:5))
+  | None -> Alcotest.fail "refined pipeline has no constprop result"
+
+let test_refine_singleton_pointer () =
+  (* *p provably denotes exactly {x}: the refined pipeline performs a
+     strong update through the pointer and kills x's taint *)
+  let prog, seed, refined =
+    seed_vs_refined
+      "int main() {\n\
+      \  int buf[8];\n\
+      \  int x;\n\
+      \  int *p;\n\
+      \  arg(0, buf, 8);\n\
+      \  x = buf[0];\n\
+      \  p = &x;\n\
+      \  *p = 5;\n\
+      \  if (x == 5) { return 1; }\n\
+      \  return 0;\n\
+       }"
+  in
+  check_refinement_win ~name:"singleton pointer" prog seed refined ~line:9
+
+(* refinement wins must not cost soundness: replay each win program
+   dynamically and diff the labels — zero Missed verdicts *)
+let test_refinement_soundness () =
+  List.iter
+    (fun (name, src, args) ->
+      let prog = Workloads.Runtime_lib.link ~name src in
+      let sc = Concolic.Scenario.make ~name ~args prog in
+      let dyn =
+        Concolic.Dynamic.analyze
+          ~budget:{ Concolic.Engine.max_runs = 100; max_time_s = 5.0 }
+          sc
+      in
+      let sta = Staticanalysis.Static.analyze prog in
+      let rep = Staticanalysis.Static.precision sta prog ~dynamic:dyn.labels in
+      check_int (name ^ ": no missed branches") 0 rep.n_missed)
+    [
+      ( "kill after by-ref",
+        "void put(int *dst, int v) { *dst = v; }\n\
+         int main() { int buf[8]; int x = 0; arg(0, buf, 8);\n\
+         put(&x, buf[1]); x = 5; if (x == 5) { return 1; } return 0; }",
+        [ "ab" ] );
+      ( "dead arm",
+        "int main() { int buf[8]; arg(0, buf, 8);\n\
+         if (0) { if (buf[0] == 'x') { return 1; } } return 0; }",
+        [ "x" ] );
+      ( "singleton pointer",
+        "int main() { int buf[8]; int x; int *p; arg(0, buf, 8);\n\
+         x = buf[0]; p = &x; *p = 5; if (x == 5) { return 1; } return 0; }",
+        [ "q" ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Precision report and provenance witnesses *)
+
+let test_precision_report () =
+  let name = "precision" in
+  let src =
+    (* the first branch must not return unconditionally, or everything after
+       it is (correctly!) proved dead — x is known to be 5 there *)
+    "int main() {\n\
+    \  int b[8];\n\
+    \  int t = 0;\n\
+    \  arg(0, b, 8);\n\
+    \  int x = b[0];\n\
+    \  x = 5;\n\
+    \  if (x == 5) { t = 1; }\n\
+    \  if (b[1] == 'q') { t = 2; }\n\
+    \  return t;\n\
+     }"
+  in
+  let prog = Workloads.Runtime_lib.link ~name src in
+  let sc = Concolic.Scenario.make ~name ~args:[ "hi" ] prog in
+  let dyn =
+    Concolic.Dynamic.analyze
+      ~budget:{ Concolic.Engine.max_runs = 50; max_time_s = 5.0 }
+      sc
+  in
+  let sta = Staticanalysis.Static.analyze prog in
+  let rep = Staticanalysis.Static.precision sta prog ~dynamic:dyn.labels in
+  check_int "no soundness violations" 0 rep.n_missed;
+  check_bool "refined kills the overwritten local" true
+    (sta.labels.(bid_at prog ~line:7) = conc);
+  let sym_bid = bid_at prog ~line:8 in
+  check_bool "input branch symbolic" true (sta.labels.(sym_bid) = sym);
+  (* the symbolic label carries a witness chain back to the input source *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Staticanalysis.Provenance.explain_branch sta.provenance sym_bid with
+  | Some line ->
+      check_bool "witness mentions the arg source" true (contains line "arg")
+  | None -> Alcotest.fail "symbolic branch has no provenance witness");
+  (* JSON rendering carries the headline numbers *)
+  let json = Staticanalysis.Precision.to_json rep in
+  check_bool "json has summary" true (contains json "\"summary\"");
+  check_bool "json has branches" true (contains json "\"branches\"")
+
 let test_pointsto_basics () =
   let prog =
     link
@@ -281,12 +559,31 @@ let () =
           Alcotest.test_case "conservative library mode" `Quick
             test_lib_conservative_mode;
         ] );
+      ( "constprop",
+        [
+          Alcotest.test_case "folding edge cases" `Quick test_constprop_folding;
+          Alcotest.test_case "interprocedural constants" `Quick
+            test_constprop_interprocedural;
+          Alcotest.test_case "strict short-circuit" `Quick
+            test_constprop_strict_shortcircuit;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "kill after by-ref taint" `Quick
+            test_refine_kill_after_byref;
+          Alcotest.test_case "dead arm pruned" `Quick test_refine_dead_arm;
+          Alcotest.test_case "singleton pointer strong update" `Quick
+            test_refine_singleton_pointer;
+        ] );
       ( "soundness",
         [
           Alcotest.test_case "static overapproximates dynamic" `Slow
             test_static_overapproximates_dynamic;
           Alcotest.test_case "workload overapproximation" `Slow
             test_workload_overapproximation;
+          Alcotest.test_case "refinement wins stay sound" `Slow
+            test_refinement_soundness;
+          Alcotest.test_case "precision report" `Slow test_precision_report;
         ] );
       ( "pointsto",
         [ Alcotest.test_case "basics" `Quick test_pointsto_basics ] );
