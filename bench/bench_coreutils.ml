@@ -121,7 +121,8 @@ let e5 (c : Ctx.t) =
               | Some report ->
                   let result, _ =
                     Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c)
-                      ~prog ~plan report
+                      ~jobs:c.jobs ~solver_cache:c.solver_cache ~prog ~plan
+                      report
                   in
                   Util.verdict_string (Util.replay_verdict result))
             Instrument.Methods.instrumented
@@ -157,7 +158,8 @@ let e5 (c : Ctx.t) =
             let result, _ =
               Bugrepro.Pipeline.reproduce
                 ~budget:{ (Ctx.replay_budget c) with max_time_s = 3.0 *. c.replay_time_s }
-                ~prog ~plan:none report
+                ~jobs:c.jobs ~solver_cache:c.solver_cache ~prog ~plan:none
+                report
             in
             [ e.util; Util.verdict_string (Util.replay_verdict result) ])
       Workloads.Coreutils.catalog

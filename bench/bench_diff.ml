@@ -107,7 +107,8 @@ let e13_e14 (c : Ctx.t) =
               | Some report ->
                   let result, _ =
                     Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c)
-                      ~prog:p ~plan report
+                      ~jobs:c.jobs ~solver_cache:c.solver_cache ~prog:p ~plan
+                      report
                   in
                   let stats =
                     Bugrepro.Pipeline.measure_symbolic_logging ~plan crash_sc

@@ -180,7 +180,8 @@ let a6 (c : Ctx.t) =
       in
       let replay rep =
         let result, stats =
-          Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c) ~prog ~plan rep
+          Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c) ~jobs:c.jobs
+            ~solver_cache:c.solver_cache ~prog ~plan rep
         in
         ( Util.verdict_string (Util.replay_verdict result),
           stats.engine.runs )

@@ -234,7 +234,8 @@ let e9_e10 (c : Ctx.t) =
               | Some report ->
                   let result, _ =
                     Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c)
-                      ~prog:p ~plan report
+                      ~jobs:c.jobs ~solver_cache:c.solver_cache ~prog:p ~plan
+                      report
                   in
                   let stats =
                     Bugrepro.Pipeline.measure_symbolic_logging ~plan crash_sc
@@ -290,8 +291,9 @@ let e11 (c : Ctx.t) =
             | None -> None
             | Some report ->
                 let result, stats =
-                  Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c) ~prog:p
-                    ~plan report
+                  Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c)
+                    ~jobs:c.jobs ~solver_cache:c.solver_cache ~prog:p ~plan
+                    report
                 in
                 (* Table 8: without a syscall log, branches on syscall
                    results count as symbolic too *)
@@ -375,8 +377,8 @@ let a2 (c : Ctx.t) =
           | None -> "no crash"
           | Some report ->
               let result, _ =
-                Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c) ~prog:p
-                  ~plan report
+                Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c) ~jobs:c.jobs
+                  ~solver_cache:c.solver_cache ~prog:p ~plan report
               in
               Util.verdict_string (Util.replay_verdict result)
         in

@@ -13,6 +13,8 @@ type t = {
   replay_time_s : float;  (* the paper's one-hour replay cut-off *)
   replay_runs : int;
   only : string list;  (* experiment ids to run; [] = all *)
+  jobs : int;  (* worker domains for exploration/replay; 1 = sequential *)
+  solver_cache : bool;  (* memoizing solver cache on replay solves *)
 }
 
 let default =
@@ -26,6 +28,8 @@ let default =
     replay_time_s = 10.0;
     replay_runs = 20_000;
     only = [];
+    jobs = 1;
+    solver_cache = true;
   }
 
 let quick =

@@ -1,12 +1,15 @@
 (* The benchmark harness: regenerates every table and figure of the paper's
-   evaluation (§5), plus two ablations.  See DESIGN.md for the experiment
-   index and EXPERIMENTS.md for recorded paper-vs-measured results.
+   evaluation (§5), plus two ablations and the parallel-replay extension.
+   See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+   paper-vs-measured results.
 
    Usage:
      dune exec bench/main.exe                 # default scale
      dune exec bench/main.exe -- --quick      # fast smoke pass
      dune exec bench/main.exe -- --full       # paper-scale workloads
      dune exec bench/main.exe -- --only E9,E13
+     dune exec bench/main.exe -- --jobs 4 --only E15
+     dune exec bench/main.exe -- --quick --json bench.json
      dune exec bench/main.exe -- --requests 2000 --replay-timeout 30 *)
 
 let experiments : (string * string * (Ctx.t -> unit)) list =
@@ -29,17 +32,30 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
     ("A6", "extension: multithreading + schedule log (§6)", Bench_ext.a6);
     ("E12", "Figure 5: diff CPU time", Bench_diff.e12);
     ("E13", "Tables 6 and 7: diff replay", Bench_diff.e13_e14);
+    ("E15", "extension: parallel replay + solver cache", Bench_parallel.e15);
   ]
 
-let parse_args () : Ctx.t =
+let parse_args () : Ctx.t * string option =
   let ctx = ref Ctx.default in
+  let json = ref None in
+  (* scale presets replace the budget knobs but must keep the explicit
+     selections (--only/--jobs/--no-solver-cache) already parsed *)
+  let rescale preset =
+    ctx :=
+      {
+        preset with
+        Ctx.only = !ctx.only;
+        jobs = !ctx.jobs;
+        solver_cache = !ctx.solver_cache;
+      }
+  in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
-        ctx := { Ctx.quick with only = !ctx.only };
+        rescale Ctx.quick;
         go rest
     | "--full" :: rest ->
-        ctx := { Ctx.full with only = !ctx.only };
+        rescale Ctx.full;
         go rest
     | "--only" :: ids :: rest ->
         ctx := { !ctx with only = String.split_on_char ',' ids };
@@ -50,9 +66,20 @@ let parse_args () : Ctx.t =
     | "--replay-timeout" :: s :: rest ->
         ctx := { !ctx with replay_time_s = float_of_string s };
         go rest
+    | ("--jobs" | "-j") :: n :: rest ->
+        ctx := { !ctx with jobs = max 1 (int_of_string n) };
+        go rest
+    | "--no-solver-cache" :: rest ->
+        ctx := { !ctx with solver_cache = false };
+        go rest
+    | "--json" :: path :: rest ->
+        json := Some path;
+        go rest
     | "--help" :: _ ->
         print_endline
-          "options: --quick | --full | --only <ids> | --requests <n> | --replay-timeout <s>";
+          "options: --quick | --full | --only <ids> | --jobs <n> | \
+           --no-solver-cache | --json <file> | --requests <n> | \
+           --replay-timeout <s>";
         print_endline "experiments:";
         List.iter (fun (id, d, _) -> Printf.printf "  %-4s %s\n" id d) experiments;
         exit 0
@@ -61,24 +88,42 @@ let parse_args () : Ctx.t =
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  !ctx
+  (!ctx, !json)
 
 let () =
-  let ctx = parse_args () in
+  let ctx, json = parse_args () in
   Printf.printf
     "Reproduction benchmarks: \"Striking a New Balance Between Program\n\
      Instrumentation and Debugging Time\" (EuroSys 2011)\n";
   Printf.printf
-    "scale: %s | %d requests | replay budget %.0fs | LC/HC = %d/%d analysis runs\n"
+    "scale: %s | %d requests | replay budget %.0fs | LC/HC = %d/%d analysis \
+     runs | jobs %d | solver cache %s\n"
     (if ctx.quick then "quick" else "default/full")
-    ctx.requests ctx.replay_time_s ctx.lc_runs ctx.hc_runs;
+    ctx.requests ctx.replay_time_s ctx.lc_runs ctx.hc_runs ctx.jobs
+    (if ctx.solver_cache then "on" else "off");
   let t0 = Unix.gettimeofday () in
+  let durations = ref [] in
   List.iter
     (fun (id, _, f) ->
       if Ctx.wants ctx id then begin
         let (), dt = Util.time_call (fun () -> f ctx) in
+        durations := (id, dt) :: !durations;
         Printf.printf "[%s completed in %.1fs]\n%!" id dt
       end)
     experiments;
   Printf.printf "\nAll selected experiments done in %.1fs.\n"
-    (Unix.gettimeofday () -. t0)
+    (Unix.gettimeofday () -. t0);
+  match json with
+  | None -> ()
+  | Some path ->
+      Util.write_json_summary ~path
+        ~meta:
+          [
+            ("scale", if ctx.quick then "quick" else "default/full");
+            ("jobs", string_of_int ctx.jobs);
+            ("solver_cache", if ctx.solver_cache then "on" else "off");
+            ("requests", string_of_int ctx.requests);
+            ("replay_budget_s", Printf.sprintf "%.0f" ctx.replay_time_s);
+          ]
+        ~experiments:(List.rev !durations) ();
+      Printf.printf "JSON summary written to %s\n" path

@@ -88,3 +88,69 @@ let replay_verdict (result : Replay.Guided.result) =
   match result with
   | Replay.Guided.Reproduced r -> Done r.elapsed_s
   | Replay.Guided.Not_reproduced _ -> Timeout
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary (--json): experiments record named numeric
+   metrics here; the driver dumps everything at exit.  CI's bench smoke job
+   asserts the file parses, so the emitter below must produce strict JSON. *)
+
+let metrics : (string * string * float) list ref = ref []
+
+let record_metric ~experiment key value =
+  metrics := (experiment, key, value) :: !metrics
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  (* JSON has no NaN/Infinity literals *)
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if Float.abs v = Float.infinity then "null"
+  else Printf.sprintf "%g" v
+
+(* Write the whole-run summary: scale/knob metadata, per-experiment wall
+   clocks, and every metric recorded via [record_metric]. *)
+let write_json_summary ~path ~(meta : (string * string) list)
+    ~(experiments : (string * float) list) () =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"meta\": {";
+  List.iteri
+    (fun i (k, v) ->
+      out "%s\"%s\": \"%s\"" (if i = 0 then "" else ", ") (json_escape k)
+        (json_escape v))
+    meta;
+  out "},\n";
+  out "  \"experiments\": [";
+  List.iteri
+    (fun i (id, dt) ->
+      out "%s\n    {\"id\": \"%s\", \"seconds\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape id) (json_float dt))
+    experiments;
+  out "\n  ],\n";
+  out "  \"metrics\": [";
+  List.iteri
+    (fun i (experiment, key, value) ->
+      out "%s\n    {\"experiment\": \"%s\", \"key\": \"%s\", \"value\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape experiment) (json_escape key) (json_float value))
+    (List.rev !metrics);
+  out "\n  ]\n";
+  out "}\n";
+  close_out oc

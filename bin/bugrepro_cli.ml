@@ -148,19 +148,20 @@ let run_cmd name args =
         r.steps;
       (match r.outcome with Interp.Crash.Exit n -> n | _ -> 1)
 
-let demo_cmd name meth_s experiment timeout save =
+let demo_cmd name meth_s experiment timeout save jobs no_solver_cache =
   match find_workload name, method_of_string meth_s with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       2
   | Ok w, Ok meth -> (
+      let jobs = max 1 jobs in
       let prog = w.prog () in
       Printf.printf "== analysing %s ==\n%!" w.wname;
       let analysis =
         Bugrepro.Pipeline.analyze
           ~dynamic_budget:{ Concolic.Engine.max_runs = 120; max_time_s = 15.0 }
           ~analyze_lib:(not (String.equal w.wname "userver"))
-          ~test_scenario:(w.demo_test ()) prog
+          ~jobs ~test_scenario:(w.demo_test ()) prog
       in
       let plan = Bugrepro.Pipeline.plan analysis meth in
       Printf.printf "method %s instruments %d/%d branch locations\n%!"
@@ -193,16 +194,27 @@ let demo_cmd name meth_s experiment timeout save =
             | Ok r -> r
             | Error e -> failwith ("wire round trip failed: " ^ e)
           in
-          Printf.printf "== guided replay (budget %.0fs) ==\n%!" timeout;
+          Printf.printf "== guided replay (budget %.0fs, %d job%s, cache %s) ==\n%!"
+            timeout jobs
+            (if jobs = 1 then "" else "s")
+            (if no_solver_cache then "off" else "on");
           let result, stats =
             Bugrepro.Pipeline.reproduce
               ~budget:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
-              ~prog ~plan report
+              ~jobs ~solver_cache:(not no_solver_cache) ~prog ~plan report
           in
           Printf.printf
             "cases: %d pinned (2a), %d forced (2b), %d free symbolic (1), %d concrete-mismatch (3b)\n"
             stats.cases.case2a stats.cases.case2b stats.cases.case1
             stats.cases.case3b;
+          (match stats.cache with
+          | Some c ->
+              Printf.printf
+                "solver cache: %d hits / %d misses (%.0f%% hit rate), %d evictions\n"
+                c.hits c.misses
+                (100.0 *. Solver.Cache.hit_rate c)
+                c.evictions
+          | None -> ());
           match result with
           | Replay.Guided.Reproduced r ->
               Printf.printf "REPRODUCED in %.3fs after %d runs at %s\n" r.elapsed_s
@@ -252,7 +264,23 @@ let demo_t =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Write the bug report's wire form to FILE.")
   in
-  Term.(const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save)
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for analysis and replay (1 = deterministic \
+             sequential search).")
+  in
+  let no_solver_cache =
+    Arg.(
+      value & flag
+      & info [ "no-solver-cache" ]
+          ~doc:"Disable the memoizing solver cache during replay.")
+  in
+  Term.(
+    const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save $ jobs
+    $ no_solver_cache)
 
 let cmds =
   [

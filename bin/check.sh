@@ -1,14 +1,39 @@
 #!/bin/sh
-# Tier-1 gate: everything that must pass before a commit.
+# Tier-1 gate: everything that must pass before a commit.  CI runs this
+# same script, so a green local run means a green required CI job.
 #
-#   $ bin/check.sh
+#   $ bin/check.sh            # full build + tests (+ fmt if available)
+#   $ bin/check.sh --quick    # also run the bench smoke pass (--quick,
+#                             # --jobs 4) and validate its JSON summary
 #
-# Runs the full build (including examples and benches), the test suites,
-# and — when ocamlformat is installed — the formatting check.  Fails fast
-# with the failing step's output.
+# Fails fast with the failing step's output; correct non-zero exit codes
+# even under pipelines (pipefail where the shell supports it).
 
-set -e
+set -eu
+# pipefail is not POSIX; enable it when the shell has it so a failing
+# command on the left of a pipe still fails the script
+if (set -o pipefail) 2>/dev/null; then
+  set -o pipefail
+fi
+
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "usage: bin/check.sh [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if ! command -v dune >/dev/null 2>&1; then
+  echo "error: dune not found on PATH — install the OCaml toolchain" \
+       "(opam install dune) or enter the right opam switch" >&2
+  exit 1
+fi
 
 echo "== dune build @all =="
 dune build @all
@@ -21,6 +46,19 @@ if command -v ocamlformat >/dev/null 2>&1; then
   dune build @fmt
 else
   echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+if [ "$QUICK" = 1 ]; then
+  echo "== bench smoke (--quick --jobs 4 --json) =="
+  JSON=$(mktemp /tmp/bench-smoke.XXXXXX.json)
+  dune exec bench/main.exe -- --quick --jobs 4 --json "$JSON"
+  # the summary must be strict JSON (CI parses it)
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$JSON"
+    echo "bench JSON summary OK: $JSON"
+  else
+    echo "python3 not found; skipping JSON validation of $JSON"
+  fi
 fi
 
 echo "== all checks passed =="

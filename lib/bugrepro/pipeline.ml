@@ -31,9 +31,11 @@ type analysis = {
     HC); [analyze_lib = false] reproduces the uServer setup where the
     merged source was too large for points-to analysis. *)
 let analyze ?(dynamic_budget = Concolic.Engine.default_budget)
-    ?(analyze_lib = true) ?(refine = true) ?test_scenario (prog : Program.t) :
-    analysis =
-  let dynamic = Option.map (Concolic.Dynamic.analyze ~budget:dynamic_budget) test_scenario in
+    ?(analyze_lib = true) ?(refine = true) ?(jobs = 1) ?test_scenario
+    (prog : Program.t) : analysis =
+  let dynamic =
+    Option.map (Concolic.Dynamic.analyze ~budget:dynamic_budget ~jobs) test_scenario
+  in
   let static = Some (Staticanalysis.Static.analyze ~analyze_lib ~refine prog) in
   { prog; dynamic; static }
 

@@ -17,11 +17,13 @@ type analysis = {
     symbolic-execution time knob (LC vs HC); [analyze_lib = false]
     reproduces the uServer setup where the merged source was too large for
     points-to analysis; [refine = false] runs the seed (unrefined) static
-    pipeline. *)
+    pipeline; [jobs] > 1 runs the dynamic exploration on a parallel worker
+    pool. *)
 val analyze :
   ?dynamic_budget:Concolic.Engine.budget ->
   ?analyze_lib:bool ->
   ?refine:bool ->
+  ?jobs:int ->
   ?test_scenario:Concolic.Scenario.t ->
   Minic.Program.t ->
   analysis
@@ -46,11 +48,16 @@ val field_run_report :
   Concolic.Scenario.t ->
   Instrument.Field_run.result * Instrument.Report.t option
 
+(** Developer-site bug reproduction.  [jobs] parallelizes the pending
+    frontier; [solver_cache] (default on) memoizes solver queries — see
+    {!Replay.Guided.reproduce}. *)
 val reproduce :
   ?budget:Concolic.Engine.budget ->
   ?seed:int ->
   ?max_steps:int ->
   ?restore:Replay.Guided.restore_fn ->
+  ?jobs:int ->
+  ?solver_cache:bool ->
   prog:Minic.Program.t ->
   plan:Instrument.Plan.t ->
   Instrument.Report.t ->

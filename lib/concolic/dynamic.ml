@@ -54,15 +54,28 @@ let make_run ?(max_steps = 2_000_000) (sc : Scenario.t) ~vars
   { Engine.outcome = r.outcome; trace = Path.entries trace; observed = !observed }
 
 (** Run the analysis.  The budget plays the role of the paper's
-    one-hour/two-hour symbolic execution cut-offs (LC vs HC). *)
-let analyze ?(budget = Engine.default_budget) ?max_steps (sc : Scenario.t) :
-    result =
+    one-hour/two-hour symbolic execution cut-offs (LC vs HC).  [jobs] > 1
+    explores with a parallel worker pool; label updates are then serialized
+    through a mutex (the sticky rule commutes, so the resulting label map
+    does not depend on worker scheduling).  [cache] memoizes solver queries
+    across pendings. *)
+let analyze ?(budget = Engine.default_budget) ?max_steps ?(jobs = 1) ?cache
+    (sc : Scenario.t) : result =
   let vars = Solver.Symvars.create () in
   let n = Program.nbranches sc.prog in
   let labels = Label.make ~nbranches:n Label.Unvisited in
-  let on_branch_observed bid symbolic = Label.observe labels bid ~symbolic in
+  let label_mu = Mutex.create () in
+  let on_branch_observed =
+    if jobs <= 1 then fun bid symbolic -> Label.observe labels bid ~symbolic
+    else fun bid symbolic ->
+      Mutex.lock label_mu;
+      Label.observe labels bid ~symbolic;
+      Mutex.unlock label_mu
+  in
   let run = make_run ?max_steps sc ~vars ~on_branch_observed in
-  let stats, _ = Engine.explore ~vars ~budget ~strategy:Engine.Bfs ~run () in
+  let stats, _ =
+    Engine.explore ~vars ~budget ~strategy:Engine.Bfs ~jobs ?cache ~run ()
+  in
   let visited = n - Label.count labels Label.Unvisited in
   {
     labels;

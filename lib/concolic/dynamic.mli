@@ -28,8 +28,17 @@ val make_run :
   Engine.run_result
 
 (** Run the analysis.  The budget plays the role of the paper's
-    one-hour/two-hour symbolic-execution cut-offs (LC vs HC). *)
-val analyze : ?budget:Engine.budget -> ?max_steps:int -> Scenario.t -> result
+    one-hour/two-hour symbolic-execution cut-offs (LC vs HC).  [jobs] > 1
+    explores with a parallel worker pool (the sticky labelling rule
+    commutes, so the label map does not depend on worker scheduling);
+    [cache] memoizes solver queries across pendings. *)
+val analyze :
+  ?budget:Engine.budget ->
+  ?max_steps:int ->
+  ?jobs:int ->
+  ?cache:Solver.Cache.t ->
+  Scenario.t ->
+  result
 
 (** (symbolic, concrete, unvisited) label counts. *)
 val count_labels : result -> int * int * int

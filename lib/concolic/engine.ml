@@ -11,7 +11,16 @@
     branch executions costs O(1) memory per pending alternative.
 
     The engine is generic over the actual run function, so dynamic analysis
-    and bug replay share it. *)
+    and bug replay share it.
+
+    With [~jobs] > 1 the pending frontier is drained by a pool of OCaml 5
+    domains: workers pop a pending, solve (optionally through a shared
+    memoizing {!Solver.Cache}), re-execute in an isolated interpreter state
+    and push children back.  The LIFO/FIFO disciplines of {!Dfs}/{!Bfs}
+    become *priority hints* — each pop still takes the deepest/oldest
+    pending, but several pendings are in flight at once, so the global
+    visit order is not the sequential one.  [~jobs:1] (the default) runs
+    the exact deterministic sequential loop. *)
 
 type budget = {
   max_runs : int;
@@ -73,18 +82,30 @@ let monotonic () = Unix.gettimeofday ()
 (* diagnostics: print pendings that come back Unsat/Unknown *)
 let debug_solver = ref false
 
-(** Explore paths until the budget is exhausted or [should_stop] returns
-    true for a run.  Returns the accumulated statistics and, if stopped
-    early, the model and result of the stopping run. *)
-let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
-    ?(strategy = Dfs) ~(run : Solver.Model.t -> run_result)
-    ?(should_stop = fun _ _ -> false)
-    ?(on_run = fun (_ : Solver.Model.t) (_ : run_result) -> ()) () :
-    stats * (Solver.Model.t * run_result) option =
-  let stats =
-    { runs = 0; sat = 0; unsat = 0; unknown = 0; pending_peak = 0;
-      elapsed_s = 0.0; timed_out = false }
+(* Solve a pending's constraint set, escalating once on Unknown: an Unknown
+   abandons this pending subtree for good — fatal when it carries a
+   log-forced direction.  Routed through the memoizing cache when one is
+   supplied (Unknowns are not cached, so the escalated call always reaches
+   the real solver). *)
+let solve_pending ?cache ~vars ~hint cs =
+  let solve ?budget () =
+    match cache with
+    (* [slice] is sound here: a pending's hint satisfies every constraint
+       outside the focus component, and both exploration loops merge the
+       returned model over the hint (union_prefer_left) before running *)
+    | Some c -> Solver.Cache.solve c ?budget ~vars ~hint ~slice:true cs
+    | None -> Solver.Solve.solve ?budget ~vars ~hint cs
   in
+  match solve () with
+  | Solver.Solve.Unknown ->
+      solve ~budget:{ Solver.Solve.default_budget with max_nodes = 3_000_000 } ()
+  | r -> r
+
+(* ------------------------------------------------------------------ *)
+(* Sequential exploration: the deterministic [~jobs:1] path. *)
+
+let explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run
+    (stats : stats) : (Solver.Model.t * run_result) option =
   let started = monotonic () in
   let deadline = started +. budget.max_time_s in
   (* the pending list: LIFO for DFS, FIFO for BFS *)
@@ -109,7 +130,7 @@ let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
   let do_run (model : Solver.Model.t) (bound : int)
       (flipped : (int * Solver.Expr.t) option) (lineage : Solver.Expr.t list) =
     stats.runs <- stats.runs + 1;
-    let result = run model in
+    let result : run_result = run model in
     on_run model result;
     if should_stop model result then found := Some (model, result)
     else begin
@@ -153,17 +174,7 @@ let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
     let p = Option.get (frontier_pop ()) in
     let hint id = Solver.Model.find_opt id p.hint in
     let cs = constraints_of p in
-    let solved =
-      match Solver.Solve.solve ~vars ~hint cs with
-      | Solver.Solve.Unknown ->
-          (* an Unknown abandons this pending subtree for good — fatal when
-             it carries a log-forced direction — so escalate once *)
-          Solver.Solve.solve
-            ~budget:{ Solver.Solve.default_budget with max_nodes = 3_000_000 }
-            ~vars ~hint cs
-      | r -> r
-    in
-    match solved with
+    match solve_pending ?cache ~vars ~hint cs with
     | Solver.Solve.Sat model ->
         stats.sat <- stats.sat + 1;
         (* keep the parent's values for variables the solver left free *)
@@ -183,6 +194,160 @@ let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
             (Solver.Expr.to_string (negated_of p));
         stats.unknown <- stats.unknown + 1
   done;
-  if stats.runs >= budget.max_runs && !found = None then stats.timed_out <- true;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration: a Domain-based worker pool over a shared,
+   mutex-protected frontier.
+
+   Invariants:
+   - every field of [stats], the frontier and [found] are only touched with
+     [m] held;
+   - [run] and the solver execute with [m] released (that is the whole
+     point); [on_run]/[should_stop] are called with [m] held, so user
+     callbacks are serialized and may keep plain mutable state;
+   - [active] counts workers between a successful pop and the push of that
+     pending's children.  Termination: frontier empty AND [active] = 0 —
+     the racy "frontier empty but a worker may still push children" case
+     parks waiters on [cv] until the in-flight worker either pushes (then
+     broadcasts) or retires;
+   - [stats.runs] is reserved under the lock *before* a run executes, so
+     the [max_runs] budget is an exact bound, as in the sequential loop. *)
+
+let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
+    (stats : stats) : (Solver.Model.t * run_result) option =
+  let started = monotonic () in
+  let deadline = started +. budget.max_time_s in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let stack : pending Stack.t = Stack.create () in
+  let queue : pending Queue.t = Queue.create () in
+  let frontier_push p =
+    match strategy with Dfs -> Stack.push p stack | Bfs -> Queue.push p queue
+  in
+  let frontier_pop () =
+    match strategy with Dfs -> Stack.pop_opt stack | Bfs -> Queue.take_opt queue
+  in
+  let frontier_size () =
+    match strategy with Dfs -> Stack.length stack | Bfs -> Queue.length queue
+  in
+  let found = ref None in
+  let failed = ref None in
+  let active = ref 0 in
+  (* called with [m] held *)
+  let push_children (model : Solver.Model.t) (result : run_result) bound flipped
+      lineage =
+    let trace = Array.of_list result.trace in
+    let hint = Solver.Model.union_prefer_left model result.observed in
+    Array.iteri
+      (fun i (e : Path.entry) ->
+        let reflip =
+          match flipped with Some (j, c) -> i = j && e.cons <> c | None -> false
+        in
+        if e.negatable && (i >= bound || reflip) then
+          frontier_push
+            { trace; upto = i; hint; lineage = (if reflip then lineage else []) })
+      trace;
+    stats.pending_peak <- max stats.pending_peak (frontier_size ())
+  in
+  (* execute one run; called with [m] held, releases it around [run] *)
+  let do_run_locked model bound flipped lineage =
+    stats.runs <- stats.runs + 1;
+    Mutex.unlock m;
+    let result = try Ok (run model) with e -> Error e in
+    Mutex.lock m;
+    match result with
+    | Error e -> if !failed = None then failed := Some e
+    | Ok result ->
+        on_run model result;
+        if should_stop model result then begin
+          if !found = None then found := Some (model, result)
+        end
+        else push_children model result bound flipped lineage
+  in
+  (* process one pending; called with [m] held, releases it around solving *)
+  let process (p : pending) =
+    Mutex.unlock m;
+    let solved =
+      try
+        let hint id = Solver.Model.find_opt id p.hint in
+        Ok (solve_pending ?cache ~vars ~hint (constraints_of p))
+      with e -> Error e
+    in
+    Mutex.lock m;
+    match solved with
+    | Error e -> if !failed = None then failed := Some e
+    | Ok (Solver.Solve.Sat model) ->
+        stats.sat <- stats.sat + 1;
+        if !found = None && stats.runs < budget.max_runs
+           && monotonic () <= deadline
+        then begin
+          let model = Solver.Model.union_prefer_left model p.hint in
+          do_run_locked model (p.upto + 1)
+            (Some (p.upto, negated_of p))
+            (negated_of p :: p.lineage)
+        end
+    | Ok Solver.Solve.Unsat -> stats.unsat <- stats.unsat + 1
+    | Ok Solver.Solve.Unknown -> stats.unknown <- stats.unknown + 1
+  in
+  let worker () =
+    Mutex.lock m;
+    let rec loop () =
+      if !found <> None || !failed <> None || stats.runs >= budget.max_runs then
+        ()
+      else if monotonic () > deadline then stats.timed_out <- true
+      else
+        match frontier_pop () with
+        | Some p ->
+            incr active;
+            process p;
+            decr active;
+            Condition.broadcast cv;
+            loop ()
+        | None ->
+            if !active = 0 then ()
+            else begin
+              (* frontier drained but a sibling is still executing: it may
+                 yet push children, so wait for its broadcast *)
+              Condition.wait cv m;
+              loop ()
+            end
+    in
+    loop ();
+    Condition.broadcast cv;
+    Mutex.unlock m
+  in
+  (* seed the frontier with the initial run (empty model), then fan out *)
+  Mutex.lock m;
+  do_run_locked Solver.Model.empty 0 None [];
+  Mutex.unlock m;
+  let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+  Array.iter Domain.join domains;
+  (match !failed with Some e -> raise e | None -> ());
+  !found
+
+(* ------------------------------------------------------------------ *)
+
+(** Explore paths until the budget is exhausted or [should_stop] returns
+    true for a run.  Returns the accumulated statistics and, if stopped
+    early, the model and result of the stopping run. *)
+let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
+    ?(strategy = Dfs) ?(jobs = 1) ?cache ~(run : Solver.Model.t -> run_result)
+    ?(should_stop = fun _ _ -> false)
+    ?(on_run = fun (_ : Solver.Model.t) (_ : run_result) -> ()) () :
+    stats * (Solver.Model.t * run_result) option =
+  let stats =
+    { runs = 0; sat = 0; unsat = 0; unknown = 0; pending_peak = 0;
+      elapsed_s = 0.0; timed_out = false }
+  in
+  let started = monotonic () in
+  let found =
+    if jobs <= 1 then
+      explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run stats
+    else
+      explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
+        stats
+  in
+  if stats.runs >= budget.max_runs && found = None then stats.timed_out <- true;
   stats.elapsed_s <- monotonic () -. started;
-  (stats, !found)
+  (stats, found)

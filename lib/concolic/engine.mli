@@ -6,7 +6,13 @@
     constraint sets — exactly the structure reused by guided replay (§3.1).
 
     The engine is generic over the run function, so dynamic analysis and
-    bug replay share it. *)
+    bug replay share it.
+
+    With [~jobs] > 1 the pending frontier is drained by a pool of OCaml 5
+    domains (the run function must then be safe to call concurrently — each
+    call must build its own interpreter state).  [~jobs:1], the default, is
+    the exact deterministic sequential loop.  An optional shared
+    {!Solver.Cache} memoizes solver queries across pendings. *)
 
 type budget = {
   max_runs : int;
@@ -44,11 +50,20 @@ val debug_solver : bool ref
 
 (** Explore paths until the budget is exhausted or [should_stop] returns
     true for a run.  Returns the statistics and, if stopped early, the
-    model and result of the stopping run. *)
+    model and result of the stopping run.
+
+    [jobs] (default 1) sets the number of worker domains; with several
+    workers the {!strategy} order becomes a priority hint and [run] must
+    tolerate concurrent calls.  [on_run] and [should_stop] are always
+    called with the engine's internal lock held, i.e. serialized, so they
+    may keep plain mutable state.  [cache] memoizes solver queries across
+    pendings (and is shared by all workers). *)
 val explore :
   vars:Solver.Symvars.t ->
   ?budget:budget ->
   ?strategy:strategy ->
+  ?jobs:int ->
+  ?cache:Solver.Cache.t ->
   run:(Solver.Model.t -> run_result) ->
   ?should_stop:(Solver.Model.t -> run_result -> bool) ->
   ?on_run:(Solver.Model.t -> run_result -> unit) ->

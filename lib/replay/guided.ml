@@ -32,6 +32,18 @@ let new_case_stats () =
   { case1 = 0; case2a = 0; case2b = 0; case3a = 0; case3b = 0; case4 = 0;
     log_exhausted = 0 }
 
+(* Fold [c] into [into].  Each run counts its cases locally and merges once
+   at the end (under the caller's lock when replaying in parallel), so the
+   hot per-branch path never contends on shared counters. *)
+let merge_cases ~(into : case_stats) (c : case_stats) =
+  into.case1 <- into.case1 + c.case1;
+  into.case2a <- into.case2a + c.case2a;
+  into.case2b <- into.case2b + c.case2b;
+  into.case3a <- into.case3a + c.case3a;
+  into.case3b <- into.case3b + c.case3b;
+  into.case4 <- into.case4 + c.case4;
+  into.log_exhausted <- into.log_exhausted + c.log_exhausted
+
 type result =
   | Reproduced of {
       model : Solver.Model.t;
@@ -45,6 +57,8 @@ type stats = {
   engine : Concolic.Engine.stats;
   cases : case_stats;
   vars : Solver.Symvars.t;
+  cache : Solver.Cache.snapshot option;
+      (** solver-cache counters, when the memoizing cache was enabled *)
 }
 
 let reproduced = function Reproduced _ -> true | Not_reproduced _ -> false
@@ -64,11 +78,14 @@ type restore_fn =
   Interp.Eval.global_access ->
   unit
 
-(* One guided replay run under input [model]. *)
+(* One guided replay run under input [model].  [record_cases] receives the
+   run's own case counters once the run is over; with a parallel engine the
+   callback must be thread-safe (reproduce merges under a mutex). *)
 let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
     ~(plan : Plan.t) ~(report : Report.t) ~vars ~seed ~max_steps
-    ~(cases : case_stats) (model : Solver.Model.t) :
+    ~(record_cases : case_stats -> unit) (model : Solver.Model.t) :
     Concolic.Engine.run_result =
+  let cases = new_case_stats () in
   let observed = ref Solver.Model.empty in
   let observe id v = observed := Solver.Model.add id v !observed in
   (* with a checkpoint restore pending, the shipped logs describe only the
@@ -158,6 +175,7 @@ let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
           steps = 0;
         }
   in
+  record_cases cases;
   {
     Concolic.Engine.outcome = r.outcome;
     trace = Concolic.Path.entries trace;
@@ -165,10 +183,16 @@ let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
   }
 
 (** Reproduce the bug described by [report].  [budget] is the developer's
-    patience (the paper's one-hour limit, scaled). *)
+    patience (the paper's one-hour limit, scaled).  [jobs] > 1 drains the
+    pending frontier with a pool of worker domains; the forced-chain DFS
+    order then becomes a priority hint (see DESIGN.md §"Parallel replay").
+    [solver_cache] (default on) memoizes solver queries across pendings and
+    across restarts — alpha-renaming makes the cache survive the fresh
+    variable registry of a restart. *)
 let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
-    ?(max_steps = 5_000_000) ?restore ~(prog : Minic.Program.t)
-    ~(plan : Plan.t) (report : Report.t) : result * stats =
+    ?(max_steps = 5_000_000) ?restore ?(jobs = 1) ?(solver_cache = true)
+    ~(prog : Minic.Program.t) ~(plan : Plan.t) (report : Report.t) :
+    result * stats =
   (* A depth-first chain can die on a genuinely unsatisfiable forced
      pending (a concretisation pinned incompatibly early in the run).
      When the frontier exhausts with budget left, restart with a different
@@ -176,12 +200,19 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
      paper's engine enjoys the same freedom in choosing fresh inputs. *)
   let deadline = Unix.gettimeofday () +. budget.Concolic.Engine.max_time_s in
   let total_runs = ref 0 in
+  let cache = if solver_cache then Some (Solver.Cache.create ()) else None in
+  let cases_mu = Mutex.create () in
   let rec attempt attempt_seed acc_stats =
     let vars = Solver.Symvars.create () in
     let cases = new_case_stats () in
+    let record_cases c =
+      Mutex.lock cases_mu;
+      merge_cases ~into:cases c;
+      Mutex.unlock cases_mu
+    in
     let run =
       run_once ?restore ~prog ~plan ~report ~vars ~seed:attempt_seed ~max_steps
-        ~cases
+        ~record_cases
     in
     let should_stop _model (r : Concolic.Engine.run_result) =
       match r.outcome with
@@ -197,19 +228,17 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
         ~budget:
           { Concolic.Engine.max_runs = max 1 remaining_runs;
             max_time_s = max 0.1 remaining_time }
-        ~run ~should_stop ()
+        ~jobs ?cache ~run ~should_stop ()
     in
     total_runs := !total_runs + engine_stats.runs;
-    let stats = { engine = engine_stats; cases; vars } in
+    let stats =
+      { engine = engine_stats; cases; vars;
+        cache = Option.map Solver.Cache.snapshot cache }
+    in
     (match acc_stats with
     | Some (prev : stats) ->
         (* accumulate case counters across restarts for reporting *)
-        cases.case1 <- cases.case1 + prev.cases.case1;
-        cases.case2a <- cases.case2a + prev.cases.case2a;
-        cases.case2b <- cases.case2b + prev.cases.case2b;
-        cases.case3a <- cases.case3a + prev.cases.case3a;
-        cases.case3b <- cases.case3b + prev.cases.case3b;
-        cases.case4 <- cases.case4 + prev.cases.case4;
+        merge_cases ~into:cases prev.cases;
         engine_stats.runs <- !total_runs
     | None -> ());
     match found with

@@ -39,6 +39,8 @@ type stats = {
   engine : Concolic.Engine.stats;
   cases : case_stats;
   vars : Solver.Symvars.t;  (** variable registry, for decoding the model *)
+  cache : Solver.Cache.snapshot option;
+      (** solver-cache counters, when the memoizing cache was enabled *)
 }
 
 val reproduced : result -> bool
@@ -56,12 +58,19 @@ type restore_fn =
 
 (** Reproduce the bug described by [report].  [budget] is the developer's
     patience (the paper's one-hour limit, scaled); [seed] varies the random
-    initial input. *)
+    initial input.  [jobs] (default 1) sets the number of worker domains
+    draining the pending frontier; [solver_cache] (default true) memoizes
+    solver queries across pendings and restarts.  Whatever the worker
+    count, a result of [Reproduced] carries a model that crashes at the
+    reported site — scheduling can change *which* crashing input is found
+    first, never whether one exists. *)
 val reproduce :
   ?budget:Concolic.Engine.budget ->
   ?seed:int ->
   ?max_steps:int ->
   ?restore:restore_fn ->
+  ?jobs:int ->
+  ?solver_cache:bool ->
   prog:Minic.Program.t ->
   plan:Instrument.Plan.t ->
   Instrument.Report.t ->

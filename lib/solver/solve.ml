@@ -26,14 +26,26 @@ type stats = {
 
 let stats = { calls = 0; sat = 0; unsat = 0; unknown = 0; nodes = 0 }
 
+(* The global counters are shared by every domain of a parallel exploration
+   ({!Concolic.Engine.explore} [~jobs]); updates go through a mutex.  Node
+   counts are accumulated locally during the search and added once per
+   call, so the hot backtracking loop takes no lock. *)
+let stats_mu = Mutex.create ()
+
+let bump f =
+  Mutex.lock stats_mu;
+  f stats;
+  Mutex.unlock stats_mu
+
 let debug_unknown = ref false
 
 let reset_stats () =
-  stats.calls <- 0;
-  stats.sat <- 0;
-  stats.unsat <- 0;
-  stats.unknown <- 0;
-  stats.nodes <- 0
+  bump (fun s ->
+      s.calls <- 0;
+      s.sat <- 0;
+      s.unsat <- 0;
+      s.unknown <- 0;
+      s.nodes <- 0)
 
 (* ------------------------------------------------------------------ *)
 (* Interval propagation *)
@@ -142,13 +154,13 @@ exception Found of Model.t
 let solve ?(budget = default_budget) ~(vars : Symvars.t)
     ?(hint : int -> int option = fun _ -> None) (constraints : Expr.t list) :
     outcome =
-  stats.calls <- stats.calls + 1;
+  bump (fun s -> s.calls <- s.calls + 1);
   match Simplify.conjuncts constraints with
   | None ->
-      stats.unsat <- stats.unsat + 1;
+      bump (fun s -> s.unsat <- s.unsat + 1);
       Unsat
   | Some [] ->
-      stats.sat <- stats.sat + 1;
+      bump (fun s -> s.sat <- s.sat + 1);
       Sat Model.empty
   | Some cs -> (
       (* Loop-heavy traces repeat the same constraint thousands of times;
@@ -192,7 +204,7 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
       in
       (* substitution can expose a contradiction (x == y with x != y) *)
       if List.exists (fun c -> c = Expr.Const 0) cs then begin
-        stats.unsat <- stats.unsat + 1;
+        bump (fun s -> s.unsat <- s.unsat + 1);
         Unsat
       end
       else if
@@ -205,7 +217,7 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
         List.iter (fun c -> Hashtbl.replace seen c ()) cs;
         List.exists (fun c -> Hashtbl.mem seen (Simplify.simplify (Expr.negate c))) cs
       then begin
-        stats.unsat <- stats.unsat + 1;
+        bump (fun s -> s.unsat <- s.unsat + 1);
         Unsat
       end
       else begin
@@ -311,7 +323,7 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
           cs
       done;
       if !contradiction then begin
-        stats.unsat <- stats.unsat + 1;
+        bump (fun s -> s.unsat <- s.unsat + 1);
         Unsat
       end
       else begin
@@ -418,7 +430,6 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
               | [] -> ()
               | x :: rest ->
                   incr nodes;
-                  stats.nodes <- stats.nodes + 1;
                   if !nodes > budget.max_nodes then begin
                     complete := false;
                     raise Exit
@@ -445,7 +456,7 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
         match search () with
         | () ->
             if !complete then begin
-              stats.unsat <- stats.unsat + 1;
+              bump (fun s -> s.unsat <- s.unsat + 1; s.nodes <- s.nodes + !nodes);
               Unsat
             end
             else begin
@@ -459,11 +470,11 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
                       (Format.asprintf "%a" Interval.pp d) (Symvars.name vars v))
                   var_ids
               end;
-              stats.unknown <- stats.unknown + 1;
+              bump (fun s -> s.unknown <- s.unknown + 1; s.nodes <- s.nodes + !nodes);
               Unknown
             end
         | exception Found m ->
-            stats.sat <- stats.sat + 1;
+            bump (fun s -> s.sat <- s.sat + 1; s.nodes <- s.nodes + !nodes);
             Sat m
         | exception Exit ->
             if !debug_unknown then begin
@@ -473,7 +484,7 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
               List.iter (fun c -> output_string oc (Expr.to_string c ^ "\n")) cs;
               close_out oc
             end;
-            stats.unknown <- stats.unknown + 1;
+            bump (fun s -> s.unknown <- s.unknown + 1; s.nodes <- s.nodes + !nodes);
             Unknown
       end
       end)

@@ -315,6 +315,70 @@ let test_engine_strategies_explore_same_space () =
       check_bool "strategy finds the crash" true (found <> None))
     [ Concolic.Engine.Dfs; Concolic.Engine.Bfs ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration determinism: an exhaustive exploration (no
+   should_stop, generous budget) of a program whose crash sites are guarded
+   purely by input branch constraints is confluent — the *set* of crash
+   outcomes cannot depend on worker scheduling, only the discovery order
+   can.  Run the same seed corpus at jobs=1 and jobs=4 and compare sets. *)
+
+let crash_corpus_src =
+  "int main() {\n\
+  \  int b[8];\n\
+  \  arg(0, b, 8);\n\
+  \  if (b[0] == 'A') { if (b[1] == 'x') { crash(); } return 1; }\n\
+  \  if (b[0] == 'B') { if (b[2] > 'm') { crash(); } return 2; }\n\
+  \  if (b[0] == 'C') { crash(); }\n\
+  \  return 0;\n\
+   }"
+
+let explore_crashes ~jobs src =
+  let prog = Workloads.Runtime_lib.link ~name:"t" src in
+  let sc = Concolic.Scenario.make ~name:"t" ~args:[ "aaa" ] prog in
+  let vars = Solver.Symvars.create () in
+  let run = Concolic.Dynamic.make_run sc ~vars ~on_branch_observed:(fun _ _ -> ()) in
+  (* on_run is called with the frontier lock held, so a plain ref is fine *)
+  let crashes = ref [] in
+  let on_run _ (r : Concolic.Engine.run_result) =
+    match r.outcome with
+    | Interp.Crash.Crash c ->
+        let s = Interp.Crash.to_string c in
+        if not (List.mem s !crashes) then crashes := s :: !crashes
+    | _ -> ()
+  in
+  let cache = Solver.Cache.create () in
+  let stats, _ =
+    Concolic.Engine.explore ~vars ~budget:(budget 400) ~jobs ~cache ~run ~on_run ()
+  in
+  (List.sort compare !crashes, stats)
+
+let test_parallel_determinism () =
+  let seq, _ = explore_crashes ~jobs:1 crash_corpus_src in
+  let par, _ = explore_crashes ~jobs:4 crash_corpus_src in
+  check_bool "found some crash sites" true (List.length seq >= 3);
+  Alcotest.(check (list string)) "jobs=1 and jobs=4 find the same crash set" seq par
+
+let test_parallel_respects_run_budget () =
+  let sc =
+    scenario ~args:[ "aaaa" ]
+      "int main() {\n\
+      \  int b[8];\n\
+      \  int i;\n\
+      \  int n = 0;\n\
+      \  arg(0, b, 8);\n\
+      \  for (i = 0; i < 4; i = i + 1) { if (b[i] == 'q') { n = n + 1; } }\n\
+      \  return n;\n\
+       }"
+  in
+  let vars = Solver.Symvars.create () in
+  let run =
+    Concolic.Dynamic.make_run sc ~vars ~on_branch_observed:(fun _ _ -> ())
+  in
+  let stats, _ =
+    Concolic.Engine.explore ~vars ~budget:(budget 5) ~jobs:4 ~run ()
+  in
+  check_bool "run budget exact under parallel pool" true (stats.runs <= 5)
+
 let () =
   Alcotest.run "concolic"
     [
@@ -339,6 +403,13 @@ let () =
           Alcotest.test_case "respects budget" `Quick test_engine_respects_run_budget;
           Alcotest.test_case "model drives next run" `Quick
             test_engine_model_drives_next_run;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs=1 = jobs=4 crash set" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "parallel respects budget" `Quick
+            test_parallel_respects_run_budget;
         ] );
       ( "streams",
         [ Alcotest.test_case "stream bytes symbolic" `Quick test_stream_bytes_symbolic ]

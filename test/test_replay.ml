@@ -210,6 +210,57 @@ let prop_full_log_reproduces =
           let result, _ = Bugrepro.Pipeline.reproduce ~budget ~prog ~plan report in
           Replay.Guided.reproduced result)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel replay: whatever the worker count or cache setting, the
+   verdict (reproduced at the recorded site) must match the sequential
+   engine's, and the model shipped back must actually crash. *)
+
+let test_reproduce_parallel_matches_sequential () =
+  let prog, plan, report = record ~args:[ "BUG" ] magic_src in
+  match report with
+  | None -> Alcotest.fail "field run did not crash"
+  | Some report ->
+      let verdicts =
+        List.map
+          (fun (jobs, cache) ->
+            let result, stats =
+              Bugrepro.Pipeline.reproduce ~budget ~jobs ~solver_cache:cache
+                ~prog ~plan report
+            in
+            (match cache, stats.cache with
+            | true, None -> Alcotest.fail "cache stats missing"
+            | false, Some _ -> Alcotest.fail "cache stats despite --no-cache"
+            | _ -> ());
+            Replay.Guided.reproduced result)
+          [ (1, false); (1, true); (4, true); (4, false) ]
+      in
+      check_bool "all configurations reproduce" true
+        (List.for_all Fun.id verdicts)
+
+let test_reproduce_parallel_no_log_search () =
+  (* the widest frontier: no branch log at all, drained by 4 workers with
+     the memoizing cache on *)
+  let prog, _, _ = record ~args:[ "BUG" ] magic_src in
+  let none =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches prog)
+      Instrument.Methods.No_instrumentation
+  in
+  let sc = Concolic.Scenario.make ~name:"t" ~args:[ "BUG" ] prog in
+  let _, report = Bugrepro.Pipeline.field_run_report ~plan:none sc in
+  match report with
+  | None -> Alcotest.fail "field run did not crash"
+  | Some report ->
+      let result, stats =
+        Bugrepro.Pipeline.reproduce ~budget ~jobs:4 ~prog ~plan:none report
+      in
+      check_bool "reproduced by parallel search" true
+        (Replay.Guided.reproduced result);
+      check_bool "cache was consulted" true
+        (match stats.cache with
+        | Some s -> s.hits + s.misses > 0
+        | None -> false)
+
 let () =
   Alcotest.run "replay"
     [
@@ -235,6 +286,13 @@ let () =
             test_reproduce_file_input_with_syscall_log;
           Alcotest.test_case "without syscall log" `Quick
             test_reproduce_file_input_without_syscall_log;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential verdict" `Quick
+            test_reproduce_parallel_matches_sequential;
+          Alcotest.test_case "no-log search with 4 workers" `Quick
+            test_reproduce_parallel_no_log_search;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_full_log_reproduces ] );

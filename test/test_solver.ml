@@ -345,6 +345,122 @@ let prop_solver_unsat_really_unsat =
           done;
           not !found)
 
+(* ------------------------------------------------------------------ *)
+(* Cache: memoization, canonicalization, slicing *)
+
+let test_cache_hit_miss_accounting () =
+  let t = Cache.create () in
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 in
+  let cs = [ v x ==. c 47 ] in
+  (match Cache.solve t ~vars cs with
+  | Solve.Sat m -> check_int "x=47" 47 (Option.get (Model.find_opt x m))
+  | _ -> Alcotest.fail "expected sat");
+  (match Cache.solve t ~vars cs with
+  | Solve.Sat m -> check_int "cached x=47" 47 (Option.get (Model.find_opt x m))
+  | _ -> Alcotest.fail "expected cached sat");
+  let s = Cache.snapshot t in
+  check_int "one miss" 1 s.misses;
+  check_int "one hit" 1 s.hits;
+  check_int "one store" 1 s.stores;
+  check_int "one entry" 1 (Cache.length t);
+  (* an unsat set is cached too *)
+  (match Cache.solve t ~vars [ v x <. c 5; v x >. c 10 ] with
+  | Solve.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat");
+  (match Cache.solve t ~vars [ v x <. c 5; v x >. c 10 ] with
+  | Solve.Unsat -> ()
+  | _ -> Alcotest.fail "expected cached unsat");
+  let s = Cache.snapshot t in
+  check_int "two hits total" 2 s.hits;
+  check_int "two misses total" 2 s.misses
+
+let test_cache_alpha_equivalence () =
+  (* same structure over different variable ids — e.g. a replay restart's
+     fresh registry — must hit the same entry *)
+  let t = Cache.create () in
+  let vars, ids = mk_vars 4 in
+  let x = List.nth ids 0 and y = List.nth ids 1 in
+  let x' = List.nth ids 2 and y' = List.nth ids 3 in
+  (match Cache.solve t ~vars [ v x >. c 10; v y ==. (v x +. c 1) ] with
+  | Solve.Sat _ -> ()
+  | _ -> Alcotest.fail "expected sat");
+  (match Cache.solve t ~vars [ v x' >. c 10; v y' ==. (v x' +. c 1) ] with
+  | Solve.Sat m ->
+      (* the cached model must come back renamed to the new variables *)
+      let xv = Option.get (Model.find_opt x' m) in
+      let yv = Option.get (Model.find_opt y' m) in
+      check_bool "renamed model satisfies" true (xv > 10 && yv = xv + 1)
+  | _ -> Alcotest.fail "expected sat");
+  let s = Cache.snapshot t in
+  check_int "alpha-equivalent query hits" 1 s.hits;
+  check_int "single entry for both" 1 (Cache.length t)
+
+let test_cache_dedupe_multiplicity () =
+  (* repeated constraints (loop-heavy traces) must not change the key *)
+  let t = Cache.create () in
+  let vars, ids = mk_vars 1 in
+  let x = List.nth ids 0 in
+  ignore (Cache.solve t ~vars [ v x >. c 10; v x >. c 10; v x <. c 20 ]);
+  ignore (Cache.solve t ~vars [ v x >. c 10; v x <. c 20 ]);
+  let s = Cache.snapshot t in
+  check_int "deduped query hits" 1 s.hits
+
+let test_cache_eviction () =
+  let t = Cache.create ~capacity:2 () in
+  let vars, ids = mk_vars 1 in
+  let x = List.nth ids 0 in
+  List.iter
+    (fun n -> ignore (Cache.solve t ~vars [ v x ==. c n ]))
+    [ 1; 2; 3; 4 ];
+  let s = Cache.snapshot t in
+  check_bool "evictions happened" true (s.evictions >= 2);
+  check_bool "table stays bounded" true (Cache.length t <= 2)
+
+let test_slice_focus_keeps_component () =
+  (* x-constraints are independent of the y-component that the focus (last
+     constraint) belongs to: the slice must keep y's and drop x's *)
+  let sliced =
+    Cache.slice_focus [ v 0 ==. c 1; v 1 >. c 5; v 1 <. c 9 ]
+  in
+  check_bool "slice = y component" true
+    (sliced = [ v 1 >. c 5; v 1 <. c 9 ]);
+  (* transitive connection through a shared variable is kept *)
+  let sliced2 =
+    Cache.slice_focus
+      [ v 0 ==. c 1; v 1 ==. (v 2 +. c 1); v 2 >. c 5; v 1 <. c 9 ]
+  in
+  check_bool "transitive component kept" true
+    (sliced2 = [ v 1 ==. (v 2 +. c 1); v 2 >. c 5; v 1 <. c 9 ])
+
+let test_sliced_unsat_is_sound () =
+  (* an unsat focus component decides the whole set, whatever was dropped *)
+  let t = Cache.create () in
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 and y = List.nth ids 1 in
+  match
+    Cache.solve t ~vars ~slice:true [ v x ==. c 1; v y <. c 5; v y >. c 10 ]
+  with
+  | Solve.Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat from the sliced component"
+
+(* cached and uncached solves agree on Sat/Unsat/Unknown, and a cached Sat
+   model (possibly replayed from an earlier alpha-equivalent entry) still
+   satisfies the query *)
+let prop_cache_agrees_with_solver =
+  let cache = Cache.create () in
+  QCheck.Test.make ~count:300 ~name:"cached solve = uncached solve"
+    QCheck.(make (Gen.list_size (Gen.int_range 1 6) (gen_cmp_constraint 4)))
+    (fun cs ->
+      let vars, _ = mk_vars 4 in
+      let direct = Solve.solve ~vars cs in
+      let cached = Cache.solve cache ~vars cs in
+      match direct, cached with
+      | Solve.Sat _, Solve.Sat m -> Model.satisfies_all m cs
+      | Solve.Unsat, Solve.Unsat -> true
+      | Solve.Unknown, Solve.Unknown -> true
+      | _ -> false)
+
 let () =
   Alcotest.run "solver"
     [
@@ -395,5 +511,20 @@ let () =
             test_solve_backjump_over_unconstrained;
           QCheck_alcotest.to_alcotest prop_solver_models_satisfy;
           QCheck_alcotest.to_alcotest prop_solver_unsat_really_unsat;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss accounting" `Quick
+            test_cache_hit_miss_accounting;
+          Alcotest.test_case "alpha equivalence" `Quick
+            test_cache_alpha_equivalence;
+          Alcotest.test_case "dedupe multiplicity" `Quick
+            test_cache_dedupe_multiplicity;
+          Alcotest.test_case "bounded eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "slice keeps focus component" `Quick
+            test_slice_focus_keeps_component;
+          Alcotest.test_case "sliced unsat sound" `Quick
+            test_sliced_unsat_is_sound;
+          QCheck_alcotest.to_alcotest prop_cache_agrees_with_solver;
         ] );
     ]
