@@ -8,7 +8,7 @@ let analysis (c : Ctx.t) (e : Workloads.Coreutils.entry) =
   | Some a -> a
   | None ->
       let a =
-        Bugrepro.Pipeline.analyze ~dynamic_budget:(Ctx.hc_budget c)
+        Bugrepro.Pipeline.Run.analyze (Ctx.pipeline_config c)
           ~test_scenario:(Workloads.Coreutils.analysis_scenario e)
           (Lazy.force e.prog)
       in
@@ -114,15 +114,16 @@ let e5 (c : Ctx.t) =
         let cells =
           List.map
             (fun meth ->
-              let plan = Bugrepro.Pipeline.plan a meth in
-              let _, report = Bugrepro.Pipeline.field_run_report ~plan crash_sc in
+              let cfg = Ctx.pipeline_config c in
+              let plan = Bugrepro.Pipeline.Run.plan cfg a meth in
+              let _, report =
+                Bugrepro.Pipeline.Run.field_run_report cfg ~plan crash_sc
+              in
               match report with
               | None -> "no crash!"
               | Some report ->
                   let result, _ =
-                    Bugrepro.Pipeline.reproduce ~budget:(Ctx.replay_budget c)
-                      ~jobs:c.jobs ~solver_cache:c.solver_cache ~prog ~plan
-                      report
+                    Bugrepro.Pipeline.Run.reproduce cfg ~prog ~plan report
                   in
                   Util.verdict_string (Util.replay_verdict result))
             Instrument.Methods.instrumented

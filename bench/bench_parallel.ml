@@ -107,9 +107,12 @@ let e15 (c : Ctx.t) =
         (fun (cfg, jobs, cache) ->
           let (result, stats), wall =
             Util.time_call (fun () ->
-                Bugrepro.Pipeline.reproduce ~budget:case.budget ~jobs
-                  ~solver_cache:cache ~prog:case.prog ~plan:case.plan
-                  case.report)
+                Bugrepro.Pipeline.Run.reproduce
+                  Bugrepro.Pipeline.Config.(
+                    Ctx.pipeline_config c
+                    |> with_budget ~replay:case.budget
+                    |> with_jobs jobs |> with_solver_cache cache)
+                  ~prog:case.prog ~plan:case.plan case.report)
           in
           if Float.is_nan !baseline then baseline := wall;
           let speedup = !baseline /. wall in
@@ -165,8 +168,13 @@ let e15 (c : Ctx.t) =
   let budget =
     { Concolic.Engine.max_runs = c.hc_runs; max_time_s = c.analysis_time_s }
   in
-  let seq = Concolic.Dynamic.analyze ~budget ~jobs:1 (sc ()) in
-  let par = Concolic.Dynamic.analyze ~budget ~jobs:par_jobs (sc ()) in
+  let seq =
+    Concolic.Dynamic.analyze ~budget ~jobs:1 ~telemetry:c.telemetry (sc ())
+  in
+  let par =
+    Concolic.Dynamic.analyze ~budget ~jobs:par_jobs ~telemetry:c.telemetry
+      (sc ())
+  in
   let rate (r : Concolic.Dynamic.result) =
     if r.elapsed_s > 0.0 then float_of_int r.runs /. r.elapsed_s else 0.0
   in

@@ -15,6 +15,9 @@ type t = {
   only : string list;  (* experiment ids to run; [] = all *)
   jobs : int;  (* worker domains for exploration/replay; 1 = sequential *)
   solver_cache : bool;  (* memoizing solver cache on replay solves *)
+  telemetry : Telemetry.t;
+      (* handle for the --trace artifact; Telemetry.disabled (every probe a
+         no-op) unless the driver installed a sink *)
 }
 
 let default =
@@ -30,6 +33,7 @@ let default =
     only = [];
     jobs = 1;
     solver_cache = true;
+    telemetry = Telemetry.disabled;
   }
 
 let quick =
@@ -60,3 +64,13 @@ let replay_budget t =
   { Concolic.Engine.max_runs = t.replay_runs; max_time_s = t.replay_time_s }
 
 let wants t id = t.only = [] || List.mem id t.only
+
+(* This context as a pipeline configuration (HC analysis budget), for
+   experiments that drive the Pipeline.Run API. *)
+let pipeline_config (c : t) =
+  Bugrepro.Pipeline.Config.(
+    default
+    |> with_budget ~dynamic:(hc_budget c) ~replay:(replay_budget c)
+    |> with_jobs c.jobs
+    |> with_solver_cache c.solver_cache
+    |> with_telemetry c.telemetry)

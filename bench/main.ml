@@ -35,9 +35,10 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
     ("E15", "extension: parallel replay + solver cache", Bench_parallel.e15);
   ]
 
-let parse_args () : Ctx.t * string option =
+let parse_args () : Ctx.t * string option * string option =
   let ctx = ref Ctx.default in
   let json = ref None in
+  let trace = ref None in
   (* scale presets replace the budget knobs but must keep the explicit
      selections (--only/--jobs/--no-solver-cache) already parsed *)
   let rescale preset =
@@ -47,6 +48,7 @@ let parse_args () : Ctx.t * string option =
         Ctx.only = !ctx.only;
         jobs = !ctx.jobs;
         solver_cache = !ctx.solver_cache;
+        telemetry = !ctx.telemetry;
       }
   in
   let rec go = function
@@ -75,11 +77,14 @@ let parse_args () : Ctx.t * string option =
     | "--json" :: path :: rest ->
         json := Some path;
         go rest
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        go rest
     | "--help" :: _ ->
         print_endline
           "options: --quick | --full | --only <ids> | --jobs <n> | \
-           --no-solver-cache | --json <file> | --requests <n> | \
-           --replay-timeout <s>";
+           --no-solver-cache | --json <file> | --trace <file> | \
+           --requests <n> | --replay-timeout <s>";
         print_endline "experiments:";
         List.iter (fun (id, d, _) -> Printf.printf "  %-4s %s\n" id d) experiments;
         exit 0
@@ -88,10 +93,17 @@ let parse_args () : Ctx.t * string option =
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!ctx, !json)
+  (!ctx, !json, !trace)
 
 let () =
-  let ctx, json = parse_args () in
+  let ctx, json, trace = parse_args () in
+  let trace_oc = Option.map open_out trace in
+  let ctx =
+    match trace_oc with
+    | None -> ctx
+    | Some oc ->
+        { ctx with telemetry = Telemetry.create ~sink:(Telemetry.Sink.jsonl oc) () }
+  in
   Printf.printf
     "Reproduction benchmarks: \"Striking a New Balance Between Program\n\
      Instrumentation and Debugging Time\" (EuroSys 2011)\n";
@@ -106,13 +118,40 @@ let () =
   List.iter
     (fun (id, _, f) ->
       if Ctx.wants ctx id then begin
-        let (), dt = Util.time_call (fun () -> f ctx) in
+        let (), dt =
+          Util.time_call (fun () ->
+              Telemetry.Span.with_ ctx.telemetry ~name:("bench." ^ id)
+                (fun _ -> f ctx))
+        in
         durations := (id, dt) :: !durations;
         Printf.printf "[%s completed in %.1fs]\n%!" id dt
       end)
     experiments;
   Printf.printf "\nAll selected experiments done in %.1fs.\n"
     (Unix.gettimeofday () -. t0);
+  (* finalize the trace artifact, then re-read and self-validate it: CI
+     keeps the file only if every span closed, times are ordered and
+     parents resolve *)
+  (match trace_oc, trace with
+  | Some oc, Some path ->
+      Telemetry.Metrics.publish ctx.telemetry;
+      (* fold the final counters into the JSON summary so every bench row
+         can carry the trace-derived breakdown *)
+      let snap = Telemetry.Counters.of_core ctx.telemetry in
+      List.iter
+        (fun (k, v) ->
+          Util.record_metric ~experiment:"telemetry" k (float_of_int v))
+        snap.Telemetry.Counters.counters;
+      Telemetry.flush ctx.telemetry;
+      close_out oc;
+      (match Telemetry.Trace.validate_file path with
+      | Ok s ->
+          Printf.printf "trace written to %s (%d events, %d spans, valid)\n"
+            path s.events s.spans
+      | Error e ->
+          Printf.eprintf "trace %s INVALID: %s\n" path e;
+          exit 3)
+  | _ -> ());
   match json with
   | None -> ()
   | Some path ->
@@ -124,6 +163,7 @@ let () =
             ("solver_cache", if ctx.solver_cache then "on" else "off");
             ("requests", string_of_int ctx.requests);
             ("replay_budget_s", Printf.sprintf "%.0f" ctx.replay_time_s);
+            ("trace", match trace with Some t -> t | None -> "");
           ]
         ~experiments:(List.rev !durations) ();
       Printf.printf "JSON summary written to %s\n" path

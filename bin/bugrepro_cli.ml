@@ -148,83 +148,127 @@ let run_cmd name args =
         r.steps;
       (match r.outcome with Interp.Crash.Exit n -> n | _ -> 1)
 
-let demo_cmd name meth_s experiment timeout save jobs no_solver_cache =
+(* The analyse -> plan -> field-run -> report -> replay pipeline of the
+   demo command, driven by one [Pipeline.Config.t]. *)
+let demo_pipeline w meth experiment timeout save jobs no_solver_cache cfg =
+  let prog = w.prog () in
+  Printf.printf "== analysing %s ==\n%!" w.wname;
+  let analysis =
+    Bugrepro.Pipeline.Run.analyze cfg ~test_scenario:(w.demo_test ()) prog
+  in
+  let plan = Bugrepro.Pipeline.Run.plan cfg analysis meth in
+  Printf.printf "method %s instruments %d/%d branch locations\n%!"
+    (Instrument.Methods.to_string meth)
+    plan.n_instrumented
+    (Minic.Program.nbranches prog);
+  Printf.printf "== field run (experiment %d) ==\n%!" experiment;
+  let crash_sc = w.demo_crash experiment in
+  let field, report = Bugrepro.Pipeline.Run.field_run_report cfg ~plan crash_sc in
+  Printf.printf "outcome: %s\n%!" (Interp.Crash.outcome_to_string field.outcome);
+  match report with
+  | None ->
+      print_endline "no crash, nothing to report";
+      0
+  | Some report -> (
+      Printf.printf "report: %s\n" (Instrument.Report.describe report);
+      (* ship the report through its wire form (and optionally to disk):
+         the developer-side replay below works from the parsed copy *)
+      let wire = Instrument.Wire.serialize report in
+      (match save with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc wire;
+          close_out oc;
+          Printf.printf "wire form written to %s (%d bytes)\n" path
+            (String.length wire)
+      | None -> ());
+      let report =
+        match Instrument.Wire.deserialize wire with
+        | Ok r -> r
+        | Error e -> failwith ("wire round trip failed: " ^ e)
+      in
+      Printf.printf "== guided replay (budget %.0fs, %d job%s, cache %s) ==\n%!"
+        timeout jobs
+        (if jobs = 1 then "" else "s")
+        (if no_solver_cache then "off" else "on");
+      let result, stats = Bugrepro.Pipeline.Run.reproduce cfg ~prog ~plan report in
+      Printf.printf
+        "cases: %d pinned (2a), %d forced (2b), %d free symbolic (1), %d concrete-mismatch (3b)\n"
+        stats.cases.case2a stats.cases.case2b stats.cases.case1
+        stats.cases.case3b;
+      (match stats.cache with
+      | Some c ->
+          Printf.printf
+            "solver cache: %d hits / %d misses (%.0f%% hit rate), %d evictions\n"
+            c.hits c.misses
+            (100.0 *. Solver.Cache.hit_rate c)
+            c.evictions
+      | None -> ());
+      match result with
+      | Replay.Guided.Reproduced r ->
+          Printf.printf "REPRODUCED in %.3fs after %d runs at %s\n" r.elapsed_s
+            r.runs
+            (Interp.Crash.to_string r.crash);
+          0
+      | Replay.Guided.Not_reproduced r ->
+          Printf.printf "NOT reproduced (%d runs, %.1fs, timed out: %b)\n" r.runs
+            r.elapsed_s r.timed_out;
+          1)
+
+let demo_cmd name meth_s experiment timeout save jobs no_solver_cache trace
+    metrics =
   match find_workload name, method_of_string meth_s with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       2
-  | Ok w, Ok meth -> (
+  | Ok w, Ok meth ->
       let jobs = max 1 jobs in
-      let prog = w.prog () in
-      Printf.printf "== analysing %s ==\n%!" w.wname;
-      let analysis =
-        Bugrepro.Pipeline.analyze
-          ~dynamic_budget:{ Concolic.Engine.max_runs = 120; max_time_s = 15.0 }
-          ~analyze_lib:(not (String.equal w.wname "userver"))
-          ~jobs ~test_scenario:(w.demo_test ()) prog
+      (* telemetry plumbing: --trace streams JSONL to a file while the
+         pipeline runs, --metrics buffers the events for the final span
+         tree and counter table; without either the handle is the shared
+         no-op [Telemetry.disabled] *)
+      let trace_oc = Option.map open_out trace in
+      let mem = if metrics then Some (Telemetry.Sink.memory ()) else None in
+      let tel =
+        match trace_oc, mem with
+        | None, None -> Telemetry.disabled
+        | Some oc, None -> Telemetry.create ~sink:(Telemetry.Sink.jsonl oc) ()
+        | None, Some (s, _) -> Telemetry.create ~sink:s ()
+        | Some oc, Some (s, _) ->
+            Telemetry.create
+              ~sink:(Telemetry.Sink.tee (Telemetry.Sink.jsonl oc) s)
+              ()
       in
-      let plan = Bugrepro.Pipeline.plan analysis meth in
-      Printf.printf "method %s instruments %d/%d branch locations\n%!"
-        (Instrument.Methods.to_string meth)
-        plan.n_instrumented
-        (Minic.Program.nbranches prog);
-      Printf.printf "== field run (experiment %d) ==\n%!" experiment;
-      let crash_sc = w.demo_crash experiment in
-      let field, report = Bugrepro.Pipeline.field_run_report ~plan crash_sc in
-      Printf.printf "outcome: %s\n%!" (Interp.Crash.outcome_to_string field.outcome);
-      match report with
-      | None ->
-          print_endline "no crash, nothing to report";
-          0
-      | Some report -> (
-          Printf.printf "report: %s\n" (Instrument.Report.describe report);
-          (* ship the report through its wire form (and optionally to disk):
-             the developer-side replay below works from the parsed copy *)
-          let wire = Instrument.Wire.serialize report in
-          (match save with
-          | Some path ->
-              let oc = open_out path in
-              output_string oc wire;
-              close_out oc;
-              Printf.printf "wire form written to %s (%d bytes)\n" path
-                (String.length wire)
-          | None -> ());
-          let report =
-            match Instrument.Wire.deserialize wire with
-            | Ok r -> r
-            | Error e -> failwith ("wire round trip failed: " ^ e)
-          in
-          Printf.printf "== guided replay (budget %.0fs, %d job%s, cache %s) ==\n%!"
-            timeout jobs
-            (if jobs = 1 then "" else "s")
-            (if no_solver_cache then "off" else "on");
-          let result, stats =
-            Bugrepro.Pipeline.reproduce
-              ~budget:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
-              ~jobs ~solver_cache:(not no_solver_cache) ~prog ~plan report
-          in
-          Printf.printf
-            "cases: %d pinned (2a), %d forced (2b), %d free symbolic (1), %d concrete-mismatch (3b)\n"
-            stats.cases.case2a stats.cases.case2b stats.cases.case1
-            stats.cases.case3b;
-          (match stats.cache with
-          | Some c ->
-              Printf.printf
-                "solver cache: %d hits / %d misses (%.0f%% hit rate), %d evictions\n"
-                c.hits c.misses
-                (100.0 *. Solver.Cache.hit_rate c)
-                c.evictions
-          | None -> ());
-          match result with
-          | Replay.Guided.Reproduced r ->
-              Printf.printf "REPRODUCED in %.3fs after %d runs at %s\n" r.elapsed_s
-                r.runs
-                (Interp.Crash.to_string r.crash);
-              0
-          | Replay.Guided.Not_reproduced r ->
-              Printf.printf "NOT reproduced (%d runs, %.1fs, timed out: %b)\n" r.runs
-                r.elapsed_s r.timed_out;
-              1))
+      let cfg =
+        Bugrepro.Pipeline.Config.(
+          default
+          |> with_budget
+               ~dynamic:{ Concolic.Engine.max_runs = 120; max_time_s = 15.0 }
+               ~replay:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
+          |> with_analyze_lib (not (String.equal w.wname "userver"))
+          |> with_jobs jobs
+          |> with_solver_cache (not no_solver_cache)
+          |> with_telemetry tel)
+      in
+      let code = demo_pipeline w meth experiment timeout save jobs
+          no_solver_cache cfg
+      in
+      Telemetry.Metrics.publish tel;
+      Telemetry.flush tel;
+      (match trace_oc with
+      | Some oc ->
+          close_out oc;
+          Printf.printf "trace written to %s\n" (Option.get trace)
+      | None -> ());
+      (match mem with
+      | Some (_, events) ->
+          let evs = events () in
+          print_endline "== telemetry ==";
+          print_string (Telemetry.Trace.tree_to_string evs);
+          print_string
+            (Telemetry.Counters.to_string (Telemetry.Counters.of_core tel))
+      | None -> ());
+      code
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
@@ -278,9 +322,24 @@ let demo_t =
       & info [ "no-solver-cache" ]
           ~doc:"Disable the memoizing solver cache during replay.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL telemetry trace (spans, samples, counters) of \
+             the whole pipeline to FILE.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the span tree and counter table after the pipeline.")
+  in
   Term.(
     const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save $ jobs
-    $ no_solver_cache)
+    $ no_solver_cache $ trace $ metrics)
 
 let cmds =
   [

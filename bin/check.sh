@@ -49,15 +49,20 @@ else
 fi
 
 if [ "$QUICK" = 1 ]; then
-  echo "== bench smoke (--quick --jobs 4 --json) =="
+  echo "== bench smoke (--quick --jobs 4 --json --trace) =="
   JSON=$(mktemp /tmp/bench-smoke.XXXXXX.json)
-  dune exec bench/main.exe -- --quick --jobs 4 --json "$JSON"
-  # the summary must be strict JSON (CI parses it)
+  TRACE=$(mktemp /tmp/bench-trace.XXXXXX.jsonl)
+  # --trace makes the bench self-validate the span stream on exit (every
+  # span closed, start <= end, parent ids resolving) and fail otherwise
+  dune exec bench/main.exe -- --quick --jobs 4 --json "$JSON" --trace "$TRACE"
+  # the summary and every trace line must be strict JSON (CI parses them)
   if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$JSON"
     echo "bench JSON summary OK: $JSON"
+    python3 -c "import json, sys; [json.loads(l) for l in open(sys.argv[1]) if l.strip()]" "$TRACE"
+    echo "bench trace JSONL OK: $TRACE"
   else
-    echo "python3 not found; skipping JSON validation of $JSON"
+    echo "python3 not found; skipping JSON validation of $JSON and $TRACE"
   fi
 fi
 

@@ -25,19 +25,138 @@ type analysis = {
   static : Staticanalysis.Static.result option;
 }
 
+(** One value carrying every pipeline knob.  Replaces the optional-argument
+    sprawl of the stage functions: build one with {!Config.default} and the
+    [with_*] setters, hand it to every {!Run} stage. *)
+module Config = struct
+  type t = {
+    dynamic_budget : Concolic.Engine.budget;
+        (** symbolic-execution time knob for {!Run.analyze} (LC vs HC) *)
+    replay_budget : Concolic.Engine.budget;
+        (** developer's patience for {!Run.reproduce} *)
+    analyze_lib : bool;  (** false = the paper's uServer setup (§5.3) *)
+    refine : bool;  (** false = seed (unrefined) static pipeline *)
+    jobs : int;  (** worker domains for exploration and replay *)
+    log_syscalls : bool;  (** ship a syscall log with the branch log *)
+    solver_cache : bool;  (** memoize solver queries during replay *)
+    seed : int;  (** replay's initial random input *)
+    replay_max_steps : int;  (** interpreter step cap per replay run *)
+    telemetry : Telemetry.t;
+        (** handle threaded through every stage; {!Telemetry.disabled} by
+            default, where every probe is a no-op *)
+  }
+
+  let default =
+    {
+      dynamic_budget = Concolic.Engine.default_budget;
+      replay_budget = Concolic.Engine.default_budget;
+      analyze_lib = true;
+      refine = true;
+      jobs = 1;
+      log_syscalls = true;
+      solver_cache = true;
+      seed = 1;
+      replay_max_steps = 5_000_000;
+      telemetry = Telemetry.disabled;
+    }
+
+  (* setters take the config last so they chain with [|>] *)
+  let with_jobs jobs c = { c with jobs }
+
+  let with_budget ?dynamic ?replay c =
+    let c =
+      match dynamic with Some b -> { c with dynamic_budget = b } | None -> c
+    in
+    match replay with Some b -> { c with replay_budget = b } | None -> c
+
+  let with_telemetry telemetry c = { c with telemetry }
+  let with_analyze_lib analyze_lib c = { c with analyze_lib }
+  let with_refine refine c = { c with refine }
+  let with_log_syscalls log_syscalls c = { c with log_syscalls }
+  let with_solver_cache solver_cache c = { c with solver_cache }
+  let with_seed seed c = { c with seed }
+  let with_replay_max_steps replay_max_steps c = { c with replay_max_steps }
+end
+
+(** The pipeline stages, each taking the {!Config.t} first.  Stages open
+    telemetry spans on [config.telemetry]: [analyze] > [analyze.dynamic] /
+    [analyze.static], [plan], [field_run], [reproduce]. *)
+module Run = struct
+  let analyze (c : Config.t) ?test_scenario (prog : Program.t) : analysis =
+    Telemetry.Span.with_ c.telemetry ~name:"analyze" @@ fun sp ->
+    let dynamic =
+      Option.map
+        (Concolic.Dynamic.analyze ~budget:c.dynamic_budget ~jobs:c.jobs
+           ~telemetry:c.telemetry)
+        test_scenario
+    in
+    let static =
+      Some
+        (Staticanalysis.Static.analyze ~analyze_lib:c.analyze_lib
+           ~refine:c.refine ~telemetry:c.telemetry prog)
+    in
+    Telemetry.Span.addi sp "branches" (Program.nbranches prog);
+    { prog; dynamic; static }
+
+  let plan (c : Config.t) (a : analysis) (meth : Instrument.Methods.t) :
+      Instrument.Plan.t =
+    Telemetry.Span.with_ c.telemetry ~name:"plan"
+      ~attrs:
+        [ ("method", Telemetry.Event.Str (Instrument.Methods.to_string meth)) ]
+    @@ fun sp ->
+    let p =
+      Instrument.Plan.make
+        ~nbranches:(Program.nbranches a.prog)
+        ?dynamic:
+          (Option.map
+             (fun (d : Concolic.Dynamic.result) -> d.labels)
+             a.dynamic)
+        ?static:
+          (Option.map
+             (fun (s : Staticanalysis.Static.result) -> s.labels)
+             a.static)
+        meth
+    in
+    Telemetry.Span.addi sp "instrumented" p.n_instrumented;
+    p
+
+  let field_run (c : Config.t) ~plan (sc : Concolic.Scenario.t) :
+      Instrument.Field_run.result =
+    Instrument.Field_run.run ~log_syscalls:c.log_syscalls
+      ~telemetry:c.telemetry ~plan sc
+
+  let field_run_report (c : Config.t) ~plan:p (sc : Concolic.Scenario.t) :
+      Instrument.Field_run.result * Instrument.Report.t option =
+    let r = field_run c ~plan:p sc in
+    (r, Instrument.Report.of_field_run ~sc ~plan:p r)
+
+  let reproduce (c : Config.t) ?restore ~(prog : Program.t)
+      ~(plan : Instrument.Plan.t) (report : Instrument.Report.t) :
+      Replay.Guided.result * Replay.Guided.stats =
+    Replay.Guided.reproduce ~budget:c.replay_budget ~seed:c.seed
+      ~max_steps:c.replay_max_steps ?restore ~jobs:c.jobs
+      ~solver_cache:c.solver_cache ~telemetry:c.telemetry ~prog ~plan report
+end
+
 (** Pre-deployment analysis.  [test_scenario] is the developer's test
     environment for dynamic analysis (the paper leverages the testing
     effort); [dynamic_budget] is the symbolic-execution time knob (LC vs
     HC); [analyze_lib = false] reproduces the uServer setup where the
-    merged source was too large for points-to analysis. *)
+    merged source was too large for points-to analysis.
+
+    Deprecated entry point: thin wrapper over {!Run.analyze}, kept so
+    pre-[Config] callers compile unchanged.  New code should build a
+    {!Config.t}. *)
 let analyze ?(dynamic_budget = Concolic.Engine.default_budget)
     ?(analyze_lib = true) ?(refine = true) ?(jobs = 1) ?test_scenario
     (prog : Program.t) : analysis =
-  let dynamic =
-    Option.map (Concolic.Dynamic.analyze ~budget:dynamic_budget ~jobs) test_scenario
+  let c =
+    Config.default
+    |> Config.with_budget ~dynamic:dynamic_budget
+    |> Config.with_analyze_lib analyze_lib
+    |> Config.with_refine refine |> Config.with_jobs jobs
   in
-  let static = Some (Staticanalysis.Static.analyze ~analyze_lib ~refine prog) in
-  { prog; dynamic; static }
+  Run.analyze c ?test_scenario prog
 
 (** Precision report of the static labels against the dynamic ground
     truth; [None] unless both analyses ran. *)
@@ -47,25 +166,32 @@ let precision (a : analysis) : Staticanalysis.Precision.report option =
       Some (Staticanalysis.Static.precision s a.prog ~dynamic:d.labels)
   | (Some _ | None), _ -> None
 
-(** Instrumentation plan for a method, from the available analyses. *)
+(** Instrumentation plan for a method, from the available analyses.
+    Deprecated entry point: wrapper over {!Run.plan} with the default
+    config (no telemetry). *)
 let plan (a : analysis) (meth : Instrument.Methods.t) : Instrument.Plan.t =
-  Instrument.Plan.make
-    ~nbranches:(Program.nbranches a.prog)
-    ?dynamic:(Option.map (fun (d : Concolic.Dynamic.result) -> d.labels) a.dynamic)
-    ?static:(Option.map (fun (s : Staticanalysis.Static.result) -> s.labels) a.static)
-    meth
+  Run.plan Config.default a meth
 
-(** User-site execution (re-exported from {!Instrument.Field_run}). *)
-let field_run = Instrument.Field_run.run
+(** User-site execution (re-exported from {!Instrument.Field_run}).
+    Deprecated entry point: new code should use {!Run.field_run}. *)
+let field_run ?log_syscalls ~plan sc =
+  Instrument.Field_run.run ?log_syscalls ~plan sc
 
-(** Full user-site step: run and, if it crashed, build the report. *)
-let field_run_report ?log_syscalls ~plan:p (sc : Concolic.Scenario.t) :
+(** Full user-site step: run and, if it crashed, build the report.
+    Deprecated entry point: wrapper over {!Run.field_run_report}. *)
+let field_run_report ?(log_syscalls = true) ~plan:p
+    (sc : Concolic.Scenario.t) :
     Instrument.Field_run.result * Instrument.Report.t option =
-  let r = Instrument.Field_run.run ?log_syscalls ~plan:p sc in
-  (r, Instrument.Report.of_field_run ~sc ~plan:p r)
+  Run.field_run_report
+    (Config.default |> Config.with_log_syscalls log_syscalls)
+    ~plan:p sc
 
-(** Developer-site bug reproduction (re-exported from {!Replay}). *)
-let reproduce = Replay.Guided.reproduce
+(** Developer-site bug reproduction (re-exported from {!Replay}).
+    Deprecated entry point: new code should use {!Run.reproduce}. *)
+let reproduce ?budget ?seed ?max_steps ?restore ?jobs ?solver_cache ~prog
+    ~plan report =
+  Replay.Guided.reproduce ?budget ?seed ?max_steps ?restore ?jobs
+    ?solver_cache ~prog ~plan report
 
 (* ------------------------------------------------------------------ *)
 (* Measurement oracle for Table 4 / Table 7 style statistics *)

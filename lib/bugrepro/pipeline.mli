@@ -12,13 +12,99 @@ type analysis = {
   static : Staticanalysis.Static.result option;
 }
 
+(** One value carrying every pipeline knob, replacing the stage functions'
+    optional-argument sprawl.  Build with {!Config.default} and chain the
+    setters:
+    {[
+      Config.default |> Config.with_jobs 4 |> Config.with_telemetry tel
+    ]} *)
+module Config : sig
+  type t = {
+    dynamic_budget : Concolic.Engine.budget;
+        (** symbolic-execution time knob for {!Run.analyze} (LC vs HC) *)
+    replay_budget : Concolic.Engine.budget;
+        (** developer's patience for {!Run.reproduce} *)
+    analyze_lib : bool;  (** false = the paper's uServer setup (§5.3) *)
+    refine : bool;  (** false = seed (unrefined) static pipeline *)
+    jobs : int;  (** worker domains for exploration and replay *)
+    log_syscalls : bool;  (** ship a syscall log with the branch log *)
+    solver_cache : bool;  (** memoize solver queries during replay *)
+    seed : int;  (** replay's initial random input *)
+    replay_max_steps : int;  (** interpreter step cap per replay run *)
+    telemetry : Telemetry.t;
+        (** handle threaded through every stage; {!Telemetry.disabled} by
+            default, where every probe is a no-op *)
+  }
+
+  (** Paper defaults: sequential, refined static pipeline, syscall log and
+      solver cache on, telemetry disabled. *)
+  val default : t
+
+  (** Setters take the config last so they chain with [|>]. *)
+
+  val with_jobs : int -> t -> t
+  val with_budget :
+    ?dynamic:Concolic.Engine.budget ->
+    ?replay:Concolic.Engine.budget ->
+    t ->
+    t
+  val with_telemetry : Telemetry.t -> t -> t
+  val with_analyze_lib : bool -> t -> t
+  val with_refine : bool -> t -> t
+  val with_log_syscalls : bool -> t -> t
+  val with_solver_cache : bool -> t -> t
+  val with_seed : int -> t -> t
+  val with_replay_max_steps : int -> t -> t
+end
+
+(** The pipeline stages, each taking the {!Config.t} first.  Stages open
+    telemetry spans on [config.telemetry]: [analyze] (with
+    [analyze.dynamic] / [analyze.static] children), [plan], [field_run],
+    [reproduce]. *)
+module Run : sig
+  (** Pre-deployment analysis; [test_scenario] is the developer's test
+      environment for dynamic analysis. *)
+  val analyze :
+    Config.t -> ?test_scenario:Concolic.Scenario.t -> Minic.Program.t ->
+    analysis
+
+  (** Instrumentation plan for a method, from the available analyses. *)
+  val plan : Config.t -> analysis -> Instrument.Methods.t -> Instrument.Plan.t
+
+  (** User-site execution. *)
+  val field_run :
+    Config.t ->
+    plan:Instrument.Plan.t ->
+    Concolic.Scenario.t ->
+    Instrument.Field_run.result
+
+  (** Full user-site step: run and, if it crashed, build the report. *)
+  val field_run_report :
+    Config.t ->
+    plan:Instrument.Plan.t ->
+    Concolic.Scenario.t ->
+    Instrument.Field_run.result * Instrument.Report.t option
+
+  (** Developer-site bug reproduction (guided replay). *)
+  val reproduce :
+    Config.t ->
+    ?restore:Replay.Guided.restore_fn ->
+    prog:Minic.Program.t ->
+    plan:Instrument.Plan.t ->
+    Instrument.Report.t ->
+    Replay.Guided.result * Replay.Guided.stats
+end
+
 (** Pre-deployment analysis.  [test_scenario] is the developer's test
     environment for dynamic analysis; [dynamic_budget] is the
     symbolic-execution time knob (LC vs HC); [analyze_lib = false]
     reproduces the uServer setup where the merged source was too large for
     points-to analysis; [refine = false] runs the seed (unrefined) static
     pipeline; [jobs] > 1 runs the dynamic exploration on a parallel worker
-    pool. *)
+    pool.
+
+    Deprecated: thin wrapper over {!Run.analyze}, kept so pre-[Config]
+    callers compile unchanged.  New code should build a {!Config.t}. *)
 val analyze :
   ?dynamic_budget:Concolic.Engine.budget ->
   ?analyze_lib:bool ->
@@ -32,16 +118,19 @@ val analyze :
     truth; [None] unless both analyses ran. *)
 val precision : analysis -> Staticanalysis.Precision.report option
 
-(** Instrumentation plan for a method, from the available analyses. *)
+(** Instrumentation plan for a method, from the available analyses.
+    Deprecated: wrapper over {!Run.plan} with the default config. *)
 val plan : analysis -> Instrument.Methods.t -> Instrument.Plan.t
 
+(** Deprecated: wrapper over {!Run.field_run} (no telemetry). *)
 val field_run :
   ?log_syscalls:bool ->
   plan:Instrument.Plan.t ->
   Concolic.Scenario.t ->
   Instrument.Field_run.result
 
-(** Full user-site step: run and, if it crashed, build the report. *)
+(** Full user-site step: run and, if it crashed, build the report.
+    Deprecated: wrapper over {!Run.field_run_report}. *)
 val field_run_report :
   ?log_syscalls:bool ->
   plan:Instrument.Plan.t ->
@@ -50,7 +139,8 @@ val field_run_report :
 
 (** Developer-site bug reproduction.  [jobs] parallelizes the pending
     frontier; [solver_cache] (default on) memoizes solver queries — see
-    {!Replay.Guided.reproduce}. *)
+    {!Replay.Guided.reproduce}.  Deprecated: wrapper over {!Run.reproduce}
+    (no telemetry). *)
 val reproduce :
   ?budget:Concolic.Engine.budget ->
   ?seed:int ->

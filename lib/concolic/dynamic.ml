@@ -60,31 +60,35 @@ let make_run ?(max_steps = 2_000_000) (sc : Scenario.t) ~vars
     does not depend on worker scheduling).  [cache] memoizes solver queries
     across pendings. *)
 let analyze ?(budget = Engine.default_budget) ?max_steps ?(jobs = 1) ?cache
-    (sc : Scenario.t) : result =
-  let vars = Solver.Symvars.create () in
-  let n = Program.nbranches sc.prog in
-  let labels = Label.make ~nbranches:n Label.Unvisited in
-  let label_mu = Mutex.create () in
-  let on_branch_observed =
-    if jobs <= 1 then fun bid symbolic -> Label.observe labels bid ~symbolic
-    else fun bid symbolic ->
-      Mutex.lock label_mu;
-      Label.observe labels bid ~symbolic;
-      Mutex.unlock label_mu
-  in
-  let run = make_run ?max_steps sc ~vars ~on_branch_observed in
-  let stats, _ =
-    Engine.explore ~vars ~budget ~strategy:Engine.Bfs ~jobs ?cache ~run ()
-  in
-  let visited = n - Label.count labels Label.Unvisited in
-  {
-    labels;
-    vars;
-    runs = stats.runs;
-    visited;
-    coverage = (if n = 0 then 1.0 else float_of_int visited /. float_of_int n);
-    elapsed_s = stats.elapsed_s;
-  }
+    ?(telemetry = Telemetry.disabled) (sc : Scenario.t) : result =
+  Telemetry.Span.with_ telemetry ~name:"analyze.dynamic"
+    ~attrs:[ ("scenario", Telemetry.Event.Str sc.name) ]
+    (fun sp ->
+      let vars = Solver.Symvars.create () in
+      let n = Program.nbranches sc.prog in
+      let labels = Label.make ~nbranches:n Label.Unvisited in
+      let label_mu = Mutex.create () in
+      let on_branch_observed =
+        if jobs <= 1 then fun bid symbolic -> Label.observe labels bid ~symbolic
+        else fun bid symbolic ->
+          Mutex.lock label_mu;
+          Label.observe labels bid ~symbolic;
+          Mutex.unlock label_mu
+      in
+      let run = make_run ?max_steps sc ~vars ~on_branch_observed in
+      let stats, _ =
+        Engine.explore ~vars ~budget ~strategy:Engine.Bfs ~jobs ?cache
+          ~telemetry ~run ()
+      in
+      let visited = n - Label.count labels Label.Unvisited in
+      let coverage =
+        if n = 0 then 1.0 else float_of_int visited /. float_of_int n
+      in
+      Telemetry.Span.addi sp "runs" stats.runs;
+      Telemetry.Span.addi sp "visited" visited;
+      Telemetry.Span.addf sp "coverage" coverage;
+      { labels; vars; runs = stats.runs; visited; coverage;
+        elapsed_s = stats.elapsed_s })
 
 (** Label statistics for reporting (Table 2-style). *)
 let count_labels (r : result) =

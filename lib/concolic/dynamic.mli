@@ -31,12 +31,15 @@ val make_run :
     one-hour/two-hour symbolic-execution cut-offs (LC vs HC).  [jobs] > 1
     explores with a parallel worker pool (the sticky labelling rule
     commutes, so the label map does not depend on worker scheduling);
-    [cache] memoizes solver queries across pendings. *)
+    [cache] memoizes solver queries across pendings; [telemetry] wraps the
+    exploration in an [analyze.dynamic] span (runs/visited/coverage end
+    attributes) over the {!Engine.explore} instrumentation. *)
 val analyze :
   ?budget:Engine.budget ->
   ?max_steps:int ->
   ?jobs:int ->
   ?cache:Solver.Cache.t ->
+  ?telemetry:Telemetry.t ->
   Scenario.t ->
   result
 

@@ -86,15 +86,18 @@ let debug_solver = ref false
    abandons this pending subtree for good — fatal when it carries a
    log-forced direction.  Routed through the memoizing cache when one is
    supplied (Unknowns are not cached, so the escalated call always reaches
-   the real solver). *)
-let solve_pending ?cache ~vars ~hint cs =
+   the real solver).  [telemetry] records the hit/miss/solve time split
+   (through the cache when present, as [solver.solve_s] otherwise). *)
+let solve_pending ?cache ~telemetry ~vars ~hint cs =
   let solve ?budget () =
     match cache with
     (* [slice] is sound here: a pending's hint satisfies every constraint
        outside the focus component, and both exploration loops merge the
        returned model over the hint (union_prefer_left) before running *)
-    | Some c -> Solver.Cache.solve c ?budget ~vars ~hint ~slice:true cs
-    | None -> Solver.Solve.solve ?budget ~vars ~hint cs
+    | Some c -> Solver.Cache.solve c ?budget ~telemetry ~vars ~hint ~slice:true cs
+    | None ->
+        Telemetry.Metrics.time telemetry "solver.solve_s" (fun () ->
+            Solver.Solve.solve ?budget ~vars ~hint cs)
   in
   match solve () with
   | Solver.Solve.Unknown ->
@@ -104,10 +107,11 @@ let solve_pending ?cache ~vars ~hint cs =
 (* ------------------------------------------------------------------ *)
 (* Sequential exploration: the deterministic [~jobs:1] path. *)
 
-let explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run
-    (stats : stats) : (Solver.Model.t * run_result) option =
+let explore_seq ~vars ~budget ~strategy ?cache ~telemetry ~run ~should_stop
+    ~on_run (stats : stats) : (Solver.Model.t * run_result) option =
   let started = monotonic () in
   let deadline = started +. budget.max_time_s in
+  let forks = Telemetry.Metrics.counter telemetry "engine.forks" in
   (* the pending list: LIFO for DFS, FIFO for BFS *)
   let stack : pending Stack.t = Stack.create () in
   let queue : pending Queue.t = Queue.create () in
@@ -138,6 +142,7 @@ let explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run
          pushed shallow-to-deep so the DFS pops the deepest first *)
       let trace = Array.of_list result.trace in
       let hint = Solver.Model.union_prefer_left model result.observed in
+      let before = frontier_size () in
       Array.iteri
         (fun i (e : Path.entry) ->
           let reflip =
@@ -154,7 +159,10 @@ let explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run
             frontier_push
               { trace; upto = i; hint; lineage = (if reflip then lineage else []) })
         trace;
-      stats.pending_peak <- max stats.pending_peak (frontier_size ())
+      let after = frontier_size () in
+      Telemetry.Metrics.incr ~by:(after - before) forks;
+      Telemetry.Metrics.sample telemetry "engine.frontier" (float_of_int after);
+      stats.pending_peak <- max stats.pending_peak after
     end
   in
   (* initial run: empty model — concrete inputs come from the scenario *)
@@ -174,7 +182,7 @@ let explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run
     let p = Option.get (frontier_pop ()) in
     let hint id = Solver.Model.find_opt id p.hint in
     let cs = constraints_of p in
-    match solve_pending ?cache ~vars ~hint cs with
+    match solve_pending ?cache ~telemetry ~vars ~hint cs with
     | Solver.Solve.Sat model ->
         stats.sat <- stats.sat + 1;
         (* keep the parent's values for variables the solver left free *)
@@ -214,10 +222,12 @@ let explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run
    - [stats.runs] is reserved under the lock *before* a run executes, so
      the [max_runs] budget is an exact bound, as in the sequential loop. *)
 
-let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
-    (stats : stats) : (Solver.Model.t * run_result) option =
+let explore_par ~vars ~budget ~strategy ~jobs ?cache ~telemetry ~span ~run
+    ~should_stop ~on_run (stats : stats) :
+    (Solver.Model.t * run_result) option =
   let started = monotonic () in
   let deadline = started +. budget.max_time_s in
+  let forks = Telemetry.Metrics.counter telemetry "engine.forks" in
   let m = Mutex.create () in
   let cv = Condition.create () in
   let stack : pending Stack.t = Stack.create () in
@@ -239,6 +249,7 @@ let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
       lineage =
     let trace = Array.of_list result.trace in
     let hint = Solver.Model.union_prefer_left model result.observed in
+    let before = frontier_size () in
     Array.iteri
       (fun i (e : Path.entry) ->
         let reflip =
@@ -248,7 +259,10 @@ let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
           frontier_push
             { trace; upto = i; hint; lineage = (if reflip then lineage else []) })
       trace;
-    stats.pending_peak <- max stats.pending_peak (frontier_size ())
+    let after = frontier_size () in
+    Telemetry.Metrics.incr ~by:(after - before) forks;
+    Telemetry.Metrics.sample telemetry "engine.frontier" (float_of_int after);
+    stats.pending_peak <- max stats.pending_peak after
   in
   (* execute one run; called with [m] held, releases it around [run] *)
   let do_run_locked model bound flipped lineage =
@@ -271,7 +285,7 @@ let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
     let solved =
       try
         let hint id = Solver.Model.find_opt id p.hint in
-        Ok (solve_pending ?cache ~vars ~hint (constraints_of p))
+        Ok (solve_pending ?cache ~telemetry ~vars ~hint (constraints_of p))
       with e -> Error e
     in
     Mutex.lock m;
@@ -290,38 +304,46 @@ let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
     | Ok Solver.Solve.Unsat -> stats.unsat <- stats.unsat + 1
     | Ok Solver.Solve.Unknown -> stats.unknown <- stats.unknown + 1
   in
-  let worker () =
-    Mutex.lock m;
-    let rec loop () =
-      if !found <> None || !failed <> None || stats.runs >= budget.max_runs then
-        ()
-      else if monotonic () > deadline then stats.timed_out <- true
-      else
-        match frontier_pop () with
-        | Some p ->
-            incr active;
-            process p;
-            decr active;
-            Condition.broadcast cv;
-            loop ()
-        | None ->
-            if !active = 0 then ()
-            else begin
-              (* frontier drained but a sibling is still executing: it may
-                 yet push children, so wait for its broadcast *)
-              Condition.wait cv m;
-              loop ()
-            end
-    in
-    loop ();
-    Condition.broadcast cv;
-    Mutex.unlock m
+  let worker k () =
+    (* the per-worker domain span: nesting is per-domain, so the explore
+       span is linked explicitly *)
+    Telemetry.Span.with_ telemetry ?parent:span ~name:"engine.worker"
+      ~attrs:[ ("worker", Telemetry.Event.Int k) ]
+      (fun wsp ->
+        let pops = ref 0 in
+        Mutex.lock m;
+        let rec loop () =
+          if !found <> None || !failed <> None || stats.runs >= budget.max_runs
+          then ()
+          else if monotonic () > deadline then stats.timed_out <- true
+          else
+            match frontier_pop () with
+            | Some p ->
+                incr active;
+                incr pops;
+                process p;
+                decr active;
+                Condition.broadcast cv;
+                loop ()
+            | None ->
+                if !active = 0 then ()
+                else begin
+                  (* frontier drained but a sibling is still executing: it may
+                     yet push children, so wait for its broadcast *)
+                  Condition.wait cv m;
+                  loop ()
+                end
+        in
+        loop ();
+        Condition.broadcast cv;
+        Mutex.unlock m;
+        Telemetry.Span.addi wsp "pendings" !pops)
   in
   (* seed the frontier with the initial run (empty model), then fan out *)
   Mutex.lock m;
   do_run_locked Solver.Model.empty 0 None [];
   Mutex.unlock m;
-  let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+  let domains = Array.init jobs (fun k -> Domain.spawn (worker k)) in
   Array.iter Domain.join domains;
   (match !failed with Some e -> raise e | None -> ());
   !found
@@ -330,9 +352,17 @@ let explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
 
 (** Explore paths until the budget is exhausted or [should_stop] returns
     true for a run.  Returns the accumulated statistics and, if stopped
-    early, the model and result of the stopping run. *)
+    early, the model and result of the stopping run.
+
+    [telemetry] (default disabled) wraps the exploration in an
+    [engine.explore] span (one [engine.worker] child span per domain when
+    [jobs] > 1), times every run into the [engine.run_s] histogram,
+    samples the frontier depth after each run ([engine.frontier]) and
+    accumulates the [engine.runs]/[sat]/[unsat]/[unknown]/[forks]
+    counters plus the solver-time split (see {!Solver.Cache.solve}). *)
 let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
-    ?(strategy = Dfs) ?(jobs = 1) ?cache ~(run : Solver.Model.t -> run_result)
+    ?(strategy = Dfs) ?(jobs = 1) ?cache ?(telemetry = Telemetry.disabled)
+    ~(run : Solver.Model.t -> run_result)
     ?(should_stop = fun _ _ -> false)
     ?(on_run = fun (_ : Solver.Model.t) (_ : run_result) -> ()) () :
     stats * (Solver.Model.t * run_result) option =
@@ -340,14 +370,48 @@ let explore ~(vars : Solver.Symvars.t) ?(budget = default_budget)
     { runs = 0; sat = 0; unsat = 0; unknown = 0; pending_peak = 0;
       elapsed_s = 0.0; timed_out = false }
   in
-  let started = monotonic () in
-  let found =
-    if jobs <= 1 then
-      explore_seq ~vars ~budget ~strategy ?cache ~run ~should_stop ~on_run stats
-    else
-      explore_par ~vars ~budget ~strategy ~jobs ?cache ~run ~should_stop ~on_run
-        stats
-  in
-  if stats.runs >= budget.max_runs && found = None then stats.timed_out <- true;
-  stats.elapsed_s <- monotonic () -. started;
-  (stats, found)
+  Telemetry.Span.with_ telemetry ~name:"engine.explore"
+    ~attrs:
+      [
+        ("strategy", Telemetry.Event.Str (match strategy with Dfs -> "dfs" | Bfs -> "bfs"));
+        ("jobs", Telemetry.Event.Int jobs);
+        ("max_runs", Telemetry.Event.Int budget.max_runs);
+      ]
+    (fun sp ->
+      let run =
+        if Telemetry.enabled telemetry then fun model ->
+          Telemetry.Metrics.time telemetry "engine.run_s" (fun () -> run model)
+        else run
+      in
+      let started = monotonic () in
+      let found =
+        if jobs <= 1 then
+          explore_seq ~vars ~budget ~strategy ?cache ~telemetry ~run
+            ~should_stop ~on_run stats
+        else
+          explore_par ~vars ~budget ~strategy ~jobs ?cache ~telemetry
+            ~span:(Some sp) ~run ~should_stop ~on_run stats
+      in
+      if stats.runs >= budget.max_runs && found = None then
+        stats.timed_out <- true;
+      stats.elapsed_s <- monotonic () -. started;
+      Telemetry.Metrics.incr_named ~by:stats.runs telemetry "engine.runs";
+      Telemetry.Metrics.incr_named ~by:stats.sat telemetry "engine.sat";
+      Telemetry.Metrics.incr_named ~by:stats.unsat telemetry "engine.unsat";
+      Telemetry.Metrics.incr_named ~by:stats.unknown telemetry "engine.unknown";
+      Telemetry.Span.addi sp "runs" stats.runs;
+      Telemetry.Span.addi sp "pending_peak" stats.pending_peak;
+      Telemetry.Span.addf sp "elapsed_s" stats.elapsed_s;
+      (stats, found))
+
+(** An {!Engine.stats} in the unified counter view (scope ["engine"]).
+    The record stays for the bench tables. *)
+let counters (s : stats) : Telemetry.Counters.snapshot =
+  Telemetry.Counters.make ~scope:"engine"
+    ~gauges:
+      [ ("elapsed_s", s.elapsed_s);
+        ("timed_out", if s.timed_out then 1.0 else 0.0) ]
+    [
+      ("runs", s.runs); ("sat", s.sat); ("unsat", s.unsat);
+      ("unknown", s.unknown); ("pending_peak", s.pending_peak);
+    ]

@@ -57,15 +57,26 @@ val debug_solver : bool ref
     tolerate concurrent calls.  [on_run] and [should_stop] are always
     called with the engine's internal lock held, i.e. serialized, so they
     may keep plain mutable state.  [cache] memoizes solver queries across
-    pendings (and is shared by all workers). *)
+    pendings (and is shared by all workers).
+
+    [telemetry] (default disabled) wraps the exploration in an
+    [engine.explore] span with one [engine.worker] child span per domain,
+    times runs ([engine.run_s]) and the solver split, samples the frontier
+    depth over time ([engine.frontier]) and accumulates the
+    [engine.runs]/[sat]/[unsat]/[unknown]/[forks] counters. *)
 val explore :
   vars:Solver.Symvars.t ->
   ?budget:budget ->
   ?strategy:strategy ->
   ?jobs:int ->
   ?cache:Solver.Cache.t ->
+  ?telemetry:Telemetry.t ->
   run:(Solver.Model.t -> run_result) ->
   ?should_stop:(Solver.Model.t -> run_result -> bool) ->
   ?on_run:(Solver.Model.t -> run_result -> unit) ->
   unit ->
   stats * (Solver.Model.t * run_result) option
+
+(** A {!stats} in the unified counter view (scope ["engine"]); the record
+    stays for the bench tables. *)
+val counters : stats -> Telemetry.Counters.snapshot

@@ -20,7 +20,15 @@ type result = {
 
 (** Execute [sc] with instrumentation [plan].  [log_syscalls] defaults to
     true, the paper's recommended configuration. *)
-let run ?(log_syscalls = true) ~(plan : Plan.t) (sc : Concolic.Scenario.t) : result =
+let run ?(log_syscalls = true) ?(telemetry = Telemetry.disabled)
+    ~(plan : Plan.t) (sc : Concolic.Scenario.t) : result =
+  Telemetry.Span.with_ telemetry ~name:"field_run"
+    ~attrs:
+      [
+        ("scenario", Telemetry.Event.Str sc.name);
+        ("log_syscalls", Telemetry.Event.Bool log_syscalls);
+      ]
+  @@ fun sp ->
   let world, handle = Osmodel.World.kernel sc.world in
   let writer = Branch_log.Writer.create () in
   let sys_log = if log_syscalls then Some (Syscall_log.create ()) else None in
@@ -76,16 +84,40 @@ let run ?(log_syscalls = true) ~(plan : Plan.t) (sc : Concolic.Scenario.t) : res
   cost.instr <- cost.instr + side_cost.instr;
   cost.logged_branches <- side_cost.logged_branches;
   cost.logged_syscalls <- side_cost.logged_syscalls;
-  {
-    outcome = r.outcome;
-    cost;
-    output = r.output;
-    steps = r.steps;
-    branch_log = Branch_log.finish writer;
-    syscall_log = Option.map Syscall_log.finish sys_log;
-    schedule_log = Some (Schedule_log.finish sched_log);
-    world;
-  }
+  let branch_log = Branch_log.finish writer in
+  let syscall_log = Option.map Syscall_log.finish sys_log in
+  let res =
+    {
+      outcome = r.outcome;
+      cost;
+      output = r.output;
+      steps = r.steps;
+      branch_log;
+      syscall_log;
+      schedule_log = Some (Schedule_log.finish sched_log);
+      world;
+    }
+  in
+  if Telemetry.enabled telemetry then begin
+    let log_bytes =
+      Branch_log.size_bytes branch_log
+      + match syscall_log with Some l -> Syscall_log.size_bytes l | None -> 0
+    in
+    Telemetry.Span.addi sp "branches_logged" cost.logged_branches;
+    Telemetry.Span.addi sp "syscalls_logged" cost.logged_syscalls;
+    Telemetry.Span.addi sp "flushes" branch_log.flushes;
+    Telemetry.Span.addi sp "log_bytes" log_bytes;
+    Telemetry.Span.addi sp "steps" r.steps;
+    Telemetry.Metrics.incr_named telemetry "field.runs";
+    Telemetry.Metrics.incr_named telemetry "field.branches_logged"
+      ~by:cost.logged_branches;
+    Telemetry.Metrics.incr_named telemetry "field.syscalls_logged"
+      ~by:cost.logged_syscalls;
+    Telemetry.Metrics.incr_named telemetry "field.flushes"
+      ~by:branch_log.flushes;
+    Telemetry.Metrics.incr_named telemetry "field.log_bytes" ~by:log_bytes
+  end;
+  res
 
 (** Total shipped-log storage in bytes. *)
 let storage_bytes (r : result) =

@@ -18,8 +18,15 @@ type result = {
 }
 
 (** Execute [sc] with instrumentation [plan].  [log_syscalls] defaults to
-    true, the paper's recommended configuration. *)
-val run : ?log_syscalls:bool -> plan:Plan.t -> Concolic.Scenario.t -> result
+    true, the paper's recommended configuration.  [telemetry] wraps the run
+    in a [field_run] span (branches/syscalls logged, buffer flushes, log
+    bytes as end attributes) and accumulates the [field.*] counters. *)
+val run :
+  ?log_syscalls:bool ->
+  ?telemetry:Telemetry.t ->
+  plan:Plan.t ->
+  Concolic.Scenario.t ->
+  result
 
 (** Total shipped-log storage in bytes. *)
 val storage_bytes : result -> int

@@ -6,7 +6,24 @@
     design — branch bits, numeric syscall results, schedule decisions, the
     crash site and the input shape; no input content exists to leak. *)
 
-let magic = "bugrepro-report/1"
+(* The header line is [magic_prefix ^ version]: the version integer is the
+   format's version byte.  Writers always emit the current [version];
+   readers accept every version in [1 .. version] and reject anything newer
+   or older with [Unknown_version] (distinct from [Malformed], so callers
+   can tell "upgrade your tool" apart from corruption).  v1 -> v2: added
+   the [branch-flushes] field (v1 readers tolerate trailing unknown
+   fields; v1 reports read back with [flushes = 0]). *)
+let magic_prefix = "bugrepro-report/"
+let version = 2
+let magic = magic_prefix ^ string_of_int version
+
+type error = Unknown_version of int | Malformed of string
+
+let error_to_string = function
+  | Unknown_version v ->
+      Printf.sprintf "unknown report format version %d (supported: 1-%d)" v
+        version
+  | Malformed msg -> msg
 
 let hex_of_string s =
   let b = Buffer.create (2 * String.length s) in
@@ -75,6 +92,7 @@ let serialize (t : Report.t) : string =
   line "shape-filecap: %d" t.shape.file_cap;
   line "branch-bits: %d" t.branch_log.nbits;
   line "branch-log: %s" (hex_of_string t.branch_log.bytes);
+  line "branch-flushes: %d" t.branch_log.flushes;
   (match t.syscall_log with
   | Some l ->
       line "syscalls: %s"
@@ -92,13 +110,9 @@ let serialize (t : Report.t) : string =
 
 let ( let* ) = Result.bind
 
-(** Parse a wire-form report.  Tolerates unknown trailing fields (forward
-    compatibility); fails with a message on anything malformed. *)
-let deserialize (s : string) : (Report.t, string) result =
-  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
-  match lines with
-  | m :: rest when m = magic ->
-      let fields =
+(* Parse the field lines of a report whose version was already checked. *)
+let parse_fields (rest : string list) : (Report.t, string) result =
+  let fields =
         List.filter_map
           (fun l ->
             match String.index_opt l ':' with
@@ -158,7 +172,14 @@ let deserialize (s : string) : (Report.t, string) result =
       let* bytes = string_of_hex log_hex in
       if nbits > 8 * String.length bytes then Error "bit count exceeds log bytes"
       else
-        let branch_log = { Branch_log.bytes; nbits; flushes = 0 } in
+        let* flushes =
+          (* v2 field; absent from v1 reports *)
+          match List.assoc_opt "branch-flushes" fields with
+          | None -> Ok 0
+          | Some v -> (
+              try Ok (int_of_string v) with _ -> Error "bad flush count")
+        in
+        let branch_log = { Branch_log.bytes; nbits; flushes } in
         let syscall_log =
           match List.assoc_opt "syscalls" fields with
           | None -> Ok None
@@ -204,4 +225,32 @@ let deserialize (s : string) : (Report.t, string) result =
             shape =
               { Concolic.Scenario.arg_caps; n_conns; conn_cap; file_names; file_cap };
           }
-  | _ -> Error "not a bugrepro report (bad magic)"
+
+(** Parse a wire-form report with a typed error.  Tolerates unknown
+    trailing fields within a known version (forward compatibility inside a
+    version); a well-formed header naming a version outside [1 ..
+    {!version}] is [Unknown_version]; everything else malformed is
+    [Malformed]. *)
+let deserialize_v (s : string) : (Report.t, error) result =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | m :: rest
+    when String.length m >= String.length magic_prefix
+         && String.sub m 0 (String.length magic_prefix) = magic_prefix -> (
+      let v_s =
+        String.sub m (String.length magic_prefix)
+          (String.length m - String.length magic_prefix)
+      in
+      match int_of_string_opt v_s with
+      | None -> Error (Malformed "bad version in report header")
+      | Some v when v < 1 || v > version -> Error (Unknown_version v)
+      | Some _ -> (
+          match parse_fields rest with
+          | Ok r -> Ok r
+          | Error e -> Error (Malformed e)))
+  | _ -> Error (Malformed "not a bugrepro report (bad magic)")
+
+(** {!deserialize_v} with the error flattened to a string (the historical
+    interface; kept for existing callers). *)
+let deserialize (s : string) : (Report.t, string) result =
+  Result.map_error error_to_string (deserialize_v s)

@@ -3,11 +3,37 @@
     Line-oriented text with hex-encoded log bytes; everything in it is
     shippable by design (branch bits, numeric syscall results, schedule
     decisions, crash site, input shape — no input content exists to leak).
-    Round-trip identity is property-tested. *)
+    Round-trip identity is property-tested.
 
+    The header line is [magic_prefix ^ version] — the version integer is
+    the format's version byte.  Writers emit the current {!version};
+    readers accept [1 .. version] and reject anything else with
+    {!Unknown_version}, distinct from {!Malformed} so callers can tell
+    "upgrade your tool" apart from corruption.  v1 -> v2 added the
+    [branch-flushes] field (v1 reports read back with [flushes = 0]). *)
+
+val magic_prefix : string
+
+(** Version written by {!serialize}; the newest {!deserialize_v} reads. *)
+val version : int
+
+(** The full current header line, [magic_prefix ^ string_of_int version]. *)
 val magic : string
+
+type error =
+  | Unknown_version of int
+      (** well-formed header naming an unsupported format version *)
+  | Malformed of string  (** anything else wrong with the input *)
+
+val error_to_string : error -> string
 val serialize : Report.t -> string
 
-(** Tolerates unknown trailing fields; fails with a message on anything
-    malformed (bad magic, bad hex, bit counts exceeding the log). *)
+(** Tolerates unknown trailing fields within a known version; fails with
+    {!Unknown_version} on a version outside [1 .. version] and
+    {!Malformed} on anything else (bad magic, bad hex, bit counts
+    exceeding the log). *)
+val deserialize_v : string -> (Report.t, error) result
+
+(** {!deserialize_v} with the error flattened to a string (the historical
+    interface). *)
 val deserialize : string -> (Report.t, string) result

@@ -63,6 +63,37 @@ type stats = {
 
 let reproduced = function Reproduced _ -> true | Not_reproduced _ -> false
 
+(* §3.1 replay-case counters in the unified naming: forked = case 1
+   (symbolic unlogged), completed = case 2a (logged match pins the
+   direction), forced = case 2b (mismatch queues the forcing constraint),
+   aborted_contradiction = case 3b (concrete mismatch kills the run). *)
+let case_counters (c : case_stats) : (string * int) list =
+  [
+    ("forked", c.case1);
+    ("completed", c.case2a);
+    ("forced", c.case2b);
+    ("pinned_concrete", c.case3a);
+    ("aborted_contradiction", c.case3b);
+    ("concrete_unlogged", c.case4);
+    ("log_exhausted", c.log_exhausted);
+  ]
+
+(** [stats] in the unified counter view: the [engine] scope, the [replay]
+    §3.1 case counters, and the [solver.cache] scope when the cache ran —
+    flattened under scope [reproduce]. *)
+let counters (s : stats) : Telemetry.Counters.snapshot =
+  let parts =
+    [
+      Concolic.Engine.counters s.engine;
+      Telemetry.Counters.make ~scope:"replay" (case_counters s.cases);
+    ]
+    @
+    match s.cache with
+    | Some c -> [ Solver.Cache.counters c ]
+    | None -> []
+  in
+  Telemetry.Counters.union ~scope:"reproduce" parts
+
 let elapsed = function
   | Reproduced r -> r.elapsed_s
   | Not_reproduced r -> r.elapsed_s
@@ -191,8 +222,36 @@ let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
     variable registry of a restart. *)
 let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
     ?(max_steps = 5_000_000) ?restore ?(jobs = 1) ?(solver_cache = true)
-    ~(prog : Minic.Program.t) ~(plan : Plan.t) (report : Report.t) :
-    result * stats =
+    ?(telemetry = Telemetry.disabled) ~(prog : Minic.Program.t)
+    ~(plan : Plan.t) (report : Report.t) : result * stats =
+  Telemetry.Span.with_ telemetry ~name:"reproduce"
+    ~attrs:
+      [
+        ("jobs", Telemetry.Event.Int jobs);
+        ("solver_cache", Telemetry.Event.Bool solver_cache);
+      ]
+  @@ fun rsp ->
+  (* §3.1 replay-case counters, bumped per run inside record_cases (each run
+     counts locally, so this is one registry update per run, not per
+     branch) *)
+  let tel_cases =
+    if Telemetry.enabled telemetry then
+      Some
+        (List.map
+           (fun name ->
+             Telemetry.Metrics.counter telemetry ("replay.case." ^ name))
+           [ "forked"; "completed"; "forced"; "pinned_concrete";
+             "aborted_contradiction"; "concrete_unlogged"; "log_exhausted" ])
+    else None
+  in
+  let tel_record (c : case_stats) =
+    match tel_cases with
+    | None -> ()
+    | Some cells ->
+        List.iter2
+          (fun cell (_, v) -> Telemetry.Metrics.incr ~by:v cell)
+          cells (case_counters c)
+  in
   (* A depth-first chain can die on a genuinely unsatisfiable forced
      pending (a concretisation pinned incompatibly early in the run).
      When the frontier exhausts with budget left, restart with a different
@@ -200,12 +259,15 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
      paper's engine enjoys the same freedom in choosing fresh inputs. *)
   let deadline = Unix.gettimeofday () +. budget.Concolic.Engine.max_time_s in
   let total_runs = ref 0 in
+  let attempts = ref 0 in
   let cache = if solver_cache then Some (Solver.Cache.create ()) else None in
   let cases_mu = Mutex.create () in
   let rec attempt attempt_seed acc_stats =
+    incr attempts;
     let vars = Solver.Symvars.create () in
     let cases = new_case_stats () in
     let record_cases c =
+      tel_record c;
       Mutex.lock cases_mu;
       merge_cases ~into:cases c;
       Mutex.unlock cases_mu
@@ -224,11 +286,18 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
     let remaining_time = deadline -. Unix.gettimeofday () in
     let remaining_runs = budget.Concolic.Engine.max_runs - !total_runs in
     let engine_stats, found =
-      Concolic.Engine.explore ~vars
-        ~budget:
-          { Concolic.Engine.max_runs = max 1 remaining_runs;
-            max_time_s = max 0.1 remaining_time }
-        ~jobs ?cache ~run ~should_stop ()
+      Telemetry.Span.with_ telemetry ~parent:rsp ~name:"replay.attempt"
+        ~attrs:[ ("seed", Telemetry.Event.Int attempt_seed) ]
+        (fun asp ->
+          let r, found =
+            Concolic.Engine.explore ~vars
+              ~budget:
+                { Concolic.Engine.max_runs = max 1 remaining_runs;
+                  max_time_s = max 0.1 remaining_time }
+              ~jobs ?cache ~telemetry ~run ~should_stop ()
+          in
+          Telemetry.Span.addi asp "runs" r.Concolic.Engine.runs;
+          (r, found))
     in
     total_runs := !total_runs + engine_stats.runs;
     let stats =
@@ -270,4 +339,9 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
               },
             stats )
   in
-  attempt seed None
+  let r, stats = attempt seed None in
+  Telemetry.Span.adds rsp "outcome"
+    (if reproduced r then "reproduced" else "not_reproduced");
+  Telemetry.Span.addi rsp "runs" !total_runs;
+  Telemetry.Span.addi rsp "attempts" !attempts;
+  (r, stats)

@@ -46,6 +46,14 @@ type stats = {
 val reproduced : result -> bool
 val elapsed : result -> float
 
+(** [stats] in the unified counter view (scope [reproduce]): the [engine]
+    scope, the §3.1 case counters under [replay]
+    ([forked]/[completed]/[forced]/[pinned_concrete]/
+    [aborted_contradiction]/[concrete_unlogged]/[log_exhausted]) and the
+    [solver.cache] scope when the memoizing cache ran.  The record types
+    stay for the bench tables. *)
+val counters : stats -> Telemetry.Counters.snapshot
+
 (** Checkpointed replay (§6): rewrites global state symbolically at the
     first [checkpoint()] the run executes; until then the shipped logs are
     gated off.  See {!Checkpoint.Creplay}. *)
@@ -63,7 +71,12 @@ type restore_fn =
     solver queries across pendings and restarts.  Whatever the worker
     count, a result of [Reproduced] carries a model that crashes at the
     reported site — scheduling can change *which* crashing input is found
-    first, never whether one exists. *)
+    first, never whether one exists.
+
+    [telemetry] wraps the search in a [reproduce] span with one
+    [replay.attempt] child per restart (each wrapping its engine
+    exploration), and accumulates the §3.1 [replay.case.*] counters — one
+    registry update per run, so the per-branch hot path is untouched. *)
 val reproduce :
   ?budget:Concolic.Engine.budget ->
   ?seed:int ->
@@ -71,6 +84,7 @@ val reproduce :
   ?restore:restore_fn ->
   ?jobs:int ->
   ?solver_cache:bool ->
+  ?telemetry:Telemetry.t ->
   prog:Minic.Program.t ->
   plan:Instrument.Plan.t ->
   Instrument.Report.t ->

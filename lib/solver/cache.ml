@@ -234,21 +234,38 @@ let store t key entry =
     that shares no variable with the last (focus) constraint, and the caller
     merges the returned model over the hint ([Unsat] of a subset is
     unconditionally [Unsat] of the whole set). *)
-let solve t ?budget ~(vars : Symvars.t) ?(hint : int -> int option = fun _ -> None)
-    ?(slice = false) (cs : Expr.t list) : Solve.outcome =
+let solve t ?budget ?(telemetry = Telemetry.disabled) ~(vars : Symvars.t)
+    ?(hint : int -> int option = fun _ -> None) ?(slice = false)
+    (cs : Expr.t list) : Solve.outcome =
+  (* the paper's overhead axis also applies to the observation layer: the
+     split below is recorded per call, but each record is two clock reads
+     and an atomic add — nothing on the canonicalization path changes *)
+  let t0 = if Telemetry.enabled telemetry then Telemetry.now telemetry else 0.0 in
+  let record kind =
+    if Telemetry.enabled telemetry then begin
+      Telemetry.Metrics.incr_named telemetry ("solver.cache." ^ kind);
+      Telemetry.Metrics.observe telemetry
+        ("solver.cache." ^ kind ^ "_s")
+        (Telemetry.now telemetry -. t0)
+    end
+  in
   let cs = if slice then slice_focus cs else cs in
   let key, inv, fwd = canonicalize ~vars cs in
   match find t key with
-  | Some Unsat_c -> Solve.Unsat
+  | Some Unsat_c ->
+      record "hit";
+      Solve.Unsat
   | Some (Sat_c pairs) ->
       let m =
         List.fold_left
           (fun m (c, v) -> Model.add inv.(c) v m)
           Model.empty pairs
       in
+      record "hit";
       Solve.Sat m
   | None -> (
       let r = Solve.solve ?budget ~vars ~hint cs in
+      record "miss_solve";
       (match r with
       | Solve.Sat m ->
           let pairs =
@@ -263,3 +280,16 @@ let solve t ?budget ~(vars : Symvars.t) ?(hint : int -> int option = fun _ -> No
       | Solve.Unsat -> store t key Unsat_c
       | Solve.Unknown -> locked t (fun () -> t.uncacheable <- t.uncacheable + 1));
       r)
+
+(* ------------------------------------------------------------------ *)
+
+(** The {!snapshot} in the unified counter view (scope ["solver.cache"]).
+    The record stays for the bench tables; generic consumers (CLI
+    [--metrics], traces, tests) read this. *)
+let counters (s : snapshot) : Telemetry.Counters.snapshot =
+  Telemetry.Counters.make ~scope:"solver.cache"
+    ~gauges:[ ("hit_rate", hit_rate s) ]
+    [
+      ("hits", s.hits); ("misses", s.misses); ("evictions", s.evictions);
+      ("stores", s.stores); ("uncacheable", s.uncacheable);
+    ]

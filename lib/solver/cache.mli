@@ -50,12 +50,21 @@ val slice_focus : Expr.t list -> Expr.t list
     [slice] (default false) restricts the key and the solve to
     [slice_focus]; callers must guarantee the hint satisfies every
     constraint outside the slice and must merge the returned model over the
-    hint (the exploration engine's pending invariant). *)
+    hint (the exploration engine's pending invariant).
+
+    [telemetry] records the solver-time split: counters
+    [solver.cache.hit]/[solver.cache.miss_solve] and histograms
+    [solver.cache.hit_s]/[solver.cache.miss_solve_s]. *)
 val solve :
   t ->
   ?budget:Solve.budget ->
+  ?telemetry:Telemetry.t ->
   vars:Symvars.t ->
   ?hint:(int -> int option) ->
   ?slice:bool ->
   Expr.t list ->
   Solve.outcome
+
+(** The {!snapshot} in the unified counter view (scope ["solver.cache"],
+    gauge [hit_rate]).  The record stays for the bench tables. *)
+val counters : snapshot -> Telemetry.Counters.snapshot

@@ -30,17 +30,33 @@ type result = {
 (** Analyze [prog].  [analyze_lib = false] reproduces the paper's uServer
     setup: library code is not analysed and all its branches are
     conservatively labelled symbolic. *)
-let analyze ?(analyze_lib = true) ?(refine = true) (prog : Program.t) : result =
-  let pta = Pointsto.analyze prog in
+let analyze ?(analyze_lib = true) ?(refine = true)
+    ?(telemetry = Telemetry.disabled) (prog : Program.t) : result =
+  Telemetry.Span.with_ telemetry ~name:"analyze.static"
+    ~attrs:
+      [
+        ("refine", Telemetry.Event.Bool refine);
+        ("analyze_lib", Telemetry.Event.Bool analyze_lib);
+      ]
+  @@ fun sp ->
+  let pass name f =
+    Telemetry.Span.with_ telemetry ~parent:sp ~name (fun _ -> f ())
+  in
+  let pta = pass "static.pointsto" (fun () -> Pointsto.analyze prog) in
   (* constprop always analyses library code: constant reasoning is sound
      everywhere, and §5.3's conservative treatment only concerns the taint
      labels (library branches are never overridden below when
      [analyze_lib = false]) *)
-  let constprop = if refine then Some (Constprop.analyze prog pta) else None in
+  let constprop =
+    if refine then
+      Some (pass "static.constprop" (fun () -> Constprop.analyze prog pta))
+    else None
+  in
   let taint =
-    Taint.analyze
-      ~cfg:{ Taint.analyze_lib; strong_updates = refine }
-      ?constprop prog pta
+    pass "static.taint" (fun () ->
+        Taint.analyze
+          ~cfg:{ Taint.analyze_lib; strong_updates = refine }
+          ?constprop prog pta)
   in
   let n = Program.nbranches prog in
   let labels = Label.make ~nbranches:n Label.Concrete in
@@ -76,17 +92,25 @@ let analyze ?(analyze_lib = true) ?(refine = true) (prog : Program.t) : result =
        may be reduced)\n\
        %!"
       widened_loops;
-  {
-    labels;
-    n_symbolic = Label.count labels Label.Symbolic;
-    n_concrete = Label.count labels Label.Concrete;
-    contexts = Taint.contexts_analyzed taint;
-    constprop;
-    provenance = Taint.provenance taint;
-    n_const_proved = !n_const;
-    n_dead_proved = !n_dead;
-    widened_loops;
-  }
+  let r =
+    {
+      labels;
+      n_symbolic = Label.count labels Label.Symbolic;
+      n_concrete = Label.count labels Label.Concrete;
+      contexts = Taint.contexts_analyzed taint;
+      constprop;
+      provenance = Taint.provenance taint;
+      n_const_proved = !n_const;
+      n_dead_proved = !n_dead;
+      widened_loops;
+    }
+  in
+  Telemetry.Span.addi sp "symbolic" r.n_symbolic;
+  Telemetry.Span.addi sp "concrete" r.n_concrete;
+  Telemetry.Span.addi sp "contexts" r.contexts;
+  Telemetry.Metrics.incr_named telemetry "static.const_proved" ~by:r.n_const_proved;
+  Telemetry.Metrics.incr_named telemetry "static.dead_proved" ~by:r.n_dead_proved;
+  r
 
 (** Precision report for a static result against dynamic ground-truth
     labels. *)

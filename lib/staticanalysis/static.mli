@@ -23,8 +23,15 @@ type result = {
 (** Analyze [prog].  [analyze_lib = false] reproduces the paper's uServer
     setup (§5.3): library code is not analysed and all its branches are
     conservatively labelled symbolic.  [refine = false] disables constprop
-    and strong updates (the seed pipeline, used as precision baseline). *)
-val analyze : ?analyze_lib:bool -> ?refine:bool -> Minic.Program.t -> result
+    and strong updates (the seed pipeline, used as precision baseline).
+    [telemetry] wraps the run in an [analyze.static] span with one child
+    span per pass ([static.pointsto]/[static.constprop]/[static.taint]). *)
+val analyze :
+  ?analyze_lib:bool ->
+  ?refine:bool ->
+  ?telemetry:Telemetry.t ->
+  Minic.Program.t ->
+  result
 
 (** Precision report against dynamic ground-truth labels. *)
 val precision :

@@ -1,0 +1,114 @@
+(** The telemetry handle: clock, span-id generator, metric registry and the
+    sink every event is routed to.
+
+    A handle is either *enabled* (it owns a sink and a registry) or the
+    shared {!disabled} constant.  Every instrumentation site checks
+    [enabled] first, so the disabled path is one immutable-field load and a
+    branch — the "near-zero cost when observation is off" requirement that
+    lets the telemetry default into every API without a measurable
+    instrumentation tax (the same overhead discipline the paper applies to
+    the branch log itself).
+
+    The clock is the process wall clock relative to handle creation; the
+    repo's exploration budgets use the same [Unix.gettimeofday] source, so
+    span durations and engine budgets are directly comparable. *)
+
+type hist = {
+  h_mu : Mutex.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type t = {
+  enabled : bool;
+  sink : Sink.t;
+  next_id : int Atomic.t;
+  reg_mu : Mutex.t;  (** guards registry table shape, not counter bumps *)
+  counters : (string, int Atomic.t) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  t0 : float;
+}
+
+let make ~enabled ~sink =
+  {
+    enabled;
+    sink;
+    next_id = Atomic.make 1;
+    reg_mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    hists = Hashtbl.create 16;
+    t0 = Unix.gettimeofday ();
+  }
+
+(** The shared no-op handle: spans run their body directly, metric updates
+    return immediately, nothing is ever emitted. *)
+let disabled = make ~enabled:false ~sink:Sink.null
+
+(** An enabled handle over [sink] (default {!Sink.null}: counters and
+    histograms accumulate, span events are discarded). *)
+let create ?(sink = Sink.null) () = make ~enabled:true ~sink
+
+let enabled t = t.enabled
+
+(** Seconds since the handle was created. *)
+let now t = Unix.gettimeofday () -. t.t0
+
+let fresh_id t = Atomic.fetch_and_add t.next_id 1
+
+let emit t e = if t.enabled then t.sink.Sink.emit e
+
+let flush t = if t.enabled then t.sink.Sink.flush ()
+
+(* -------------------------------------------------------------- *)
+(* Registry access (for Metrics) *)
+
+let counter_cell t name : int Atomic.t =
+  Mutex.lock t.reg_mu;
+  let c =
+    match Hashtbl.find_opt t.counters name with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.replace t.counters name c;
+        c
+  in
+  Mutex.unlock t.reg_mu;
+  c
+
+let hist_cell t name : hist =
+  Mutex.lock t.reg_mu;
+  let h =
+    match Hashtbl.find_opt t.hists name with
+    | Some h -> h
+    | None ->
+        let h =
+          { h_mu = Mutex.create (); h_count = 0; h_sum = 0.0;
+            h_min = infinity; h_max = neg_infinity }
+        in
+        Hashtbl.replace t.hists name h;
+        h
+  in
+  Mutex.unlock t.reg_mu;
+  h
+
+let fold_counters t f acc =
+  Mutex.lock t.reg_mu;
+  let r = Hashtbl.fold (fun k c acc -> f k (Atomic.get c) acc) t.counters acc in
+  Mutex.unlock t.reg_mu;
+  r
+
+let fold_hists t f acc =
+  Mutex.lock t.reg_mu;
+  let r =
+    Hashtbl.fold
+      (fun k h acc ->
+        Mutex.lock h.h_mu;
+        let snap = (h.h_count, h.h_sum, h.h_min, h.h_max) in
+        Mutex.unlock h.h_mu;
+        f k snap acc)
+      t.hists acc
+  in
+  Mutex.unlock t.reg_mu;
+  r

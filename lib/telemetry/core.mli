@@ -1,0 +1,40 @@
+(** The telemetry handle: clock, span-id generator, metric registry and the
+    sink every event is routed to.  Disabled handles short-circuit every
+    operation on a single field load (see DESIGN.md §5d for the overhead
+    argument). *)
+
+type hist = {
+  h_mu : Mutex.t;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type t
+
+(** The shared no-op handle: spans run their body directly, metric updates
+    return immediately, nothing is ever emitted. *)
+val disabled : t
+
+(** An enabled handle over [sink] (default {!Sink.null}: counters and
+    histograms accumulate, span events are discarded). *)
+val create : ?sink:Sink.t -> unit -> t
+
+val enabled : t -> bool
+
+(** Seconds since the handle was created. *)
+val now : t -> float
+
+val fresh_id : t -> int
+val emit : t -> Event.t -> unit
+val flush : t -> unit
+
+(** {1 Registry access (used by {!Metrics} and {!Counters})} *)
+
+val counter_cell : t -> string -> int Atomic.t
+val hist_cell : t -> string -> hist
+val fold_counters : t -> (string -> int -> 'a -> 'a) -> 'a -> 'a
+
+(** Folds [(count, sum, min, max)] summaries per histogram. *)
+val fold_hists : t -> (string -> int * float * float * float -> 'a -> 'a) -> 'a -> 'a

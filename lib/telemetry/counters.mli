@@ -1,0 +1,31 @@
+(** The unified counter-snapshot view that [Engine.stats], [Guided.stats]
+    and [Solver.Cache.snapshot] all convert into (the record types survive
+    for the bench tables). *)
+
+type snapshot = {
+  scope : string;  (** e.g. ["engine"], ["replay"], ["solver.cache"] *)
+  counters : (string * int) list;  (** monotonic counts, emission order *)
+  gauges : (string * float) list;  (** point-in-time values (rates, seconds) *)
+}
+
+val make : ?gauges:(string * float) list -> scope:string -> (string * int) list -> snapshot
+val find : snapshot -> string -> int option
+val gauge : snapshot -> string -> float option
+
+(** Sum counters pointwise (union of names); right-biased on gauges;
+    left scope wins. *)
+val merge : snapshot -> snapshot -> snapshot
+
+(** Flatten several scoped snapshots into one, names prefixed by their
+    original scope. *)
+val union : scope:string -> snapshot list -> snapshot
+
+(** Snapshot of a handle's metric registry (counters plus histogram
+    count/mean/min/max gauges), sorted by name. *)
+val of_core : ?scope:string -> Core.t -> snapshot
+
+val pp : Format.formatter -> snapshot -> unit
+val to_string : snapshot -> string
+
+(** Strict-JSON object: [{"scope": .., "counters": {..}, "gauges": {..}}]. *)
+val to_json : snapshot -> string

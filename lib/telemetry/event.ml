@@ -1,0 +1,101 @@
+(** Telemetry events: the vocabulary every sink consumes.
+
+    Four event kinds cover the whole observation surface of the pipeline:
+    span begin/end pairs (nested, monotonic timestamps), point-in-time
+    samples (time series such as the exploration frontier depth) and final
+    counter values published when a stage closes.  Timestamps are seconds
+    relative to the owning handle's creation, so traces are
+    machine-comparable without a shared epoch. *)
+
+type attr_value = Str of string | Int of int | Float of float | Bool of bool
+
+type attrs = (string * attr_value) list
+
+type t =
+  | Span_begin of {
+      id : int;
+      parent : int option;
+      name : string;
+      t : float;
+      attrs : attrs;
+    }
+  | Span_end of { id : int; name : string; t : float; attrs : attrs }
+  | Sample of { name : string; t : float; value : float }
+      (** one point of a time series, emitted as it is observed *)
+  | Counter of { name : string; t : float; value : int }
+      (** final (monotonic) counter value, emitted on publish *)
+
+let timestamp = function
+  | Span_begin s -> s.t
+  | Span_end s -> s.t
+  | Sample s -> s.t
+  | Counter c -> c.t
+
+(* ------------------------------------------------------------------ *)
+(* Strict-JSON encoding (one object per line; CI parses it) *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_nan v || Float.abs v = Float.infinity then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    (* shortest decimal that parses back to the same float, so a trace
+       round-trips exactly through of_jsonl *)
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let attr_value_to_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | Bool b -> if b then "true" else "false"
+
+let attrs_to_json (attrs : attrs) =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": %s" (json_escape k) (attr_value_to_json v)))
+    attrs;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(** One-line strict-JSON form, the unit of the [--trace] JSONL output. *)
+let to_json (e : t) : string =
+  match e with
+  | Span_begin s ->
+      Printf.sprintf
+        "{\"ev\": \"span_begin\", \"id\": %d%s, \"name\": \"%s\", \"t\": %s, \
+         \"attrs\": %s}"
+        s.id
+        (match s.parent with
+        | Some p -> Printf.sprintf ", \"parent\": %d" p
+        | None -> "")
+        (json_escape s.name) (json_float s.t) (attrs_to_json s.attrs)
+  | Span_end s ->
+      Printf.sprintf
+        "{\"ev\": \"span_end\", \"id\": %d, \"name\": \"%s\", \"t\": %s, \
+         \"attrs\": %s}"
+        s.id (json_escape s.name) (json_float s.t) (attrs_to_json s.attrs)
+  | Sample s ->
+      Printf.sprintf "{\"ev\": \"sample\", \"name\": \"%s\", \"t\": %s, \"value\": %s}"
+        (json_escape s.name) (json_float s.t) (json_float s.value)
+  | Counter c ->
+      Printf.sprintf "{\"ev\": \"counter\", \"name\": \"%s\", \"t\": %s, \"value\": %d}"
+        (json_escape c.name) (json_float c.t) c.value

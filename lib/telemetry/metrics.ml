@@ -1,0 +1,92 @@
+(** Counters and histograms.
+
+    Counters are monotonic ([incr] rejects negative increments, so a
+    snapshot can only ever grow — the invariant the tier-1 monotonicity
+    test pins down).  Histograms are summaries (count/sum/min/max),
+    enough for the solver-time split and span-duration statistics without
+    per-observation storage.  Both live in the handle's registry and are
+    *pull*-model: nothing reaches the sink until {!publish}.  [sample] is
+    the push-model exception — an immediately-emitted time-series point
+    (e.g. the exploration frontier depth over time).
+
+    Hot paths should hoist the name lookup with {!counter} and bump the
+    returned cell; the cell is an [Atomic.t], so worker domains can share
+    it without a lock. *)
+
+type counter = Noop | Cell of int Atomic.t
+
+(** Resolve (or create) a named counter cell.  On a disabled handle the
+    returned counter is a no-op. *)
+let counter (core : Core.t) (name : string) : counter =
+  if not (Core.enabled core) then Noop else Cell (Core.counter_cell core name)
+
+(** Add [by] (default 1) to the counter.  Raises [Invalid_argument] on a
+    negative increment: counters are monotonic by contract. *)
+let incr ?(by = 1) (c : counter) =
+  if by < 0 then invalid_arg "Telemetry.Metrics.incr: negative increment";
+  match c with
+  | Noop -> ()
+  | Cell cell -> ignore (Atomic.fetch_and_add cell by)
+
+(** [incr_named core name] without hoisting the lookup (cold paths). *)
+let incr_named ?(by = 1) (core : Core.t) (name : string) =
+  if Core.enabled core then incr ~by (Cell (Core.counter_cell core name))
+
+(** Current value of a named counter (0 if never incremented). *)
+let counter_value (core : Core.t) (name : string) : int =
+  if not (Core.enabled core) then 0
+  else Atomic.get (Core.counter_cell core name)
+
+(** Record one observation into a named histogram. *)
+let observe (core : Core.t) (name : string) (v : float) =
+  if Core.enabled core then begin
+    let h = Core.hist_cell core name in
+    Mutex.lock h.Core.h_mu;
+    h.Core.h_count <- h.Core.h_count + 1;
+    h.Core.h_sum <- h.Core.h_sum +. v;
+    if v < h.Core.h_min then h.Core.h_min <- v;
+    if v > h.Core.h_max then h.Core.h_max <- v;
+    Mutex.unlock h.Core.h_mu
+  end
+
+(** Time [f] and record the elapsed seconds into histogram [name]. *)
+let time (core : Core.t) (name : string) (f : unit -> 'a) : 'a =
+  if not (Core.enabled core) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | v ->
+        observe core name (Unix.gettimeofday () -. t0);
+        v
+    | exception e ->
+        observe core name (Unix.gettimeofday () -. t0);
+        raise e
+  end
+
+(** Emit one timestamped time-series point straight to the sink. *)
+let sample (core : Core.t) (name : string) (v : float) =
+  if Core.enabled core then
+    Core.emit core (Event.Sample { name; t = Core.now core; value = v })
+
+(** Emit every registry counter's current value as a [Counter] event (the
+    trace's final-totals section).  Histogram summaries are emitted as
+    [Sample]s named [<hist>.count/.sum/.min/.max].  Call once per stage or
+    at process end; counters stay in the registry, so publishing twice
+    emits the newer (never smaller) values again. *)
+let publish (core : Core.t) =
+  if Core.enabled core then begin
+    let t = Core.now core in
+    Core.fold_counters core
+      (fun name v () -> Core.emit core (Event.Counter { name; t; value = v }))
+      ();
+    Core.fold_hists core
+      (fun name (count, sum, minv, maxv) () ->
+        Core.emit core
+          (Event.Sample { name = name ^ ".count"; t; value = float_of_int count });
+        if count > 0 then begin
+          Core.emit core (Event.Sample { name = name ^ ".sum"; t; value = sum });
+          Core.emit core (Event.Sample { name = name ^ ".min"; t; value = minv });
+          Core.emit core (Event.Sample { name = name ^ ".max"; t; value = maxv })
+        end)
+      ()
+  end

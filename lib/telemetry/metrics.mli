@@ -1,0 +1,35 @@
+(** Counters (monotonic) and histograms (count/sum/min/max summaries),
+    pull-model via {!publish}; {!sample} pushes immediate time-series
+    points.  All operations are thread-safe and no-ops on a disabled
+    handle. *)
+
+type counter
+
+(** Resolve (or create) a named counter cell; hoist this out of hot loops.
+    On a disabled handle the returned counter is a no-op. *)
+val counter : Core.t -> string -> counter
+
+(** Add [by] (default 1).  Raises [Invalid_argument] on a negative
+    increment: counters are monotonic by contract. *)
+val incr : ?by:int -> counter -> unit
+
+(** [incr_named core name] without hoisting the lookup (cold paths). *)
+val incr_named : ?by:int -> Core.t -> string -> unit
+
+(** Current value of a named counter (0 if never incremented or handle
+    disabled). *)
+val counter_value : Core.t -> string -> int
+
+(** Record one observation into a named histogram. *)
+val observe : Core.t -> string -> float -> unit
+
+(** Time [f] and record the elapsed seconds into histogram [name] (also on
+    exception). *)
+val time : Core.t -> string -> (unit -> 'a) -> 'a
+
+(** Emit one timestamped time-series point straight to the sink. *)
+val sample : Core.t -> string -> float -> unit
+
+(** Emit every registry counter as a [Counter] event and histogram
+    summaries as [Sample]s ([<hist>.count/.sum/.min/.max]). *)
+val publish : Core.t -> unit

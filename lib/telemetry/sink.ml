@@ -1,0 +1,68 @@
+(** Pluggable telemetry sinks.
+
+    A sink is two closures: [emit] receives every event, [flush] is called
+    when the owning stage (or the whole process) is done with the handle.
+    The three stock sinks cover the paper's measurement needs: [null]
+    (disabled observation — the overhead baseline), [jsonl] (the [--trace]
+    machine-readable artifact) and [memory] (in-process collection for the
+    pretty span-tree printer and the tests).
+
+    Sinks must be thread-safe: a parallel exploration emits from every
+    worker domain.  [jsonl] and [memory] serialize internally; [tee]
+    inherits its children's guarantees. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+(** Discards everything.  A handle over the null sink still accumulates
+    registry counters; use {!Core.disabled} for a no-op handle. *)
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+(** One strict-JSON object per line on [oc].  The channel is flushed on
+    [flush]; closing it is the caller's business. *)
+let jsonl (oc : out_channel) : t =
+  let mu = Mutex.create () in
+  {
+    emit =
+      (fun e ->
+        let line = Event.to_json e in
+        Mutex.lock mu;
+        output_string oc line;
+        output_char oc '\n';
+        Mutex.unlock mu);
+    flush =
+      (fun () ->
+        Mutex.lock mu;
+        flush oc;
+        Mutex.unlock mu);
+  }
+
+(** In-memory collection; the getter returns events in emission order. *)
+let memory () : t * (unit -> Event.t list) =
+  let mu = Mutex.create () in
+  let events = ref [] in
+  ( {
+      emit =
+        (fun e ->
+          Mutex.lock mu;
+          events := e :: !events;
+          Mutex.unlock mu);
+      flush = (fun () -> ());
+    },
+    fun () ->
+      Mutex.lock mu;
+      let l = List.rev !events in
+      Mutex.unlock mu;
+      l )
+
+(** Duplicate every event to both sinks. *)
+let tee (a : t) (b : t) : t =
+  {
+    emit =
+      (fun e ->
+        a.emit e;
+        b.emit e);
+    flush =
+      (fun () ->
+        a.flush ();
+        b.flush ());
+  }

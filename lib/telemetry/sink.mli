@@ -1,0 +1,19 @@
+(** Pluggable telemetry sinks: [null] (overhead baseline), [jsonl]
+    ([--trace] artifact), [memory] (pretty-printer and tests), [tee].
+    All stock sinks are thread-safe. *)
+
+type t = { emit : Event.t -> unit; flush : unit -> unit }
+
+(** Discards everything.  A handle over the null sink still accumulates
+    registry counters; use {!Core.disabled} for a fully no-op handle. *)
+val null : t
+
+(** One strict-JSON object per line on the channel.  The channel is flushed
+    on [flush]; closing it is the caller's business. *)
+val jsonl : out_channel -> t
+
+(** In-memory collection; the getter returns events in emission order. *)
+val memory : unit -> t * (unit -> Event.t list)
+
+(** Duplicate every event to both sinks. *)
+val tee : t -> t -> t

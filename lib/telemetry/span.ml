@@ -1,0 +1,93 @@
+(** Monotonic-clock spans with automatic nesting.
+
+    [with_ core ~name f] opens a span, runs [f], and closes the span when
+    [f] returns or raises.  Nesting is tracked per domain (a
+    [Domain.DLS]-held stack), so sequential code gets parent links for
+    free; code that fans out to worker domains passes [?parent] explicitly
+    (each domain has its own stack).  A span carries two attribute sets:
+    the opening ones, fixed at begin, and end attributes added with {!add}
+    while the span runs — the natural place for a stage's result counters.
+
+    On a disabled handle [with_] runs the body directly with the shared
+    {!noop} span: no id allocation, no clock read, no emission. *)
+
+type live = {
+  core : Core.t;
+  id : int;
+  name : string;
+  mu : Mutex.t;
+  mutable end_attrs : Event.attrs;  (** reversed; workers may add concurrently *)
+}
+
+type t = Noop | Live of live
+
+let noop = Noop
+
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current_parent () =
+  match !(Domain.DLS.get stack_key) with [] -> None | p :: _ -> Some p
+
+(** Span id, [None] for the no-op span. *)
+let id = function Noop -> None | Live l -> Some l.id
+
+(** Add an end attribute (thread-safe; no-op on the no-op span). *)
+let add (sp : t) (k : string) (v : Event.attr_value) =
+  match sp with
+  | Noop -> ()
+  | Live l ->
+      Mutex.lock l.mu;
+      l.end_attrs <- (k, v) :: l.end_attrs;
+      Mutex.unlock l.mu
+
+let addi sp k i = add sp k (Event.Int i)
+let addf sp k f = add sp k (Event.Float f)
+let adds sp k s = add sp k (Event.Str s)
+
+let with_ (core : Core.t) ?(attrs : Event.attrs = []) ?parent ~(name : string)
+    (f : t -> 'a) : 'a =
+  if not (Core.enabled core) then f Noop
+  else begin
+    let sid = Core.fresh_id core in
+    let stack = Domain.DLS.get stack_key in
+    let parent_id =
+      match parent with
+      | Some (Live l) -> Some l.id
+      | Some Noop -> None
+      | None -> current_parent ()
+    in
+    Core.emit core
+      (Event.Span_begin
+         { id = sid; parent = parent_id; name; t = Core.now core; attrs });
+    stack := sid :: !stack;
+    let sp = Live { core; id = sid; name; mu = Mutex.create (); end_attrs = [] } in
+    let finish ~error =
+      (match !stack with
+      | x :: rest when x = sid -> stack := rest
+      | l -> stack := List.filter (fun x -> x <> sid) l);
+      let end_attrs =
+        match sp with
+        | Live l ->
+            Mutex.lock l.mu;
+            let a = List.rev l.end_attrs in
+            Mutex.unlock l.mu;
+            a
+        | Noop -> []
+      in
+      let end_attrs =
+        match error with
+        | Some msg -> end_attrs @ [ ("error", Event.Str msg) ]
+        | None -> end_attrs
+      in
+      Core.emit core
+        (Event.Span_end { id = sid; name; t = Core.now core; attrs = end_attrs })
+    in
+    match f sp with
+    | v ->
+        finish ~error:None;
+        v
+    | exception e ->
+        finish ~error:(Some (Printexc.to_string e));
+        raise e
+  end

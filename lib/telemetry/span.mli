@@ -1,0 +1,33 @@
+(** Monotonic-clock spans with automatic nesting.
+
+    Nesting is tracked per domain; code that fans out to worker domains
+    passes [?parent] explicitly.  On a disabled handle the body runs
+    directly with the shared {!noop} span. *)
+
+type t
+
+(** The span handed to bodies under a disabled handle. *)
+val noop : t
+
+(** Span id, [None] for the no-op span. *)
+val id : t -> int option
+
+(** [with_ core ~name f] opens a span, runs [f], closes the span when [f]
+    returns or raises (a raising body gets an ["error"] end attribute and
+    the exception is re-raised).  [attrs] are fixed at begin; end
+    attributes are added with {!add} while the span runs.  [parent]
+    overrides the per-domain nesting (needed across [Domain.spawn]). *)
+val with_ :
+  Core.t ->
+  ?attrs:Event.attrs ->
+  ?parent:t ->
+  name:string ->
+  (t -> 'a) ->
+  'a
+
+(** Add an end attribute (thread-safe; no-op on the no-op span). *)
+val add : t -> string -> Event.attr_value -> unit
+
+val addi : t -> string -> int -> unit
+val addf : t -> string -> float -> unit
+val adds : t -> string -> string -> unit

@@ -1,0 +1,410 @@
+(** Trace decoding, validation and pretty-printing.
+
+    A trace is the event stream a sink saw: in-memory (from
+    {!Sink.memory}) or re-read from a JSONL file (the [--trace]
+    artifact).  [of_jsonl] parses the latter with a small strict-JSON
+    reader — the emitter and the reader live in the same library, so the
+    format is round-trip tested.  [validate] checks the structural
+    invariants CI enforces on every emitted trace: every span closed
+    exactly once, start before end, parents resolving to already-open
+    spans.  [tree]/[pp_tree] rebuild and render the span hierarchy. *)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal strict-JSON reader (objects, arrays, strings, numbers,
+   true/false/null) — just enough for our own emitted lines. *)
+
+type json =
+  | Null
+  | Jbool of bool
+  | Num of float
+  | Jstr of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | None -> fail "unterminated escape"
+          | Some c ->
+              advance ();
+              (match c with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | 'r' -> Buffer.add_char b '\r'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'u' ->
+                  if !pos + 4 > n then fail "bad \\u escape";
+                  let hex = String.sub s !pos 4 in
+                  pos := !pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> fail "bad \\u escape"
+                  in
+                  (* our emitter only escapes control chars, so ASCII is
+                     enough here; other code points round-trip as '?' *)
+                  Buffer.add_char b
+                    (if code < 128 then Char.chr code else '?')
+              | _ -> fail "bad escape"));
+          go ()
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Arr (items [])
+        end
+    | Some 't' when !pos + 4 <= n && String.sub s !pos 4 = "true" ->
+        pos := !pos + 4;
+        Jbool true
+    | Some 'f' when !pos + 5 <= n && String.sub s !pos 5 = "false" ->
+        pos := !pos + 5;
+        Jbool false
+    | Some 'n' when !pos + 4 <= n && String.sub s !pos 4 = "null" ->
+        pos := !pos + 4;
+        Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* JSON -> event *)
+
+let ( let* ) = Result.bind
+
+let obj_field o k =
+  match o with
+  | Obj fields -> (
+      match List.assoc_opt k fields with
+      | Some v -> Ok v
+      | None -> Error ("missing field " ^ k))
+  | _ -> Error "not an object"
+
+let as_int = function
+  | Num f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error "expected integer"
+
+let as_float = function Num f -> Ok f | Null -> Ok Float.nan | _ -> Error "expected number"
+let as_string = function Jstr s -> Ok s | _ -> Error "expected string"
+
+let attr_of_json : json -> (Event.attr_value, string) result = function
+  | Jstr s -> Ok (Event.Str s)
+  | Jbool b -> Ok (Event.Bool b)
+  | Num f when Float.is_integer f && Float.abs f < 1e15 ->
+      Ok (Event.Int (int_of_float f))
+  | Num f -> Ok (Event.Float f)
+  | Null -> Ok (Event.Float Float.nan)
+  | Arr _ | Obj _ -> Error "nested attribute values are not supported"
+
+let attrs_of_json (j : json) : (Event.attrs, string) result =
+  match j with
+  | Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          let* v = attr_of_json v in
+          Ok ((k, v) :: acc))
+        (Ok []) fields
+      |> Result.map List.rev
+  | _ -> Error "attrs must be an object"
+
+let event_of_json (j : json) : (Event.t, string) result =
+  let* ev = Result.bind (obj_field j "ev") as_string in
+  match ev with
+  | "span_begin" ->
+      let* id = Result.bind (obj_field j "id") as_int in
+      let* name = Result.bind (obj_field j "name") as_string in
+      let* t = Result.bind (obj_field j "t") as_float in
+      let* attrs =
+        match obj_field j "attrs" with
+        | Ok a -> attrs_of_json a
+        | Error _ -> Ok []
+      in
+      let* parent =
+        match obj_field j "parent" with
+        | Ok p -> Result.map Option.some (as_int p)
+        | Error _ -> Ok None
+      in
+      Ok (Event.Span_begin { id; parent; name; t; attrs })
+  | "span_end" ->
+      let* id = Result.bind (obj_field j "id") as_int in
+      let* name = Result.bind (obj_field j "name") as_string in
+      let* t = Result.bind (obj_field j "t") as_float in
+      let* attrs =
+        match obj_field j "attrs" with
+        | Ok a -> attrs_of_json a
+        | Error _ -> Ok []
+      in
+      Ok (Event.Span_end { id; name; t; attrs })
+  | "sample" ->
+      let* name = Result.bind (obj_field j "name") as_string in
+      let* t = Result.bind (obj_field j "t") as_float in
+      let* value = Result.bind (obj_field j "value") as_float in
+      Ok (Event.Sample { name; t; value })
+  | "counter" ->
+      let* name = Result.bind (obj_field j "name") as_string in
+      let* t = Result.bind (obj_field j "t") as_float in
+      let* value = Result.bind (obj_field j "value") as_int in
+      Ok (Event.Counter { name; t; value })
+  | s -> Error ("unknown event kind " ^ s)
+
+(** Parse a whole JSONL trace (one event per non-empty line). *)
+let of_jsonl (contents : string) : (Event.t list, string) result =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest when String.trim l = "" -> go (lineno + 1) acc rest
+    | l :: rest -> (
+        match Result.bind (parse_json l) event_of_json with
+        | Ok e -> go (lineno + 1) (e :: acc) rest
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+type summary = { spans : int; events : int; roots : int }
+
+(** Check the invariants CI enforces on every emitted trace:
+    - span ids are begun at most once and ended exactly once;
+    - no end without a begin, end time >= begin time;
+    - a parent id refers to a span already begun (and not yet ended) when
+      the child begins.
+    Samples and counters are unconstrained apart from parsing. *)
+let validate (events : Event.t list) : (summary, string) result =
+  let open_spans : (int, float) Hashtbl.t = Hashtbl.create 32 in
+  let closed : (int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let spans = ref 0 in
+  let roots = ref 0 in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec go = function
+    | [] ->
+        if Hashtbl.length open_spans > 0 then
+          err "%d span(s) never closed" (Hashtbl.length open_spans)
+        else Ok { spans = !spans; events = List.length events; roots = !roots }
+    | Event.Span_begin b :: rest ->
+        if Hashtbl.mem open_spans b.id || Hashtbl.mem closed b.id then
+          err "span id %d begun twice" b.id
+        else begin
+          (match b.parent with
+          | None -> Ok ()
+          | Some p ->
+              if Hashtbl.mem open_spans p then Ok ()
+              else err "span %d (%s): parent %d is not an open span" b.id b.name p)
+          |> function
+          | Error _ as e -> e
+          | Ok () ->
+              Hashtbl.replace open_spans b.id b.t;
+              incr spans;
+              if b.parent = None then incr roots;
+              go rest
+        end
+    | Event.Span_end e :: rest -> (
+        match Hashtbl.find_opt open_spans e.id with
+        | None ->
+            if Hashtbl.mem closed e.id then err "span id %d ended twice" e.id
+            else err "span id %d ended but never begun" e.id
+        | Some t0 ->
+            if e.t < t0 then
+              err "span %d (%s): end %.6f before begin %.6f" e.id e.name e.t t0
+            else begin
+              Hashtbl.remove open_spans e.id;
+              Hashtbl.replace closed e.id ();
+              go rest
+            end)
+    | (Event.Sample _ | Event.Counter _) :: rest -> go rest
+  in
+  go events
+
+(** Parse and validate a JSONL trace file. *)
+let validate_file (path : string) : (summary, string) result =
+  let contents =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  Result.bind (of_jsonl contents) validate
+
+(* ------------------------------------------------------------------ *)
+(* Span tree *)
+
+type node = {
+  id : int;
+  name : string;
+  start_t : float;
+  end_t : float;
+  begin_attrs : Event.attrs;
+  end_attrs : Event.attrs;
+  children : node list;  (** in start order *)
+}
+
+(** Rebuild the span forest (roots in start order).  Unclosed spans get
+    [end_t = start_t]; orphaned parents demote the child to a root, so the
+    printer is usable even on a trace that fails {!validate}. *)
+let tree (events : Event.t list) : node list =
+  let begins : (int, int option * string * float * Event.attrs) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let ends : (int, float * Event.attrs) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (function
+      | Event.Span_begin b ->
+          Hashtbl.replace begins b.id (b.parent, b.name, b.t, b.attrs);
+          order := b.id :: !order
+      | Event.Span_end e -> Hashtbl.replace ends e.id (e.t, e.attrs)
+      | Event.Sample _ | Event.Counter _ -> ())
+    events;
+  let order = List.rev !order in
+  let children_of : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  let root_ids = ref [] in
+  List.iter
+    (fun id ->
+      let parent, _, _, _ = Hashtbl.find begins id in
+      match parent with
+      | Some p when Hashtbl.mem begins p ->
+          Hashtbl.replace children_of p
+            (id :: Option.value ~default:[] (Hashtbl.find_opt children_of p))
+      | _ -> root_ids := id :: !root_ids)
+    order;
+  let rec build id : node =
+    let _, name, start_t, begin_attrs = Hashtbl.find begins id in
+    let end_t, end_attrs =
+      Option.value ~default:(start_t, []) (Hashtbl.find_opt ends id)
+    in
+    let kids =
+      Option.value ~default:[] (Hashtbl.find_opt children_of id)
+      |> List.rev |> List.map build
+    in
+    { id; name; start_t; end_t; begin_attrs; end_attrs; children = kids }
+  in
+  List.rev_map build !root_ids
+
+let attr_to_string (k, v) = Printf.sprintf "%s=%s" k (Event.attr_value_to_json v)
+
+(** Render the span forest with durations and end attributes:
+    {v
+    analyze                             0.132s
+      analyze.dynamic                   0.101s  runs=42 coverage=0.87
+    v} *)
+let pp_tree (fmt : Format.formatter) (nodes : node list) =
+  let rec pp_node depth (n : node) =
+    let label = String.make (2 * depth) ' ' ^ n.name in
+    let attrs =
+      n.begin_attrs @ n.end_attrs |> List.map attr_to_string |> String.concat " "
+    in
+    Format.fprintf fmt "%-42s %8.3fs%s@\n" label (n.end_t -. n.start_t)
+      (if attrs = "" then "" else "  " ^ attrs);
+    List.iter (pp_node (depth + 1)) n.children
+  in
+  List.iter (pp_node 0) nodes
+
+let tree_to_string (events : Event.t list) : string =
+  Format.asprintf "%a" pp_tree (tree events)

@@ -1,0 +1,35 @@
+(** Trace decoding, validation and pretty-printing for sink event streams
+    and [--trace] JSONL artifacts. *)
+
+(** Parse a whole JSONL trace (one event per non-empty line); errors carry
+    the 1-based line number. *)
+val of_jsonl : string -> (Event.t list, string) result
+
+type summary = { spans : int; events : int; roots : int }
+
+(** Check the invariants CI enforces on every emitted trace: span ids
+    begun at most once and ended exactly once, end time >= begin time,
+    parents resolving to spans still open when the child begins. *)
+val validate : Event.t list -> (summary, string) result
+
+(** Parse and validate a JSONL trace file. *)
+val validate_file : string -> (summary, string) result
+
+type node = {
+  id : int;
+  name : string;
+  start_t : float;
+  end_t : float;
+  begin_attrs : Event.attrs;
+  end_attrs : Event.attrs;
+  children : node list;  (** in start order *)
+}
+
+(** Rebuild the span forest (roots in start order); tolerant of unclosed
+    spans and orphaned parents so it is usable on invalid traces too. *)
+val tree : Event.t list -> node list
+
+(** Render the span forest with durations and attributes. *)
+val pp_tree : Format.formatter -> node list -> unit
+
+val tree_to_string : Event.t list -> string

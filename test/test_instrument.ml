@@ -281,6 +281,63 @@ let test_wire_rejects_bit_overrun () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "accepted overrun bit count"
 
+let test_wire_version_header () =
+  check_int "current version" 2 Instrument.Wire.version;
+  let s = Instrument.Wire.serialize (real_report ()) in
+  check_bool "header is magic_prefix ^ version" true
+    (String.length s > String.length Instrument.Wire.magic
+    && String.sub s 0 (String.length Instrument.Wire.magic)
+       = Instrument.Wire.magic)
+
+let test_wire_version_roundtrip () =
+  (* the v2 field (branch-flushes) survives the round trip *)
+  let rep = real_report () in
+  match Instrument.Wire.deserialize_v (Instrument.Wire.serialize rep) with
+  | Ok rep' ->
+      check_bool "roundtrip" true (report_equal rep rep');
+      check_int "flushes preserved" rep.branch_log.flushes
+        rep'.branch_log.flushes
+  | Error e -> Alcotest.fail ("deserialize failed: " ^ Instrument.Wire.error_to_string e)
+
+let test_wire_accepts_v1 () =
+  (* a v1 report: old header, no branch-flushes field; reads back with
+     flushes = 0 *)
+  let s = Instrument.Wire.serialize (real_report ()) in
+  let s =
+    Str.global_replace (Str.regexp "^bugrepro-report/2$") "bugrepro-report/1" s
+    |> Str.global_replace (Str.regexp "branch-flushes: [0-9]+\n") ""
+  in
+  match Instrument.Wire.deserialize_v s with
+  | Ok rep -> check_int "v1 flushes default" 0 rep.branch_log.flushes
+  | Error e ->
+      Alcotest.fail ("v1 rejected: " ^ Instrument.Wire.error_to_string e)
+
+let test_wire_unknown_version_distinct () =
+  let s = Instrument.Wire.serialize (real_report ()) in
+  let bump v =
+    Str.global_replace (Str.regexp "^bugrepro-report/2$")
+      ("bugrepro-report/" ^ v) s
+  in
+  (match Instrument.Wire.deserialize_v (bump "99") with
+  | Error (Instrument.Wire.Unknown_version 99) -> ()
+  | Error e ->
+      Alcotest.failf "expected Unknown_version 99, got %s"
+        (Instrument.Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted version 99");
+  (match Instrument.Wire.deserialize_v (bump "0") with
+  | Error (Instrument.Wire.Unknown_version 0) -> ()
+  | _ -> Alcotest.fail "expected Unknown_version 0");
+  (* a malformed version is corruption, not a version mismatch *)
+  (match Instrument.Wire.deserialize_v (bump "x") with
+  | Error (Instrument.Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "expected Malformed on non-integer version");
+  (* the string interface reports the mismatch readably *)
+  match Instrument.Wire.deserialize (bump "99") with
+  | Error msg ->
+      check_bool "string error mentions version" true
+        (Str.string_match (Str.regexp ".*version.*") msg 0)
+  | Ok _ -> Alcotest.fail "accepted version 99"
+
 let prop_wire_roundtrip_synthetic =
   QCheck.Test.make ~count:100 ~name:"wire roundtrip on synthetic reports"
     QCheck.(
@@ -377,6 +434,11 @@ let () =
           Alcotest.test_case "roundtrip with schedule" `Quick test_wire_roundtrip_mt;
           Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
           Alcotest.test_case "rejects bit overrun" `Quick test_wire_rejects_bit_overrun;
+          Alcotest.test_case "version header" `Quick test_wire_version_header;
+          Alcotest.test_case "version roundtrip" `Quick test_wire_version_roundtrip;
+          Alcotest.test_case "accepts v1" `Quick test_wire_accepts_v1;
+          Alcotest.test_case "unknown version distinct" `Quick
+            test_wire_unknown_version_distinct;
           Alcotest.test_case "replay from wire form" `Quick
             test_wire_replay_from_deserialized;
           QCheck_alcotest.to_alcotest prop_wire_roundtrip_synthetic;
