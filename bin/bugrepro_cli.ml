@@ -215,6 +215,43 @@ let demo_pipeline w meth experiment timeout save jobs no_solver_cache cfg =
             r.elapsed_s r.timed_out;
           1)
 
+(* Telemetry plumbing shared by demo and fuzz: --trace streams JSONL to a
+   file while the pipeline runs, --metrics buffers the events for the
+   final span tree and counter table; without either the handle is the
+   shared no-op [Telemetry.disabled].  [finish] publishes the counters,
+   flushes, closes the trace file and prints the metrics report. *)
+let make_telemetry trace metrics =
+  let trace_oc = Option.map open_out trace in
+  let mem = if metrics then Some (Telemetry.Sink.memory ()) else None in
+  let tel =
+    match trace_oc, mem with
+    | None, None -> Telemetry.disabled
+    | Some oc, None -> Telemetry.create ~sink:(Telemetry.Sink.jsonl oc) ()
+    | None, Some (s, _) -> Telemetry.create ~sink:s ()
+    | Some oc, Some (s, _) ->
+        Telemetry.create
+          ~sink:(Telemetry.Sink.tee (Telemetry.Sink.jsonl oc) s)
+          ()
+  in
+  let finish () =
+    Telemetry.Metrics.publish tel;
+    Telemetry.flush tel;
+    (match trace_oc with
+    | Some oc ->
+        close_out oc;
+        Printf.printf "trace written to %s\n" (Option.get trace)
+    | None -> ());
+    match mem with
+    | Some (_, events) ->
+        let evs = events () in
+        print_endline "== telemetry ==";
+        print_string (Telemetry.Trace.tree_to_string evs);
+        print_string
+          (Telemetry.Counters.to_string (Telemetry.Counters.of_core tel))
+    | None -> ()
+  in
+  (tel, finish)
+
 let demo_cmd name meth_s experiment timeout save jobs no_solver_cache trace
     metrics =
   match find_workload name, method_of_string meth_s with
@@ -223,22 +260,7 @@ let demo_cmd name meth_s experiment timeout save jobs no_solver_cache trace
       2
   | Ok w, Ok meth ->
       let jobs = max 1 jobs in
-      (* telemetry plumbing: --trace streams JSONL to a file while the
-         pipeline runs, --metrics buffers the events for the final span
-         tree and counter table; without either the handle is the shared
-         no-op [Telemetry.disabled] *)
-      let trace_oc = Option.map open_out trace in
-      let mem = if metrics then Some (Telemetry.Sink.memory ()) else None in
-      let tel =
-        match trace_oc, mem with
-        | None, None -> Telemetry.disabled
-        | Some oc, None -> Telemetry.create ~sink:(Telemetry.Sink.jsonl oc) ()
-        | None, Some (s, _) -> Telemetry.create ~sink:s ()
-        | Some oc, Some (s, _) ->
-            Telemetry.create
-              ~sink:(Telemetry.Sink.tee (Telemetry.Sink.jsonl oc) s)
-              ()
-      in
+      let tel, finish_telemetry = make_telemetry trace metrics in
       let cfg =
         Bugrepro.Pipeline.Config.(
           default
@@ -253,22 +275,41 @@ let demo_cmd name meth_s experiment timeout save jobs no_solver_cache trace
       let code = demo_pipeline w meth experiment timeout save jobs
           no_solver_cache cfg
       in
-      Telemetry.Metrics.publish tel;
-      Telemetry.flush tel;
-      (match trace_oc with
-      | Some oc ->
-          close_out oc;
-          Printf.printf "trace written to %s\n" (Option.get trace)
-      | None -> ());
-      (match mem with
-      | Some (_, events) ->
-          let evs = events () in
-          print_endline "== telemetry ==";
-          print_string (Telemetry.Trace.tree_to_string evs);
-          print_string
-            (Telemetry.Counters.to_string (Telemetry.Counters.of_core tel))
-      | None -> ());
+      finish_telemetry ();
       code
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing: generate random MiniC programs, run the
+   cross-stage oracles, optionally shrink any counterexample.  With
+   --corpus DIR the checked-in repro files are replayed instead of
+   generating fresh cases. *)
+
+let fuzz_cmd seed count shrink save_corpus thorough jobs corpus trace metrics =
+  let tel, finish_telemetry = make_telemetry trace metrics in
+  let config =
+    Bugrepro.Pipeline.Config.(
+      Fuzz.Oracle.default_cfg.Fuzz.Oracle.config
+      |> with_jobs (max 1 jobs)
+      |> with_telemetry tel)
+  in
+  let opts =
+    {
+      Fuzz.Driver.seed;
+      count;
+      shrink;
+      save_corpus;
+      thorough;
+      config;
+    }
+  in
+  let summary =
+    match corpus with
+    | Some dir -> Fuzz.Driver.replay_dir opts dir
+    | None -> Fuzz.Driver.run opts
+  in
+  print_endline (Fuzz.Driver.summary_to_string summary);
+  finish_telemetry ();
+  if Fuzz.Driver.ok summary then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
@@ -341,6 +382,76 @@ let demo_t =
     const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save $ jobs
     $ no_solver_cache $ trace $ metrics)
 
+let fuzz_t =
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:
+            "Campaign seed; per-case seeds derive from it, so a failure's \
+             reported seed re-runs alone with --count 1.")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Number of cases to generate.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Minimize any violation to a small repro before reporting it \
+             (written to the corpus dir, or ./fuzz-failures).")
+  in
+  let save_corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-corpus" ] ~docv:"DIR"
+          ~doc:"Save every generated case (and any repro) under DIR.")
+  in
+  let thorough =
+    Arg.(
+      value & flag
+      & info [ "thorough" ]
+          ~doc:
+            "Run every oracle and every instrumentation method on every \
+             case instead of rotating the heavy ones across case indices.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for replay (the determinism oracle always \
+                uses its own pool).")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Replay the .mc repro files under DIR through the oracles \
+             instead of generating fresh cases.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace of the campaign to FILE.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the span tree and counter table after the campaign.")
+  in
+  Term.(
+    const fuzz_cmd $ seed $ count $ shrink $ save_corpus $ thorough $ jobs
+    $ corpus $ trace $ metrics)
+
 let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List bundled workloads and experiments") list_t;
@@ -350,6 +461,12 @@ let cmds =
       (Cmd.info "demo"
          ~doc:"Full pipeline: analyse, instrument, crash, report, replay")
       demo_t;
+    Cmd.v
+      (Cmd.info "fuzz"
+         ~doc:
+           "Differential fuzzing: random MiniC programs through the \
+            cross-stage oracles (replay, labels, determinism, cache, wire)")
+      fuzz_t;
   ]
 
 let () =

@@ -4,7 +4,13 @@
 #
 #   $ bin/check.sh            # full build + tests (+ fmt if available)
 #   $ bin/check.sh --quick    # also run the bench smoke pass (--quick,
-#                             # --jobs 4) and validate its JSON summary
+#                             # --jobs 4) and validate its JSON summary,
+#                             # plus a seeded 200-case differential fuzz
+#                             # smoke (bugrepro fuzz) and the checked-in
+#                             # corpus replay
+#
+# FUZZ_COUNT overrides the smoke's case count (the nightly CI lane sets
+# it to a few thousand); FUZZ_SEED overrides the campaign seed.
 #
 # Fails fast with the failing step's output; correct non-zero exit codes
 # even under pipelines (pipefail where the shell supports it).
@@ -32,6 +38,16 @@ done
 if ! command -v dune >/dev/null 2>&1; then
   echo "error: dune not found on PATH — install the OCaml toolchain" \
        "(opam install dune) or enter the right opam switch" >&2
+  exit 1
+fi
+
+echo "== PRNG hygiene (no global Random in lib/ or bench/) =="
+# all randomness must flow through the seeded, splittable Osmodel.Rng
+# stream — stdlib Random is process-global state that breaks replayable
+# seeds (rng.ml itself is the one place allowed to reference it, in docs)
+if grep -rn --include='*.ml' --include='*.mli' -E '\bRandom\.' lib bench \
+     | grep -v 'lib/osmodel/rng\.'; then
+  echo "error: global Random usage found; use Osmodel.Rng instead" >&2
   exit 1
 fi
 
@@ -64,6 +80,23 @@ if [ "$QUICK" = 1 ]; then
   else
     echo "python3 not found; skipping JSON validation of $JSON and $TRACE"
   fi
+fi
+
+if [ "$QUICK" = 1 ]; then
+  FUZZ_SEED="${FUZZ_SEED:-42}"
+  FUZZ_COUNT="${FUZZ_COUNT:-200}"
+  echo "== differential fuzz smoke (seed $FUZZ_SEED, $FUZZ_COUNT cases) =="
+  # any violation is shrunk to a minimal repro and saved under
+  # ./fuzz-failures (CI uploads that directory as an artifact on failure)
+  dune exec bin/bugrepro_cli.exe -- fuzz --seed "$FUZZ_SEED" \
+    --count "$FUZZ_COUNT" --shrink || {
+      echo "fuzz smoke FAILED; shrunk repros:" >&2
+      ls fuzz-failures 2>/dev/null >&2 || true
+      exit 1
+    }
+  echo "== corpus replay (test/corpus + known repros) =="
+  dune exec bin/bugrepro_cli.exe -- fuzz --corpus test/corpus --thorough
+  dune exec bin/bugrepro_cli.exe -- fuzz --corpus test/corpus/known --thorough
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,123 @@
+(** On-disk fuzz corpus (see corpus.mli). *)
+
+let ok_byte c =
+  (* must survive a one-line comment directive and the comma separator *)
+  Char.code c > 32 && Char.code c < 127 && c <> ',' && c <> ':'
+
+let check_text what s =
+  String.iter
+    (fun c ->
+      if not (ok_byte c) then
+        invalid_arg
+          (Printf.sprintf "Corpus.save: %s contains unsafe byte %#x" what
+             (Char.code c)))
+    s
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir ?name (g : Gen.t) =
+  mkdir_p dir;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "seed-%d" g.Gen.seed
+  in
+  let path = Filename.concat dir (name ^ ".mc") in
+  let buf = Buffer.create (String.length g.Gen.src + 256) in
+  Buffer.add_string buf (Printf.sprintf "// fuzz-seed: %d\n" g.Gen.seed);
+  Buffer.add_string buf
+    (Printf.sprintf "// fuzz-world-seed: %d\n" g.Gen.world_seed);
+  if g.Gen.args <> [] then begin
+    List.iter (check_text "argument") g.Gen.args;
+    Buffer.add_string buf
+      (Printf.sprintf "// fuzz-args: %s\n" (String.concat "," g.Gen.args))
+  end;
+  List.iter
+    (fun (fname, contents) ->
+      check_text "file name" fname;
+      check_text "file contents" contents;
+      Buffer.add_string buf
+        (Printf.sprintf "// fuzz-file: %s:%s\n" fname contents))
+    g.Gen.files;
+  Buffer.add_string buf g.Gen.src;
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  path
+
+let directive line key =
+  let prefix = "// " ^ key ^ ":" in
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then
+    Some
+      (String.trim
+         (String.sub line (String.length prefix)
+            (String.length line - String.length prefix)))
+  else None
+
+let split_on_first ch s =
+  match String.index_opt s ch with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let load path : (Gen.t, string) result =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | content -> (
+      let seed = ref 0 and world_seed = ref 0 in
+      let args = ref [] and files = ref [] in
+      List.iter
+        (fun line ->
+          match directive line "fuzz-seed" with
+          | Some v -> seed := int_of_string v
+          | None -> (
+              match directive line "fuzz-world-seed" with
+              | Some v -> world_seed := int_of_string v
+              | None -> (
+                  match directive line "fuzz-args" with
+                  | Some v -> args := String.split_on_char ',' v
+                  | None -> (
+                      match directive line "fuzz-file" with
+                      | Some v -> (
+                          match split_on_first ':' v with
+                          | Some (name, data) -> files := !files @ [ (name, data) ]
+                          | None -> ())
+                      | None -> ()))))
+        (String.split_on_char '\n' content);
+      match
+        Minic.Parser.parse_unit ~file:(Filename.basename path) content
+      with
+      | exception Minic.Parser.Error (m, _) -> Error ("parse: " ^ m)
+      | exception e -> Error ("parse: " ^ Printexc.to_string e)
+      | ast ->
+          Ok
+            {
+              Gen.seed = !seed;
+              cfg = Gen.default_cfg;
+              ast;
+              src = content;
+              args = !args;
+              files = !files;
+              world_seed = !world_seed;
+            })
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error e -> [ (dir, Error e) ]
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".mc")
+      |> List.sort String.compare
+      |> List.map (fun f ->
+             let path = Filename.concat dir f in
+             (path, load path))

@@ -1,0 +1,30 @@
+(** On-disk fuzz corpus: self-contained [.mc] repro files.
+
+    A corpus file is plain MiniC source prefixed with comment directives
+    the MiniC lexer already skips, so every file is simultaneously a valid
+    program and a complete run recipe:
+
+    {v
+    // fuzz-seed: 12345
+    // fuzz-world-seed: 678
+    // fuzz-args: ab3x
+    // fuzz-file: f0.txt:q0z
+    int g0;
+    ...
+    v}
+
+    Replay parses the {e stored source} (it does not re-generate from the
+    seed), so checked-in repros stay stable as the generator evolves; the
+    seed is kept for provenance.  Argument and file bytes are restricted by
+    the generator to a printable, separator-free character set, so one line
+    per directive always suffices. *)
+
+(** Write [g] to [dir/<name>.mc] (default name [seed-<seed>]); creates
+    [dir] if needed.  Returns the path written. *)
+val save : dir:string -> ?name:string -> Gen.t -> string
+
+(** Load one corpus file. *)
+val load : string -> (Gen.t, string) result
+
+(** Load every [.mc] file directly under [dir], sorted by file name. *)
+val load_dir : string -> (string * (Gen.t, string) result) list

@@ -1,0 +1,589 @@
+(** Seeded random MiniC program generator (see gen.mli).
+
+    Design constraints, all load-bearing:
+
+    - {b Round-trippable}: the AST must be exactly what the parser would
+      rebuild from its printed form.  Locals are emitted with [vinit = None]
+      (the parser hoists declarations and turns initializers into
+      assignments), calls appear only as [Scall] statements, and [Neg] is
+      never applied to an integer literal (the parser folds those).
+    - {b Terminating}: every loop is a counter loop [i = 0; while (i < N)
+      { ...; i = i + 1; }] whose counter is excluded from the body's
+      writable set and which never contains [continue]; [break] only ever
+      appears guarded inside a branch.
+    - {b Crash-reachable}: planted crash guards compare input bytes against
+      the concrete input chosen by the generator itself, so the field run
+      is guaranteed to take them (unless an adversarial statement crashes
+      first — any deterministic crash serves the replay oracle equally).
+    - {b Memory-safe by default}: array indices are masked with
+      [e & (2^k - 1)] against power-of-two array sizes and division is
+      guarded with [d | 1]; only [adversarial] mode emits raw indices and
+      unguarded division, whose crashes are themselves deterministic. *)
+
+open Minic
+module Rng = Osmodel.Rng
+
+type cfg = {
+  n_aux : int;
+  main_stmts : int;
+  aux_stmts : int;
+  max_depth : int;
+  arg_len : int;
+  with_file : bool;
+  file_len : int;
+  big_loop : bool;
+  adversarial : bool;
+  plant_crash : bool;
+}
+
+let default_cfg =
+  {
+    n_aux = 1;
+    main_stmts = 8;
+    aux_stmts = 4;
+    max_depth = 2;
+    arg_len = 4;
+    with_file = false;
+    file_len = 5;
+    big_loop = false;
+    adversarial = true;
+    plant_crash = true;
+  }
+
+let cfg_of_rng rng =
+  {
+    n_aux = Rng.int rng 3;
+    main_stmts = 4 + Rng.int rng 7;
+    aux_stmts = 2 + Rng.int rng 4;
+    max_depth = 1 + Rng.int rng 2;
+    arg_len = 2 + Rng.int rng 5;
+    with_file = Rng.int rng 3 = 0;
+    file_len = 3 + Rng.int rng 5;
+    big_loop = Rng.int rng 6 = 0;
+    adversarial = Rng.int rng 4 > 0;
+    plant_crash = Rng.int rng 10 < 9;
+  }
+
+type t = {
+  seed : int;
+  cfg : cfg;
+  ast : Ast.unit_;
+  src : string;
+  args : string list;
+  files : (string * string) list;
+  world_seed : int;
+}
+
+(* Input bytes come from this set only: printable, no separators, so the
+   corpus format can store them on one comment line. *)
+let input_charset = "abcdefghijklmnopqrstuvwxyz0123456789XYZ"
+
+let gen_string rng len =
+  String.init len (fun _ ->
+      input_charset.[Rng.int rng (String.length input_charset)])
+
+(* ------------------------------------------------------------------ *)
+(* Generator state and scopes *)
+
+type st = {
+  rng : Rng.t;
+  cfg : cfg;
+  mutable funcs : (string * int) list;  (** callable earlier aux functions *)
+  mutable big_done : bool;  (** the widening loop was already emitted *)
+  arg_bytes : int array;
+  file_bytes : int array;
+}
+
+type scope = {
+  scalars : string list;  (** readable int scalars *)
+  writable : string list;  (** assignable here (excludes live loop counters) *)
+  arrays : (string * int) list;  (** (name, power-of-two size) *)
+  ptrs : string list;  (** initialized [int *] variables *)
+  ptr_targets : string list;  (** scalars safe to take the address of *)
+  depth : int;
+  loops : int;  (** loop nesting level = number of live counters *)
+  in_main : bool;
+}
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+let stmt d = Ast.mk_stmt d
+let branch () = Ast.mk_branch ()
+let cint n = Ast.Cint n
+let v n = Ast.Lval (Ast.Var n)
+let counter k = "i" ^ string_of_int k
+
+let decl name ty = { Ast.vname = name; vtyp = ty; vinit = None; vloc = Loc.none }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let cmp_ops = Ast.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let safe_ops =
+  Ast.[ Add; Sub; Mul; Eq; Ne; Lt; Le; Gt; Ge; Band; Bor; Bxor; Land; Lor ]
+
+let rec gen_expr st sc depth =
+  if depth <= 0 then gen_leaf st sc
+  else
+    match Rng.int st.rng 12 with
+    | 0 | 1 | 2 -> gen_leaf st sc
+    | 3 -> (
+        let sub = gen_expr st sc (depth - 1) in
+        match Rng.int st.rng 3 with
+        | 0 -> Ast.Unop (Lognot, sub)
+        | 1 -> Ast.Unop (Bitnot, sub)
+        | _ -> (
+            (* the parser folds -<literal>, so Neg never wraps a constant *)
+            match sub with
+            | Ast.Cint _ -> Ast.Unop (Bitnot, sub)
+            | _ -> Ast.Unop (Neg, sub)))
+    | 4 ->
+        (* guarded division: [d | 1] is never zero *)
+        let op = if Rng.bool st.rng then Ast.Div else Ast.Mod in
+        Ast.Binop
+          ( op,
+            gen_expr st sc (depth - 1),
+            Ast.Binop (Bor, gen_expr st sc (depth - 1), cint 1) )
+    | 5 ->
+        (* masked shift: amounts confined to [0, 7] *)
+        let op = if Rng.bool st.rng then Ast.Shl else Ast.Shr in
+        Ast.Binop
+          ( op,
+            gen_expr st sc (depth - 1),
+            Ast.Binop (Band, gen_expr st sc (depth - 1), cint 7) )
+    | _ ->
+        Ast.Binop
+          (pick st.rng safe_ops, gen_expr st sc (depth - 1), gen_expr st sc (depth - 1))
+
+and gen_leaf st sc =
+  match Rng.int st.rng 8 with
+  | 0 | 1 -> cint (Rng.range st.rng (-4) 120)
+  | 2 | 3 | 4 -> v (pick st.rng sc.scalars)
+  | (5 | 6) when sc.arrays <> [] -> Ast.Lval (masked_index st sc)
+  | _ when sc.ptrs <> [] -> Ast.Lval (Ast.Star (v (pick st.rng sc.ptrs)))
+  | _ -> v (pick st.rng sc.scalars)
+
+(* In-bounds by construction: [e & (size - 1)] with a power-of-two size is
+   always within [0, size). *)
+and masked_index st sc =
+  let name, size = pick st.rng sc.arrays in
+  let idx =
+    match Rng.int st.rng 3 with
+    | 0 -> cint (Rng.int st.rng size)
+    | _ -> Ast.Binop (Band, v (pick st.rng sc.scalars), cint (size - 1))
+  in
+  Ast.Index (Ast.Var name, idx)
+
+let gen_cond st sc =
+  match Rng.int st.rng 4 with
+  | 0 -> gen_expr st sc 2
+  | _ ->
+      Ast.Binop
+        (pick st.rng cmp_ops, gen_expr st sc 1, cint (Rng.range st.rng 0 126))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let gen_assign st sc =
+  [ stmt (Ast.Sassign (Ast.Var (pick st.rng sc.writable), gen_expr st sc 2)) ]
+
+let rec gen_stmt st sc : Ast.stmt list =
+  let r = Rng.int st.rng 100 in
+  if r < 26 then gen_assign st sc
+  else if r < 40 && sc.arrays <> [] then
+    [ stmt (Ast.Sassign (masked_index st sc, gen_expr st sc 2)) ]
+  else if r < 54 && sc.depth < st.cfg.max_depth then gen_if st sc
+  else if r < 64 && sc.depth < st.cfg.max_depth && sc.loops < 3 then
+    gen_while st sc
+  else if r < 72 && st.funcs <> [] then
+    let fname, arity = pick st.rng st.funcs in
+    let args = List.init arity (fun _ -> gen_expr st sc 1) in
+    [ stmt (Ast.Scall (Some (Ast.Var (pick st.rng sc.writable)), fname, args)) ]
+  else if r < 82 && sc.ptrs <> [] then gen_ptr_op st sc
+  else if r < 86 && sc.loops > 0 then
+    (* guarded break; never [continue], which would skip the increment *)
+    [ stmt (Ast.Sif (branch (), gen_cond st sc, [ stmt Ast.Sbreak ], [])) ]
+  else if r < 92 then
+    [ stmt (Ast.Scall (None, "print_int", [ gen_expr st sc 1 ])) ]
+  else if st.cfg.adversarial then gen_adversarial st sc
+  else gen_assign st sc
+
+and gen_if st sc =
+  let body_sc = { sc with depth = sc.depth + 1 } in
+  let then_b = gen_block st body_sc (1 + Rng.int st.rng 2) in
+  let else_b =
+    if Rng.bool st.rng then gen_block st body_sc (1 + Rng.int st.rng 2) else []
+  in
+  [ stmt (Ast.Sif (branch (), gen_cond st sc, then_b, else_b)) ]
+
+and gen_while st sc =
+  let k = sc.loops in
+  let cname = counter k in
+  let big = sc.in_main && st.cfg.big_loop && not st.big_done && sc.depth = 0 in
+  let bound =
+    if big then begin
+      st.big_done <- true;
+      (* past Dataflow.loop_fixpoint_cap (200): the static fixpoint must
+         widen to finish *)
+      205 + Rng.int st.rng 60
+    end
+    else 2 + Rng.int st.rng 4
+  in
+  let body_sc =
+    {
+      sc with
+      depth = sc.depth + 1;
+      loops = k + 1;
+      scalars = cname :: sc.scalars;
+      writable = List.filter (fun x -> x <> cname) sc.writable;
+    }
+  in
+  let body =
+    if big then
+      [
+        stmt
+          (Ast.Sassign
+             ( Ast.Var (pick st.rng body_sc.writable),
+               Ast.Binop (Add, v (pick st.rng body_sc.scalars), v cname) ));
+      ]
+    else gen_block st body_sc (1 + Rng.int st.rng 2)
+  in
+  let inc =
+    stmt (Ast.Sassign (Ast.Var cname, Ast.Binop (Add, v cname, cint 1)))
+  in
+  [
+    stmt (Ast.Sassign (Ast.Var cname, cint 0));
+    stmt
+      (Ast.Swhile
+         (branch (), Ast.Binop (Lt, v cname, cint bound), body @ [ inc ]));
+  ]
+
+and gen_ptr_op st sc =
+  let p = pick st.rng sc.ptrs in
+  match Rng.int st.rng 3 with
+  | 0 when sc.ptr_targets <> [] ->
+      let target =
+        if Rng.int st.rng 4 = 0 && sc.arrays <> [] then
+          let name, size = pick st.rng sc.arrays in
+          Ast.Index (Ast.Var name, cint (Rng.int st.rng size))
+        else Ast.Var (pick st.rng sc.ptr_targets)
+      in
+      [ stmt (Ast.Sassign (Ast.Var p, Ast.Addr target)) ]
+  | 1 -> [ stmt (Ast.Sassign (Ast.Star (v p), gen_expr st sc 2)) ]
+  | _ ->
+      [
+        stmt
+          (Ast.Sassign
+             (Ast.Var (pick st.rng sc.writable), Ast.Lval (Ast.Star (v p))));
+      ]
+
+and gen_adversarial st sc =
+  match Rng.int st.rng 4 with
+  | 0 ->
+      (* unguarded division: divisor may be zero at runtime *)
+      [
+        stmt
+          (Ast.Sassign
+             ( Ast.Var (pick st.rng sc.writable),
+               Ast.Binop
+                 ( (if Rng.bool st.rng then Div else Mod),
+                   cint (Rng.range st.rng 1 60),
+                   gen_expr st sc 1 ) ));
+      ]
+  | 1 when sc.arrays <> [] ->
+      (* raw (unmasked) index: input bytes usually land out of bounds *)
+      let name, _ = pick st.rng sc.arrays in
+      [
+        stmt
+          (Ast.Sassign
+             (Ast.Index (Ast.Var name, gen_expr st sc 1), gen_expr st sc 1));
+      ]
+  | 2 -> [ stmt (Ast.Scall (None, "assert", [ gen_cond st sc ])) ]
+  | _ -> gen_assign st sc
+
+and gen_block st sc n =
+  if n <= 0 then [] else gen_stmt st sc @ gen_block st sc (n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* The planted crash site *)
+
+let plant_crash st =
+  let from_file =
+    st.cfg.with_file && Array.length st.file_bytes > 0 && Rng.bool st.rng
+  in
+  let buf, bytes =
+    if from_file then ("fbuf", st.file_bytes) else ("b0", st.arg_bytes)
+  in
+  let read_at k = Ast.Lval (Ast.Index (Ast.Var buf, cint k)) in
+  let k = Rng.int st.rng (Array.length bytes) in
+  let k2 = Rng.int st.rng (Array.length bytes) in
+  let bval = bytes.(k) and v2 = bytes.(k2) in
+  (* true for the generated input by construction *)
+  let guard = Ast.Binop (Eq, read_at k, cint bval) in
+  let payload =
+    match Rng.int st.rng 4 with
+    | 0 -> [ stmt (Ast.Scall (None, "crash", [])) ]
+    | 1 ->
+        (* input bytes are printable (>= 48), far beyond ga's 8 cells *)
+        [ stmt (Ast.Sassign (Ast.Index (Ast.Var "ga", read_at k2), cint 1)) ]
+    | 2 ->
+        [
+          stmt
+            (Ast.Sassign
+               ( Ast.Var "t0",
+                 Ast.Binop (Div, cint 1, Ast.Binop (Sub, read_at k2, cint v2))
+               ));
+        ]
+    | _ ->
+        [ stmt (Ast.Scall (None, "assert", [ Ast.Binop (Lt, read_at k2, cint 9) ])) ]
+  in
+  let payload =
+    if Rng.bool st.rng then
+      (* nest behind a second guard that also holds for the chosen input *)
+      let slack = Rng.int st.rng 5 in
+      [
+        stmt
+          (Ast.Sif
+             ( branch (),
+               Ast.Binop (Ge, read_at k2, cint (v2 - slack)),
+               payload,
+               [] ));
+      ]
+    else payload
+  in
+  stmt (Ast.Sif (branch (), guard, payload, []))
+
+(* ------------------------------------------------------------------ *)
+(* Functions *)
+
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 2
+
+let aux_counters cfg = List.init (cfg.max_depth + 1) counter
+
+let gen_aux st idx =
+  let cfg = st.cfg in
+  let name = "fn" ^ string_of_int idx in
+  let counters = aux_counters cfg in
+  let scalars = [ "p0"; "p1"; "t0"; "t1"; "g0"; "g1" ] in
+  let sc =
+    {
+      scalars;
+      writable = [ "t0"; "t1"; "g0"; "g1" ];
+      arrays = [ ("ga", 8) ];
+      ptrs = [ "gp" ];
+      ptr_targets = [ "g0"; "g1" ];
+      depth = 0;
+      loops = 0;
+      in_main = false;
+    }
+  in
+  let body = gen_block st sc cfg.aux_stmts in
+  let body =
+    if Rng.bool st.rng then
+      (* an early return, always guarded *)
+      let early =
+        stmt
+          (Ast.Sif
+             ( branch (),
+               gen_cond st sc,
+               [ stmt (Ast.Sreturn (Some (gen_expr st sc 1))) ],
+               [] ))
+      in
+      let pos = Rng.int st.rng (List.length body + 1) in
+      List.filteri (fun i _ -> i < pos) body
+      @ [ early ]
+      @ List.filteri (fun i _ -> i >= pos) body
+    else body
+  in
+  let body = body @ [ stmt (Ast.Sreturn (Some (gen_expr st sc 2))) ] in
+  {
+    Ast.fname = name;
+    fret = Types.Tint;
+    fparams = [ ("p0", Types.Tint); ("p1", Types.Tint) ];
+    flocals =
+      List.map (fun n -> decl n Types.Tint) ([ "t0"; "t1" ] @ counters);
+    fbody = body;
+    floc = Loc.none;
+    fis_lib = false;
+  }
+
+let gen_main st =
+  let cfg = st.cfg in
+  let cap = pow2_at_least (cfg.arg_len + 2) in
+  let fcap = pow2_at_least (cfg.file_len + 1) in
+  let counters = aux_counters cfg in
+  let base_locals =
+    [ decl "b0" (Types.Tarr (Types.Tint, cap)); decl "n0" Types.Tint ]
+    @ (if cfg.with_file then
+         [
+           decl "fd" Types.Tint;
+           decl "nf" Types.Tint;
+           decl "fbuf" (Types.Tarr (Types.Tint, fcap));
+         ]
+       else [])
+    @ List.map (fun n -> decl n Types.Tint) ([ "t0"; "t1"; "t2" ] @ counters)
+    @ [ decl "lp" (Types.Tptr Types.Tint) ]
+  in
+  let prologue =
+    [
+      stmt
+        (Ast.Scall
+           ( Some (Ast.Var "n0"),
+             "arg",
+             [ cint 0; Ast.Lval (Ast.Var "b0"); cint cap ] ));
+      stmt (Ast.Sassign (Ast.Var "gp", Ast.Addr (Ast.Var "g0")));
+      stmt (Ast.Sassign (Ast.Var "lp", Ast.Addr (Ast.Var "t0")));
+      stmt (Ast.Sassign (Ast.Var "t1", v "n0"));
+    ]
+    @
+    if cfg.with_file then
+      [
+        stmt
+          (Ast.Scall
+             (Some (Ast.Var "fd"), "open", [ Ast.Cstr "f0.txt"; cint 0 ]));
+        stmt (Ast.Sassign (Ast.Var "nf", cint 0));
+        stmt
+          (Ast.Sif
+             ( branch (),
+               Ast.Binop (Ge, v "fd", cint 0),
+               [
+                 stmt
+                   (Ast.Scall
+                      ( Some (Ast.Var "nf"),
+                        "read",
+                        [ v "fd"; Ast.Lval (Ast.Var "fbuf"); cint fcap ] ));
+               ],
+               [] ));
+      ]
+    else []
+  in
+  let sc =
+    {
+      scalars =
+        [ "n0"; "t0"; "t1"; "t2"; "g0"; "g1" ]
+        @ (if cfg.with_file then [ "fd"; "nf" ] else []);
+      writable = [ "t0"; "t1"; "t2"; "g0"; "g1" ];
+      arrays =
+        [ ("b0", cap); ("ga", 8) ]
+        @ (if cfg.with_file then [ ("fbuf", fcap) ] else []);
+      ptrs = [ "gp"; "lp" ];
+      ptr_targets = [ "g0"; "g1"; "t0"; "t2" ];
+      depth = 0;
+      loops = 0;
+      in_main = true;
+    }
+  in
+  let body = gen_block st sc cfg.main_stmts in
+  let body =
+    if cfg.plant_crash then begin
+      let pos = Rng.int st.rng (List.length body + 1) in
+      List.filteri (fun i _ -> i < pos) body
+      @ [ plant_crash st ]
+      @ List.filteri (fun i _ -> i >= pos) body
+    end
+    else body
+  in
+  let body =
+    prologue @ body
+    @ [
+        stmt (Ast.Scall (None, "print_int", [ v "t0" ]));
+        stmt (Ast.Sreturn (Some (cint 0)));
+      ]
+  in
+  {
+    Ast.fname = "main";
+    fret = Types.Tint;
+    fparams = [];
+    flocals = base_locals;
+    fbody = body;
+    floc = Loc.none;
+    fis_lib = false;
+  }
+
+let globals =
+  [
+    decl "g0" Types.Tint;
+    decl "g1" Types.Tint;
+    decl "ga" (Types.Tarr (Types.Tint, 8));
+    decl "gp" (Types.Tptr Types.Tint);
+  ]
+
+let generate ?cfg ~seed () =
+  let rng = Rng.create seed in
+  let cfg =
+    match cfg with Some c -> c | None -> cfg_of_rng (Rng.split rng)
+  in
+  let arg = gen_string rng cfg.arg_len in
+  let file =
+    if cfg.with_file then Some ("f0.txt", gen_string rng cfg.file_len)
+    else None
+  in
+  let st =
+    {
+      rng;
+      cfg;
+      funcs = [];
+      big_done = false;
+      arg_bytes = Array.init (String.length arg) (fun i -> Char.code arg.[i]);
+      file_bytes =
+        (match file with
+        | Some (_, c) -> Array.init (String.length c) (fun i -> Char.code c.[i])
+        | None -> [||]);
+    }
+  in
+  let aux =
+    List.init cfg.n_aux (fun i ->
+        let f = gen_aux st i in
+        st.funcs <- (f.Ast.fname, 2) :: st.funcs;
+        f)
+  in
+  let main = gen_main st in
+  let ast = { Ast.u_globals = globals; u_funcs = aux @ [ main ] } in
+  {
+    seed;
+    cfg;
+    ast;
+    src = Pretty.unit_to_string ast;
+    args = [ arg ];
+    files = (match file with Some f -> [ f ] | None -> []);
+    world_seed = Rng.int rng 100_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration: print -> parse -> compare -> link *)
+
+type case = { gen : t; parsed : Ast.unit_; prog : Program.t }
+
+type error = Parse of string | Roundtrip | Link of string
+
+let error_to_string = function
+  | Parse m -> "parse: " ^ m
+  | Roundtrip -> "print/parse round trip changed the AST"
+  | Link m -> "link: " ^ m
+
+let case_name g = Printf.sprintf "fuzz-%d" g.seed
+
+let elaborate (g : t) : (case, error) result =
+  match Parser.parse_unit ~file:(case_name g) g.src with
+  | exception Parser.Error (m, _) -> Error (Parse m)
+  | exception e -> Error (Parse (Printexc.to_string e))
+  | parsed -> (
+      if not (Astcmp.equal_unit g.ast parsed) then Error Roundtrip
+      else
+        match Program.link ~name:(case_name g) ~app:parsed ~libs:[] () with
+        | exception Program.Link_error m -> Error (Link m)
+        | exception e -> Error (Link (Printexc.to_string e))
+        | prog -> Ok { gen = g; parsed; prog })
+
+let scenario ?(max_steps = 200_000) (c : case) =
+  let world =
+    {
+      Osmodel.World.default_config with
+      seed = c.gen.world_seed;
+      files = c.gen.files;
+    }
+  in
+  Concolic.Scenario.make ~name:(case_name c.gen) ~args:c.gen.args ~world
+    ~max_steps c.prog

@@ -1,0 +1,63 @@
+(** Seeded random MiniC program generator.
+
+    Emits programs that are well-typed by construction over the {!Minic.Ast}
+    surface: nested branches, bounded counter loops (occasionally long
+    enough to push the dataflow fixpoint into widening), pointer writes
+    through a global [int *] (the strong-update trigger), calls to generated
+    auxiliary functions, symbolic reads ([arg]/[open]/[read]) and planted
+    crash sites whose guards compare input bytes against the concrete input
+    the generator chose — so the field run is guaranteed to reach them.
+
+    Everything is derived from one {!Osmodel.Rng} stream: a (seed) pair
+    fully determines the program, its arguments and its simulated files. *)
+
+type cfg = {
+  n_aux : int;  (** auxiliary functions (each may call lower-numbered ones) *)
+  main_stmts : int;  (** random statements in [main] besides the prologue *)
+  aux_stmts : int;  (** random statements per auxiliary function *)
+  max_depth : int;  (** nesting depth of generated [if]/[while] *)
+  arg_len : int;  (** bytes of the single (symbolic) program argument *)
+  with_file : bool;  (** also provide a simulated input file *)
+  file_len : int;
+  big_loop : bool;  (** include a loop long enough to force widening *)
+  adversarial : bool;  (** unguarded division, raw indices, asserts *)
+  plant_crash : bool;  (** plant a guard-protected crash site *)
+}
+
+val default_cfg : cfg
+
+(** Draw a program shape (all [cfg] knobs) from the stream. *)
+val cfg_of_rng : Osmodel.Rng.t -> cfg
+
+(** A generated program together with the inputs it was built against. *)
+type t = {
+  seed : int;
+  cfg : cfg;
+  ast : Minic.Ast.unit_;  (** as built; locations are all [Loc.none] *)
+  src : string;  (** [Pretty]-printed source *)
+  args : string list;
+  files : (string * string) list;
+  world_seed : int;
+}
+
+val generate : ?cfg:cfg -> seed:int -> unit -> t
+
+(** A generated program after the frontend round trip: printed, re-parsed
+    (giving every statement a real source location, which crash-site
+    identity needs) and linked. *)
+type case = { gen : t; parsed : Minic.Ast.unit_; prog : Minic.Program.t }
+
+type error =
+  | Parse of string  (** the printed source does not parse *)
+  | Roundtrip  (** parse (print ast) is not [Astcmp]-equal to [ast] *)
+  | Link of string  (** type or link error: the generator emitted bad code *)
+
+val error_to_string : error -> string
+
+(** Print, re-parse, round-trip-compare and link.  Any [Error] is a bug in
+    the generator or the frontend — the fuzz driver reports it as an oracle
+    violation in its own right. *)
+val elaborate : t -> (case, error) result
+
+(** The concrete run environment the program was generated against. *)
+val scenario : ?max_steps:int -> case -> Concolic.Scenario.t

@@ -1,0 +1,344 @@
+(** Differential oracle runner (see oracle.mli). *)
+
+module SSet = Set.Make (String)
+
+type verdict = Pass | Skip of string | Fail of string
+
+type outcome = { oracle : string; verdict : verdict }
+
+type cfg = {
+  config : Bugrepro.Pipeline.Config.t;
+  methods : Instrument.Methods.t list;
+  check_determinism : bool;
+  check_cache : bool;
+  det_jobs : int;
+  max_steps : int;
+}
+
+let default_cfg =
+  {
+    config =
+      Bugrepro.Pipeline.Config.(
+        default
+        |> with_budget
+             ~dynamic:{ Concolic.Engine.max_runs = 80; max_time_s = 2.0 }
+             ~replay:{ Concolic.Engine.max_runs = 4_000; max_time_s = 6.0 });
+    methods = Instrument.Methods.[ Dynamic_static; All_branches ];
+    check_determinism = true;
+    check_cache = true;
+    det_jobs = 4;
+    max_steps = 200_000;
+  }
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Skip r -> "skip (" ^ r ^ ")"
+  | Fail r -> "FAIL: " ^ r
+
+let failed = List.filter (fun o -> match o.verdict with Fail _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Shared exploration: one pass gives dynamic labels, the crash set and
+   the solver queries the cache oracle replays. *)
+
+type explo = {
+  stats : Concolic.Engine.stats;
+  labels : Minic.Label.map;
+  crashes : SSet.t;
+  queries : Solver.Expr.t list list;  (** collected path constraint sets *)
+  vars : Solver.Symvars.t;
+  exhausted : bool;  (** the whole frontier was drained within budget *)
+}
+
+let max_queries = 12
+
+let explore ~(cfg : cfg) ~jobs ?cache (sc : Concolic.Scenario.t) : explo =
+  let budget = cfg.config.dynamic_budget in
+  let prog = sc.Concolic.Scenario.prog in
+  let vars = Solver.Symvars.create () in
+  let labels =
+    Minic.Label.make ~nbranches:(Minic.Program.nbranches prog)
+      Minic.Label.Unvisited
+  in
+  let crashes = ref SSet.empty in
+  let queries = ref [] and n_queries = ref 0 in
+  let run =
+    Concolic.Dynamic.make_run ~max_steps:cfg.max_steps sc ~vars
+      ~on_branch_observed:(fun bid sym ->
+        Minic.Label.observe labels bid ~symbolic:sym)
+  in
+  let stats, _ =
+    Concolic.Engine.explore ~vars ~budget ~strategy:Concolic.Engine.Bfs ~jobs
+      ?cache ~telemetry:cfg.config.telemetry ~run
+      ~on_run:(fun _ (r : Concolic.Engine.run_result) ->
+        (match r.outcome with
+        | Interp.Crash.Crash c ->
+            crashes := SSet.add (Interp.Crash.to_string c) !crashes
+        | _ -> ());
+        if !n_queries < max_queries then begin
+          let cs =
+            List.filter_map
+              (fun (e : Concolic.Path.entry) ->
+                if e.negatable then Some e.cons else None)
+              r.trace
+          in
+          if cs <> [] then begin
+            incr n_queries;
+            queries := cs :: !queries
+          end
+        end)
+      ()
+  in
+  {
+    stats;
+    labels;
+    crashes = !crashes;
+    queries = !queries;
+    vars;
+    exhausted = (not stats.timed_out) && stats.runs < budget.max_runs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Oracle (b): label soundness *)
+
+let labels_oracle (cfg : cfg) (case : Gen.case) (base : explo) : verdict =
+  let static =
+    Staticanalysis.Static.analyze ~analyze_lib:true ~refine:cfg.config.refine
+      ~telemetry:cfg.config.telemetry case.Gen.prog
+  in
+  let report =
+    Staticanalysis.Static.precision static case.Gen.prog ~dynamic:base.labels
+  in
+  if report.Staticanalysis.Precision.n_missed = 0 then Pass
+  else
+    let missed =
+      Array.to_list report.entries
+      |> List.filter (fun (e : Staticanalysis.Precision.entry) ->
+             e.verdict = Staticanalysis.Precision.Missed)
+      |> List.map Staticanalysis.Precision.entry_to_string
+      |> String.concat "; "
+    in
+    Fail
+      (Printf.sprintf "%d dynamically-symbolic branch(es) labelled concrete: %s"
+         report.n_missed missed)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle (c): engine determinism, jobs:1 vs jobs:N *)
+
+let symbolic_set (labels : Minic.Label.map) =
+  let s = ref SSet.empty in
+  Array.iteri
+    (fun bid l ->
+      if l = Minic.Label.Symbolic then s := SSet.add (string_of_int bid) !s)
+    labels;
+  !s
+
+let determinism_oracle (cfg : cfg) (sc : Concolic.Scenario.t) (base : explo) :
+    verdict =
+  if not base.exhausted then
+    Skip "sequential exploration truncated by budget; not comparable"
+  else
+    let par = explore ~cfg ~jobs:cfg.det_jobs sc in
+    if not par.exhausted then
+      Skip "parallel exploration truncated by budget; not comparable"
+    else if not (SSet.equal base.crashes par.crashes) then
+      Fail
+        (Printf.sprintf "crash sets differ: jobs:1 {%s} vs jobs:%d {%s}"
+           (String.concat ", " (SSet.elements base.crashes))
+           cfg.det_jobs
+           (String.concat ", " (SSet.elements par.crashes)))
+    else if not (SSet.equal (symbolic_set base.labels) (symbolic_set par.labels))
+    then
+      Fail
+        (Printf.sprintf "symbolic-branch sets differ: jobs:1 {%s} vs jobs:%d {%s}"
+           (String.concat ", " (SSet.elements (symbolic_set base.labels)))
+           cfg.det_jobs
+           (String.concat ", " (SSet.elements (symbolic_set par.labels))))
+    else Pass
+
+(* ------------------------------------------------------------------ *)
+(* Oracle (d): cache transparency.  For each collected path constraint set
+   (and its negated-tail variant, the engine's fork shape) the cached
+   solve must agree with the direct solve on satisfiability, and a cached
+   Sat model must actually satisfy the query.  Each query runs twice
+   against the cache so the second hit exercises the memoized path. *)
+
+let cache_oracle (cfg : cfg) (base : explo) : verdict =
+  if base.queries = [] then Skip "no symbolic path constraints collected"
+  else begin
+    let cache = Solver.Cache.create ~capacity:256 () in
+    let vars = base.vars in
+    let negate_tail cs =
+      match List.rev cs with
+      | [] -> []
+      | last :: pre -> List.rev (Solver.Expr.negate last :: pre)
+    in
+    let queries =
+      List.concat_map (fun cs -> [ cs; negate_tail cs ]) base.queries
+    in
+    let mismatch =
+      List.find_map
+        (fun cs ->
+          let direct = Solver.Solve.solve ~vars cs in
+          let check_cached () =
+            let cached =
+              Solver.Cache.solve cache ~telemetry:cfg.config.telemetry ~vars cs
+            in
+            match direct, cached with
+            | Solver.Solve.Sat _, Solver.Solve.Sat m ->
+                if Solver.Model.satisfies_all m cs then None
+                else
+                  Some
+                    "cached Sat model does not satisfy the query constraints"
+            | Solver.Solve.Unsat, Solver.Solve.Unsat -> None
+            | Solver.Solve.Unknown, Solver.Solve.Unknown -> None
+            | _ ->
+                Some
+                  (Printf.sprintf "status differs (direct %s, cached %s)"
+                     (match direct with
+                     | Solver.Solve.Sat _ -> "sat"
+                     | Solver.Solve.Unsat -> "unsat"
+                     | Solver.Solve.Unknown -> "unknown")
+                     (match cached with
+                     | Solver.Solve.Sat _ -> "sat"
+                     | Solver.Solve.Unsat -> "unsat"
+                     | Solver.Solve.Unknown -> "unknown"))
+          in
+          (* miss then hit *)
+          match check_cached () with
+          | Some e -> Some e
+          | None -> check_cached ())
+        queries
+    in
+    match mismatch with None -> Pass | Some e -> Fail e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Oracles (a) replay and (e) wire, per instrumentation method *)
+
+let wire_check (report : Instrument.Report.t) : verdict =
+  let s1 = Instrument.Wire.serialize report in
+  match Instrument.Wire.deserialize_v s1 with
+  | Error e ->
+      Fail
+        ("serialized report does not deserialize: "
+        ^ Instrument.Wire.error_to_string e)
+  | Ok r2 ->
+      if not (Interp.Crash.equal_site report.crash r2.crash) then
+        Fail "crash site changed across the wire"
+      else
+        let s2 = Instrument.Wire.serialize r2 in
+        if String.equal s1 s2 then Pass
+        else Fail "serialize . deserialize . serialize is not the identity"
+
+let replay_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
+    (meth : Instrument.Methods.t) (report : Instrument.Report.t) : verdict =
+  let result, stats =
+    Bugrepro.Pipeline.Run.reproduce cfg.config ~prog:case.Gen.prog ~plan report
+  in
+  (* Note: [case3b] contradictions can occur even under [All_branches] —
+     a store through a concretized symbolic index can turn a branch that
+     was symbolic in the field run concrete in a replay run, which then
+     mismatches its logged bit and aborts.  Those dead ends are legitimate
+     prunes (the search backtracks and still reproduces); the minimized
+     witness lives in test/corpus/known/.  The oracle therefore only
+     condemns contradictions when they killed the whole search. *)
+  match result with
+  | Replay.Guided.Reproduced _ -> Pass
+  | Replay.Guided.Not_reproduced { timed_out = true; runs; _ } ->
+      Skip (Printf.sprintf "replay budget exhausted after %d runs" runs)
+  | Replay.Guided.Not_reproduced { runs; _ } ->
+      let c = stats.Replay.Guided.cases in
+      let contradiction_only = c.case3b > 0 && c.case1 = 0 in
+      Fail
+        (Printf.sprintf
+           "replay search space exhausted after %d runs without reaching %s \
+            (method %s)%s"
+           runs
+           (Interp.Crash.to_string report.crash)
+           (Instrument.Methods.to_string meth)
+           (if contradiction_only then
+              Printf.sprintf
+                "; %d contradiction-only dead end(s) on the logged prefix"
+                c.case3b
+            else ""))
+
+(* ------------------------------------------------------------------ *)
+
+let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
+  let tel = cfg.config.telemetry in
+  let want name = match only with None -> true | Some o -> String.equal o name in
+  let span name f =
+    Telemetry.Span.with_ tel ~name:("fuzz.oracle." ^ name) (fun _ -> f ())
+  in
+  let results = ref [] in
+  let record name verdict =
+    Telemetry.Metrics.incr_named tel
+      ("fuzz.oracle." ^ name ^ "."
+      ^ (match verdict with Pass -> "pass" | Skip _ -> "skip" | Fail _ -> "fail")
+      );
+    results := { oracle = name; verdict } :: !results
+  in
+  let sc = Gen.scenario ~max_steps:cfg.max_steps case in
+  let need_explore =
+    want "labels" || want "determinism" || want "cache"
+    || List.exists
+         (fun m ->
+           m <> Instrument.Methods.All_branches
+           && m <> Instrument.Methods.No_instrumentation)
+         cfg.methods
+       && (want "replay" || want "wire")
+  in
+  let base =
+    if need_explore then
+      Some
+        (Telemetry.Span.with_ tel ~name:"fuzz.explore" (fun _ ->
+             explore ~cfg ~jobs:1 sc))
+    else None
+  in
+  (if want "labels" then
+     match base with
+     | Some b -> record "labels" (span "labels" (fun () -> labels_oracle cfg case b))
+     | None -> ());
+  (if cfg.check_determinism && want "determinism" then
+     match base with
+     | Some b ->
+         record "determinism"
+           (span "determinism" (fun () -> determinism_oracle cfg sc b))
+     | None -> ());
+  (if cfg.check_cache && want "cache" then
+     match base with
+     | Some b -> record "cache" (span "cache" (fun () -> cache_oracle cfg b))
+     | None -> ());
+  (* static labels for the plans, computed once *)
+  let static_labels =
+    lazy
+      (Staticanalysis.Static.analyze ~analyze_lib:true ~refine:cfg.config.refine
+         case.Gen.prog)
+        .labels
+  in
+  if want "replay" || want "wire" then
+    List.iter
+      (fun meth ->
+        let mname = Instrument.Methods.to_string meth in
+        let plan =
+          Instrument.Plan.make
+            ~nbranches:(Minic.Program.nbranches case.Gen.prog)
+            ?dynamic:(Option.map (fun (b : explo) -> b.labels) base)
+            ~static:(Lazy.force static_labels) meth
+        in
+        let _run, report =
+          Bugrepro.Pipeline.Run.field_run_report cfg.config ~plan sc
+        in
+        match report with
+        | None ->
+            if want "replay" then
+              record "replay" (Skip ("no crash under " ^ mname))
+        | Some report ->
+            if want "wire" then
+              record "wire" (span "wire" (fun () -> wire_check report));
+            if want "replay" then
+              record "replay"
+                (span "replay" (fun () -> replay_check cfg case plan meth report)))
+      cfg.methods;
+  List.rev !results

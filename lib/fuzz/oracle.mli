@@ -1,0 +1,59 @@
+(** The differential oracles, spanning every pipeline stage.
+
+    Five cross-stage invariants, checked per generated case (the sixth —
+    the print/parse round trip — is enforced by {!Gen.elaborate} before a
+    case ever reaches this module):
+
+    - {b replay}: for each instrumentation method, a crashing field run's
+      report must be reproduced by guided replay; a search that exhausts
+      its space without reproducing is a violation, and the failure
+      message flags searches killed purely by concrete-log contradictions
+      ([case3b]) on the logged prefix.  (Contradiction dead ends that are
+      later backtracked are legitimate even under [All_branches]: a store
+      through a concretized symbolic index can make a field-symbolic
+      branch concrete in a replay run — see the minimized witness in
+      [test/corpus/known/].)
+    - {b labels}: every branch dynamic analysis observed symbolic must be
+      statically labelled symbolic ({!Staticanalysis.Precision},
+      [n_missed = 0] — the paper's soundness direction).
+    - {b determinism}: [Engine.explore ~jobs:1] and [~jobs:4] find the
+      same crash set and the same symbolic-branch set, whenever both
+      explorations exhaust the frontier (truncated searches are not
+      comparable and are skipped).
+    - {b cache}: for the path constraint sets the exploration actually
+      produced (and their negated-tail variants), a fresh
+      {!Solver.Cache}-backed solve must agree with the direct solve on
+      satisfiability, and any cached model must satisfy the query.
+    - {b wire}: [serialize -> deserialize -> serialize] is the identity on
+      every generated report, and the decoded report preserves the crash
+      site.
+
+    Oracles that cannot run (no crash, truncated exploration, replay
+    timeout) report [Skip] with a reason — a skip is not a pass, and the
+    driver counts them separately. *)
+
+type verdict = Pass | Skip of string | Fail of string
+
+type outcome = { oracle : string; verdict : verdict }
+
+type cfg = {
+  config : Bugrepro.Pipeline.Config.t;
+      (** budgets ([dynamic_budget]/[replay_budget]), [solver_cache],
+          [seed] and [telemetry] are read from here — the fuzz stage
+          consumes the same knob record as every other pipeline stage *)
+  methods : Instrument.Methods.t list;  (** replay methods for this case *)
+  check_determinism : bool;
+  check_cache : bool;
+  det_jobs : int;  (** worker count for the parallel half of determinism *)
+  max_steps : int;  (** interpreter step cap per exploration run *)
+}
+
+(** Moderate per-case budgets tuned for the CI smoke; telemetry disabled. *)
+val default_cfg : cfg
+
+(** Run the oracles on one elaborated case.  [only] restricts to a single
+    oracle by name (the shrinker's predicate uses this). *)
+val run : ?only:string -> cfg -> Gen.case -> outcome list
+
+val failed : outcome list -> outcome list
+val verdict_to_string : verdict -> string

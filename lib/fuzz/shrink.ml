@@ -1,0 +1,197 @@
+(** Greedy AST shrinker (see shrink.mli).
+
+    Candidate enumeration is lazy ([Seq.t]) because the predicate — a full
+    oracle re-run — dominates the cost: the greedy loop stops scanning at
+    the first accepted edit and restarts from the smaller unit.
+    Termination: every accepted AST edit strictly decreases
+    {!Astcmp.size_unit} and every accepted input edit strictly decreases
+    total input length at unchanged AST size. *)
+
+open Minic
+
+let seq_append3 a b c = Seq.append a (Seq.append b c)
+
+(* ------------------------------------------------------------------ *)
+(* Expression edits: collapse to an operand, or to a constant *)
+
+let rec expr_edits (e : Ast.expr) : Ast.expr Seq.t =
+  let consts =
+    match e with
+    | Ast.Cint _ | Ast.Cstr _ -> []
+    | _ -> [ Ast.Cint 0; Ast.Cint 1 ]
+  in
+  let subs =
+    match e with
+    | Ast.Binop (_, a, b) -> [ a; b ]
+    | Ast.Unop (_, a) -> [ a ]
+    | Ast.Lval (Ast.Index (Ast.Var _, i)) -> [ i ]
+    | _ -> []
+  in
+  let deeper =
+    match e with
+    | Ast.Binop (op, a, b) ->
+        Seq.append
+          (Seq.map (fun a' -> Ast.Binop (op, a', b)) (expr_edits a))
+          (Seq.map (fun b' -> Ast.Binop (op, a, b')) (expr_edits b))
+    | Ast.Unop (op, a) -> Seq.map (fun a' -> Ast.Unop (op, a')) (expr_edits a)
+    | _ -> Seq.empty
+  in
+  Seq.append (List.to_seq (consts @ subs)) deeper
+
+let exprs_edits (es : Ast.expr list) : Ast.expr list Seq.t =
+  let rec go = function
+    | [] -> Seq.empty
+    | e :: rest ->
+        Seq.append
+          (Seq.map (fun e' -> e' :: rest) (expr_edits e))
+          (Seq.map (fun rest' -> e :: rest') (go rest))
+  in
+  go es
+
+(* ------------------------------------------------------------------ *)
+(* Statement and block edits *)
+
+let rec stmt_edits (s : Ast.stmt) : Ast.stmt Seq.t =
+  let mk d = { s with Ast.sdesc = d } in
+  match s.Ast.sdesc with
+  | Ast.Sif (br, c, t, e) ->
+      seq_append3
+        (List.to_seq [ mk (Ast.Sblock t); mk (Ast.Sblock e) ])
+        (Seq.map (fun c' -> mk (Ast.Sif (br, c', t, e))) (expr_edits c))
+        (Seq.append
+           (Seq.map (fun t' -> mk (Ast.Sif (br, c, t', e))) (block_edits t))
+           (Seq.map (fun e' -> mk (Ast.Sif (br, c, t, e'))) (block_edits e)))
+  | Ast.Swhile (br, c, body) ->
+      seq_append3
+        (Seq.return (mk (Ast.Sblock body)))
+        (Seq.map (fun c' -> mk (Ast.Swhile (br, c', body))) (expr_edits c))
+        (Seq.map (fun b' -> mk (Ast.Swhile (br, c, b'))) (block_edits body))
+  | Ast.Sblock body ->
+      Seq.map (fun b' -> mk (Ast.Sblock b')) (block_edits body)
+  | Ast.Sassign (lv, e) ->
+      Seq.map (fun e' -> mk (Ast.Sassign (lv, e'))) (expr_edits e)
+  | Ast.Scall (lvo, f, args) ->
+      Seq.map (fun args' -> mk (Ast.Scall (lvo, f, args'))) (exprs_edits args)
+  | Ast.Sreturn (Some e) ->
+      Seq.map (fun e' -> mk (Ast.Sreturn (Some e'))) (expr_edits e)
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue -> Seq.empty
+
+and block_edits (b : Ast.block) : Ast.block Seq.t =
+  match b with
+  | [] -> Seq.empty
+  | s :: rest ->
+      seq_append3
+        (Seq.return rest) (* delete the head statement *)
+        (Seq.map (fun s' -> s' :: rest) (stmt_edits s))
+        (Seq.map (fun rest' -> s :: rest') (block_edits rest))
+
+(* ------------------------------------------------------------------ *)
+(* Unit edits *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let func_edits (f : Ast.func) : Ast.func Seq.t =
+  Seq.append
+    (Seq.map (fun b' -> { f with Ast.fbody = b' }) (block_edits f.Ast.fbody))
+    (Seq.init
+       (List.length f.Ast.flocals)
+       (fun i -> { f with Ast.flocals = drop_nth f.Ast.flocals i }))
+
+let unit_edits (u : Ast.unit_) : Ast.unit_ Seq.t =
+  let drop_funcs =
+    (* never drop main *)
+    Seq.filter_map
+      (fun i ->
+        if (List.nth u.Ast.u_funcs i).Ast.fname = "main" then None
+        else Some { u with Ast.u_funcs = drop_nth u.Ast.u_funcs i })
+      (Seq.init (List.length u.Ast.u_funcs) Fun.id)
+  in
+  let drop_globals =
+    Seq.init
+      (List.length u.Ast.u_globals)
+      (fun i -> { u with Ast.u_globals = drop_nth u.Ast.u_globals i })
+  in
+  let in_funcs =
+    let rec go pre = function
+      | [] -> Seq.empty
+      | f :: rest ->
+          Seq.append
+            (Seq.map
+               (fun f' -> { u with Ast.u_funcs = List.rev_append pre (f' :: rest) })
+               (func_edits f))
+            (go (f :: pre) rest)
+    in
+    go [] u.Ast.u_funcs
+  in
+  seq_append3 drop_funcs drop_globals in_funcs
+
+(* ------------------------------------------------------------------ *)
+(* Input edits: shorten the argument, drop the file *)
+
+let input_edits (g : Gen.t) : Gen.t Seq.t =
+  let arg_shorter =
+    match g.Gen.args with
+    | [ a ] when String.length a > 1 ->
+        List.to_seq
+          [
+            { g with Gen.args = [ String.sub a 0 (String.length a / 2) ] };
+            { g with Gen.args = [ String.sub a 0 (String.length a - 1) ] };
+          ]
+    | _ -> Seq.empty
+  in
+  let drop_file =
+    match g.Gen.files with
+    | [] -> Seq.empty
+    | _ -> Seq.return { g with Gen.files = [] }
+  in
+  Seq.append arg_shorter drop_file
+
+(* ------------------------------------------------------------------ *)
+(* The greedy loop *)
+
+let reprint (g : Gen.t) ast = { g with Gen.ast; src = Pretty.unit_to_string ast }
+
+let input_len (g : Gen.t) =
+  List.fold_left (fun n a -> n + String.length a) 0 g.Gen.args
+  + List.fold_left (fun n (_, c) -> n + String.length c) 0 g.Gen.files
+
+let minimize ?(max_steps = 10_000) ?(telemetry = Telemetry.disabled)
+    ~(pred : Gen.t -> bool) (g : Gen.t) : Gen.t * int =
+  let steps = Telemetry.Metrics.counter telemetry "fuzz.shrink.steps" in
+  let tried = Telemetry.Metrics.counter telemetry "fuzz.shrink.tried" in
+  let accepted = ref 0 in
+  let try_candidate cur cand =
+    Telemetry.Metrics.incr tried;
+    if pred cand then begin
+      ignore cur;
+      Telemetry.Metrics.incr steps;
+      incr accepted;
+      Some cand
+    end
+    else None
+  in
+  (* one pass over the lazy edit stream; [None] when no edit is accepted *)
+  let step (cur : Gen.t) : Gen.t option =
+    let size = Astcmp.size_unit cur.Gen.ast in
+    let ast_candidates =
+      Seq.filter_map
+        (fun ast' ->
+          if Astcmp.size_unit ast' < size then Some (reprint cur ast')
+          else None)
+        (unit_edits cur.Gen.ast)
+    in
+    let inlen = input_len cur in
+    let input_candidates =
+      Seq.filter (fun g' -> input_len g' < inlen) (input_edits cur)
+    in
+    Seq.append ast_candidates input_candidates
+    |> Seq.filter_map (try_candidate cur)
+    |> Seq.uncons
+    |> Option.map fst
+  in
+  let rec loop cur =
+    if !accepted >= max_steps then cur
+    else match step cur with None -> cur | Some next -> loop next
+  in
+  let result = loop g in
+  (result, !accepted)

@@ -1,0 +1,27 @@
+(** Greedy AST shrinker: minimize a failing fuzz case.
+
+    Enumerates single local edits of the generated unit — delete a
+    statement, keep one arm of an [if], unwrap a loop body, collapse a
+    binary operator to one operand, replace an expression by a constant,
+    drop an auxiliary function / global / local declaration, shorten the
+    program input — and greedily accepts any edit that both {b strictly
+    shrinks} the AST (by {!Minic.Astcmp.size_unit}; inputs shrink
+    lexicographically) and {b still fails} the caller's predicate.
+    Iterates to a fixpoint, so the result is 1-minimal with respect to the
+    edit set.
+
+    The predicate receives a re-printed {!Gen.t}; it is expected to
+    re-elaborate and re-run the violated oracle, returning [true] when the
+    failure persists (candidates that no longer parse, link or fail are
+    simply rejected). *)
+
+(** [minimize ~pred g] returns the shrunk case and the number of accepted
+    edits.  [max_steps] bounds accepted edits (default 10_000).
+    [telemetry] accumulates [fuzz.shrink.steps] / [fuzz.shrink.tried]
+    counters. *)
+val minimize :
+  ?max_steps:int ->
+  ?telemetry:Telemetry.t ->
+  pred:(Gen.t -> bool) ->
+  Gen.t ->
+  Gen.t * int

@@ -65,3 +65,49 @@ let equal_unit (a : Ast.unit_) (b : Ast.unit_) =
   && List.for_all2 equal_var_decl a.u_globals b.u_globals
   && List.length a.u_funcs = List.length b.u_funcs
   && List.for_all2 equal_func a.u_funcs b.u_funcs
+
+(* ------------------------------------------------------------------ *)
+(* Node counting — the shrinker's progress metric.  Every expression,
+   lvalue, statement, declaration and function counts as one node. *)
+
+let rec size_expr (e : Ast.expr) =
+  match e with
+  | Cint _ | Cstr _ -> 1
+  | Lval lv | Addr lv -> 1 + size_lval lv
+  | Unop (_, a) -> 1 + size_expr a
+  | Binop (_, a, b) -> 1 + size_expr a + size_expr b
+  | Ecall (_, args) -> 1 + List.fold_left (fun n a -> n + size_expr a) 0 args
+
+and size_lval (lv : Ast.lval) =
+  match lv with
+  | Var _ -> 1
+  | Index (b, i) -> 1 + size_lval b + size_expr i
+  | Star e -> 1 + size_expr e
+
+let rec size_stmt (s : Ast.stmt) =
+  match s.sdesc with
+  | Sassign (lv, e) -> 1 + size_lval lv + size_expr e
+  | Scall (lvo, _, args) ->
+      1
+      + (match lvo with Some lv -> size_lval lv | None -> 0)
+      + List.fold_left (fun n a -> n + size_expr a) 0 args
+  | Sif (_, c, t, e) -> 1 + size_expr c + size_block t + size_block e
+  | Swhile (_, c, b) -> 1 + size_expr c + size_block b
+  | Sreturn (Some e) -> 1 + size_expr e
+  | Sreturn None | Sbreak | Scontinue -> 1
+  | Sblock b -> 1 + size_block b
+
+and size_block (b : Ast.block) =
+  List.fold_left (fun n s -> n + size_stmt s) 0 b
+
+let size_var_decl (d : Ast.var_decl) =
+  1 + match d.vinit with Some e -> size_expr e | None -> 0
+
+let size_func (f : Ast.func) =
+  1
+  + List.fold_left (fun n d -> n + size_var_decl d) 0 f.flocals
+  + size_block f.fbody
+
+let size_unit (u : Ast.unit_) =
+  List.fold_left (fun n d -> n + size_var_decl d) 0 u.u_globals
+  + List.fold_left (fun n f -> n + size_func f) 0 u.u_funcs

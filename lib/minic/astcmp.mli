@@ -8,3 +8,17 @@ val equal_block : Ast.block -> Ast.block -> bool
 val equal_var_decl : Ast.var_decl -> Ast.var_decl -> bool
 val equal_func : Ast.func -> Ast.func -> bool
 val equal_unit : Ast.unit_ -> Ast.unit_ -> bool
+
+(** {1 Node counting}
+
+    Structural size, ignoring locations and branch ids: every expression,
+    lvalue, statement, declaration and function is one node.  The fuzzer's
+    shrinker uses these as its progress metric. *)
+
+val size_expr : Ast.expr -> int
+val size_lval : Ast.lval -> int
+val size_stmt : Ast.stmt -> int
+val size_block : Ast.block -> int
+val size_var_decl : Ast.var_decl -> int
+val size_func : Ast.func -> int
+val size_unit : Ast.unit_ -> int

@@ -15,6 +15,23 @@ let next t =
     Int64.add (Int64.mul t.state 6364136223846793005L) 1442695040888963407L;
   t.state
 
+(* SplitMix64 finalizer: a full-avalanche 64-bit mixer, so derived states
+   share no low-dimensional lattice structure with the parent LCG. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = mix64 (next t) }
+
+let derive t ~index =
+  Int64.to_int
+    (Int64.shift_right_logical
+       (mix64 (Int64.add t.state (Int64.of_int ((2 * index) + 1))))
+       2)
+
 (** Uniform int in [0, bound) ; [bound] must be positive. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive"

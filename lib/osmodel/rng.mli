@@ -8,6 +8,19 @@ type t
 
 val create : int -> t
 
+(** Split off an independent child generator: the parent advances once and
+    the child's state is a SplitMix64-mixed image of that draw, so the two
+    streams are decorrelated.  This is the one sanctioned way to fan a seed
+    out to sub-tasks (the fuzzer's per-case and per-phase streams) — never
+    the global [Stdlib.Random] state, which [bin/check.sh] rejects in [lib/]
+    and [bench/]. *)
+val split : t -> t
+
+(** A replayable per-index seed derived from [t]'s current state without
+    advancing it: [derive t ~index] is stable for a given (seed, index)
+    pair, and suitable for printing so one fuzz case can be re-run alone. *)
+val derive : t -> index:int -> int
+
 (** Uniform int in [0, bound); raises [Invalid_argument] on bound <= 0. *)
 val int : t -> int -> int
 

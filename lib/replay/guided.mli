@@ -8,9 +8,12 @@
     + symbolic, instrumented — consume a bit; (a) match: pin the direction;
       (b) mismatch: queue the constraint set forcing the logged direction
       and abort the run;
-    + concrete, instrumented — consume a bit; abort on mismatch (only
-      possible after an earlier wrong turn at an uninstrumented symbolic
-      branch);
+    + concrete, instrumented — consume a bit; abort on mismatch (reachable
+      after an earlier wrong turn at an uninstrumented symbolic branch, or
+      — even under full instrumentation — when a store through a
+      concretized symbolic index turns a branch that was symbolic in the
+      field run concrete in this run; fuzzing found the second source, see
+      test/corpus/known/);
     + concrete, not instrumented — proceed.
 
     A run reproduces the bug when it crashes at the recorded crash site.
