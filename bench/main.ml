@@ -33,6 +33,8 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
     ("E12", "Figure 5: diff CPU time", Bench_diff.e12);
     ("E13", "Tables 6 and 7: diff replay", Bench_diff.e13_e14);
     ("E15", "extension: parallel replay + solver cache", Bench_parallel.e15);
+    ("E16", "extension: batch triage (salvage + dedup + scheduler)",
+     Bench_triage.e16);
   ]
 
 let parse_args () : Ctx.t * string option * string option =

@@ -182,11 +182,20 @@ let demo_pipeline w meth experiment timeout save jobs no_solver_cache cfg =
           Printf.printf "wire form written to %s (%d bytes)\n" path
             (String.length wire)
       | None -> ());
-      let report =
-        match Instrument.Wire.deserialize wire with
-        | Ok r -> r
-        | Error e -> failwith ("wire round trip failed: " ^ e)
-      in
+      match Instrument.Wire.deserialize_v wire with
+      | Error (Instrument.Wire.Unknown_version v) ->
+          (* exit 4: the report names a newer wire format — upgrade the
+             tool; distinct from corruption (see the man page) *)
+          Printf.eprintf
+            "report format version %d not supported (max %d): upgrade bugrepro\n"
+            v Instrument.Wire.version;
+          4
+      | Error (Instrument.Wire.Malformed e) ->
+          (* exit 3: corrupt report, mirroring minic_cli's exit-code-3
+             convention for type errors *)
+          Printf.eprintf "malformed report: %s\n" e;
+          3
+      | Ok report ->
       Printf.printf "== guided replay (budget %.0fs, %d job%s, cache %s) ==\n%!"
         timeout jobs
         (if jobs = 1 then "" else "s")
@@ -310,6 +319,219 @@ let fuzz_cmd seed count shrink save_corpus thorough jobs corpus trace metrics =
   print_endline (Fuzz.Driver.summary_to_string summary);
   finish_telemetry ();
   if Fuzz.Driver.ok summary then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* Report triage over a directory of .report files, plus a deterministic
+   batch generator to exercise it.  Exit codes (documented in the man
+   pages): 0 = triaged, no cluster starved; 1 = some cluster timed out;
+   3 = nothing ingested, inputs malformed beyond salvage; 4 = nothing
+   ingested, reports use an unsupported (newer) wire version. *)
+
+(* The wire form names the program by its field-run scenario name (e.g.
+   "paste" or "userver-exp3"); resolve it back to a workload by exact
+   match first, then by the prefix before the first '-'. *)
+let workload_of_program name =
+  match find_workload name with
+  | Ok w -> Ok w
+  | Error _ as err -> (
+      match String.index_opt name '-' with
+      | None -> err
+      | Some i -> find_workload (String.sub name 0 i))
+
+let needs_dynamic = function
+  | Instrument.Methods.Dynamic | Instrument.Methods.Dynamic_static -> true
+  | Instrument.Methods.No_instrumentation | Instrument.Methods.Static
+  | Instrument.Methods.All_branches ->
+      false
+
+(* Memoizing resolver for the triage scheduler: one analysis per
+   (workload, needs-dynamic) pair and one plan per (workload, method).
+   Dynamic analysis only runs when a report's method actually needs its
+   labels.  Called sequentially from the scheduling domain, so plain
+   hashtables are fine. *)
+let make_resolver cfg : Triage.resolve =
+  let analyses = Hashtbl.create 8 in
+  let plans = Hashtbl.create 8 in
+  fun (c : Triage.Cluster.t) ->
+    let report = c.Triage.Cluster.representative.Triage.Ingest.report in
+    match workload_of_program report.Instrument.Report.program with
+    | Error e -> Error e
+    | Ok w ->
+        let meth = report.Instrument.Report.method_used in
+        let cfg =
+          Bugrepro.Pipeline.Config.with_analyze_lib
+            (not (String.equal w.wname "userver"))
+            cfg
+        in
+        let dyn = needs_dynamic meth in
+        let analysis =
+          match Hashtbl.find_opt analyses (w.wname, dyn) with
+          | Some a -> a
+          | None ->
+              let a =
+                if dyn then
+                  Bugrepro.Pipeline.Run.analyze cfg
+                    ~test_scenario:(w.demo_test ()) (w.prog ())
+                else Bugrepro.Pipeline.Run.analyze cfg (w.prog ())
+              in
+              Hashtbl.add analyses (w.wname, dyn) a;
+              a
+        in
+        let plan =
+          match Hashtbl.find_opt plans (w.wname, meth) with
+          | Some p -> p
+          | None ->
+              let p = Bugrepro.Pipeline.Run.plan cfg analysis meth in
+              Hashtbl.add plans (w.wname, meth) p;
+              p
+        in
+        Ok (analysis.Bugrepro.Pipeline.prog, plan)
+
+let triage_cmd dir jobs deadline timeout seed json trace metrics =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "no such directory: %s\n" dir;
+    2
+  end
+  else begin
+    let tel, finish_telemetry = make_telemetry trace metrics in
+    let cfg =
+      Bugrepro.Pipeline.Config.(
+        default
+        |> with_jobs (max 1 jobs)
+        |> with_seed seed
+        |> with_budget
+             ~replay:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
+        |> with_telemetry tel)
+    in
+    let policy =
+      { (Triage.Sched.policy_of_config cfg) with Triage.Sched.deadline_s = deadline }
+    in
+    let items, rejected = Triage.Ingest.load_dir dir in
+    let summary =
+      Triage.run_items ~policy ~telemetry:tel ~resolve:(make_resolver cfg)
+        ~rejected items
+    in
+    print_string (Triage.Summary.to_text summary);
+    (match json with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Triage.Summary.to_json ~timing:true summary);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "json summary written to %s\n" path
+    | None -> ());
+    finish_telemetry ();
+    if items = [] && rejected <> [] then
+      if
+        List.exists
+          (fun (r : Triage.Ingest.rejected) ->
+            match r.error with
+            | Instrument.Wire.Unknown_version _ -> true
+            | Instrument.Wire.Malformed _ -> false)
+          rejected
+      then 4
+      else 3
+    else if summary.Triage.Summary.timed_out > 0 then 1
+    else 0
+  end
+
+(* Deterministic batch generator: record one genuine crash report per
+   (workload, method) base, then emit [count] files cycling through the
+   bases — the repeats are the duplicates — and tear a seeded subset
+   mid-branch-log.  Same (seed, count, torn) => byte-identical batch. *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let batch_bases =
+  [
+    ("mkdir", Instrument.Methods.All_branches);
+    ("mknod", Instrument.Methods.Static);
+    ("mkfifo", Instrument.Methods.All_branches);
+    ("paste", Instrument.Methods.Static);
+    ("mkdir", Instrument.Methods.Static);
+    ("paste", Instrument.Methods.All_branches);
+  ]
+
+let batch_cmd dir count seed torn =
+  let cfg = Bugrepro.Pipeline.Config.default in
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let analyses = Hashtbl.create 8 in
+  let wire_of_base (wname, meth) =
+    match find_workload wname with
+    | Error e -> Error e
+    | Ok w -> (
+        let analysis =
+          match Hashtbl.find_opt analyses wname with
+          | Some a -> a
+          | None ->
+              let a = Bugrepro.Pipeline.Run.analyze cfg (w.prog ()) in
+              Hashtbl.add analyses wname a;
+              a
+        in
+        let plan = Bugrepro.Pipeline.Run.plan cfg analysis meth in
+        let _field, report =
+          Bugrepro.Pipeline.Run.field_run_report cfg ~plan (w.demo_crash 1)
+        in
+        match report with
+        | Some r -> Ok (Instrument.Wire.serialize r)
+        | None -> Error (wname ^ ": demo scenario did not crash"))
+  in
+  let wires = List.map wire_of_base batch_bases in
+  match List.find_opt Result.is_error wires with
+  | Some (Error e) ->
+      prerr_endline e;
+      2
+  | _ ->
+      let wires = Array.of_list (List.map Result.get_ok wires) in
+      let rng = Osmodel.Rng.create seed in
+      (* seeded choice of which report files arrive torn *)
+      let torn_at = Array.make count false in
+      let torn = min torn count in
+      let placed = ref 0 in
+      while !placed < torn do
+        let i = Osmodel.Rng.int rng count in
+        if not torn_at.(i) then begin
+          torn_at.(i) <- true;
+          incr placed
+        end
+      done;
+      let tear wire =
+        match find_sub wire "branch-log: " with
+        | None -> wire
+        | Some pos ->
+            let start = pos + String.length "branch-log: " in
+            let hex_end =
+              match String.index_from_opt wire start '\n' with
+              | Some e -> e
+              | None -> String.length wire
+            in
+            let hex_len = hex_end - start in
+            if hex_len <= 2 then String.sub wire 0 start
+            else
+              (* cut somewhere inside the hex so bits are genuinely lost *)
+              let cut = start + Osmodel.Rng.range rng 1 (hex_len - 2) in
+              String.sub wire 0 cut
+      in
+      let n_bases = Array.length wires in
+      for i = 0 to count - 1 do
+        let wire = wires.(i mod n_bases) in
+        let wire = if torn_at.(i) then tear wire else wire in
+        let path = Filename.concat dir (Printf.sprintf "r%03d.report" i) in
+        let oc = open_out path in
+        output_string oc wire;
+        close_out oc
+      done;
+      Printf.printf "wrote %d report(s) (%d base bug(s), %d torn) to %s\n"
+        count n_bases torn dir;
+      0
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
@@ -452,6 +674,101 @@ let fuzz_t =
     const fuzz_cmd $ seed $ count $ shrink $ save_corpus $ thorough $ jobs
     $ corpus $ trace $ metrics)
 
+let triage_t =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains draining the cluster queue (each cluster's \
+             replay stays sequential, so outcomes are job-count \
+             independent).")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 60.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Global wall-clock bound for the whole batch.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 20.0
+      & info [ "timeout"; "t" ] ~docv:"SECONDS"
+          ~doc:"Per-report budget of the ladder's final rung.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:"Batch seed; per-cluster replay seeds derive from it.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the strict-JSON triage summary to FILE.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace of the batch to FILE.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the span tree and counter table after the batch.")
+  in
+  Term.(
+    const triage_cmd $ dir $ jobs $ deadline $ timeout $ seed $ json $ trace
+    $ metrics)
+
+let batch_t =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+  in
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"Number of report files to write (duplicates included).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:
+            "Seed for which files arrive torn and where each tear lands; \
+             the same (seed, count, torn) writes a byte-identical batch.")
+  in
+  let torn =
+    Arg.(
+      value & opt int 3
+      & info [ "torn" ] ~docv:"N"
+          ~doc:"Number of reports truncated mid-branch-log.")
+  in
+  Term.(const batch_cmd $ dir $ count $ seed $ torn)
+
+let exit_status_man =
+  [
+    `S Manpage.s_exit_status;
+    `P "$(b,0) on success.";
+    `P "$(b,1) when a replay did not reproduce / a triage cluster timed out.";
+    `P "$(b,2) on usage errors (unknown workload, missing directory).";
+    `P
+      "$(b,3) when a bug report is malformed beyond salvage (mirrors \
+       minic_cli's exit-code-3 convention for type errors).";
+    `P
+      "$(b,4) when a bug report uses an unsupported (newer) wire-format \
+       version: upgrade this tool rather than suspect corruption.";
+  ]
+
 let cmds =
   [
     Cmd.v (Cmd.info "list" ~doc:"List bundled workloads and experiments") list_t;
@@ -467,11 +784,24 @@ let cmds =
            "Differential fuzzing: random MiniC programs through the \
             cross-stage oracles (replay, labels, determinism, cache, wire)")
       fuzz_t;
+    Cmd.v
+      (Cmd.info "triage" ~man:exit_status_man
+         ~doc:
+           "Triage a directory of .report files: salvage torn reports, \
+            deduplicate by crash fingerprint, replay one representative \
+            per cluster under escalating budgets and a global deadline")
+      triage_t;
+    Cmd.v
+      (Cmd.info "batch" ~man:exit_status_man
+         ~doc:
+           "Write a deterministic batch of crash reports (duplicates and \
+            torn tails included) for the triage command")
+      batch_t;
   ]
 
 let () =
   let info =
-    Cmd.info "bugrepro" ~version:"1.0"
+    Cmd.info "bugrepro" ~version:"1.0" ~man:exit_status_man
       ~doc:
         "Partial branch logging and guided symbolic replay (EuroSys'11 \
          reproduction)"

@@ -6,8 +6,10 @@
 #   $ bin/check.sh --quick    # also run the bench smoke pass (--quick,
 #                             # --jobs 4) and validate its JSON summary,
 #                             # plus a seeded 200-case differential fuzz
-#                             # smoke (bugrepro fuzz) and the checked-in
-#                             # corpus replay
+#                             # smoke (bugrepro fuzz), the checked-in
+#                             # corpus replay, and a triage smoke over a
+#                             # generated batch with duplicates and torn
+#                             # tails (strict JSON summary validated)
 #
 # FUZZ_COUNT overrides the smoke's case count (the nightly CI lane sets
 # it to a few thousand); FUZZ_SEED overrides the campaign seed.
@@ -97,6 +99,27 @@ if [ "$QUICK" = 1 ]; then
   echo "== corpus replay (test/corpus + known repros) =="
   dune exec bin/bugrepro_cli.exe -- fuzz --corpus test/corpus --thorough
   dune exec bin/bugrepro_cli.exe -- fuzz --corpus test/corpus/known --thorough
+
+  echo "== triage smoke (batch with duplicates + torn tails) =="
+  # a tiny generated batch: duplicates must collapse (dedup < 1), the torn
+  # reports must come through the salvage path, and the summary must be
+  # strict JSON (CI parses and uploads it)
+  BATCH=$(mktemp -d /tmp/triage-batch.XXXXXX)
+  SUMMARY=$(mktemp /tmp/triage-summary.XXXXXX.json)
+  dune exec bin/bugrepro_cli.exe -- batch "$BATCH" --count 8 --seed 7 --torn 2
+  dune exec bin/bugrepro_cli.exe -- triage "$BATCH" --jobs 4 --json "$SUMMARY"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SUMMARY" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["salvaged"] > 0, "no report came through the salvage path"
+assert s["dedup_ratio"] < 1.0, "duplicates did not collapse"
+assert s["counts"]["timed_out"] == 0, "a cluster timed out in the smoke"
+EOF
+    echo "triage JSON summary OK: $SUMMARY"
+  else
+    echo "python3 not found; skipping JSON validation of $SUMMARY"
+  fi
 fi
 
 echo "== all checks passed =="

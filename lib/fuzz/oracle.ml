@@ -11,6 +11,7 @@ type cfg = {
   methods : Instrument.Methods.t list;
   check_determinism : bool;
   check_cache : bool;
+  check_salvage : bool;
   det_jobs : int;
   max_steps : int;
 }
@@ -26,6 +27,7 @@ let default_cfg =
     methods = Instrument.Methods.[ Dynamic_static; All_branches ];
     check_determinism = true;
     check_cache = true;
+    check_salvage = true;
     det_jobs = 4;
     max_steps = 200_000;
   }
@@ -231,6 +233,96 @@ let wire_check (report : Instrument.Report.t) : verdict =
         if String.equal s1 s2 then Pass
         else Fail "serialize . deserialize . serialize is not the identity"
 
+(* Oracle (f): salvage soundness.  Serialize the report and truncate at
+   every byte boundary: salvaging the prefix must never raise, never
+   misread a truncation as an unknown version, and every successful
+   salvage must keep the crash site and program, recover a bit count
+   monotone in the cut, and re-serialize to something the strict reader
+   accepts.  Then one deep cut — half the branch-log hex — is actually
+   replayed: it must come back [Reproduced] at the recorded site or a
+   clean [Not_reproduced], never an exception (the §3.1 [log_exhausted]
+   degradation the salvage path exists for). *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let salvage_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
+    (report : Instrument.Report.t) : verdict =
+  let wire = Instrument.Wire.serialize report in
+  let n = String.length wire in
+  let failure = ref None in
+  let fail cut msg =
+    if !failure = None then
+      failure := Some (Printf.sprintf "cut at byte %d/%d: %s" cut n msg)
+  in
+  let prev_bits = ref 0 in
+  (try
+     for cut = 0 to n do
+       if !failure = None then
+         match Instrument.Wire.deserialize_salvage (String.sub wire 0 cut) with
+         | Error (Instrument.Wire.Unknown_version v) ->
+             fail cut (Printf.sprintf "truncation misread as version %d" v)
+         | Error (Instrument.Wire.Malformed _) ->
+             (* identity fields lost: rejection is the correct degradation *)
+             ()
+         | Ok (r, diag) ->
+             if not (Interp.Crash.equal_site r.crash report.crash) then
+               fail cut "salvage changed the crash site"
+             else if not (String.equal r.program report.program) then
+               fail cut "salvage changed the program name"
+             else begin
+               let bits = r.branch_log.Instrument.Branch_log.nbits in
+               if bits < !prev_bits then
+                 fail cut
+                   (Printf.sprintf "salvaged bit count fell from %d to %d"
+                      !prev_bits bits)
+               else prev_bits := bits;
+               (match Instrument.Wire.deserialize_v (Instrument.Wire.serialize r)
+                with
+               | Ok _ -> ()
+               | Error e ->
+                   fail cut
+                     ("salvaged report fails the strict reader: "
+                     ^ Instrument.Wire.error_to_string e));
+               if cut = n && not diag.Instrument.Wire.complete then
+                 fail cut "intact input diagnosed as torn"
+             end
+     done;
+     (* deep cut: replay with half the branch-log hex torn away *)
+     if !failure = None then
+       match find_sub wire "branch-log: " with
+       | None -> ()
+       | Some pos ->
+           let start = pos + String.length "branch-log: " in
+           let hex_end =
+             match String.index_from_opt wire start '\n' with
+             | Some e -> e
+             | None -> n
+           in
+           let cut = start + ((hex_end - start) / 2) in
+           (match
+              Instrument.Wire.deserialize_salvage (String.sub wire 0 cut)
+            with
+           | Error _ -> ()
+           | Ok (torn, _) -> (
+               match
+                 Bugrepro.Pipeline.Run.reproduce cfg.config
+                   ~prog:case.Gen.prog ~plan torn
+               with
+               | Replay.Guided.Reproduced rr, _ ->
+                   if not (Interp.Crash.equal_site rr.crash report.crash) then
+                     fail cut "torn-log replay reproduced at a different site"
+               | Replay.Guided.Not_reproduced _, _ -> ()))
+   with exn ->
+     fail (-1) ("salvage raised " ^ Printexc.to_string exn));
+  match !failure with None -> Pass | Some msg -> Fail msg
+
 let replay_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
     (meth : Instrument.Methods.t) (report : Instrument.Report.t) : verdict =
   let result, stats =
@@ -287,7 +379,7 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
            m <> Instrument.Methods.All_branches
            && m <> Instrument.Methods.No_instrumentation)
          cfg.methods
-       && (want "replay" || want "wire")
+       && (want "replay" || want "wire" || want "salvage")
   in
   let base =
     if need_explore then
@@ -317,7 +409,10 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
          case.Gen.prog)
         .labels
   in
-  if want "replay" || want "wire" then
+  (* the truncation sweep is method-independent soundness, so one report
+     (the first crashing method's) is enough per case *)
+  let salvage_done = ref false in
+  if want "replay" || want "wire" || want "salvage" then
     List.iter
       (fun meth ->
         let mname = Instrument.Methods.to_string meth in
@@ -337,6 +432,11 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
         | Some report ->
             if want "wire" then
               record "wire" (span "wire" (fun () -> wire_check report));
+            if cfg.check_salvage && want "salvage" && not !salvage_done then begin
+              salvage_done := true;
+              record "salvage"
+                (span "salvage" (fun () -> salvage_check cfg case plan report))
+            end;
             if want "replay" then
               record "replay"
                 (span "replay" (fun () -> replay_check cfg case plan meth report)))

@@ -27,6 +27,14 @@
     - {b wire}: [serialize -> deserialize -> serialize] is the identity on
       every generated report, and the decoded report preserves the crash
       site.
+    - {b salvage}: truncating the wire form at every byte boundary and
+      salvaging ({!Instrument.Wire.deserialize_salvage}) never raises,
+      never misreads a truncation as an unknown version, preserves the
+      crash site and program on every successful salvage, recovers a bit
+      count monotone in the cut, and yields a report the strict reader
+      round-trips; one deep cut (half the branch log) is then actually
+      replayed and must come back [Reproduced] at the recorded site or a
+      clean [Not_reproduced] — never an exception.
 
     Oracles that cannot run (no crash, truncated exploration, replay
     timeout) report [Skip] with a reason — a skip is not a pass, and the
@@ -44,6 +52,7 @@ type cfg = {
   methods : Instrument.Methods.t list;  (** replay methods for this case *)
   check_determinism : bool;
   check_cache : bool;
+  check_salvage : bool;
   det_jobs : int;  (** worker count for the parallel half of determinism *)
   max_steps : int;  (** interpreter step cap per exploration run *)
 }

@@ -254,3 +254,300 @@ let deserialize_v (s : string) : (Report.t, error) result =
     interface; kept for existing callers). *)
 let deserialize (s : string) : (Report.t, string) result =
   Result.map_error error_to_string (deserialize_v s)
+
+(* ------------------------------------------------------------------ *)
+(* Salvage: the lenient sibling of the fail-closed reader.
+
+   A crash that tears its own log is the most common field artifact: the
+   process dies with a partly-written 4 KB buffer, so the wire form stops
+   mid-line (or a relay corrupts a byte).  [deserialize_salvage] recovers
+   the longest valid prefix — a well-formed header plus as many complete
+   fields and complete hex log bytes as still parse — so replay can degrade
+   into [log_exhausted] forking (§3.1 case 1) instead of rejecting the
+   report outright.  [deserialize_v] stays fail-closed for callers that
+   want corruption to be loud. *)
+
+type salvage = {
+  complete : bool;
+      (** nothing was dropped: the strict reader would have accepted it *)
+  dropped_lines : int;  (** field lines lost to the tear (or unparsable) *)
+  lost_log_bits : int;  (** claimed branch bits minus salvaged bits *)
+  dropped_syscalls : int;  (** syscall entries lost from the log's tail *)
+  dropped_schedule : bool;  (** the schedule log did not survive *)
+}
+
+let salvage_to_string (s : salvage) =
+  if s.complete then "intact"
+  else
+    Printf.sprintf
+      "torn: %d line(s), %d branch bit(s), %d syscall entry(ies)%s lost"
+      s.dropped_lines s.lost_log_bits s.dropped_syscalls
+      (if s.dropped_schedule then ", schedule log" else "")
+
+(* Longest prefix of [h] made of complete (two-digit) hex bytes. *)
+let hex_prefix h =
+  let is_hex c =
+    (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+  in
+  let n = String.length h in
+  let ok = ref 0 in
+  while !ok < n && is_hex h.[!ok] do
+    incr ok
+  done;
+  let even = !ok - (!ok mod 2) in
+  (String.sub h 0 even, even < n)
+
+(* Longest prefix of complete [kind:value] syscall entries. *)
+let syscall_prefix v =
+  let parts = if v = "" then [] else String.split_on_char ',' v in
+  let rec take acc dropped = function
+    | [] -> (List.rev acc, dropped)
+    | kv :: rest -> (
+        match String.rindex_opt kv ':' with
+        | Some i -> (
+            match
+              int_of_string_opt
+                (String.sub kv (i + 1) (String.length kv - i - 1))
+            with
+            | Some value when i > 0 ->
+                take ({ Syscall_log.kind = String.sub kv 0 i; value } :: acc)
+                  dropped rest
+            | _ -> (List.rev acc, dropped + 1 + List.length rest))
+        | None -> (List.rev acc, dropped + 1 + List.length rest))
+  in
+  take [] 0 parts
+
+(* Longest prefix of complete integers of a comma-separated list. *)
+let ints_prefix v =
+  let parts = if String.trim v = "" then [] else String.split_on_char ',' v in
+  let rec take acc dropped = function
+    | [] -> (List.rev acc, dropped)
+    | p :: rest -> (
+        match int_of_string_opt p with
+        | Some n -> take (n :: acc) dropped rest
+        | None -> (List.rev acc, dropped + 1 + List.length rest))
+  in
+  take [] 0 parts
+
+(* Mutable accumulation state for the salvage walk. *)
+type partial = {
+  mutable p_program : string option;
+  mutable p_method : Methods.t option;
+  mutable p_crash : Interp.Crash.t option;
+  mutable p_arg_caps : int list option;
+  mutable p_conns : (int * int) option;
+  mutable p_files : string list option;
+  mutable p_filecap : int option;
+  mutable p_nbits : int option;
+  mutable p_bytes : string option;
+  mutable p_flushes : int option;
+  mutable p_syscalls : Syscall_log.entry list option;
+  mutable p_sys_dropped : int;
+  mutable p_schedule : int list option;
+  mutable p_sched_dropped : bool;
+}
+
+let parse_crash crash_s : Interp.Crash.t option =
+  match String.split_on_char '|' crash_s with
+  | [ kind; file; line; col; in_func ] -> (
+      match crash_kind_of_code kind with
+      | Error _ -> None
+      | Ok kind -> (
+          match int_of_string_opt line, int_of_string_opt col with
+          | Some line, Some col ->
+              Some
+                { Interp.Crash.kind;
+                  loc = Minic.Loc.make ~file ~line ~col;
+                  in_func }
+          | _ -> None))
+  | _ -> None
+
+(** Salvage a torn or byte-corrupted wire form.  The header must be intact
+    (and name a supported version — an unknown version is an upgrade
+    problem, not a tear); field lines are then consumed in order until the
+    first one that no longer parses, with the branch-log hex, the syscall
+    list and the schedule list each salvaged down to their longest complete
+    prefix.  Succeeds when the identity fields (program, method, crash
+    site, input shape) survived; the branch log may come back shorter than
+    recorded — or empty — with the loss accounted in the {!salvage}
+    diagnosis.  Never raises. *)
+let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | m :: rest
+    when String.length m >= String.length magic_prefix
+         && String.sub m 0 (String.length magic_prefix) = magic_prefix -> (
+      let v_s =
+        String.sub m (String.length magic_prefix)
+          (String.length m - String.length magic_prefix)
+      in
+      match int_of_string_opt v_s with
+      | None -> Error (Malformed "bad version in report header")
+      | Some v when v < 1 || v > version -> Error (Unknown_version v)
+      | Some _ ->
+          let p =
+            {
+              p_program = None; p_method = None; p_crash = None;
+              p_arg_caps = None; p_conns = None; p_files = None;
+              p_filecap = None; p_nbits = None; p_bytes = None;
+              p_flushes = None; p_syscalls = None; p_sys_dropped = 0;
+              p_schedule = None; p_sched_dropped = false;
+            }
+          in
+          let dropped_lines = ref 0 in
+          (* Consume one field line; [false] means the line is damaged and
+             the scan must stop (prefix semantics: everything after a tear
+             is untrusted). *)
+          let consume l =
+            match String.index_opt l ':' with
+            | None -> false
+            | Some i -> (
+                let k = String.sub l 0 i in
+                let v =
+                  String.trim (String.sub l (i + 1) (String.length l - i - 1))
+                in
+                match k with
+                | "program" ->
+                    p.p_program <- Some v;
+                    true
+                | "method" -> (
+                    match method_of_code v with
+                    | Ok m ->
+                        p.p_method <- Some m;
+                        true
+                    | Error _ -> false)
+                | "crash" -> (
+                    match parse_crash v with
+                    | Some c ->
+                        p.p_crash <- Some c;
+                        true
+                    | None -> false)
+                | "shape-args" -> (
+                    match ints_of_string v with
+                    | Ok caps ->
+                        p.p_arg_caps <- Some caps;
+                        true
+                    | Error _ -> false)
+                | "shape-conns" -> (
+                    match String.split_on_char ',' v with
+                    | [ a; b ] -> (
+                        match int_of_string_opt a, int_of_string_opt b with
+                        | Some a, Some b ->
+                            p.p_conns <- Some (a, b);
+                            true
+                        | _ -> false)
+                    | _ -> false)
+                | "shape-files" ->
+                    p.p_files <-
+                      Some (if v = "" then [] else String.split_on_char ',' v);
+                    true
+                | "shape-filecap" -> (
+                    match int_of_string_opt v with
+                    | Some n ->
+                        p.p_filecap <- Some n;
+                        true
+                    | None -> false)
+                | "branch-bits" -> (
+                    match int_of_string_opt v with
+                    | Some n ->
+                        p.p_nbits <- Some n;
+                        true
+                    | None -> false)
+                | "branch-log" ->
+                    let hex, torn = hex_prefix v in
+                    (match string_of_hex hex with
+                    | Ok bytes -> p.p_bytes <- Some bytes
+                    | Error _ -> p.p_bytes <- Some "");
+                    not torn
+                | "branch-flushes" -> (
+                    match int_of_string_opt v with
+                    | Some n ->
+                        p.p_flushes <- Some n;
+                        true
+                    | None -> false)
+                | "syscalls" ->
+                    let entries, dropped = syscall_prefix v in
+                    p.p_syscalls <- Some entries;
+                    p.p_sys_dropped <- dropped;
+                    dropped = 0
+                | "schedule" ->
+                    let tids, dropped = ints_prefix v in
+                    if dropped = 0 then (
+                      p.p_schedule <- Some tids;
+                      true)
+                    else (
+                      p.p_sched_dropped <- true;
+                      false)
+                | _ -> true (* unknown field: forward compatibility *))
+          in
+          let rec walk = function
+            | [] -> ()
+            | l :: ls ->
+                if consume l then walk ls
+                else begin
+                  (* the tear: this line is damaged (its own salvageable
+                     part, if any, was kept above); drop it and the rest *)
+                  dropped_lines := 1 + List.length ls;
+                  (* a damaged line's salvaged value still counts *)
+                  if
+                    (match String.index_opt l ':' with
+                    | Some i -> String.sub l 0 i = "branch-log" && p.p_bytes <> None
+                    | None -> false)
+                    || (match String.index_opt l ':' with
+                       | Some i -> String.sub l 0 i = "syscalls"
+                       | None -> false)
+                  then dropped_lines := !dropped_lines - 1
+                end
+          in
+          walk rest;
+          (* minimum viable report: identity + shape *)
+          let missing k = Error (Malformed ("unsalvageable: lost field " ^ k)) in
+          let ( let* ) = Result.bind in
+          let req k = function Some v -> Ok v | None -> missing k in
+          let* program = req "program" p.p_program in
+          let* method_used = req "method" p.p_method in
+          let* crash = req "crash" p.p_crash in
+          let* arg_caps = req "shape-args" p.p_arg_caps in
+          let* n_conns, conn_cap = req "shape-conns" p.p_conns in
+          let* file_names = req "shape-files" p.p_files in
+          let* file_cap = req "shape-filecap" p.p_filecap in
+          let bytes = Option.value p.p_bytes ~default:"" in
+          let claimed = Option.value p.p_nbits ~default:(8 * String.length bytes) in
+          let nbits = min claimed (8 * String.length bytes) in
+          let lost_log_bits = max 0 (claimed - nbits) in
+          let branch_log =
+            { Branch_log.bytes; nbits;
+              flushes = Option.value p.p_flushes ~default:0 }
+          in
+          let report =
+            {
+              Report.program;
+              method_used;
+              branch_log;
+              syscall_log =
+                Option.map (fun e -> { Syscall_log.entries = Array.of_list e })
+                  p.p_syscalls;
+              schedule_log =
+                Option.map (fun t -> { Schedule_log.tids = Array.of_list t })
+                  p.p_schedule;
+              crash;
+              shape =
+                { Concolic.Scenario.arg_caps; n_conns; conn_cap; file_names;
+                  file_cap };
+            }
+          in
+          let diag =
+            {
+              complete =
+                !dropped_lines = 0 && lost_log_bits = 0
+                && p.p_sys_dropped = 0
+                && not p.p_sched_dropped
+                && p.p_bytes <> None;
+              dropped_lines = !dropped_lines;
+              lost_log_bits;
+              dropped_syscalls = p.p_sys_dropped;
+              dropped_schedule = p.p_sched_dropped;
+            }
+          in
+          Ok (report, diag))
+  | _ -> Error (Malformed "not a bugrepro report (bad magic)")

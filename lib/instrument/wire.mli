@@ -37,3 +37,38 @@ val deserialize_v : string -> (Report.t, error) result
 (** {!deserialize_v} with the error flattened to a string (the historical
     interface). *)
 val deserialize : string -> (Report.t, string) result
+
+(** {2 Salvage}
+
+    {!deserialize_salvage} is the lenient sibling of the fail-closed
+    reader above: where {!deserialize_v} rejects any torn or
+    byte-corrupted input outright, salvage recovers the longest valid
+    prefix — a well-formed header plus as many complete fields and
+    complete hex log bytes as still parse — so a report whose tail was
+    lost when the crashing process tore its own 4 KB log buffer can
+    still be replayed, degrading into [log_exhausted] forking (§3.1
+    case 1) instead of being dropped.  Use {!deserialize_v} when
+    corruption should be loud; use salvage in ingestion tiers that would
+    rather replay a shorter log than lose the report. *)
+
+(** Diagnosis of what a salvage pass had to give up. *)
+type salvage = {
+  complete : bool;
+      (** nothing was dropped: the strict reader would accept this input *)
+  dropped_lines : int;  (** field lines lost to the tear (or unparsable) *)
+  lost_log_bits : int;  (** claimed branch bits minus salvaged bits *)
+  dropped_syscalls : int;  (** syscall entries lost from the log's tail *)
+  dropped_schedule : bool;  (** the schedule log did not survive *)
+}
+
+val salvage_to_string : salvage -> string
+
+(** Recover the longest valid prefix of a torn report.  The header must
+    be intact and name a supported version ({!Unknown_version} stays
+    fail-closed — that is an upgrade problem, not a tear); field lines
+    are then consumed in order up to the first damage, with the
+    branch-log hex, syscall list and schedule list each cut back to
+    their longest complete prefix.  Fails {!Malformed} only when the
+    identity fields (program, method, crash site, input shape) did not
+    survive.  Never raises. *)
+val deserialize_salvage : string -> (Report.t * salvage, error) result

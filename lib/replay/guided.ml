@@ -33,8 +33,8 @@ let new_case_stats () =
     log_exhausted = 0 }
 
 (* Fold [c] into [into].  Each run counts its cases locally and merges once
-   at the end (under the caller's lock when replaying in parallel), so the
-   hot per-branch path never contends on shared counters. *)
+   at the end, so the hot per-branch path never contends on shared
+   counters. *)
 let merge_cases ~(into : case_stats) (c : case_stats) =
   into.case1 <- into.case1 + c.case1;
   into.case2a <- into.case2a + c.case2a;
@@ -43,6 +43,52 @@ let merge_cases ~(into : case_stats) (c : case_stats) =
   into.case3b <- into.case3b + c.case3b;
   into.case4 <- into.case4 + c.case4;
   into.log_exhausted <- into.log_exhausted + c.log_exhausted
+
+(* Lock-free accumulator for the §3.1 counters.  With [jobs > 1] pool
+   workers finish runs concurrently, so the once-per-run merge lands on
+   shared state from several domains at once; plain mutable fields lose
+   increments there (read-modify-write races) and the totals undercount
+   vs the single-job run.  Atomic adds make the merge linearizable; the
+   per-branch hot path still counts into a run-local [case_stats]. *)
+type case_acc = {
+  a1 : int Atomic.t;
+  a2a : int Atomic.t;
+  a2b : int Atomic.t;
+  a3a : int Atomic.t;
+  a3b : int Atomic.t;
+  a4 : int Atomic.t;
+  a_exhausted : int Atomic.t;
+}
+
+let new_case_acc () =
+  {
+    a1 = Atomic.make 0; a2a = Atomic.make 0; a2b = Atomic.make 0;
+    a3a = Atomic.make 0; a3b = Atomic.make 0; a4 = Atomic.make 0;
+    a_exhausted = Atomic.make 0;
+  }
+
+let acc_add (a : case_acc) (c : case_stats) =
+  let add cell v = if v <> 0 then ignore (Atomic.fetch_and_add cell v) in
+  add a.a1 c.case1;
+  add a.a2a c.case2a;
+  add a.a2b c.case2b;
+  add a.a3a c.case3a;
+  add a.a3b c.case3b;
+  add a.a4 c.case4;
+  add a.a_exhausted c.log_exhausted
+
+(* Safe once the worker domains have joined (the engine returns only after
+   its pool drains). *)
+let acc_snapshot (a : case_acc) : case_stats =
+  {
+    case1 = Atomic.get a.a1;
+    case2a = Atomic.get a.a2a;
+    case2b = Atomic.get a.a2b;
+    case3a = Atomic.get a.a3a;
+    case3b = Atomic.get a.a3b;
+    case4 = Atomic.get a.a4;
+    log_exhausted = Atomic.get a.a_exhausted;
+  }
 
 type result =
   | Reproduced of {
@@ -111,7 +157,7 @@ type restore_fn =
 
 (* One guided replay run under input [model].  [record_cases] receives the
    run's own case counters once the run is over; with a parallel engine the
-   callback must be thread-safe (reproduce merges under a mutex). *)
+   callback must be thread-safe (reproduce merges with atomic adds). *)
 let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
     ~(plan : Plan.t) ~(report : Report.t) ~vars ~seed ~max_steps
     ~(record_cases : case_stats -> unit) (model : Solver.Model.t) :
@@ -219,11 +265,15 @@ let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
     order then becomes a priority hint (see DESIGN.md §"Parallel replay").
     [solver_cache] (default on) memoizes solver queries across pendings and
     across restarts — alpha-renaming makes the cache survive the fresh
-    variable registry of a restart. *)
+    variable registry of a restart.  [cache] supplies an external cache to
+    use instead (shared across a triage batch); [max_attempts] caps the
+    restart count, after which a clean frontier exhaustion returns
+    [Not_reproduced { timed_out = false; _ }]. *)
 let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
     ?(max_steps = 5_000_000) ?restore ?(jobs = 1) ?(solver_cache = true)
-    ?(telemetry = Telemetry.disabled) ~(prog : Minic.Program.t)
-    ~(plan : Plan.t) (report : Report.t) : result * stats =
+    ?cache ?max_attempts ?(telemetry = Telemetry.disabled)
+    ~(prog : Minic.Program.t) ~(plan : Plan.t) (report : Report.t) :
+    result * stats =
   Telemetry.Span.with_ telemetry ~name:"reproduce"
     ~attrs:
       [
@@ -257,20 +307,22 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
      When the frontier exhausts with budget left, restart with a different
      seed: the initial random input changes and so do the pins — the
      paper's engine enjoys the same freedom in choosing fresh inputs. *)
-  let deadline = Unix.gettimeofday () +. budget.Concolic.Engine.max_time_s in
+  let started = Unix.gettimeofday () in
+  let deadline = started +. budget.Concolic.Engine.max_time_s in
   let total_runs = ref 0 in
   let attempts = ref 0 in
-  let cache = if solver_cache then Some (Solver.Cache.create ()) else None in
-  let cases_mu = Mutex.create () in
+  let cache =
+    match cache with
+    | Some c -> Some c
+    | None -> if solver_cache then Some (Solver.Cache.create ()) else None
+  in
   let rec attempt attempt_seed acc_stats =
     incr attempts;
     let vars = Solver.Symvars.create () in
-    let cases = new_case_stats () in
+    let acc = new_case_acc () in
     let record_cases c =
       tel_record c;
-      Mutex.lock cases_mu;
-      merge_cases ~into:cases c;
-      Mutex.unlock cases_mu
+      acc_add acc c
     in
     let run =
       run_once ?restore ~prog ~plan ~report ~vars ~seed:attempt_seed ~max_steps
@@ -300,6 +352,7 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
           (r, found))
     in
     total_runs := !total_runs + engine_stats.runs;
+    let cases = acc_snapshot acc in
     let stats =
       { engine = engine_stats; cases; vars;
         cache = Option.map Solver.Cache.snapshot cache }
@@ -320,22 +373,29 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
               model;
               crash;
               runs = !total_runs;
-              elapsed_s = budget.Concolic.Engine.max_time_s -. (deadline -. Unix.gettimeofday ());
+              elapsed_s = Unix.gettimeofday () -. started;
             },
           stats )
     | None ->
-        if
-          Unix.gettimeofday () < deadline
-          && !total_runs < budget.Concolic.Engine.max_runs
-        then attempt (attempt_seed + 1) (Some stats)
+        let now = Unix.gettimeofday () in
+        (* the budget is gone when the clock or the run count says so; a
+           frontier that merely exhausted under [max_attempts] is NOT a
+           timeout — reporting it as one used to make triage retry clean
+           exhaustions at ever-larger budgets *)
+        let budget_gone =
+          now >= deadline || !total_runs >= budget.Concolic.Engine.max_runs
+        in
+        let attempts_left =
+          match max_attempts with Some n -> !attempts < n | None -> true
+        in
+        if (not budget_gone) && attempts_left then
+          attempt (attempt_seed + 1) (Some stats)
         else
           ( Not_reproduced
               {
                 runs = !total_runs;
-                elapsed_s =
-                  budget.Concolic.Engine.max_time_s
-                  -. (deadline -. Unix.gettimeofday ());
-                timed_out = true;
+                elapsed_s = now -. started;
+                timed_out = budget_gone;
               },
             stats )
   in

@@ -71,10 +71,19 @@ type restore_fn =
     patience (the paper's one-hour limit, scaled); [seed] varies the random
     initial input.  [jobs] (default 1) sets the number of worker domains
     draining the pending frontier; [solver_cache] (default true) memoizes
-    solver queries across pendings and restarts.  Whatever the worker
-    count, a result of [Reproduced] carries a model that crashes at the
-    reported site — scheduling can change *which* crashing input is found
-    first, never whether one exists.
+    solver queries across pendings and restarts, and [cache] supplies an
+    external {!Solver.Cache.t} to use instead — the triage batch scheduler
+    shares one across a whole batch.  [max_attempts] caps the
+    restart-with-a-fresh-seed loop; once hit, a clean frontier exhaustion
+    returns [Not_reproduced] with [timed_out = false] (a [true] there
+    always means the clock or the run budget ran out, never mere
+    exhaustion).  [elapsed_s] is wall-clock time inside this call; callers
+    that retry with escalating budgets must accumulate it across calls
+    (see {!Triage.Sched}).  The §3.1 case counters are accumulated with
+    atomic adds, so totals are exact under any [jobs] value.  Whatever the
+    worker count, a result of [Reproduced] carries a model that crashes at
+    the reported site — scheduling can change *which* crashing input is
+    found first, never whether one exists.
 
     [telemetry] wraps the search in a [reproduce] span with one
     [replay.attempt] child per restart (each wrapping its engine
@@ -87,6 +96,8 @@ val reproduce :
   ?restore:restore_fn ->
   ?jobs:int ->
   ?solver_cache:bool ->
+  ?cache:Solver.Cache.t ->
+  ?max_attempts:int ->
   ?telemetry:Telemetry.t ->
   prog:Minic.Program.t ->
   plan:Instrument.Plan.t ->

@@ -1,0 +1,56 @@
+(** Fingerprint clustering (see cluster.mli). *)
+
+type t = {
+  fp : Fingerprint.t;
+  representative : Ingest.item;
+  members : Ingest.item list;
+}
+
+let size t = List.length t.members
+let salvaged t = Ingest.salvaged t.representative
+
+(* Election order: intact beats salvaged (a full log replays under pure
+   log-guidance; a torn one starts forking at the tear), longer log beats
+   shorter (more §3.1 case-2a pins), path breaks the remaining ties. *)
+let better (a : Ingest.item) (b : Ingest.item) =
+  let intact i = if Ingest.salvaged i then 1 else 0 in
+  let c = compare (intact a) (intact b) in
+  if c <> 0 then c < 0
+  else
+    let c =
+      compare b.report.Instrument.Report.branch_log.Instrument.Branch_log.nbits
+        a.report.Instrument.Report.branch_log.Instrument.Branch_log.nbits
+    in
+    if c <> 0 then c < 0 else String.compare a.path b.path < 0
+
+let group (items : Ingest.item list) : t list =
+  let tbl : (string, Fingerprint.t * Ingest.item list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (i : Ingest.item) ->
+      let fp = Fingerprint.of_report i.report in
+      let k = Fingerprint.key fp in
+      match Hashtbl.find_opt tbl k with
+      | Some (_, members) -> members := i :: !members
+      | None -> Hashtbl.add tbl k (fp, ref [ i ]))
+    items;
+  Hashtbl.fold
+    (fun _k (fp, members) acc ->
+      let members =
+        List.sort
+          (fun (a : Ingest.item) b -> String.compare a.path b.path)
+          !members
+      in
+      let representative =
+        match members with
+        | [] -> assert false
+        | first :: rest ->
+            List.fold_left
+              (fun best i -> if better i best then i else best)
+              first rest
+      in
+      { fp; representative; members } :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         String.compare (Fingerprint.key a.fp) (Fingerprint.key b.fp))

@@ -1,0 +1,24 @@
+(** Fingerprint clustering: one replay per bucket of duplicate reports.
+
+    Groups ingested reports by {!Fingerprint.key} and elects a
+    representative per cluster — preferring an intact member over a
+    salvaged one, then the longest branch log (most replay guidance),
+    then the lexicographically smallest path, so election is
+    deterministic.  The other members ride along in the summary without
+    costing a replay. *)
+
+type t = {
+  fp : Fingerprint.t;
+  representative : Ingest.item;
+  members : Ingest.item list;
+      (** every member including the representative, sorted by path *)
+}
+
+(** Number of members. *)
+val size : t -> int
+
+(** True when the elected representative came through the salvage path. *)
+val salvaged : t -> bool
+
+(** Group items into clusters, sorted by {!Fingerprint.key}. *)
+val group : Ingest.item list -> t list

@@ -1,0 +1,71 @@
+(** Crash-report fingerprints for duplicate clustering (see
+    fingerprint.mli). *)
+
+open Instrument
+
+type t = {
+  program : string;
+  crash_key : string;
+  method_code : string;
+  log_bucket : int;
+  prefix_hash : int;
+  histogram : int array;
+}
+
+let crash_key (c : Interp.Crash.t) =
+  Printf.sprintf "%s@%s:%d:%d#%s"
+    (Interp.Crash.kind_to_string c.kind)
+    c.loc.file c.loc.line c.loc.col c.in_func
+
+let method_code = function
+  | Methods.No_instrumentation -> "none"
+  | Methods.Dynamic -> "dynamic"
+  | Methods.Static -> "static"
+  | Methods.Dynamic_static -> "dynamic+static"
+  | Methods.All_branches -> "all"
+
+(* Bit length of n+1: buckets 0, [1], [2,3], [4..7], ... — two logs whose
+   lengths differ by less than 2x usually share a bucket, so a slightly
+   torn duplicate can still collapse when its prefix also matches. *)
+let log2_bucket n =
+  let rec go acc n = if n <= 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 (n + 1)
+
+(* Quantized bit-count histogram: split the logged bit range into 8 equal
+   chunks and keep each chunk's popcount divided by 8 — coarse enough to
+   absorb per-run jitter in loop trip counts, fine enough to separate
+   genuinely different branch behaviour. *)
+let histogram (log : Branch_log.log) =
+  let h = Array.make 8 0 in
+  if log.nbits > 0 then begin
+    let chunk = max 1 ((log.nbits + 7) / 8) in
+    for bit = 0 to log.nbits - 1 do
+      let byte = Char.code log.bytes.[bit / 8] in
+      let set = (byte lsr (bit mod 8)) land 1 in
+      let slot = min 7 (bit / chunk) in
+      h.(slot) <- h.(slot) + set
+    done;
+    Array.iteri (fun i v -> h.(i) <- v / 8) h
+  end;
+  h
+
+let of_report (r : Report.t) : t =
+  let log = r.branch_log in
+  let prefix =
+    String.sub log.bytes 0 (min 32 (String.length log.bytes))
+  in
+  {
+    program = r.program;
+    crash_key = crash_key r.crash;
+    method_code = method_code r.method_used;
+    log_bucket = log2_bucket log.nbits;
+    prefix_hash = Hashtbl.hash prefix;
+    histogram = histogram log;
+  }
+
+let key (t : t) =
+  Printf.sprintf "%s|%s|%s|b%d|p%08x|h%s" t.program t.crash_key t.method_code
+    t.log_bucket t.prefix_hash
+    (String.concat "." (Array.to_list (Array.map string_of_int t.histogram)))
+
+let equal a b = key a = key b

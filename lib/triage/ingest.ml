@@ -1,0 +1,54 @@
+(** Report ingestion (see ingest.mli). *)
+
+open Instrument
+
+type item = {
+  path : string;
+  report : Report.t;
+  salvage : Wire.salvage option;
+}
+
+type rejected = { path : string; error : Wire.error }
+
+let salvaged (i : item) = i.salvage <> None
+
+let of_string ~path (s : string) : (item, rejected) result =
+  match Wire.deserialize_v s with
+  | Ok report -> Ok { path; report; salvage = None }
+  | Error (Wire.Unknown_version _ as e) -> Error { path; error = e }
+  | Error (Wire.Malformed _) -> (
+      match Wire.deserialize_salvage s with
+      | Ok (report, diag) -> Ok { path; report; salvage = Some diag }
+      | Error e -> Error { path; error = e })
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+let load_dir dir : item list * rejected list =
+  let names =
+    match Sys.readdir dir with
+    | entries ->
+        Array.to_list entries
+        |> List.filter (fun n -> Filename.check_suffix n ".report")
+        |> List.sort String.compare
+    | exception Sys_error _ -> []
+  in
+  let items, rejects =
+    List.fold_left
+      (fun (items, rejects) name ->
+        let path = Filename.concat dir name in
+        match read_file path with
+        | Error msg ->
+            (items, { path; error = Wire.Malformed ("unreadable: " ^ msg) } :: rejects)
+        | Ok text -> (
+            match of_string ~path text with
+            | Ok i -> (i :: items, rejects)
+            | Error r -> (items, r :: rejects)))
+      ([], []) names
+  in
+  (List.rev items, List.rev rejects)

@@ -1,0 +1,28 @@
+(** Report ingestion: strict first, salvage on damage.
+
+    Every input is first offered to the fail-closed
+    {!Instrument.Wire.deserialize_v}; only when that reports [Malformed]
+    does ingestion fall back to {!Instrument.Wire.deserialize_salvage},
+    so an intact report is never silently reinterpreted.  An
+    [Unknown_version] stays a rejection on both paths — "upgrade your
+    tool" must not be laundered into a shorter log. *)
+
+type item = {
+  path : string;  (** source file (or a synthetic label for in-memory) *)
+  report : Instrument.Report.t;
+  salvage : Instrument.Wire.salvage option;
+      (** [None] = strict parse accepted it; [Some d] = recovered prefix *)
+}
+
+type rejected = { path : string; error : Instrument.Wire.error }
+
+(** True when the item came through the salvage path. *)
+val salvaged : item -> bool
+
+(** Ingest one report's wire text. *)
+val of_string : path:string -> string -> (item, rejected) result
+
+(** Ingest every [*.report] file of a directory, in sorted filename order
+    (the order is part of the deterministic summary).  Unreadable files
+    are rejected, not raised. *)
+val load_dir : string -> item list * rejected list

@@ -1,0 +1,206 @@
+(** Budgeted batch scheduler (see sched.mli). *)
+
+module Engine = Concolic.Engine
+module Guided = Replay.Guided
+
+type policy = {
+  ladder : Engine.budget list;
+  deadline_s : float;
+  jobs : int;
+  max_attempts : int;
+  solver_cache : bool;
+  seed : int;
+}
+
+let default_policy =
+  {
+    ladder =
+      [
+        { Engine.max_runs = 60; max_time_s = 2.0 };
+        { Engine.max_runs = 250; max_time_s = 10.0 };
+        Engine.default_budget;
+      ];
+    deadline_s = 60.0;
+    jobs = 1;
+    max_attempts = 1;
+    solver_cache = true;
+    seed = 1;
+  }
+
+let policy_of_config (c : Bugrepro.Pipeline.Config.t) =
+  let full = c.replay_budget in
+  let rung runs time_s =
+    {
+      Engine.max_runs = min runs full.Engine.max_runs;
+      max_time_s = min time_s full.Engine.max_time_s;
+    }
+  in
+  {
+    default_policy with
+    ladder = [ rung 60 2.0; rung 250 10.0; full ];
+    jobs = c.jobs;
+    solver_cache = c.solver_cache;
+    seed = c.seed;
+  }
+
+type status =
+  | Reproduced of {
+      model : Solver.Model.t;
+      vars : Solver.Symvars.t;
+      crash : Interp.Crash.t;
+    }
+  | Timed_out
+  | Exhausted
+  | Failed of string
+
+type cluster_result = {
+  cluster : Cluster.t;
+  status : status;
+  rungs : int;
+  runs : int;
+  elapsed_s : float;
+  rung_elapsed_s : float list;
+  cases : Guided.case_stats;
+}
+
+type resolve =
+  Cluster.t -> (Minic.Program.t * Instrument.Plan.t, string) result
+
+let zero_cases () : Guided.case_stats =
+  { case1 = 0; case2a = 0; case2b = 0; case3a = 0; case3b = 0; case4 = 0;
+    log_exhausted = 0 }
+
+let add_cases ~(into : Guided.case_stats) (c : Guided.case_stats) =
+  into.case1 <- into.case1 + c.case1;
+  into.case2a <- into.case2a + c.case2a;
+  into.case2b <- into.case2b + c.case2b;
+  into.case3a <- into.case3a + c.case3a;
+  into.case3b <- into.case3b + c.case3b;
+  into.case4 <- into.case4 + c.case4;
+  into.log_exhausted <- into.log_exhausted + c.log_exhausted
+
+(* Worker scheduling must not influence outcomes, so the replay seed is a
+   pure function of the batch seed and the cluster's identity. *)
+let cluster_seed policy (c : Cluster.t) =
+  (Hashtbl.hash (policy.seed, Fingerprint.key c.fp) land 0x3FFFFFFF) + 1
+
+(* Climb the escalating-budget ladder for one cluster.  [deadline] is the
+   batch-global wall clock; each rung's time budget is clamped to what is
+   left of it.  The cumulative [elapsed_s] sums every rung, so a retried
+   report never reports less elapsed time than its predecessor attempts
+   (the restart-accounting bug this subsystem's tests lock down). *)
+let replay_cluster ~policy ~telemetry ~cache ~deadline
+    (prog : Minic.Program.t) (plan : Instrument.Plan.t) (c : Cluster.t) :
+    cluster_result =
+  let report = c.representative.Ingest.report in
+  let seed = cluster_seed policy c in
+  let cases = zero_cases () in
+  let rec climb ladder ~rungs ~runs ~elapsed ~rung_elapsed =
+    match ladder with
+    | [] ->
+        { cluster = c; status = Timed_out; rungs; runs; elapsed_s = elapsed;
+          rung_elapsed_s = List.rev rung_elapsed; cases }
+    | (rung : Engine.budget) :: rest ->
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.05 then
+          { cluster = c; status = Timed_out; rungs; runs; elapsed_s = elapsed;
+            rung_elapsed_s = List.rev rung_elapsed; cases }
+        else
+          let budget =
+            { rung with Engine.max_time_s = min rung.Engine.max_time_s remaining }
+          in
+          let result, stats =
+            Guided.reproduce ~budget ~seed ~jobs:1
+              ~solver_cache:policy.solver_cache ?cache
+              ~max_attempts:policy.max_attempts ~telemetry ~prog ~plan report
+          in
+          add_cases ~into:cases stats.Guided.cases;
+          let rung_s = Guided.elapsed result in
+          let elapsed = elapsed +. rung_s in
+          let rungs = rungs + 1 in
+          let rung_elapsed = rung_s :: rung_elapsed in
+          (match result with
+          | Guided.Reproduced r ->
+              { cluster = c;
+                status =
+                  Reproduced
+                    { model = r.model; vars = stats.Guided.vars; crash = r.crash };
+                rungs; runs = runs + r.runs; elapsed_s = elapsed;
+                rung_elapsed_s = List.rev rung_elapsed; cases }
+          | Guided.Not_reproduced nr ->
+              let runs = runs + nr.runs in
+              if nr.timed_out then
+                climb rest ~rungs ~runs ~elapsed ~rung_elapsed
+              else
+                (* clean frontier exhaustion: the search space is explored;
+                   a larger budget would only re-walk it *)
+                { cluster = c; status = Exhausted; rungs; runs;
+                  elapsed_s = elapsed; rung_elapsed_s = List.rev rung_elapsed;
+                  cases })
+  in
+  climb policy.ladder ~rungs:0 ~runs:0 ~elapsed:0.0 ~rung_elapsed:[]
+
+let status_name = function
+  | Reproduced _ -> "reproduced"
+  | Timed_out -> "timed_out"
+  | Exhausted -> "exhausted"
+  | Failed _ -> "failed"
+
+let run ?(policy = default_policy) ?(telemetry = Telemetry.disabled)
+    ~(resolve : resolve) (clusters : Cluster.t list) : cluster_result list =
+  Telemetry.Span.with_ telemetry ~name:"triage.sched"
+    ~attrs:
+      [
+        ("clusters", Telemetry.Event.Int (List.length clusters));
+        ("jobs", Telemetry.Event.Int policy.jobs);
+      ]
+  @@ fun _sp ->
+  let deadline = Unix.gettimeofday () +. policy.deadline_s in
+  let cache =
+    if policy.solver_cache then Some (Solver.Cache.create ()) else None
+  in
+  (* resolve in the scheduling domain: resolver closures (workload
+     registries, analysis caches) need not be thread-safe *)
+  let prepared =
+    List.map (fun c -> (c, resolve c)) clusters |> Array.of_list
+  in
+  let n = Array.length prepared in
+  let process i =
+    let c, resolved = prepared.(i) in
+    match resolved with
+    | Error msg ->
+        { cluster = c; status = Failed msg; rungs = 0; runs = 0;
+          elapsed_s = 0.0; rung_elapsed_s = []; cases = zero_cases () }
+    | Ok (prog, plan) ->
+        Telemetry.Span.with_ telemetry ~name:"triage.replay"
+          ~attrs:[ ("fingerprint", Telemetry.Event.Str (Fingerprint.key c.fp)) ]
+        @@ fun sp ->
+        let r = replay_cluster ~policy ~telemetry ~cache ~deadline prog plan c in
+        Telemetry.Span.adds sp "status" (status_name r.status);
+        Telemetry.Span.addi sp "rungs" r.rungs;
+        Telemetry.Span.addi sp "runs" r.runs;
+        Telemetry.Metrics.incr_named telemetry
+          ("triage." ^ status_name r.status);
+        r
+  in
+  if policy.jobs <= 1 || n <= 1 then List.init n process
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (process i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (min policy.jobs n) (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end

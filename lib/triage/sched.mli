@@ -1,0 +1,71 @@
+(** Budgeted batch scheduler: replay one representative per cluster.
+
+    Clusters are drained from a queue by a pool of worker domains
+    ([policy.jobs]); each representative is replayed under an
+    escalating-budget ladder (default 2 s → 10 s → the full replay
+    budget), so one pathological report can never starve the batch, and
+    the whole batch is bounded by a global wall-clock deadline.  One
+    {!Solver.Cache} is shared across every replay of the batch.
+
+    Determinism: each cluster's replay runs with [jobs = 1] inside the
+    worker and a seed derived from the batch seed and the cluster's
+    fingerprint, so the *outcome* per cluster does not depend on which
+    worker picked it up or in which order — [jobs = 1] and [jobs = 4]
+    batches differ only in timing fields (see DESIGN.md §5f for the
+    shared-cache caveat). *)
+
+type policy = {
+  ladder : Concolic.Engine.budget list;
+      (** escalating per-representative budgets, tried in order *)
+  deadline_s : float;  (** global wall-clock bound for the whole batch *)
+  jobs : int;  (** worker domains draining the cluster queue *)
+  max_attempts : int;  (** reseed restarts within one ladder rung *)
+  solver_cache : bool;  (** share one memoizing cache across the batch *)
+  seed : int;  (** batch seed; per-cluster seeds derive from it *)
+}
+
+(** 2 s / 10 s / full {!Concolic.Engine.default_budget}, 60 s deadline,
+    sequential, one attempt per rung, cache on, seed 1. *)
+val default_policy : policy
+
+(** Derive a policy from the pipeline config: [replay_budget] caps the
+    ladder's last rung, [jobs], [solver_cache] and [seed] carry over. *)
+val policy_of_config : Bugrepro.Pipeline.Config.t -> policy
+
+type status =
+  | Reproduced of {
+      model : Solver.Model.t;
+      vars : Solver.Symvars.t;  (** registry for decoding the model *)
+      crash : Interp.Crash.t;
+    }
+  | Timed_out  (** every rung (or the global deadline) ran out of budget *)
+  | Exhausted  (** the pending frontier dried up cleanly — no input found *)
+  | Failed of string  (** the cluster's program could not be resolved *)
+
+type cluster_result = {
+  cluster : Cluster.t;
+  status : status;
+  rungs : int;  (** ladder rungs actually tried *)
+  runs : int;  (** engine runs summed over rungs *)
+  elapsed_s : float;
+      (** cumulative wall clock over every rung — monotone in the rung
+          index, so a retried report never reports less elapsed time than
+          its predecessor attempts *)
+  rung_elapsed_s : float list;  (** per-rung breakdown, in rung order *)
+  cases : Replay.Guided.case_stats;  (** §3.1 counters summed over rungs *)
+}
+
+(** Resolve a cluster's program text and instrumentation plan (the wire
+    form carries only the program's name).  Called in the scheduling
+    domain, once per cluster, before workers start. *)
+type resolve =
+  Cluster.t -> (Minic.Program.t * Instrument.Plan.t, string) result
+
+(** Replay every cluster's representative; results come back in cluster
+    order regardless of worker scheduling. *)
+val run :
+  ?policy:policy ->
+  ?telemetry:Telemetry.t ->
+  resolve:resolve ->
+  Cluster.t list ->
+  cluster_result list

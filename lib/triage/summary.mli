@@ -1,0 +1,59 @@
+(** Deterministic triage summary, in text and strict JSON.
+
+    Clusters are ordered by fingerprint key and every list inside an
+    entry is sorted, so two triage passes over the same batch with the
+    same seed render byte-identical summaries — except for the timing
+    block ([elapsed_s], [runs], [wall_s]), which {!to_json} can omit
+    ([~timing:false]) to make the deterministic comparison form. *)
+
+type status =
+  | Reproduced  (** intact representative, crashing input found *)
+  | Salvaged_reproduced  (** torn representative salvaged, then reproduced *)
+  | Timed_out
+  | Exhausted  (** frontier dried up cleanly — no crashing input exists
+                   within the replay's search space *)
+
+val status_name : status -> string
+
+type entry = {
+  fingerprint : string;
+  program : string;
+  crash : string;
+  status : status;
+  representative : string;  (** path of the replayed member *)
+  members : string list;  (** all member paths, sorted *)
+  salvaged : int;  (** members that came through the salvage path *)
+  model : (string * int) list;
+      (** crashing input as sorted [name, value] bindings; [] unless
+          reproduced *)
+  rungs : int;
+  runs : int;
+  elapsed_s : float;
+}
+
+type t = {
+  reports : int;  (** ingested (accepted) reports *)
+  salvaged : int;  (** ingested through the salvage path *)
+  rejected : (string * string) list;  (** path, reason — sorted by path *)
+  clusters : entry list;  (** sorted by fingerprint key *)
+  dedup_ratio : float;  (** clusters / reports; 1.0 when nothing collapsed *)
+  reproduced : int;
+  salvaged_reproduced : int;
+  timed_out : int;
+  exhausted : int;
+  wall_s : float;  (** batch wall clock *)
+}
+
+val make :
+  rejected:Ingest.rejected list ->
+  items:Ingest.item list ->
+  results:Sched.cluster_result list ->
+  wall_s:float ->
+  t
+
+val to_text : t -> string
+
+(** Strict JSON.  [timing] (default true) includes the volatile fields
+    ([elapsed_s], [runs], [wall_s]); pass [false] for the deterministic
+    form compared across runs. *)
+val to_json : ?timing:bool -> t -> string

@@ -1,0 +1,61 @@
+(** Report triage: salvage, dedup and budgeted batch replay.
+
+    The developer-side ingestion tier for report streams (ROADMAP:
+    "heavy traffic from millions of users").  A directory of [.report]
+    files — many duplicates of one bug, many torn mid-flush — is
+    ingested leniently ({!Ingest}, backed by
+    [Wire.deserialize_salvage]), clustered by crash-site fingerprint
+    ({!Fingerprint}, {!Cluster}), replayed one representative per
+    cluster under escalating budgets and a global deadline ({!Sched}),
+    and rendered as a deterministic summary ({!Summary}). *)
+
+module Fingerprint = Fingerprint
+module Ingest = Ingest
+module Cluster = Cluster
+module Sched = Sched
+module Summary = Summary
+
+type resolve = Sched.resolve
+
+let run_items ?policy ?(telemetry = Telemetry.disabled)
+    ~(resolve : resolve) ?(rejected : Ingest.rejected list = [])
+    (items : Ingest.item list) : Summary.t =
+  Telemetry.Span.with_ telemetry ~name:"triage"
+    ~attrs:[ ("reports", Telemetry.Event.Int (List.length items)) ]
+  @@ fun sp ->
+  let started = Unix.gettimeofday () in
+  let clusters =
+    Telemetry.Span.with_ telemetry ~parent:sp ~name:"triage.cluster" (fun csp ->
+        let cs = Cluster.group items in
+        Telemetry.Span.addi csp "clusters" (List.length cs);
+        cs)
+  in
+  Telemetry.Metrics.incr_named telemetry ~by:(List.length items)
+    "triage.reports";
+  Telemetry.Metrics.incr_named telemetry
+    ~by:(List.length (List.filter Ingest.salvaged items))
+    "triage.salvaged";
+  Telemetry.Metrics.incr_named telemetry ~by:(List.length rejected)
+    "triage.rejected";
+  Telemetry.Metrics.incr_named telemetry ~by:(List.length clusters)
+    "triage.clusters";
+  let results = Sched.run ?policy ~telemetry ~resolve clusters in
+  let wall_s = Unix.gettimeofday () -. started in
+  let summary = Summary.make ~rejected ~items ~results ~wall_s in
+  Telemetry.Span.addi sp "clusters" (List.length clusters);
+  Telemetry.Span.addi sp "reproduced"
+    (summary.Summary.reproduced + summary.Summary.salvaged_reproduced);
+  summary
+
+let run_dir ?policy ?(telemetry = Telemetry.disabled) ~(resolve : resolve)
+    (dir : string) : Summary.t =
+  let items, rejected =
+    Telemetry.Span.with_ telemetry ~name:"triage.ingest"
+      ~attrs:[ ("dir", Telemetry.Event.Str dir) ]
+      (fun isp ->
+        let items, rejected = Ingest.load_dir dir in
+        Telemetry.Span.addi isp "accepted" (List.length items);
+        Telemetry.Span.addi isp "rejected" (List.length rejected);
+        (items, rejected))
+  in
+  run_items ?policy ~telemetry ~resolve ~rejected items

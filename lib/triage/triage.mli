@@ -1,0 +1,35 @@
+(** Report triage: salvage, dedup and budgeted batch replay.
+
+    The developer-side ingestion tier for crash-report streams.  See
+    DESIGN.md §5f: {!Ingest} accepts strict or salvaged reports,
+    {!Fingerprint}/{!Cluster} deduplicate them WER-style, {!Sched}
+    replays one representative per cluster under an escalating-budget
+    ladder, a global deadline and one shared solver cache, and
+    {!Summary} renders the outcome deterministically in text and strict
+    JSON. *)
+
+module Fingerprint = Fingerprint
+module Ingest = Ingest
+module Cluster = Cluster
+module Sched = Sched
+module Summary = Summary
+
+type resolve = Sched.resolve
+
+(** Triage pre-ingested items (plus already-known rejections); opens the
+    [triage] span and bumps the [triage.*] counters on [telemetry]. *)
+val run_items :
+  ?policy:Sched.policy ->
+  ?telemetry:Telemetry.t ->
+  resolve:resolve ->
+  ?rejected:Ingest.rejected list ->
+  Ingest.item list ->
+  Summary.t
+
+(** Triage every [*.report] file under a directory. *)
+val run_dir :
+  ?policy:Sched.policy ->
+  ?telemetry:Telemetry.t ->
+  resolve:resolve ->
+  string ->
+  Summary.t

@@ -261,6 +261,42 @@ let test_reproduce_parallel_no_log_search () =
         | Some s -> s.hits + s.misses > 0
         | None -> false)
 
+let test_parallel_case_totals_match_sequential () =
+  (* point the report at a site no input reaches: every worker count must
+     drain the same frontier, stop cleanly, and — because the §3.1 case
+     counters are accumulated with atomic adds — report identical totals *)
+  let prog, _, report = record ~args:[ "BUG" ] magic_src in
+  let report = Option.get report in
+  let none =
+    Instrument.Plan.make ~nbranches:(Minic.Program.nbranches prog)
+      Instrument.Methods.No_instrumentation
+  in
+  let unreachable =
+    { report.Instrument.Report.crash with
+      Interp.Crash.loc = Minic.Loc.make ~file:"nowhere.mc" ~line:999 ~col:1 }
+  in
+  let report = { report with Instrument.Report.crash = unreachable } in
+  let run jobs =
+    let result, stats =
+      Replay.Guided.reproduce ~budget ~jobs ~max_attempts:1 ~prog ~plan:none
+        report
+    in
+    (match result with
+    | Replay.Guided.Not_reproduced { timed_out; _ } ->
+        check_bool
+          (Printf.sprintf "jobs=%d exhausted the frontier cleanly" jobs)
+          false timed_out
+    | Replay.Guided.Reproduced _ ->
+        Alcotest.fail "reproduced an unreachable site");
+    stats.Replay.Guided.cases
+  in
+  let tup (c : Replay.Guided.case_stats) =
+    (c.case1, c.case2a, c.case2b, c.case3a, c.case3b, c.case4, c.log_exhausted)
+  in
+  let seq = run 1 and par = run 4 in
+  check_bool "the frontier was actually explored" true (seq.case1 > 0);
+  check_bool "case totals match across 4 domains" true (tup seq = tup par)
+
 let () =
   Alcotest.run "replay"
     [
@@ -293,6 +329,8 @@ let () =
             test_reproduce_parallel_matches_sequential;
           Alcotest.test_case "no-log search with 4 workers" `Quick
             test_reproduce_parallel_no_log_search;
+          Alcotest.test_case "case totals match sequential" `Quick
+            test_parallel_case_totals_match_sequential;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_full_log_reproduces ] );

@@ -1,0 +1,348 @@
+(* Tests for the triage subsystem (§5f): torn-report salvage, fingerprint
+   dedup, escalating-budget scheduling with honest elapsed-time accounting,
+   and the deterministic summary (jobs=1 vs jobs=4). *)
+
+module Wire = Instrument.Wire
+module Report = Instrument.Report
+module Ingest = Triage.Ingest
+module Cluster = Triage.Cluster
+module Fingerprint = Triage.Fingerprint
+module Sched = Triage.Sched
+module Summary = Triage.Summary
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* full pipeline on a small program: returns (prog, plan, report) *)
+let record ?(name = "t") ?(meth = Instrument.Methods.All_branches)
+    ?(args = []) ?world src =
+  let prog = Workloads.Runtime_lib.link ~name:"t" src in
+  let sc = Concolic.Scenario.make ~name ~args ?world prog in
+  let analysis =
+    Bugrepro.Pipeline.analyze
+      ~dynamic_budget:{ Concolic.Engine.max_runs = 40; max_time_s = 5.0 }
+      ~test_scenario:sc prog
+  in
+  let plan = Bugrepro.Pipeline.plan analysis meth in
+  let _, report = Bugrepro.Pipeline.field_run_report ~plan sc in
+  (prog, plan, Option.get report)
+
+let magic_src =
+  "int main() {\n\
+  \  int b[8];\n\
+  \  arg(0, b, 8);\n\
+  \  if (b[0] == 'B') {\n\
+  \    if (b[1] == 'U') {\n\
+  \      if (b[2] == 'G') { crash(); }\n\
+  \    }\n\
+  \  }\n\
+  \  return 0;\n\
+   }"
+
+let file_src =
+  "int main() {\n\
+  \  int b[16];\n\
+  \  int fd = open(\"data\", 0);\n\
+  \  int n = read(fd, b, 16);\n\
+  \  if (n > 2) {\n\
+  \    if (b[0] == 'X') { crash(); }\n\
+  \  }\n\
+  \  return 0;\n\
+   }"
+
+let file_world contents =
+  { Osmodel.World.default_config with files = [ ("data", contents) ] }
+
+let find_sub hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Salvage: the lenient reader on every truncation and on corruption *)
+
+let test_salvage_truncation_sweep () =
+  let _, _, report = record ~args:[ "BUG" ] magic_src in
+  let wire = Wire.serialize report in
+  let n = String.length wire in
+  let prev_bits = ref (-1) in
+  let torn_ok = ref 0 in
+  for cut = 0 to n do
+    let s = String.sub wire 0 cut in
+    match Wire.deserialize_salvage s with
+    | exception e ->
+        Alcotest.failf "cut %d raised %s" cut (Printexc.to_string e)
+    | Error (Wire.Unknown_version v) ->
+        Alcotest.failf "cut %d misread a truncation as version %d" cut v
+    | Error (Wire.Malformed _) -> ()
+    | Ok (r, diag) ->
+        check_bool "program preserved" true
+          (r.Report.program = report.Report.program);
+        check_bool "crash site preserved" true
+          (Interp.Crash.equal_site r.Report.crash report.Report.crash);
+        let bits = r.Report.branch_log.Instrument.Branch_log.nbits in
+        check_bool "salvaged bits monotone in the cut" true (bits >= !prev_bits);
+        prev_bits := bits;
+        if not diag.Wire.complete then incr torn_ok;
+        (* a salvaged report must re-serialize past the strict reader *)
+        (match Wire.deserialize_v (Wire.serialize r) with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "cut %d: re-serialized salvage rejected: %s" cut
+              (Wire.error_to_string e))
+  done;
+  (match Wire.deserialize_salvage wire with
+  | Ok (_, diag) ->
+      check_bool "the untorn input salvages as complete" true diag.Wire.complete
+  | Error e -> Alcotest.failf "untorn input rejected: %s" (Wire.error_to_string e));
+  check_bool "some torn prefixes were salvaged" true (!torn_ok > 0)
+
+let test_salvage_corrupted_hex () =
+  let _, _, report = record ~args:[ "BUG" ] magic_src in
+  let wire = Wire.serialize report in
+  let pos = Option.get (find_sub wire "branch-log: ") + String.length "branch-log: " in
+  let bad = Bytes.of_string wire in
+  Bytes.set bad pos 'z';
+  let bad = Bytes.to_string bad in
+  (match Wire.deserialize_v bad with
+  | Error (Wire.Malformed _) -> ()
+  | Ok _ -> Alcotest.fail "strict reader accepted corrupted hex"
+  | Error (Wire.Unknown_version _) -> Alcotest.fail "wrong strict error");
+  match Wire.deserialize_salvage bad with
+  | Ok (r, diag) ->
+      check_bool "crash site survives hex corruption" true
+        (Interp.Crash.equal_site r.Report.crash report.Report.crash);
+      check_bool "lost bits are accounted" true (diag.Wire.lost_log_bits > 0)
+  | Error e -> Alcotest.failf "salvage rejected: %s" (Wire.error_to_string e)
+
+let test_salvage_unknown_version_fail_closed () =
+  let _, _, report = record ~args:[ "BUG" ] magic_src in
+  let wire = Wire.serialize report in
+  let nl = String.index wire '\n' in
+  let future =
+    Wire.magic_prefix ^ "9" ^ String.sub wire nl (String.length wire - nl)
+  in
+  match Wire.deserialize_salvage future with
+  | Error (Wire.Unknown_version 9) -> ()
+  | Ok _ -> Alcotest.fail "salvage laundered an unknown version into a report"
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+
+let test_ingest_strict_first () =
+  let _, _, report = record ~args:[ "BUG" ] magic_src in
+  let wire = Wire.serialize report in
+  (match Ingest.of_string ~path:"a" wire with
+  | Ok item -> check_bool "intact report is not salvaged" false (Ingest.salvaged item)
+  | Error _ -> Alcotest.fail "intact report rejected");
+  let torn =
+    (* cut mid-hex: the claimed bit count now exceeds the log, which the
+       strict reader rejects and salvage recovers *)
+    String.sub wire 0
+      (Option.get (find_sub wire "branch-log: ") + String.length "branch-log: " + 1)
+  in
+  (match Ingest.of_string ~path:"b" torn with
+  | Ok item -> check_bool "torn report comes through salvage" true (Ingest.salvaged item)
+  | Error _ -> Alcotest.fail "torn report rejected");
+  match Ingest.of_string ~path:"c" "not a report" with
+  | Error { Ingest.error = Wire.Malformed _; _ } -> ()
+  | _ -> Alcotest.fail "garbage must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints and clustering *)
+
+let test_fingerprint_dedup () =
+  let _, _, ra = record ~name:"alpha" ~args:[ "BUG" ] magic_src in
+  let _, _, rb = record ~name:"beta" ~world:(file_world "Xyz") file_src in
+  let fa = Fingerprint.of_report ra and fb = Fingerprint.of_report rb in
+  check_string "identical reports share a key" (Fingerprint.key fa)
+    (Fingerprint.key (Fingerprint.of_report ra));
+  check_bool "distinct crashes keep distinct keys" false
+    (Fingerprint.equal fa fb);
+  let wa = Wire.serialize ra and wb = Wire.serialize rb in
+  let item p s =
+    match Ingest.of_string ~path:p s with
+    | Ok i -> i
+    | Error _ -> Alcotest.failf "ingest %s failed" p
+  in
+  let clusters =
+    Cluster.group [ item "r0" wa; item "r1" wa; item "r2" wb; item "r3" wa ]
+  in
+  check_int "two clusters" 2 (List.length clusters);
+  let find prog =
+    List.find (fun (c : Cluster.t) -> c.fp.Fingerprint.program = prog) clusters
+  in
+  check_int "alpha duplicates collapsed" 3 (Cluster.size (find "alpha"));
+  check_int "beta alone" 1 (Cluster.size (find "beta"))
+
+let test_cluster_prefers_intact_representative () =
+  (* tear only the syscall tail: the branch log survives, so the torn copy
+     lands in the intact copy's cluster — and must not be elected *)
+  let _, _, rb = record ~name:"beta" ~world:(file_world "Xyz") file_src in
+  let wb = Wire.serialize rb in
+  let torn = String.sub wb 0 (Option.get (find_sub wb "syscalls: ") + 12) in
+  let item p s =
+    match Ingest.of_string ~path:p s with
+    | Ok i -> i
+    | Error _ -> Alcotest.failf "ingest %s failed" p
+  in
+  (* the torn path sorts first: election must not be by path here *)
+  match Cluster.group [ item "a-torn" torn; item "b-intact" wb ] with
+  | [ c ] ->
+      check_int "same fingerprint" 2 (Cluster.size c);
+      check_string "intact member elected" "b-intact"
+        c.Cluster.representative.Ingest.path;
+      check_bool "cluster not counted as salvaged" false (Cluster.salvaged c)
+  | cs -> Alcotest.failf "expected one cluster, got %d" (List.length cs)
+
+(* ------------------------------------------------------------------ *)
+(* S4: replaying a salvaged report is sound at every log truncation *)
+
+let test_truncated_log_replay_sound () =
+  let prog, plan, report = record ~args:[ "BUG" ] magic_src in
+  let wire = Wire.serialize report in
+  let start =
+    Option.get (find_sub wire "branch-log: ") + String.length "branch-log: "
+  in
+  let stop = String.index_from wire start '\n' in
+  let exhausted = ref 0 in
+  for cut = start to stop do
+    let s = String.sub wire 0 cut in
+    match Wire.deserialize_salvage s with
+    | Error e -> Alcotest.failf "cut %d rejected: %s" cut (Wire.error_to_string e)
+    | Ok (r, _) -> (
+        match
+          Replay.Guided.reproduce
+            ~budget:{ Concolic.Engine.max_runs = 200; max_time_s = 10.0 }
+            ~prog ~plan r
+        with
+        | exception e ->
+            Alcotest.failf "cut %d: replay raised %s" cut (Printexc.to_string e)
+        | Replay.Guided.Reproduced rr, stats ->
+            check_bool "reproduced at the recorded site" true
+              (Interp.Crash.equal_site rr.crash report.Report.crash);
+            exhausted := !exhausted + stats.Replay.Guided.cases.log_exhausted
+        | Replay.Guided.Not_reproduced _, stats ->
+            exhausted := !exhausted + stats.Replay.Guided.cases.log_exhausted)
+  done;
+  check_bool "truncation exercised log-exhausted forking" true (!exhausted > 0)
+
+(* ------------------------------------------------------------------ *)
+(* S3: escalating budgets accumulate elapsed time honestly *)
+
+let test_escalation_accumulates_elapsed () =
+  let prog, _, _ = record ~args:[ "BUG" ] magic_src in
+  let none =
+    Instrument.Plan.make ~nbranches:(Minic.Program.nbranches prog)
+      Instrument.Methods.No_instrumentation
+  in
+  let sc = Concolic.Scenario.make ~name:"t" ~args:[ "BUG" ] prog in
+  let _, report = Bugrepro.Pipeline.field_run_report ~plan:none sc in
+  let report = Option.get report in
+  let item =
+    match Ingest.of_string ~path:"r0" (Wire.serialize report) with
+    | Ok i -> i
+    | Error _ -> Alcotest.fail "ingest failed"
+  in
+  (* first rung: one run, guaranteed to come up empty on a pure search —
+     the bug needs the second rung *)
+  let policy =
+    {
+      Sched.default_policy with
+      ladder =
+        [
+          { Concolic.Engine.max_runs = 1; max_time_s = 5.0 };
+          { Concolic.Engine.max_runs = 400; max_time_s = 15.0 };
+        ];
+      deadline_s = 120.0;
+    }
+  in
+  match
+    Sched.run ~policy ~resolve:(fun _ -> Ok (prog, none)) (Cluster.group [ item ])
+  with
+  | [ r ] ->
+      check_bool "reproduced on the second rung" true
+        (match r.Sched.status with Sched.Reproduced _ -> true | _ -> false);
+      check_int "both rungs tried" 2 r.Sched.rungs;
+      check_int "per-rung breakdown matches" 2 (List.length r.Sched.rung_elapsed_s);
+      let sum = List.fold_left ( +. ) 0.0 r.Sched.rung_elapsed_s in
+      check_bool "cumulative elapsed sums every rung" true
+        (Float.abs (r.Sched.elapsed_s -. sum) < 1e-6);
+      check_bool "a retry never reports less than its predecessors" true
+        (r.Sched.elapsed_s >= List.hd r.Sched.rung_elapsed_s);
+      check_bool "runs accumulate across rungs" true (r.Sched.runs > 1)
+  | rs -> Alcotest.failf "expected one cluster result, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* Worker count must not change the summary (timing fields aside) *)
+
+let test_jobs_invariant_summary () =
+  let progA, planA, ra = record ~name:"alpha" ~args:[ "BUG" ] magic_src in
+  let progB, planB, rb = record ~name:"beta" ~world:(file_world "Xyz") file_src in
+  let wa = Wire.serialize ra and wb = Wire.serialize rb in
+  let torn = String.sub wb 0 (Option.get (find_sub wb "syscalls: ") + 12) in
+  let texts =
+    [ ("r0.report", wa); ("r1.report", wa); ("r2.report", wb);
+      ("r3.report", torn); ("r4.report", wa) ]
+  in
+  let items =
+    List.map
+      (fun (p, s) ->
+        match Ingest.of_string ~path:p s with
+        | Ok i -> i
+        | Error _ -> Alcotest.failf "ingest %s failed" p)
+      texts
+  in
+  let resolve (c : Cluster.t) =
+    match c.Cluster.fp.Fingerprint.program with
+    | "alpha" -> Ok (progA, planA)
+    | "beta" -> Ok (progB, planB)
+    | p -> Error ("unknown program " ^ p)
+  in
+  let summarize jobs =
+    let policy = { Sched.default_policy with jobs; deadline_s = 120.0 } in
+    Triage.run_items ~policy ~resolve items
+  in
+  let s1 = summarize 1 in
+  check_bool "duplicates collapsed" true (s1.Summary.dedup_ratio < 1.0);
+  check_bool "salvage path used" true (s1.Summary.salvaged > 0);
+  check_int "every cluster reproduced"
+    (List.length s1.Summary.clusters)
+    (s1.Summary.reproduced + s1.Summary.salvaged_reproduced);
+  let s4 = summarize 4 in
+  check_string "jobs=1 and jobs=4 summaries agree"
+    (Summary.to_json ~timing:false s1)
+    (Summary.to_json ~timing:false s4)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "triage"
+    [
+      ( "salvage",
+        [
+          Alcotest.test_case "truncation sweep" `Quick test_salvage_truncation_sweep;
+          Alcotest.test_case "corrupted hex" `Quick test_salvage_corrupted_hex;
+          Alcotest.test_case "unknown version stays closed" `Quick
+            test_salvage_unknown_version_fail_closed;
+          Alcotest.test_case "strict first" `Quick test_ingest_strict_first;
+        ] );
+      ( "dedup",
+        [
+          Alcotest.test_case "fingerprint clustering" `Quick test_fingerprint_dedup;
+          Alcotest.test_case "intact representative wins" `Quick
+            test_cluster_prefers_intact_representative;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "salvaged log replay is sound" `Quick
+            test_truncated_log_replay_sound;
+          Alcotest.test_case "escalation accounting" `Quick
+            test_escalation_accumulates_elapsed;
+          Alcotest.test_case "jobs-invariant summary" `Quick
+            test_jobs_invariant_summary;
+        ] );
+    ]
