@@ -97,6 +97,9 @@ let e4 (c : Ctx.t) =
       Instrument.Methods.instrumented
   in
   Util.table ([ "config"; "instrumented"; "cpu time"; "" ] :: rows);
+  Util.elision_curve ~experiment:"E4" ~prog:(Lazy.force e.prog)
+    ~plan:(Bugrepro.Pipeline.plan a Instrument.Methods.Dynamic_static)
+    sc;
   print_endline
     "expected shape: dynamic / dynamic+static / static nearly identical\n\
      (the analyses are accurate on these small programs); all-branches slowest."

@@ -82,6 +82,11 @@ let e12 (c : Ctx.t) =
       (configs c)
   in
   Util.table ([ "configuration"; "instrumented"; "cpu time"; "" ] :: rows);
+  (match List.assoc_opt "dyn+static" (configs c) with
+  | Some plan ->
+      Util.elision_curve ~experiment:"E12"
+        ~prog:(Lazy.force Workloads.Diffutil.prog) ~plan sc
+  | None -> ());
   print_endline
     "expected shape: dynamic and dyn+static cheapest (paper: ~35% overhead);\n\
      static close to all-branches because almost everything in diff is\n\

@@ -204,6 +204,9 @@ let e8 (c : Ctx.t) =
       (configs c)
   in
   Util.table ([ "configuration"; "cpu time"; "storage (bytes/request)"; "" ] :: rows);
+  (match List.assoc_opt "dyn+static (hc)" (configs c) with
+  | Some plan -> Util.elision_curve ~experiment:"E8" ~prog:(prog ()) ~plan sc
+  | None -> ());
   print_endline
     "expected shape: all-branches worst; static only marginally better (it\n\
      instruments every library branch); dynamic and dyn+static far cheaper;\n\

@@ -99,6 +99,91 @@ let metrics : (string * string * float) list ref = ref []
 let record_metric ~experiment key value =
   metrics := (experiment, key, value) :: !metrics
 
+(* ------------------------------------------------------------------ *)
+(* Probe-elision curve: raw vs suppressed vs suppressed+compressed for
+   one plan and scenario (the EXPERIMENTS.md extension rows of E4/E8 and
+   E12).  The analysis output is proof-checked before the refined plan is
+   trusted; per-run cost and storage land as suppression/* metrics. *)
+
+let elision_curve ~experiment ~(prog : Minic.Program.t)
+    ~(plan : Instrument.Plan.t) (sc : Concolic.Scenario.t) =
+  let module Sup = Staticanalysis.Suppression in
+  let instrumented = plan.Instrument.Plan.instrumented in
+  let sup = Sup.analyze ~instrumented prog in
+  (match Sup.verify ~instrumented prog (Sup.to_table sup) with
+  | Ok () -> ()
+  | Error m -> failwith (experiment ^ ": suppression proof rejected: " ^ m));
+  let plan_sup = Instrument.Plan.with_suppression plan sup in
+  let raw = Instrument.Field_run.run ~plan sc in
+  let supr = Instrument.Field_run.run ~plan:plan_sup sc in
+  let raw_log = raw.Instrument.Field_run.branch_log in
+  let sup_log = supr.Instrument.Field_run.branch_log in
+  let comp = Instrument.Compress.compress sup_log in
+  let raw_comp = Instrument.Compress.compress raw_log in
+  let pct_of_raw v =
+    if raw_log.Instrument.Branch_log.nbits = 0 then "n/a"
+    else
+      Printf.sprintf "%.0f%%"
+        (100.0 *. float_of_int v
+        /. float_of_int raw_log.Instrument.Branch_log.nbits)
+  in
+  Printf.printf "probe elision on %s (%d of %d probes elided, verified):\n"
+    (Instrument.Methods.to_string plan.Instrument.Plan.meth)
+    (Sup.n_elided sup)
+    plan.Instrument.Plan.n_instrumented;
+  table
+    [
+      [ "log configuration"; "bits"; "of raw"; "transfer bytes"; "cpu time" ];
+      [
+        "raw";
+        string_of_int raw_log.Instrument.Branch_log.nbits;
+        "100%";
+        string_of_int (Instrument.Branch_log.size_bytes raw_log);
+        pct ~baseline:raw.Instrument.Field_run.cost.instr
+          raw.Instrument.Field_run.cost.instr;
+      ];
+      [
+        "suppressed";
+        string_of_int sup_log.Instrument.Branch_log.nbits;
+        pct_of_raw sup_log.Instrument.Branch_log.nbits;
+        string_of_int (Instrument.Branch_log.size_bytes sup_log);
+        pct ~baseline:raw.Instrument.Field_run.cost.instr
+          supr.Instrument.Field_run.cost.instr;
+      ];
+      [
+        "suppressed+compressed";
+        string_of_int sup_log.Instrument.Branch_log.nbits;
+        pct_of_raw sup_log.Instrument.Branch_log.nbits;
+        Printf.sprintf "%d (raw compresses to %d)"
+          (Instrument.Compress.size_bytes comp)
+          (Instrument.Compress.size_bytes raw_comp);
+        "-";
+      ];
+    ];
+  let m k v = record_metric ~experiment ("suppression/" ^ k) v in
+  m "elided" (float_of_int (Sup.n_elided sup));
+  m "raw_bits" (float_of_int raw_log.Instrument.Branch_log.nbits);
+  m "suppressed_bits" (float_of_int sup_log.Instrument.Branch_log.nbits);
+  m "bits_saved_pct"
+    (if raw_log.Instrument.Branch_log.nbits = 0 then 0.0
+     else
+       100.0
+       *. float_of_int
+            (raw_log.Instrument.Branch_log.nbits
+            - sup_log.Instrument.Branch_log.nbits)
+       /. float_of_int raw_log.Instrument.Branch_log.nbits);
+  m "compressed_bytes" (float_of_int (Instrument.Compress.size_bytes comp));
+  m "raw_compressed_bytes"
+    (float_of_int (Instrument.Compress.size_bytes raw_comp));
+  m "field_cpu_delta_pct"
+    (if raw.Instrument.Field_run.cost.instr = 0 then 0.0
+     else
+       100.0
+       *. float_of_int
+            (supr.Instrument.Field_run.cost.instr
+            - raw.Instrument.Field_run.cost.instr)
+       /. float_of_int raw.Instrument.Field_run.cost.instr)
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter

@@ -7,9 +7,11 @@
 #                             # --jobs 4) and validate its JSON summary,
 #                             # plus a seeded 200-case differential fuzz
 #                             # smoke (bugrepro fuzz), the checked-in
-#                             # corpus replay, and a triage smoke over a
-#                             # generated batch with duplicates and torn
-#                             # tails (strict JSON summary validated)
+#                             # corpus replay, a probe-elision smoke
+#                             # (elided > 0 + reconstruction parity on the
+#                             # walkthrough program), and a triage smoke
+#                             # over a generated batch with duplicates and
+#                             # torn tails (strict JSON summary validated)
 #
 # FUZZ_COUNT overrides the smoke's case count (the nightly CI lane sets
 # it to a few thousand); FUZZ_SEED overrides the campaign seed.
@@ -99,6 +101,27 @@ if [ "$QUICK" = 1 ]; then
   echo "== corpus replay (test/corpus + known repros) =="
   dune exec bin/bugrepro_cli.exe -- fuzz --corpus test/corpus --thorough
   dune exec bin/bugrepro_cli.exe -- fuzz --corpus test/corpus/known --thorough
+
+  echo "== suppression smoke (elision + reconstruction parity) =="
+  # the probe-elision walkthrough must elide probes AND reconstruct the
+  # exact suppression-free log (the CLI exits 4 on proof-checker rejection
+  # or parity failure); CI uploads the JSON report as an artifact
+  SUPJSON=$(mktemp /tmp/suppression-report.XXXXXX.json)
+  dune exec bin/minic_cli.exe -- analyze examples/suppression_demo.mc \
+    --suppression-report --json -- abc > "$SUPJSON"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SUPJSON" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["summary"]
+assert s["elided"] > 0, "nothing elided in the walkthrough"
+assert s["parity"]["ok"], "reconstruction parity failed"
+assert s["parity"]["suppressed_bits"] < s["parity"]["full_bits"], \
+    "suppression saved no bits"
+EOF
+    echo "suppression JSON report OK: $SUPJSON"
+  else
+    echo "python3 not found; skipping JSON validation of $SUPJSON"
+  fi
 
   echo "== triage smoke (batch with duplicates + torn tails) =="
   # a tiny generated batch: duplicates must collapse (dedup < 1), the torn

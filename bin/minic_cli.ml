@@ -6,16 +6,20 @@
    $ minic analyze prog.c -- testarg      # static + dynamic branch labels
    $ minic analyze prog.c --report        # + per-branch precision/provenance
    $ minic analyze prog.c --json          # precision report as JSON
+   $ minic analyze prog.c --suppression-report
+                                          # probe-elision verdict per branch
+                                          # (+ --json for the strict JSON form)
 
    The simulated OS starts empty; give file inputs with --file path=contents
    and connection payloads with --conn data (repeatable).
 
    Exit codes: 0 ok, 1 compile/link or runtime failure, 2 usage,
-   3 type error. *)
+   3 type error, 4 suppression proof-checker rejection or reconstruction
+   parity failure. *)
 
 let usage () =
   prerr_endline
-    "usage: minic (run|check|pretty|analyze) FILE [--report] [--json] [--no-refine] [--file p=c] [--conn data] [-- args...]";
+    "usage: minic (run|check|pretty|analyze) FILE [--report] [--json] [--suppression-report] [--no-refine] [--file p=c] [--conn data] [-- args...]";
   exit 2
 
 type opts = {
@@ -24,12 +28,14 @@ type opts = {
   mutable args : string list;
   mutable report : bool;
   mutable json : bool;
+  mutable suppression : bool;
   mutable refine : bool;
 }
 
 let parse_opts argv =
   let o =
-    { files = []; conns = []; args = []; report = false; json = false; refine = true }
+    { files = []; conns = []; args = []; report = false; json = false;
+      suppression = false; refine = true }
   in
   let rec go = function
     | [] -> ()
@@ -55,6 +61,9 @@ let parse_opts argv =
         go rest
     | "--json" :: rest ->
         o.json <- true;
+        go rest
+    | "--suppression-report" :: rest ->
+        o.suppression <- true;
         go rest
     | "--no-refine" :: rest ->
         o.refine <- false;
@@ -147,6 +156,77 @@ let () =
               sc
           in
           let sta = Staticanalysis.Static.analyze ~refine:o.refine prog in
+          if o.suppression then begin
+            (* probe-elision verdicts for the paper-default Dynamic_static
+               plan, with the same proof check and reconstruction-parity
+               self-check the pipeline applies before trusting a table *)
+            let plan =
+              Instrument.Plan.make
+                ~nbranches:(Minic.Program.nbranches prog)
+                ~dynamic:dyn.labels ~static:sta.labels
+                Instrument.Methods.Dynamic_static
+            in
+            let instrumented = plan.Instrument.Plan.instrumented in
+            let sup = Staticanalysis.Suppression.analyze ~instrumented prog in
+            (match
+               Staticanalysis.Suppression.verify ~instrumented prog
+                 (Staticanalysis.Suppression.to_table sup)
+             with
+            | Ok () -> ()
+            | Error msg ->
+                Printf.eprintf "suppression proof-checker rejection: %s\n" msg;
+                exit 4);
+            (* parity self-check: the shadow log a suppressed field run
+               reconstructs must equal a suppression-free run's log, bit
+               for bit, with zero reconstruction mismatches *)
+            let full = Instrument.Field_run.run ~plan sc in
+            let elided =
+              Instrument.Field_run.run ~shadow:true
+                ~plan:(Instrument.Plan.with_suppression plan sup)
+                sc
+            in
+            let full_log = full.Instrument.Field_run.branch_log in
+            let parity_ok =
+              elided.Instrument.Field_run.shadow_mismatches = 0
+              &&
+              match elided.Instrument.Field_run.shadow_log with
+              | None -> false
+              | Some sh ->
+                  sh.Instrument.Branch_log.nbits
+                  = full_log.Instrument.Branch_log.nbits
+                  && sh.Instrument.Branch_log.bytes
+                     = full_log.Instrument.Branch_log.bytes
+            in
+            if o.json then begin
+              let extra =
+                Printf.sprintf
+                  ",\"parity\":{\"ok\":%b,\"elided_execs\":%d,\"mismatches\":%d,\"full_bits\":%d,\"suppressed_bits\":%d}"
+                  parity_ok elided.Instrument.Field_run.n_elided
+                  elided.Instrument.Field_run.shadow_mismatches
+                  full_log.Instrument.Branch_log.nbits
+                  elided.Instrument.Field_run.branch_log
+                    .Instrument.Branch_log.nbits
+              in
+              print_endline
+                (Staticanalysis.Suppression.report_to_json ~extra sup prog
+                   ~instrumented)
+            end
+            else begin
+              print_string
+                (Staticanalysis.Suppression.report_to_text ~all:o.report sup
+                   prog ~instrumented);
+              Printf.printf
+                "parity: %s — %d elided executions, %d mismatches, %d bits \
+                 full vs %d suppressed\n"
+                (if parity_ok then "ok" else "FAILED")
+                elided.Instrument.Field_run.n_elided
+                elided.Instrument.Field_run.shadow_mismatches
+                full_log.Instrument.Branch_log.nbits
+                elided.Instrument.Field_run.branch_log
+                  .Instrument.Branch_log.nbits
+            end;
+            exit (if parity_ok then 0 else 4)
+          end;
           if o.json then begin
             (* machine-readable output only: the precision report *)
             let rep = Staticanalysis.Static.precision sta prog ~dynamic:dyn.labels in

@@ -38,6 +38,10 @@ module Config = struct
     refine : bool;  (** false = seed (unrefined) static pipeline *)
     jobs : int;  (** worker domains for exploration and replay *)
     log_syscalls : bool;  (** ship a syscall log with the branch log *)
+    suppression : bool;
+        (** refine plans with the probe-elision analysis: statically
+            redundant instrumented branches ship a reconstruction rule
+            instead of log bits *)
     solver_cache : bool;  (** memoize solver queries during replay *)
     seed : int;  (** replay's initial random input *)
     replay_max_steps : int;  (** interpreter step cap per replay run *)
@@ -54,6 +58,7 @@ module Config = struct
       refine = true;
       jobs = 1;
       log_syscalls = true;
+      suppression = false;
       solver_cache = true;
       seed = 1;
       replay_max_steps = 5_000_000;
@@ -73,6 +78,7 @@ module Config = struct
   let with_analyze_lib analyze_lib c = { c with analyze_lib }
   let with_refine refine c = { c with refine }
   let with_log_syscalls log_syscalls c = { c with log_syscalls }
+  let with_suppression suppression c = { c with suppression }
   let with_solver_cache solver_cache c = { c with solver_cache }
   let with_seed seed c = { c with seed }
   let with_replay_max_steps replay_max_steps c = { c with replay_max_steps }
@@ -116,6 +122,28 @@ module Run = struct
              (fun (s : Staticanalysis.Static.result) -> s.labels)
              a.static)
         meth
+    in
+    let p =
+      if not c.suppression then p
+      else begin
+        let sup =
+          Staticanalysis.Suppression.analyze
+            ~instrumented:p.Instrument.Plan.instrumented a.prog
+        in
+        (* the analysis is proof-producing; re-check its own output with
+           the independent verifier before the plan is accepted, exactly
+           as replay will for the shipped table *)
+        (match
+           Staticanalysis.Suppression.verify
+             ~instrumented:p.Instrument.Plan.instrumented a.prog
+             (Staticanalysis.Suppression.to_table sup)
+         with
+        | Ok () -> ()
+        | Error msg -> failwith ("Pipeline.Run.plan: suppression proof rejected: " ^ msg));
+        Telemetry.Span.addi sp "elided"
+          (Staticanalysis.Suppression.n_elided sup);
+        Instrument.Plan.with_suppression p sup
+      end
     in
     Telemetry.Span.addi sp "instrumented" p.n_instrumented;
     p
@@ -228,7 +256,7 @@ let measure_symbolic_logging ?(syscall_results_symbolic = false)
     {
       Interp.Eval.no_hooks with
       Interp.Eval.on_branch =
-        (fun ~bid ~taken:_ ~cond ->
+        (fun ~bid ~iter:_ ~taken:_ ~cond ->
           if Interp.Value.is_symbolic cond then sym_execs.(bid) <- sym_execs.(bid) + 1);
     }
   in
@@ -284,7 +312,7 @@ let measure_branch_behaviour (sc : Concolic.Scenario.t) : branch_exec_stats =
     {
       Interp.Eval.no_hooks with
       Interp.Eval.on_branch =
-        (fun ~bid ~taken:_ ~cond ->
+        (fun ~bid ~iter:_ ~taken:_ ~cond ->
           total.(bid) <- total.(bid) + 1;
           if Interp.Value.is_symbolic cond then sym.(bid) <- sym.(bid) + 1);
     }

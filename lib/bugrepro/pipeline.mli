@@ -28,6 +28,11 @@ module Config : sig
     refine : bool;  (** false = seed (unrefined) static pipeline *)
     jobs : int;  (** worker domains for exploration and replay *)
     log_syscalls : bool;  (** ship a syscall log with the branch log *)
+    suppression : bool;
+        (** refine plans with the probe-elision analysis
+            ({!Staticanalysis.Suppression}): statically redundant
+            instrumented branches ship a reconstruction rule instead of
+            log bits.  Off by default (the paper's raw configuration). *)
     solver_cache : bool;  (** memoize solver queries during replay *)
     seed : int;  (** replay's initial random input *)
     replay_max_steps : int;  (** interpreter step cap per replay run *)
@@ -52,6 +57,7 @@ module Config : sig
   val with_analyze_lib : bool -> t -> t
   val with_refine : bool -> t -> t
   val with_log_syscalls : bool -> t -> t
+  val with_suppression : bool -> t -> t
   val with_solver_cache : bool -> t -> t
   val with_seed : int -> t -> t
   val with_replay_max_steps : int -> t -> t
@@ -68,7 +74,12 @@ module Run : sig
     Config.t -> ?test_scenario:Concolic.Scenario.t -> Minic.Program.t ->
     analysis
 
-  (** Instrumentation plan for a method, from the available analyses. *)
+  (** Instrumentation plan for a method, from the available analyses.
+      With [config.suppression] the plan is refined by the probe-elision
+      analysis; the resulting table is proof-checked
+      ({!Staticanalysis.Suppression.verify}) before the plan is accepted
+      (raises [Failure] on rejection — an unproven table must never reach
+      the field). *)
   val plan : Config.t -> analysis -> Instrument.Methods.t -> Instrument.Plan.t
 
   (** User-site execution. *)

@@ -33,7 +33,7 @@ let run ?(log_syscalls = true) ~(plan : Instrument.Plan.t)
     {
       Interp.Eval.no_hooks with
       Interp.Eval.on_branch =
-        (fun ~bid ~taken ~cond:_ ->
+        (fun ~bid ~iter:_ ~taken ~cond:_ ->
           if Instrument.Plan.is_instrumented plan bid then begin
             Instrument.Branch_log.Writer.add_bit !writer taken;
             Interp.Cost.charge_logged_branch side_cost
@@ -99,6 +99,10 @@ let report_of ~(sc : Concolic.Scenario.t) ~(plan : Instrument.Plan.t)
             schedule_log = None (* the checkpointed server is single-threaded *);
             crash;
             shape = Concolic.Scenario.shape_of sc;
+            (* checkpointed field runs do not apply suppression: the
+               restore protocol discards pre-checkpoint bits, which would
+               invalidate the reconstruction cursors *)
+            suppression = [];
           },
           r.snapshot )
   | Interp.Crash.Exit _ | Interp.Crash.Budget_exhausted | Interp.Crash.Aborted _

@@ -35,7 +35,7 @@ let make_run ?(max_steps = 2_000_000) (sc : Scenario.t) ~vars
     {
       Interp.Eval.no_hooks with
       Interp.Eval.on_branch =
-        (fun ~bid ~taken ~cond ->
+        (fun ~bid ~iter:_ ~taken ~cond ->
           on_branch_observed bid (Interp.Value.is_symbolic cond);
           ignore taken);
     }

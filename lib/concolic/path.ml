@@ -49,8 +49,8 @@ let hooks ?(inner = Interp.Eval.no_hooks) (t : t) : Interp.Eval.hooks =
   {
     inner with
     Interp.Eval.on_branch =
-      (fun ~bid ~taken ~cond ->
-        inner.Interp.Eval.on_branch ~bid ~taken ~cond;
+      (fun ~bid ~iter ~taken ~cond ->
+        inner.Interp.Eval.on_branch ~bid ~iter ~taken ~cond;
         match cond.Interp.Value.sym with
         | Some sym -> record_branch t ~bid ~taken sym
         | None -> ());

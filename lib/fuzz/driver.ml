@@ -64,6 +64,7 @@ let oracle_cfg (opts : opts) ~index : Oracle.cfg =
     check_determinism = opts.thorough || index mod 4 = 0;
     check_cache = opts.thorough || index mod 2 = 0;
     check_salvage = opts.thorough || index mod 3 = 1;
+    check_suppression = opts.thorough || index mod 3 = 2;
     det_jobs = max 2 opts.config.Config.jobs;
     max_steps = 200_000;
   }

@@ -12,6 +12,7 @@ type cfg = {
   check_determinism : bool;
   check_cache : bool;
   check_salvage : bool;
+  check_suppression : bool;
   det_jobs : int;
   max_steps : int;
 }
@@ -28,6 +29,7 @@ let default_cfg =
     check_determinism = true;
     check_cache = true;
     check_salvage = true;
+    check_suppression = true;
     det_jobs = 4;
     max_steps = 200_000;
   }
@@ -323,6 +325,137 @@ let salvage_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
      fail (-1) ("salvage raised " ^ Printexc.to_string exn));
   match !failure with None -> Pass | Some msg -> Fail msg
 
+(* Oracle (g): suppression parity.  Run the Dynamic_static plan twice —
+   suppression off, then on with the shadow log enabled.  The proof
+   checker must accept the analysis' own table; the shadow log (elided
+   bits reconstructed by rule) must equal the suppression-free log bit
+   for bit with zero reconstruction mismatches; outcome and output must
+   be untouched.  When the run crashed, the suppressed report must
+   round-trip its table across the wire, and guided replay from it must
+   reach the same verdict — and, absent timeouts, the same §3.1 case
+   counters — as replay from the raw report. *)
+
+let suppression_check (cfg : cfg) (case : Gen.case) (sc : Concolic.Scenario.t)
+    ~dynamic ~static : verdict =
+  let prog = case.Gen.prog in
+  let plan =
+    Instrument.Plan.make
+      ~nbranches:(Minic.Program.nbranches prog)
+      ?dynamic ~static Instrument.Methods.Dynamic_static
+  in
+  let instrumented = plan.Instrument.Plan.instrumented in
+  let sup = Staticanalysis.Suppression.analyze ~instrumented prog in
+  match
+    Staticanalysis.Suppression.verify ~instrumented prog
+      (Staticanalysis.Suppression.to_table sup)
+  with
+  | Error msg -> Fail ("proof checker rejected the analysis' own table: " ^ msg)
+  | Ok () -> (
+      let full = Bugrepro.Pipeline.Run.field_run cfg.config ~plan sc in
+      let sup_plan = Instrument.Plan.with_suppression plan sup in
+      let elided =
+        Instrument.Field_run.run ~log_syscalls:cfg.config.log_syscalls
+          ~telemetry:cfg.config.telemetry ~shadow:true ~plan:sup_plan sc
+      in
+      let outcome_str (r : Instrument.Field_run.result) =
+        Interp.Crash.outcome_to_string r.outcome
+      in
+      if outcome_str full <> outcome_str elided then
+        Fail
+          (Printf.sprintf "elision changed the outcome: %s vs %s"
+             (outcome_str full) (outcome_str elided))
+      else if full.output <> elided.output then
+        Fail "elision changed the program output"
+      else if elided.shadow_mismatches > 0 then
+        Fail
+          (Printf.sprintf
+             "%d elided execution(s) reconstructed the wrong bit"
+             elided.shadow_mismatches)
+      else
+        match elided.shadow_log with
+        | None -> Fail "shadow run produced no shadow log"
+        | Some sh ->
+            let fl = full.branch_log in
+            if
+              sh.Instrument.Branch_log.nbits <> fl.Instrument.Branch_log.nbits
+              || sh.Instrument.Branch_log.bytes
+                 <> fl.Instrument.Branch_log.bytes
+            then
+              Fail
+                (Printf.sprintf
+                   "reconstructed log differs from the raw log (%d bits vs %d)"
+                   sh.Instrument.Branch_log.nbits
+                   fl.Instrument.Branch_log.nbits)
+            else (
+              match
+                ( Instrument.Report.of_field_run ~sc ~plan full,
+                  Instrument.Report.of_field_run ~sc ~plan:sup_plan elided )
+              with
+              | None, None -> Pass (* no crash: log parity is the whole check *)
+              | Some _, None | None, Some _ ->
+                  Fail "only one of the two runs produced a report"
+              | Some raw_report, Some sup_report -> (
+                  (* the table must survive the wire *)
+                  match
+                    Instrument.Wire.deserialize_v
+                      (Instrument.Wire.serialize sup_report)
+                  with
+                  | Error e ->
+                      Fail
+                        ("suppressed report does not deserialize: "
+                        ^ Instrument.Wire.error_to_string e)
+                  | Ok rt
+                    when rt.Instrument.Report.suppression
+                         <> sup_report.Instrument.Report.suppression ->
+                      Fail "suppression table changed across the wire"
+                  | Ok _ -> (
+                      let raw_result, raw_stats =
+                        Bugrepro.Pipeline.Run.reproduce cfg.config ~prog ~plan
+                          raw_report
+                      in
+                      let sup_result, sup_stats =
+                        Bugrepro.Pipeline.Run.reproduce cfg.config ~prog
+                          ~plan:sup_plan sup_report
+                      in
+                      match raw_result, sup_result with
+                      | Replay.Guided.Not_reproduced { timed_out = true; _ }, _
+                      | _, Replay.Guided.Not_reproduced { timed_out = true; _ }
+                        ->
+                          Skip "replay budget exhausted; not comparable"
+                      | Replay.Guided.Reproduced _, Replay.Guided.Reproduced _
+                        ->
+                          let rc = raw_stats.Replay.Guided.cases
+                          and sc_ = sup_stats.Replay.Guided.cases in
+                          if
+                            (rc.case1, rc.case2a, rc.case2b, rc.case3a,
+                             rc.case3b, rc.case4, rc.log_exhausted)
+                            <> (sc_.case1, sc_.case2a, sc_.case2b, sc_.case3a,
+                                sc_.case3b, sc_.case4, sc_.log_exhausted)
+                          then
+                            Fail
+                              (Printf.sprintf
+                                 "§3.1 counters diverge: raw \
+                                  (%d,%d,%d,%d,%d,%d,%d) vs suppressed \
+                                  (%d,%d,%d,%d,%d,%d,%d)"
+                                 rc.case1 rc.case2a rc.case2b rc.case3a
+                                 rc.case3b rc.case4 rc.log_exhausted sc_.case1
+                                 sc_.case2a sc_.case2b sc_.case3a sc_.case3b
+                                 sc_.case4 sc_.log_exhausted)
+                          else Pass
+                      | Replay.Guided.Not_reproduced _,
+                        Replay.Guided.Not_reproduced _ ->
+                          Pass
+                      | Replay.Guided.Reproduced _,
+                        Replay.Guided.Not_reproduced _ ->
+                          Fail
+                            "raw report reproduces but the suppressed one \
+                             does not"
+                      | Replay.Guided.Not_reproduced _,
+                        Replay.Guided.Reproduced _ ->
+                          Fail
+                            "suppressed report reproduces but the raw one \
+                             does not"))))
+
 let replay_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
     (meth : Instrument.Methods.t) (report : Instrument.Report.t) : verdict =
   let result, stats =
@@ -374,6 +507,7 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
   let sc = Gen.scenario ~max_steps:cfg.max_steps case in
   let need_explore =
     want "labels" || want "determinism" || want "cache"
+    || (cfg.check_suppression && want "suppression")
     || List.exists
          (fun m ->
            m <> Instrument.Methods.All_branches
@@ -441,4 +575,10 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
               record "replay"
                 (span "replay" (fun () -> replay_check cfg case plan meth report)))
       cfg.methods;
+  if cfg.check_suppression && want "suppression" then
+    record "suppression"
+      (span "suppression" (fun () ->
+           suppression_check cfg case sc
+             ~dynamic:(Option.map (fun (b : explo) -> b.labels) base)
+             ~static:(Lazy.force static_labels)));
   List.rev !results

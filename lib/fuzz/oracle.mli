@@ -27,6 +27,13 @@
     - {b wire}: [serialize -> deserialize -> serialize] is the identity on
       every generated report, and the decoded report preserves the crash
       site.
+    - {b suppression}: the probe-elision analysis' own table passes the
+      proof checker; a suppressed field run's shadow log equals the
+      suppression-free log bit for bit with zero reconstruction
+      mismatches and unchanged outcome/output; and, when the run
+      crashed, the table survives the wire and guided replay from the
+      suppressed report reaches the same verdict — with the same §3.1
+      case counters absent timeouts — as replay from the raw report.
     - {b salvage}: truncating the wire form at every byte boundary and
       salvaging ({!Instrument.Wire.deserialize_salvage}) never raises,
       never misreads a truncation as an unknown version, preserves the
@@ -53,6 +60,7 @@ type cfg = {
   check_determinism : bool;
   check_cache : bool;
   check_salvage : bool;
+  check_suppression : bool;
   det_jobs : int;  (** worker count for the parallel half of determinism *)
   max_steps : int;  (** interpreter step cap per exploration run *)
 }

@@ -16,12 +16,26 @@ type result = {
   schedule_log : Schedule_log.log option;
       (** recorded thread-scheduling decisions; empty when single-threaded *)
   world : Osmodel.World.t;  (** final world (server responses, access log) *)
+  n_elided : int;
+      (** instrumented branch executions whose bit was suppressed *)
+  shadow_log : Branch_log.log option;
+      (** with [~shadow:true]: the full log a suppression-free run would
+          have written, rebuilt from reconstruction rules at elided sites *)
+  shadow_mismatches : int;
+      (** elided sites whose reconstructed bit differed from the outcome
+          actually taken — any non-zero count is a suppression soundness
+          bug *)
 }
 
 (** Execute [sc] with instrumentation [plan].  [log_syscalls] defaults to
-    true, the paper's recommended configuration. *)
-let run ?(log_syscalls = true) ?(telemetry = Telemetry.disabled)
-    ~(plan : Plan.t) (sc : Concolic.Scenario.t) : result =
+    true, the paper's recommended configuration.  When the plan carries a
+    suppression table, elided probes skip both the log write and the
+    logging charge (the probe compiles to nothing); [shadow] additionally
+    rebuilds the suppression-free log from the reconstruction rules so
+    callers can check bit-for-bit parity. *)
+let run ?(log_syscalls = true) ?(shadow = false)
+    ?(telemetry = Telemetry.disabled) ~(plan : Plan.t)
+    (sc : Concolic.Scenario.t) : result =
   Telemetry.Span.with_ telemetry ~name:"field_run"
     ~attrs:
       [
@@ -33,17 +47,55 @@ let run ?(log_syscalls = true) ?(telemetry = Telemetry.disabled)
   let writer = Branch_log.Writer.create () in
   let sys_log = if log_syscalls then Some (Syscall_log.create ()) else None in
   let cost_cell : Interp.Cost.t option ref = ref None in
+  let recon =
+    match plan.Plan.suppression with
+    | Some sup -> Some (Staticanalysis.Suppression.Recon.create sup.rules)
+    | None -> None
+  in
+  let shadow_writer = if shadow then Some (Branch_log.Writer.create ()) else None in
+  let n_elided = ref 0 and shadow_mismatches = ref 0 in
   let hooks =
     {
       Interp.Eval.no_hooks with
       Interp.Eval.on_branch =
-        (fun ~bid ~taken ~cond ->
+        (fun ~bid ~iter ~taken ~cond ->
           ignore cond;
+          (* the reconstruction machine sees every branch (loop headers
+             drive the invariance resets even when uninstrumented) *)
+          let action =
+            match recon with
+            | None -> Staticanalysis.Suppression.Recon.Consume
+            | Some rc ->
+                Staticanalysis.Suppression.Recon.on_branch rc ~bid ~iter
+          in
           if Plan.is_instrumented plan bid then begin
-            Branch_log.Writer.add_bit writer taken;
-            match !cost_cell with
-            | Some c -> Interp.Cost.charge_logged_branch c
-            | None -> ()
+            let shadow_bit b =
+              match shadow_writer with
+              | Some w -> Branch_log.Writer.add_bit w b
+              | None -> ()
+            in
+            match action with
+            | Staticanalysis.Suppression.Recon.Consume ->
+                Branch_log.Writer.add_bit writer taken;
+                (match recon with
+                | Some rc ->
+                    Staticanalysis.Suppression.Recon.record rc ~bid taken
+                | None -> ());
+                shadow_bit taken;
+                (match !cost_cell with
+                | Some c -> Interp.Cost.charge_logged_branch c
+                | None -> ())
+            | Staticanalysis.Suppression.Recon.Elide pred ->
+                incr n_elided;
+                if pred <> taken then incr shadow_mismatches;
+                shadow_bit pred
+            | Staticanalysis.Suppression.Recon.Elide_unknown ->
+                (* cannot happen on the field side (the referenced bit was
+                   necessarily recorded earlier in this run); counted as a
+                   mismatch so the parity oracle flags it *)
+                incr n_elided;
+                incr shadow_mismatches;
+                shadow_bit taken
           end);
     }
   in
@@ -96,6 +148,9 @@ let run ?(log_syscalls = true) ?(telemetry = Telemetry.disabled)
       syscall_log;
       schedule_log = Some (Schedule_log.finish sched_log);
       world;
+      n_elided = !n_elided;
+      shadow_log = Option.map Branch_log.finish shadow_writer;
+      shadow_mismatches = !shadow_mismatches;
     }
   in
   if Telemetry.enabled telemetry then begin
@@ -104,6 +159,7 @@ let run ?(log_syscalls = true) ?(telemetry = Telemetry.disabled)
       + match syscall_log with Some l -> Syscall_log.size_bytes l | None -> 0
     in
     Telemetry.Span.addi sp "branches_logged" cost.logged_branches;
+    Telemetry.Span.addi sp "branches_elided" !n_elided;
     Telemetry.Span.addi sp "syscalls_logged" cost.logged_syscalls;
     Telemetry.Span.addi sp "flushes" branch_log.flushes;
     Telemetry.Span.addi sp "log_bytes" log_bytes;

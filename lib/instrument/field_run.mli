@@ -15,14 +15,28 @@ type result = {
   schedule_log : Schedule_log.log option;
       (** recorded thread-scheduling decisions; empty when single-threaded *)
   world : Osmodel.World.t;  (** final world (server responses, access log) *)
+  n_elided : int;
+      (** instrumented branch executions whose bit was suppressed *)
+  shadow_log : Branch_log.log option;
+      (** with [~shadow:true]: the full log a suppression-free run would
+          have written, rebuilt from reconstruction rules at elided sites *)
+  shadow_mismatches : int;
+      (** elided sites whose reconstructed bit differed from the outcome
+          actually taken — any non-zero count is a suppression soundness
+          bug *)
 }
 
 (** Execute [sc] with instrumentation [plan].  [log_syscalls] defaults to
-    true, the paper's recommended configuration.  [telemetry] wraps the run
-    in a [field_run] span (branches/syscalls logged, buffer flushes, log
-    bytes as end attributes) and accumulates the [field.*] counters. *)
+    true, the paper's recommended configuration.  When the plan carries a
+    suppression table, elided probes skip both the log write and the
+    logging charge; [shadow] additionally rebuilds the suppression-free
+    log from the reconstruction rules for parity checks.  [telemetry]
+    wraps the run in a [field_run] span (branches/syscalls logged, buffer
+    flushes, log bytes as end attributes) and accumulates the [field.*]
+    counters. *)
 val run :
   ?log_syscalls:bool ->
+  ?shadow:bool ->
   ?telemetry:Telemetry.t ->
   plan:Plan.t ->
   Concolic.Scenario.t ->

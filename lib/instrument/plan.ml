@@ -10,6 +10,8 @@ type t = {
   meth : Methods.t;
   instrumented : bool array;  (** indexed by branch id *)
   n_instrumented : int;
+  suppression : Staticanalysis.Suppression.t option;
+      (** probe-elision refinement; [None] logs every instrumented branch *)
 }
 
 let is_instrumented t bid =
@@ -61,7 +63,19 @@ let make ~(nbranches : int) ?(dynamic : Label.map option)
             | Label.Unvisited -> Label.equal sta.(i) Label.Symbolic)
   in
   let n_instrumented = Array.fold_left (fun n b -> if b then n + 1 else n) 0 instrumented in
-  { meth; instrumented; n_instrumented }
+  { meth; instrumented; n_instrumented; suppression = None }
+
+(** Refine a plan with a suppression table.  The caller is responsible for
+    having run {!Staticanalysis.Suppression.verify} first (the pipeline
+    does); an unverified table must never reach the field. *)
+let with_suppression t (sup : Staticanalysis.Suppression.t) =
+  { t with suppression = Some sup }
+
+(** The suppression table shipped with this plan ([[]] when none). *)
+let suppression_table t =
+  match t.suppression with
+  | None -> []
+  | Some sup -> Staticanalysis.Suppression.to_table sup
 
 (** Count instrumented branch locations restricted to an id subset. *)
 let count_in t ids = List.length (List.filter (is_instrumented t) ids)

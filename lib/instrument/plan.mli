@@ -8,10 +8,20 @@ type t = {
   meth : Methods.t;
   instrumented : bool array;  (** indexed by branch id *)
   n_instrumented : int;
+  suppression : Staticanalysis.Suppression.t option;
+      (** probe-elision refinement; [None] logs every instrumented branch *)
 }
 
 val is_instrumented : t -> int -> bool
 val instrumented_ids : t -> int list
+
+(** Refine a plan with a suppression table.  The caller must have run
+    {!Staticanalysis.Suppression.verify} first (the pipeline does); an
+    unverified table must never reach the field. *)
+val with_suppression : t -> Staticanalysis.Suppression.t -> t
+
+(** The suppression table shipped with this plan ([[]] when none). *)
+val suppression_table : t -> (int * Staticanalysis.Suppression.rule) list
 
 (** Build a plan per §2.3:
 

@@ -15,6 +15,10 @@ type t = {
           for single-threaded programs *)
   crash : Interp.Crash.t;
   shape : Concolic.Scenario.shape;
+  suppression : (int * Staticanalysis.Suppression.rule) list;
+      (** probe-elision table the field run applied ([[]] when none);
+          replay must reconstruct the elided bits with exactly these
+          rules, and must verify them before trusting the log *)
 }
 
 (** Assemble a report from a crashed field run.  Returns [None] if the run
@@ -32,6 +36,7 @@ let of_field_run ~(sc : Concolic.Scenario.t) ~(plan : Plan.t)
           schedule_log = r.schedule_log;
           crash;
           shape = Concolic.Scenario.shape_of sc;
+          suppression = Plan.suppression_table plan;
         }
   | Interp.Crash.Exit _ | Interp.Crash.Budget_exhausted | Interp.Crash.Aborted _ ->
       None

@@ -15,6 +15,10 @@ type t = {
           for single-threaded programs *)
   crash : Interp.Crash.t;
   shape : Concolic.Scenario.shape;
+  suppression : (int * Staticanalysis.Suppression.rule) list;
+      (** probe-elision table the field run applied ([[]] when none);
+          replay must reconstruct the elided bits with exactly these
+          rules, and must verify them before trusting the log *)
 }
 
 (** Assemble a report from a crashed field run; [None] if the run did not

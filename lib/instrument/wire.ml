@@ -12,9 +12,15 @@
    or older with [Unknown_version] (distinct from [Malformed], so callers
    can tell "upgrade your tool" apart from corruption).  v1 -> v2: added
    the [branch-flushes] field (v1 readers tolerate trailing unknown
-   fields; v1 reports read back with [flushes = 0]). *)
+   fields; v1 reports read back with [flushes = 0]).  v2 -> v3: added the
+   optional [suppression] probe-elision table.  The table is serialized
+   *before* the branch log so a prefix tear that loses the table also
+   loses the log (a suppressed log read without its table would replay
+   garbage), carries its own entry count so a tear on an entry boundary is
+   still detected, and is strictly fail-closed: any damage to it makes
+   even the salvage reader reject the whole report. *)
 let magic_prefix = "bugrepro-report/"
-let version = 2
+let version = 3
 let magic = magic_prefix ^ string_of_int version
 
 type error = Unknown_version of int | Malformed of string
@@ -68,6 +74,30 @@ let crash_kind_of_code s : (Interp.Crash.kind, string) result =
   | Some k -> Ok k
   | None -> Error ("unknown crash kind " ^ s)
 
+(* [<count>;<bid>=<code>,...]: the leading entry count makes the table
+   self-delimiting, so losing trailing entries to a tear is detectable
+   even when the surviving prefix parses *)
+let suppression_to_string tbl =
+  Printf.sprintf "%d;%s" (List.length tbl)
+    (Staticanalysis.Suppression.table_to_string tbl)
+
+let suppression_of_string v :
+    ((int * Staticanalysis.Suppression.rule) list, string) result =
+  match String.index_opt v ';' with
+  | None -> Error "bad suppression table (missing count)"
+  | Some i -> (
+      match int_of_string_opt (String.sub v 0 i) with
+      | None -> Error "bad suppression table count"
+      | Some n -> (
+          match
+            Staticanalysis.Suppression.table_of_string
+              (String.sub v (i + 1) (String.length v - i - 1))
+          with
+          | Error e -> Error e
+          | Ok tbl when List.length tbl <> n ->
+              Error "suppression table count mismatch"
+          | Ok tbl -> Ok tbl))
+
 let ints_to_string l = String.concat "," (List.map string_of_int l)
 
 let ints_of_string s =
@@ -90,6 +120,10 @@ let serialize (t : Report.t) : string =
   line "shape-conns: %d,%d" t.shape.n_conns t.shape.conn_cap;
   line "shape-files: %s" (String.concat "," t.shape.file_names);
   line "shape-filecap: %d" t.shape.file_cap;
+  (* before the branch log: a prefix tear must not keep a suppressed log
+     while losing the table needed to interpret it *)
+  if t.suppression <> [] then
+    line "suppression: %s" (suppression_to_string t.suppression);
   line "branch-bits: %d" t.branch_log.nbits;
   line "branch-log: %s" (hex_of_string t.branch_log.bytes);
   line "branch-flushes: %d" t.branch_log.flushes;
@@ -214,6 +248,13 @@ let parse_fields (rest : string list) : (Report.t, string) result =
               let* tids = ints_of_string v in
               Ok (Some { Schedule_log.tids = Array.of_list tids })
         in
+        let* suppression =
+          (* v3 field; absent from v1/v2 reports.  Strict: a present but
+             damaged table rejects the report (fail-closed) *)
+          match List.assoc_opt "suppression" fields with
+          | None -> Ok []
+          | Some v -> suppression_of_string v
+        in
         Ok
           {
             Report.program;
@@ -224,6 +265,7 @@ let parse_fields (rest : string list) : (Report.t, string) result =
             crash;
             shape =
               { Concolic.Scenario.arg_caps; n_conns; conn_cap; file_names; file_cap };
+            suppression;
           }
 
 (** Parse a wire-form report with a typed error.  Tolerates unknown
@@ -345,6 +387,10 @@ type partial = {
   mutable p_sys_dropped : int;
   mutable p_schedule : int list option;
   mutable p_sched_dropped : bool;
+  mutable p_suppression : (int * Staticanalysis.Suppression.rule) list option;
+  mutable p_sup_bad : bool;
+      (* a suppression line was present but damaged: the whole salvage
+         must fail (a suppressed log without its exact table is garbage) *)
 }
 
 let parse_crash crash_s : Interp.Crash.t option =
@@ -392,6 +438,7 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
               p_filecap = None; p_nbits = None; p_bytes = None;
               p_flushes = None; p_syscalls = None; p_sys_dropped = 0;
               p_schedule = None; p_sched_dropped = false;
+              p_suppression = None; p_sup_bad = false;
             }
           in
           let dropped_lines = ref 0 in
@@ -470,6 +517,17 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
                     p.p_syscalls <- Some entries;
                     p.p_sys_dropped <- dropped;
                     dropped = 0
+                | "suppression" -> (
+                    (* fail-closed: no partial salvage of the elision
+                       table — an unknown rule code or torn entry poisons
+                       the whole report *)
+                    match suppression_of_string v with
+                    | Ok tbl ->
+                        p.p_suppression <- Some tbl;
+                        true
+                    | Error _ ->
+                        p.p_sup_bad <- true;
+                        false)
                 | "schedule" ->
                     let tids, dropped = ints_prefix v in
                     if dropped = 0 then (
@@ -504,6 +562,11 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
           let missing k = Error (Malformed ("unsalvageable: lost field " ^ k)) in
           let ( let* ) = Result.bind in
           let req k = function Some v -> Ok v | None -> missing k in
+          let* () =
+            if p.p_sup_bad then
+              Error (Malformed "suppression table damaged (fail-closed)")
+            else Ok ()
+          in
           let* program = req "program" p.p_program in
           let* method_used = req "method" p.p_method in
           let* crash = req "crash" p.p_crash in
@@ -534,6 +597,7 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
               shape =
                 { Concolic.Scenario.arg_caps; n_conns; conn_cap; file_names;
                   file_cap };
+              suppression = Option.value p.p_suppression ~default:[];
             }
           in
           let diag =

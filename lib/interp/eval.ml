@@ -24,9 +24,12 @@ type global_access = {
 }
 
 type hooks = {
-  on_branch : bid:int -> taken:bool -> cond:Value.t -> unit;
+  on_branch : bid:int -> iter:int -> taken:bool -> cond:Value.t -> unit;
       (** called at every executed branch, before entering the arm; may raise
-          {!Abort_run} *)
+          {!Abort_run}.  [iter] counts condition evaluations of the current
+          execution of the enclosing statement: always [0] for [if], and
+          [0, 1, 2, ...] across one run of a [while] (so [iter = 0] marks a
+          fresh loop entry — the suppression reconstruction keys on it) *)
   on_concretize : Solver.Expr.t -> int -> unit;
       (** a symbolic value was forced to its concrete value (array index,
           pointer arithmetic, syscall argument) *)
@@ -36,7 +39,7 @@ type hooks = {
 
 let no_hooks =
   {
-    on_branch = (fun ~bid:_ ~taken:_ ~cond:_ -> ());
+    on_branch = (fun ~bid:_ ~iter:_ ~taken:_ ~cond:_ -> ());
     on_concretize = (fun _ _ -> ());
     on_checkpoint = (fun _ -> ());
   }
@@ -522,22 +525,22 @@ let rec exec_stmt st (s : Ast.stmt) : unit =
       let v = eval_expr st cond in
       let taken = Value.truthy v in
       Cost.charge_branch st.cost;
-      st.hooks.on_branch ~bid:br.bid ~taken ~cond:v;
+      st.hooks.on_branch ~bid:br.bid ~iter:0 ~taken ~cond:v;
       exec_block st (if taken then then_b else else_b)
   | Swhile (br, cond, body) -> (
-      let rec loop () =
+      let rec loop iter =
         st.cur_loc <- s.sloc;
         step st;
         let v = eval_expr st cond in
         let taken = Value.truthy v in
         Cost.charge_branch st.cost;
-        st.hooks.on_branch ~bid:br.bid ~taken ~cond:v;
+        st.hooks.on_branch ~bid:br.bid ~iter ~taken ~cond:v;
         if taken then begin
           (try exec_block st body with Continue_exc -> ());
-          loop ()
+          loop (iter + 1)
         end
       in
-      try loop () with Break_exc -> ())
+      try loop 0 with Break_exc -> ())
   | Sreturn None -> raise (Return_exc Value.zero)
   | Sreturn (Some e) -> raise (Return_exc (eval_expr st e))
   | Sbreak -> raise Break_exc

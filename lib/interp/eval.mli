@@ -15,9 +15,11 @@ type global_access = {
 }
 
 type hooks = {
-  on_branch : bid:int -> taken:bool -> cond:Value.t -> unit;
+  on_branch : bid:int -> iter:int -> taken:bool -> cond:Value.t -> unit;
       (** called at every executed branch, before entering the arm; may
-          raise {!Abort_run} *)
+          raise {!Abort_run}.  [iter] is [0] for [if] branches and counts
+          condition evaluations across one execution of a [while]
+          statement ([0] marks a fresh loop entry) *)
   on_concretize : Solver.Expr.t -> int -> unit;
       (** a symbolic value was forced to its concrete value (array index,
           pointer arithmetic, syscall argument) *)

@@ -13,6 +13,15 @@
       branch);
     + concrete, not instrumented — proceed.
 
+    Reports produced under a suppression plan additionally ship a
+    reconstruction table ({!Instrument.Report.t}[.suppression]).  Replay
+    decodes and {!Staticanalysis.Suppression.verify}-checks the table
+    before trusting it (fail-closed: a rejected proof aborts reproduction),
+    then synthesizes the missing bits with
+    {!Staticanalysis.Suppression.Recon}: an elided branch's reconstructed
+    bit plays exactly the role a consumed log bit would in the four cases
+    above, without advancing the log reader.
+
     A run reproduces the bug when it crashes at the recorded crash site.
     Pending-set selection is depth-first, as in the paper. *)
 
@@ -157,11 +166,14 @@ type restore_fn =
 
 (* One guided replay run under input [model].  [record_cases] receives the
    run's own case counters once the run is over; with a parallel engine the
-   callback must be thread-safe (reproduce merges with atomic adds). *)
-let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
-    ~(plan : Plan.t) ~(report : Report.t) ~vars ~seed ~max_steps
-    ~(record_cases : case_stats -> unit) (model : Solver.Model.t) :
-    Concolic.Engine.run_result =
+   callback must be thread-safe (reproduce merges with atomic adds).
+   [sup_rules] is the decoded, verified suppression table; each run gets
+   its own reconstruction cursor state. *)
+let run_once ?(restore : restore_fn option)
+    ?(sup_rules : Staticanalysis.Suppression.rule option array option)
+    ~(prog : Minic.Program.t) ~(plan : Plan.t) ~(report : Report.t) ~vars
+    ~seed ~max_steps ~(record_cases : case_stats -> unit)
+    (model : Solver.Model.t) : Concolic.Engine.run_result =
   let cases = new_case_stats () in
   let observed = ref Solver.Model.empty in
   let observe id v = observed := Solver.Model.add id v !observed in
@@ -173,6 +185,7 @@ let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
       ~syscall_log:report.syscall_log ~seed ()
   in
   let reader = Branch_log.Reader.create report.branch_log in
+  let recon = Option.map Staticanalysis.Suppression.Recon.create sup_rules in
   let trace = Concolic.Path.create () in
   let on_checkpoint access =
     match restore with
@@ -182,41 +195,73 @@ let run_once ?(restore : restore_fn option) ~(prog : Minic.Program.t)
         gate := true
     | _ -> ()
   in
-  let on_branch ~bid ~taken ~(cond : Interp.Value.t) =
+  let on_branch ~bid ~iter ~taken ~(cond : Interp.Value.t) =
     if not !gate then ()
-    else
-    let instrumented = Plan.is_instrumented plan bid in
-    match cond.sym, instrumented with
-    | Some sym, false ->
-        cases.case1 <- cases.case1 + 1;
-        Concolic.Path.record_branch trace ~bid ~taken sym
-    | Some sym, true -> (
-        match Branch_log.Reader.next reader with
-        | None ->
-            cases.log_exhausted <- cases.log_exhausted + 1;
-            Concolic.Path.record_branch trace ~bid ~taken sym
-        | Some logged ->
-            if logged = taken then begin
-              cases.case2a <- cases.case2a + 1;
-              Concolic.Path.record_branch ~negatable:false trace ~bid ~taken sym
-            end
-            else begin
-              (* record the (wrong) taken direction as negatable: the engine
-                 turns it into a pending set forcing the logged direction *)
-              cases.case2b <- cases.case2b + 1;
-              Concolic.Path.record_branch trace ~bid ~taken sym;
-              raise (Interp.Eval.Abort_run "2b: log contradicts symbolic branch")
-            end)
-    | None, true -> (
-        match Branch_log.Reader.next reader with
-        | None -> cases.log_exhausted <- cases.log_exhausted + 1
-        | Some logged ->
-            if logged = taken then cases.case3a <- cases.case3a + 1
-            else begin
-              cases.case3b <- cases.case3b + 1;
-              raise (Interp.Eval.Abort_run "3b: log contradicts concrete branch")
-            end)
-    | None, false -> cases.case4 <- cases.case4 + 1
+    else begin
+      (* the reconstruction cursor sees every executed branch: iteration 0
+         of a loop resets the freshness of its invariant children even when
+         this branch itself is logged normally *)
+      let action =
+        match recon with
+        | None -> Staticanalysis.Suppression.Recon.Consume
+        | Some rc -> Staticanalysis.Suppression.Recon.on_branch rc ~bid ~iter
+      in
+      let instrumented = Plan.is_instrumented plan bid in
+      (* the bit the full log would carry for this execution: consumed from
+         the wire (and fed back into the cursor state so dependent rules
+         track the *consumed* stream, mirroring the field run) or
+         synthesized by the branch's reconstruction rule; [None] = log
+         exhausted, or the bit the rule references is unavailable *)
+      let logged_bit () =
+        match action with
+        | Staticanalysis.Suppression.Recon.Consume -> (
+            match Branch_log.Reader.next reader with
+            | None -> None
+            | Some logged ->
+                (match recon with
+                | Some rc ->
+                    Staticanalysis.Suppression.Recon.record rc ~bid logged
+                | None -> ());
+                Some logged)
+        | Staticanalysis.Suppression.Recon.Elide pred -> Some pred
+        | Staticanalysis.Suppression.Recon.Elide_unknown -> None
+      in
+      match cond.sym, instrumented with
+      | Some sym, false ->
+          cases.case1 <- cases.case1 + 1;
+          Concolic.Path.record_branch trace ~bid ~taken sym
+      | Some sym, true -> (
+          match logged_bit () with
+          | None ->
+              cases.log_exhausted <- cases.log_exhausted + 1;
+              Concolic.Path.record_branch trace ~bid ~taken sym
+          | Some logged ->
+              if logged = taken then begin
+                cases.case2a <- cases.case2a + 1;
+                Concolic.Path.record_branch ~negatable:false trace ~bid ~taken
+                  sym
+              end
+              else begin
+                (* record the (wrong) taken direction as negatable: the
+                   engine turns it into a pending set forcing the logged
+                   direction *)
+                cases.case2b <- cases.case2b + 1;
+                Concolic.Path.record_branch trace ~bid ~taken sym;
+                raise
+                  (Interp.Eval.Abort_run "2b: log contradicts symbolic branch")
+              end)
+      | None, true -> (
+          match logged_bit () with
+          | None -> cases.log_exhausted <- cases.log_exhausted + 1
+          | Some logged ->
+              if logged = taken then cases.case3a <- cases.case3a + 1
+              else begin
+                cases.case3b <- cases.case3b + 1;
+                raise
+                  (Interp.Eval.Abort_run "3b: log contradicts concrete branch")
+              end)
+      | None, false -> cases.case4 <- cases.case4 + 1
+    end
   in
   let cfg =
     {
@@ -307,6 +352,36 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
      When the frontier exhausts with budget left, restart with a different
      seed: the initial random input changes and so do the pins — the
      paper's engine enjoys the same freedom in choosing fresh inputs. *)
+  (* Fail-closed gate on the report's suppression table: decode it and
+     re-derive every claimed proof against the program before any
+     reconstructed bit is trusted.  A table that does not decode or does
+     not verify aborts reproduction — replaying with unproven rules could
+     silently pin wrong directions. *)
+  let sup_rules =
+    match report.suppression with
+    | [] -> None
+    | table -> (
+        match
+          Staticanalysis.Suppression.of_table
+            ~nbranches:(Minic.Program.nbranches prog) table
+        with
+        | Error msg ->
+            invalid_arg
+              ("Replay.Guided.reproduce: suppression table rejected: " ^ msg)
+        | Ok rules -> (
+            match
+              Staticanalysis.Suppression.verify
+                ~instrumented:plan.Plan.instrumented prog table
+            with
+            | Error msg ->
+                invalid_arg
+                  ("Replay.Guided.reproduce: suppression proof rejected: "
+                 ^ msg)
+            | Ok () ->
+                Telemetry.Span.addi rsp "suppressed_rules"
+                  (List.length table);
+                Some rules))
+  in
   let started = Unix.gettimeofday () in
   let deadline = started +. budget.Concolic.Engine.max_time_s in
   let total_runs = ref 0 in
@@ -325,8 +400,8 @@ let reproduce ?(budget = Concolic.Engine.default_budget) ?(seed = 1)
       acc_add acc c
     in
     let run =
-      run_once ?restore ~prog ~plan ~report ~vars ~seed:attempt_seed ~max_steps
-        ~record_cases
+      run_once ?restore ?sup_rules ~prog ~plan ~report ~vars
+        ~seed:attempt_seed ~max_steps ~record_cases
     in
     let should_stop _model (r : Concolic.Engine.run_result) =
       match r.outcome with

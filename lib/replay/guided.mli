@@ -88,7 +88,14 @@ type restore_fn =
     [telemetry] wraps the search in a [reproduce] span with one
     [replay.attempt] child per restart (each wrapping its engine
     exploration), and accumulates the §3.1 [replay.case.*] counters — one
-    registry update per run, so the per-branch hot path is untouched. *)
+    registry update per run, so the per-branch hot path is untouched.
+
+    When the report carries a suppression table, it is decoded and
+    proof-checked ({!Staticanalysis.Suppression.verify}) once up front;
+    elided branches then take their bit from the reconstruction rules
+    instead of the log reader.  Raises [Invalid_argument] when the table
+    fails to decode or a claimed proof is rejected (fail-closed: unproven
+    rules must never steer replay). *)
 val reproduce :
   ?budget:Concolic.Engine.budget ->
   ?seed:int ->

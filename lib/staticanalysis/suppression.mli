@@ -1,0 +1,123 @@
+(** Proof-producing probe-elision analysis.
+
+    Proves, per instrumented branch, that its log bit is statically
+    redundant and emits a deterministic reconstruction rule the replay side
+    evaluates instead of consuming a bit.  Every rule carries a checkable
+    witness; {!verify} re-derives each rule against the {!Cfg} before a
+    table is trusted.
+
+    Calls on a path are modelled by transitive may-write summaries
+    (functions with bodies) or the {!Minic.Builtin.taints_args} pointer
+    arguments (builtins); only unmodelled effects — [checkpoint], [spawn],
+    unknown names — conservatively kill every operand a pointer could
+    reach. *)
+
+type rule =
+  | Forced of { polarity : bool }
+      (** every execution takes side [polarity] (constant condition, or
+          decided by the arm of a dominating branch) *)
+  | Implied_by of { dom : int; polarity : bool }
+      (** outcome equals ([polarity]) or negates the last bit consumed at
+          the strictly-dominating, instrumented, non-elided branch [dom] *)
+  | Invariant_of of { loop : int }
+      (** condition invariant in loop [loop]: first execution per loop
+          entry is logged, later ones repeat the branch's last bit *)
+
+type kind = Const_cond | Arm_forced | Dom_implied | Loop_invariant
+
+val kind_to_string : kind -> string
+
+type proof = { p_bid : int; p_rule : rule; p_kind : kind; p_witness : string }
+
+type t = {
+  nbranches : int;
+  rules : rule option array;
+  proofs : proof array;  (** one per elided branch, ascending bid *)
+  dead : bool array;
+  n_const : int;
+  n_arm : int;
+  n_implied : int;
+  n_invariant : int;
+}
+
+val n_elided : t -> int
+val rule_of : t -> int -> rule option
+val elided : t -> int -> bool
+
+(** {2 Wire codec} — codes [f1]/[f0], [d<dom>+]/[d<dom>-], [i<loop>];
+    tables serialize as ["bid=code,bid=code,..."] sorted by bid. *)
+
+val rule_to_code : rule -> string
+val rule_to_string : rule -> string
+val rule_of_code : string -> (rule, string) result
+val table_to_string : (int * rule) list -> string
+val table_of_string : string -> ((int * rule) list, string) result
+val to_table : t -> (int * rule) list
+
+(** Decode into a dense rule array; fail-closed on out-of-range or
+    duplicate bids, dangling references, and implied-by rules whose
+    dominator is itself elided. *)
+val of_table :
+  nbranches:int -> (int * rule) list -> (rule option array, string) result
+
+(** {2 Analysis and proof checking} *)
+
+(** Derive the best rule per instrumented live branch.  [pta]/[constprop]
+    are recomputed when not supplied. *)
+val analyze :
+  ?pta:Pointsto.t ->
+  ?constprop:Constprop.result ->
+  instrumented:bool array ->
+  Minic.Program.t ->
+  t
+
+(** Re-derive every claimed rule from scratch; rejects rules on dead or
+    (when [instrumented] is given) uninstrumented branches.  Anything a
+    field report claims must pass this before replay trusts it. *)
+val verify :
+  ?pta:Pointsto.t ->
+  ?constprop:Constprop.result ->
+  ?instrumented:bool array ->
+  Minic.Program.t ->
+  (int * rule) list ->
+  (unit, string) result
+
+(** Structural condition implication: [Some true] when [b] is taken iff
+    [a] is, [Some false] when taken iff [a] is not (exposed for tests). *)
+val implies : Minic.Ast.expr -> Minic.Ast.expr -> bool option
+
+(** {2 Reconstruction} — one state machine shared by the field side (skip
+    the write) and the replay side (synthesize the missing bit).  Drive
+    [on_branch] for every executed branch, elided or not, instrumented or
+    not; call [record] wherever a bit is actually logged or consumed. *)
+
+module Recon : sig
+  type action =
+    | Consume  (** log / consume a bit as usual, then call [record] *)
+    | Elide of bool  (** skip the bit; a full log would carry this value *)
+    | Elide_unknown
+        (** elided but the referenced bit is unavailable: treat like an
+            exhausted reader *)
+
+  type t
+
+  val create : rule option array -> t
+  val on_branch : t -> bid:int -> iter:int -> action
+  val record : t -> bid:int -> bool -> unit
+end
+
+(** {2 Reports} — mirror {!Precision}'s text / strict-JSON style. *)
+
+type verdict = Not_instrumented | Dead | Logged | Elided of kind
+
+val verdict_to_string : verdict -> string
+
+val report_to_text :
+  ?all:bool -> t -> Minic.Program.t -> instrumented:bool array -> string
+
+(** [extra] is spliced verbatim into the summary object (must start with
+    "," when non-empty). *)
+val report_to_json :
+  ?extra:string -> t -> Minic.Program.t -> instrumented:bool array -> string
+
+val describe : t -> string

@@ -118,6 +118,106 @@ let test_wire_corruption_fails_closed () =
         Alcotest.failf "corruption at %d raised %s" pos (Printexc.to_string e)
   done
 
+(* v3 suppression-line negatives: damage to the reconstruction table must
+   fail closed in BOTH readers — a salvaged log without its table (or with
+   a misread one) would replay with wrong bit alignment. *)
+
+let suppressed_report () =
+  let prog =
+    Minic.Program.of_sources
+      ~app:
+        "int main() {\n\
+        \  int buf[8];\n\
+        \  int x;\n\
+        \  arg(0, buf, 8);\n\
+        \  x = buf[0];\n\
+        \  if (x > 0) { print_int(1); }\n\
+        \  if (x > 0) { print_int(2); }\n\
+        \  crash();\n\
+        \  return 0;\n\
+         }"
+      ~libs:[] ()
+  in
+  let instrumented = Array.make (Minic.Program.nbranches prog) true in
+  let sup = Staticanalysis.Suppression.analyze ~instrumented prog in
+  let plan =
+    Instrument.Plan.with_suppression
+      (Instrument.Plan.make
+         ~nbranches:(Minic.Program.nbranches prog)
+         Instrument.Methods.All_branches)
+      sup
+  in
+  let sc =
+    Concolic.Scenario.make ~name:"wire-sup" ~args:[ "q" ]
+      ~world:Osmodel.World.default_config prog
+  in
+  let _run, report = Bugrepro.Pipeline.field_run_report ~plan sc in
+  match report with
+  | Some r when r.Instrument.Report.suppression <> [] -> r
+  | Some _ -> Alcotest.fail "report carries no suppression table"
+  | None -> Alcotest.fail "field run did not crash"
+
+let test_wire_suppression_truncation_fails_closed () =
+  let wire = Instrument.Wire.serialize (suppressed_report ()) in
+  let key = "suppression: " in
+  let pos = Str.search_forward (Str.regexp_string key) wire 0 in
+  let line_end = String.index_from wire pos '\n' in
+  for cut = pos + 1 to line_end - 1 do
+    let prefix = String.sub wire 0 cut in
+    (match Instrument.Wire.deserialize_v prefix with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "strict reader accepted a cut at %d" cut);
+    match Instrument.Wire.deserialize_salvage prefix with
+    | Error _ -> ()
+    | Ok (r, _) ->
+        (* before the key is complete the line reads as generic damage;
+           fail-closed then means no table AND no log bits (the layout
+           puts every log line after the table) *)
+        check_bool "salvaged without table has no table" true
+          (r.Instrument.Report.suppression = []);
+        check_int "salvaged without table has no bits" 0
+          r.Instrument.Report.branch_log.nbits;
+        if cut >= pos + String.length key then
+          Alcotest.failf "salvage kept a report with a torn table (cut %d)" cut
+  done;
+  (* a tear exactly at the newline leaves a complete, count-consistent
+     table: salvage may keep it, but then with zero log bits *)
+  match Instrument.Wire.deserialize_salvage (String.sub wire 0 line_end) with
+  | Error _ -> ()
+  | Ok (r, _) ->
+      check_bool "boundary tear keeps the whole table" true
+        (r.Instrument.Report.suppression <> []);
+      check_int "boundary tear ships no bits" 0
+        r.Instrument.Report.branch_log.nbits
+
+let tamper wire pos c =
+  let b = Bytes.of_string wire in
+  Bytes.set b pos c;
+  Bytes.to_string b
+
+let test_wire_suppression_unknown_rule_fails_closed () =
+  let wire = Instrument.Wire.serialize (suppressed_report ()) in
+  let pos = Str.search_forward (Str.regexp_string "suppression: ") wire 0 in
+  (* first rule code sits right after the first '=' of the table *)
+  let eq = String.index_from wire pos '=' in
+  let bad = tamper wire (eq + 1) 'z' in
+  (match Instrument.Wire.deserialize_v bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict reader accepted an unknown rule code");
+  (match Instrument.Wire.deserialize_salvage bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "salvage accepted an unknown rule code");
+  (* entry-count mismatch is equally fatal *)
+  let count_pos = pos + String.length "suppression: " in
+  let digit = wire.[count_pos] in
+  let bumped = tamper wire count_pos (if digit = '7' then '8' else '7') in
+  (match Instrument.Wire.deserialize_v bumped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict reader accepted a count mismatch");
+  match Instrument.Wire.deserialize_salvage bumped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "salvage accepted a count mismatch"
+
 let test_wire_version_negative () =
   let wire = Instrument.Wire.serialize (crashing_report ()) in
   let bumped =
@@ -302,6 +402,10 @@ let () =
             test_wire_truncation_fails_closed;
           Alcotest.test_case "byte corruption fails closed" `Quick
             test_wire_corruption_fails_closed;
+          Alcotest.test_case "suppression truncation fails closed" `Quick
+            test_wire_suppression_truncation_fails_closed;
+          Alcotest.test_case "unknown suppression rule fails closed" `Quick
+            test_wire_suppression_unknown_rule_fails_closed;
           Alcotest.test_case "future version rejected" `Quick
             test_wire_version_negative;
         ] );

@@ -282,7 +282,7 @@ let test_wire_rejects_bit_overrun () =
   | Ok _ -> Alcotest.fail "accepted overrun bit count"
 
 let test_wire_version_header () =
-  check_int "current version" 2 Instrument.Wire.version;
+  check_int "current version" 3 Instrument.Wire.version;
   let s = Instrument.Wire.serialize (real_report ()) in
   check_bool "header is magic_prefix ^ version" true
     (String.length s > String.length Instrument.Wire.magic
@@ -290,7 +290,7 @@ let test_wire_version_header () =
        = Instrument.Wire.magic)
 
 let test_wire_version_roundtrip () =
-  (* the v2 field (branch-flushes) survives the round trip *)
+  (* the v2/v3 fields (branch-flushes, suppression) survive the round trip *)
   let rep = real_report () in
   match Instrument.Wire.deserialize_v (Instrument.Wire.serialize rep) with
   | Ok rep' ->
@@ -304,7 +304,7 @@ let test_wire_accepts_v1 () =
      flushes = 0 *)
   let s = Instrument.Wire.serialize (real_report ()) in
   let s =
-    Str.global_replace (Str.regexp "^bugrepro-report/2$") "bugrepro-report/1" s
+    Str.global_replace (Str.regexp "^bugrepro-report/3$") "bugrepro-report/1" s
     |> Str.global_replace (Str.regexp "branch-flushes: [0-9]+\n") ""
   in
   match Instrument.Wire.deserialize_v s with
@@ -315,7 +315,7 @@ let test_wire_accepts_v1 () =
 let test_wire_unknown_version_distinct () =
   let s = Instrument.Wire.serialize (real_report ()) in
   let bump v =
-    Str.global_replace (Str.regexp "^bugrepro-report/2$")
+    Str.global_replace (Str.regexp "^bugrepro-report/3$")
       ("bugrepro-report/" ^ v) s
   in
   (match Instrument.Wire.deserialize_v (bump "99") with
@@ -374,6 +374,7 @@ let prop_wire_roundtrip_synthetic =
               file_names = [ "a.txt" ];
               file_cap = 32;
             };
+          suppression = [];
         }
       in
       match Instrument.Wire.deserialize (Instrument.Wire.serialize rep) with

@@ -256,7 +256,7 @@ let test_branch_hook_fires_per_execution () =
   let hooks =
     {
       Interp.Eval.no_hooks with
-      Interp.Eval.on_branch = (fun ~bid:_ ~taken:_ ~cond:_ -> incr count);
+      Interp.Eval.on_branch = (fun ~bid:_ ~iter:_ ~taken:_ ~cond:_ -> incr count);
     }
   in
   let _ =
@@ -271,7 +271,7 @@ let test_branch_hook_taken_direction () =
   let hooks =
     {
       Interp.Eval.no_hooks with
-      Interp.Eval.on_branch = (fun ~bid:_ ~taken ~cond:_ -> dirs := taken :: !dirs);
+      Interp.Eval.on_branch = (fun ~bid:_ ~iter:_ ~taken ~cond:_ -> dirs := taken :: !dirs);
     }
   in
   let _ = run ~hooks "int main() { if (1) { } if (0) { } return 0; }" in
@@ -287,7 +287,7 @@ let test_abort_hook () =
     {
       Interp.Eval.no_hooks with
       Interp.Eval.on_branch =
-        (fun ~bid:_ ~taken:_ ~cond:_ -> raise (Interp.Eval.Abort_run "test"));
+        (fun ~bid:_ ~iter:_ ~taken:_ ~cond:_ -> raise (Interp.Eval.Abort_run "test"));
     }
   in
   let r = run ~hooks "int main() { if (1) { } return 0; }" in
