@@ -32,17 +32,20 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
     ("A6", "extension: multithreading + schedule log (§6)", Bench_ext.a6);
     ("E12", "Figure 5: diff CPU time", Bench_diff.e12);
     ("E13", "Tables 6 and 7: diff replay", Bench_diff.e13_e14);
-    ("E15", "extension: parallel replay + solver cache", Bench_parallel.e15);
+    ("E15", "extension: incremental solving + work-stealing replay",
+     Bench_parallel.e15);
     ("E16", "extension: batch triage (salvage + dedup + scheduler)",
      Bench_triage.e16);
   ]
 
-let parse_args () : Ctx.t * string option * string option =
+let parse_args () : Ctx.t * string option * string option * string option =
   let ctx = ref Ctx.default in
   let json = ref None in
   let trace = ref None in
+  let compare = ref None in
   (* scale presets replace the budget knobs but must keep the explicit
-     selections (--only/--jobs/--no-solver-cache) already parsed *)
+     selections (--only/--jobs/--no-solver-cache/--no-incremental/
+     --no-steal) already parsed *)
   let rescale preset =
     ctx :=
       {
@@ -50,6 +53,8 @@ let parse_args () : Ctx.t * string option * string option =
         Ctx.only = !ctx.only;
         jobs = !ctx.jobs;
         solver_cache = !ctx.solver_cache;
+        incremental = !ctx.incremental;
+        steal = !ctx.steal;
         telemetry = !ctx.telemetry;
       }
   in
@@ -76,8 +81,17 @@ let parse_args () : Ctx.t * string option * string option =
     | "--no-solver-cache" :: rest ->
         ctx := { !ctx with solver_cache = false };
         go rest
+    | "--no-incremental" :: rest ->
+        ctx := { !ctx with incremental = false };
+        go rest
+    | "--no-steal" :: rest ->
+        ctx := { !ctx with steal = false };
+        go rest
     | "--json" :: path :: rest ->
         json := Some path;
+        go rest
+    | "--compare" :: path :: rest ->
+        compare := Some path;
         go rest
     | "--trace" :: path :: rest ->
         trace := Some path;
@@ -85,7 +99,8 @@ let parse_args () : Ctx.t * string option * string option =
     | "--help" :: _ ->
         print_endline
           "options: --quick | --full | --only <ids> | --jobs <n> | \
-           --no-solver-cache | --json <file> | --trace <file> | \
+           --no-solver-cache | --no-incremental | --no-steal | \
+           --json <file> | --compare <baseline.json> | --trace <file> | \
            --requests <n> | --replay-timeout <s>";
         print_endline "experiments:";
         List.iter (fun (id, d, _) -> Printf.printf "  %-4s %s\n" id d) experiments;
@@ -95,10 +110,10 @@ let parse_args () : Ctx.t * string option * string option =
         exit 2
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!ctx, !json, !trace)
+  (!ctx, !json, !trace, !compare)
 
 let () =
-  let ctx, json, trace = parse_args () in
+  let ctx, json, trace, compare = parse_args () in
   let trace_oc = Option.map open_out trace in
   let ctx =
     match trace_oc with
@@ -111,10 +126,12 @@ let () =
      Instrumentation and Debugging Time\" (EuroSys 2011)\n";
   Printf.printf
     "scale: %s | %d requests | replay budget %.0fs | LC/HC = %d/%d analysis \
-     runs | jobs %d | solver cache %s\n"
+     runs | jobs %d | solver cache %s | incremental %s | steal %s\n"
     (if ctx.quick then "quick" else "default/full")
     ctx.requests ctx.replay_time_s ctx.lc_runs ctx.hc_runs ctx.jobs
-    (if ctx.solver_cache then "on" else "off");
+    (if ctx.solver_cache then "on" else "off")
+    (if ctx.incremental then "on" else "off")
+    (if ctx.steal then "on" else "off");
   let t0 = Unix.gettimeofday () in
   let durations = ref [] in
   List.iter
@@ -154,7 +171,7 @@ let () =
           Printf.eprintf "trace %s INVALID: %s\n" path e;
           exit 3)
   | _ -> ());
-  match json with
+  (match json with
   | None -> ()
   | Some path ->
       Util.write_json_summary ~path
@@ -163,9 +180,28 @@ let () =
             ("scale", if ctx.quick then "quick" else "default/full");
             ("jobs", string_of_int ctx.jobs);
             ("solver_cache", if ctx.solver_cache then "on" else "off");
+            ("incremental", if ctx.incremental then "on" else "off");
+            ("steal", if ctx.steal then "on" else "off");
             ("requests", string_of_int ctx.requests);
             ("replay_budget_s", Printf.sprintf "%.0f" ctx.replay_time_s);
             ("trace", match trace with Some t -> t | None -> "");
           ]
         ~experiments:(List.rev !durations) ();
-      Printf.printf "JSON summary written to %s\n" path
+      Printf.printf "JSON summary written to %s\n" path);
+  (* perf-regression gate: diff this run against a recorded baseline and
+     fail the process on any >25% regression (see Compare for the
+     direction rules; bin/refresh-baselines.sh refreshes the files) *)
+  match compare with
+  | None -> ()
+  | Some path -> (
+      match Compare.load path with
+      | Error e ->
+          Printf.eprintf "cannot load baseline: %s\n" e;
+          exit 2
+      | Ok baseline ->
+          Printf.printf "\n== perf gate vs %s ==\n" path;
+          let regressions =
+            Compare.check ~baseline ~experiments:(List.rev !durations)
+              ~metrics:(List.rev !Util.metrics)
+          in
+          if regressions > 0 then exit 1)

@@ -196,10 +196,12 @@ let demo_pipeline w meth experiment timeout save jobs no_solver_cache cfg =
           Printf.eprintf "malformed report: %s\n" e;
           3
       | Ok report ->
-      Printf.printf "== guided replay (budget %.0fs, %d job%s, cache %s) ==\n%!"
+      Printf.printf
+        "== guided replay (budget %.0fs, %d job%s, cache %s, incremental %s) ==\n%!"
         timeout jobs
         (if jobs = 1 then "" else "s")
-        (if no_solver_cache then "off" else "on");
+        (if no_solver_cache then "off" else "on")
+        (if cfg.Bugrepro.Pipeline.Config.incremental then "on" else "off");
       let result, stats = Bugrepro.Pipeline.Run.reproduce cfg ~prog ~plan report in
       Printf.printf
         "cases: %d pinned (2a), %d forced (2b), %d free symbolic (1), %d concrete-mismatch (3b)\n"
@@ -261,8 +263,8 @@ let make_telemetry trace metrics =
   in
   (tel, finish)
 
-let demo_cmd name meth_s experiment timeout save jobs no_solver_cache trace
-    metrics =
+let demo_cmd name meth_s experiment timeout save jobs no_solver_cache
+    no_incremental no_steal trace metrics =
   match find_workload name, method_of_string meth_s with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -279,6 +281,8 @@ let demo_cmd name meth_s experiment timeout save jobs no_solver_cache trace
           |> with_analyze_lib (not (String.equal w.wname "userver"))
           |> with_jobs jobs
           |> with_solver_cache (not no_solver_cache)
+          |> with_incremental (not no_incremental)
+          |> with_steal (not no_steal)
           |> with_telemetry tel)
       in
       let code = demo_pipeline w meth experiment timeout save jobs
@@ -387,7 +391,8 @@ let make_resolver cfg : Triage.resolve =
         in
         Ok (analysis.Bugrepro.Pipeline.prog, plan)
 
-let triage_cmd dir jobs deadline timeout seed json trace metrics =
+let triage_cmd dir jobs deadline timeout seed no_incremental no_steal json
+    trace metrics =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Printf.eprintf "no such directory: %s\n" dir;
     2
@@ -401,6 +406,8 @@ let triage_cmd dir jobs deadline timeout seed json trace metrics =
         |> with_seed seed
         |> with_budget
              ~replay:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
+        |> with_incremental (not no_incremental)
+        |> with_steal (not no_steal)
         |> with_telemetry tel)
     in
     let policy =
@@ -585,6 +592,23 @@ let demo_t =
       & info [ "no-solver-cache" ]
           ~doc:"Disable the memoizing solver cache during replay.")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Disable incremental solving (scoped contexts, learned-core \
+             pruning, strategy portfolio); every pending is solved from \
+             scratch.")
+  in
+  let no_steal =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:
+            "Disable the work-stealing sharded frontier at --jobs > 1 and \
+             use the single shared pending list instead.")
+  in
   let trace =
     Arg.(
       value
@@ -602,7 +626,7 @@ let demo_t =
   in
   Term.(
     const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save $ jobs
-    $ no_solver_cache $ trace $ metrics)
+    $ no_solver_cache $ no_incremental $ no_steal $ trace $ metrics)
 
 let fuzz_t =
   let seed =
@@ -705,6 +729,22 @@ let triage_t =
       & info [ "seed"; "s" ] ~docv:"SEED"
           ~doc:"Batch seed; per-cluster replay seeds derive from it.")
   in
+  let no_incremental =
+    Arg.(
+      value & flag
+      & info [ "no-incremental" ]
+          ~doc:
+            "Disable the per-cluster incremental solver (scoped contexts, \
+             learned-core pruning, strategy portfolio).")
+  in
+  let no_steal =
+    Arg.(
+      value & flag
+      & info [ "no-steal" ]
+          ~doc:
+            "Disable the work-stealing sharded frontier inside each \
+             cluster's replay.")
+  in
   let json =
     Arg.(
       value
@@ -726,8 +766,8 @@ let triage_t =
           ~doc:"Print the span tree and counter table after the batch.")
   in
   Term.(
-    const triage_cmd $ dir $ jobs $ deadline $ timeout $ seed $ json $ trace
-    $ metrics)
+    const triage_cmd $ dir $ jobs $ deadline $ timeout $ seed
+    $ no_incremental $ no_steal $ json $ trace $ metrics)
 
 let batch_t =
   let dir =

@@ -34,6 +34,14 @@ module Config : sig
             instrumented branches ship a reconstruction rule instead of
             log bits.  Off by default (the paper's raw configuration). *)
     solver_cache : bool;  (** memoize solver queries during replay *)
+    incremental : bool;
+        (** solve pendings through a scoped incremental solver
+            ({!Solver.Incr}): learned-core pruning, scope reuse, strategy
+            portfolio.  On by default; verdicts match the from-scratch
+            solver, found models may differ. *)
+    steal : bool;
+        (** work-stealing sharded frontier when [jobs] > 1 (ignored at
+            [jobs = 1], which always runs the deterministic loop) *)
     seed : int;  (** replay's initial random input *)
     replay_max_steps : int;  (** interpreter step cap per replay run *)
     telemetry : Telemetry.t;
@@ -41,8 +49,9 @@ module Config : sig
             default, where every probe is a no-op *)
   }
 
-  (** Paper defaults: sequential, refined static pipeline, syscall log and
-      solver cache on, telemetry disabled. *)
+  (** Paper defaults: sequential, refined static pipeline, syscall log,
+      solver cache, incremental solving and stealing on, telemetry
+      disabled. *)
   val default : t
 
   (** Setters take the config last so they chain with [|>]. *)
@@ -59,6 +68,8 @@ module Config : sig
   val with_log_syscalls : bool -> t -> t
   val with_suppression : bool -> t -> t
   val with_solver_cache : bool -> t -> t
+  val with_incremental : bool -> t -> t
+  val with_steal : bool -> t -> t
   val with_seed : int -> t -> t
   val with_replay_max_steps : int -> t -> t
 end

@@ -58,9 +58,12 @@ let make_run ?(max_steps = 2_000_000) (sc : Scenario.t) ~vars
     explores with a parallel worker pool; label updates are then serialized
     through a mutex (the sticky rule commutes, so the resulting label map
     does not depend on worker scheduling).  [cache] memoizes solver queries
-    across pendings. *)
+    across pendings.  [incremental] (default true) solves through a private
+    {!Solver.Incr.t} — scope reuse, learned cores, portfolio; [steal]
+    (default true) picks the work-stealing frontier at [jobs] > 1. *)
 let analyze ?(budget = Engine.default_budget) ?max_steps ?(jobs = 1) ?cache
-    ?(telemetry = Telemetry.disabled) (sc : Scenario.t) : result =
+    ?(incremental = true) ?(steal = true) ?(telemetry = Telemetry.disabled)
+    (sc : Scenario.t) : result =
   Telemetry.Span.with_ telemetry ~name:"analyze.dynamic"
     ~attrs:[ ("scenario", Telemetry.Event.Str sc.name) ]
     (fun sp ->
@@ -76,9 +79,10 @@ let analyze ?(budget = Engine.default_budget) ?max_steps ?(jobs = 1) ?cache
           Mutex.unlock label_mu
       in
       let run = make_run ?max_steps sc ~vars ~on_branch_observed in
+      let incr = if incremental then Some (Solver.Incr.create ()) else None in
       let stats, _ =
-        Engine.explore ~vars ~budget ~strategy:Engine.Bfs ~jobs ?cache
-          ~telemetry ~run ()
+        Engine.explore ~vars ~budget ~strategy:Engine.Bfs ~jobs ?cache ?incr
+          ~steal ~telemetry ~run ()
       in
       let visited = n - Label.count labels Label.Unvisited in
       let coverage =

@@ -12,7 +12,21 @@
     domains (the run function must then be safe to call concurrently — each
     call must build its own interpreter state).  [~jobs:1], the default, is
     the exact deterministic sequential loop.  An optional shared
-    {!Solver.Cache} memoizes solver queries across pendings. *)
+    {!Solver.Cache} memoizes solver queries across pendings.
+
+    With [~steal] (default true) each worker owns a deque and steals from
+    its siblings when it drains: children of a run land on the worker's own
+    deque, so local work extends its own recent traces — the lineage
+    affinity that keeps the per-worker incremental solver scope warm.
+    [~steal:false] restores the single mutex-protected frontier.  Both
+    disciplines produce jobs-invariant result *sets* on exhausted
+    frontiers; visit order differs.
+
+    Passing [~incr] (a shared {!Solver.Incr.t}) turns on incremental
+    solving: learned-core pruning, scope reuse across sibling pendings and
+    the two-strategy portfolio.  Verdicts are unchanged (fuzz-enforced);
+    models — and therefore which of several equivalent witnesses is found
+    first — may differ from the from-scratch solver's. *)
 
 type budget = {
   max_runs : int;
@@ -43,7 +57,27 @@ type stats = {
   mutable pending_peak : int;
   mutable elapsed_s : float;
   mutable timed_out : bool;
+  mutable forks : int;  (** pendings pushed onto the frontier *)
+  mutable core_pruned : int;
+      (** pendings answered Unsat by a learned core, no solver call.  On an
+          exhausted frontier [sat + unsat + unknown + core_pruned = forks]. *)
+  mutable solved_incremental : int;
+      (** solver calls that reused >= 1 scope frame *)
+  mutable solver_calls : int;  (** calls that reached the incremental solver *)
+  mutable steals : int;  (** pendings taken from another worker's deque *)
+  mutable worker_runs : int array;
+      (** per-worker run counts (length [jobs]; the seeding run counts
+          toward worker 0); the sum always equals [runs] *)
 }
+
+(** Batch-level steal accounting, mirroring {!Solver.Incr.totals}:
+    [reset_steal_total] zeroes a process-wide counter and [steal_total]
+    reads the steals accumulated by every exploration since — benches use
+    the pair around replays whose per-explore stats are buried inside
+    {!Replay.Guided} or {!Triage.Sched}. *)
+val reset_steal_total : unit -> unit
+
+val steal_total : unit -> int
 
 (** Print solver failures on pendings to stderr. *)
 val debug_solver : bool ref
@@ -57,7 +91,10 @@ val debug_solver : bool ref
     tolerate concurrent calls.  [on_run] and [should_stop] are always
     called with the engine's internal lock held, i.e. serialized, so they
     may keep plain mutable state.  [cache] memoizes solver queries across
-    pendings (and is shared by all workers).
+    pendings (and is shared by all workers).  [incr] enables incremental
+    solving (each worker opens a private session); [steal] (default true)
+    selects the sharded work-stealing frontier when [jobs] > 1 and is
+    ignored at [jobs:1], which always runs the seed sequential loop.
 
     [telemetry] (default disabled) wraps the exploration in an
     [engine.explore] span with one [engine.worker] child span per domain,
@@ -70,6 +107,8 @@ val explore :
   ?strategy:strategy ->
   ?jobs:int ->
   ?cache:Solver.Cache.t ->
+  ?incr:Solver.Incr.t ->
+  ?steal:bool ->
   ?telemetry:Telemetry.t ->
   run:(Solver.Model.t -> run_result) ->
   ?should_stop:(Solver.Model.t -> run_result -> bool) ->

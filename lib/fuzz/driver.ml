@@ -65,6 +65,7 @@ let oracle_cfg (opts : opts) ~index : Oracle.cfg =
     check_cache = opts.thorough || index mod 2 = 0;
     check_salvage = opts.thorough || index mod 3 = 1;
     check_suppression = opts.thorough || index mod 3 = 2;
+    check_incremental = opts.thorough || index mod 4 = 2;
     det_jobs = max 2 opts.config.Config.jobs;
     max_steps = 200_000;
   }

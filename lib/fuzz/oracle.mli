@@ -34,6 +34,16 @@
       crashed, the table survives the wire and guided replay from the
       suppressed report reaches the same verdict — with the same §3.1
       case counters absent timeouts — as replay from the raw report.
+    - {b incremental}: for the collected path constraint sets (and their
+      negated-tail variants), the scoped incremental solver must agree
+      with the from-scratch solver on satisfiability — across a plain
+      scoped solve, a pop-half/re-push re-sync, the enumeration-first
+      portfolio strategy, and two passes of the full {!Solver.Incr}
+      pipeline (the second exercises learned cores: a learned core must
+      never flip a fresh [Sat] to [Unsat]); every [Sat] model must
+      satisfy the query — for the sliced full pipeline, its independence
+      slice, the part a model answers for.  [Unknown] is tolerated on
+      both sides.
     - {b salvage}: truncating the wire form at every byte boundary and
       salvaging ({!Instrument.Wire.deserialize_salvage}) never raises,
       never misreads a truncation as an unknown version, preserves the
@@ -61,6 +71,7 @@ type cfg = {
   check_cache : bool;
   check_salvage : bool;
   check_suppression : bool;
+  check_incremental : bool;
   det_jobs : int;  (** worker count for the parallel half of determinism *)
   max_steps : int;  (** interpreter step cap per exploration run *)
 }

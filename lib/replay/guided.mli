@@ -73,7 +73,13 @@ type restore_fn =
     draining the pending frontier; [solver_cache] (default true) memoizes
     solver queries across pendings and restarts, and [cache] supplies an
     external {!Solver.Cache.t} to use instead — the triage batch scheduler
-    shares one across a whole batch.  [max_attempts] caps the
+    shares one across a whole batch.  [incremental] (default true) solves
+    pendings through a {!Solver.Incr.t} (scope reuse, learned-core pruning,
+    strategy portfolio); [incr] supplies an external one instead — the
+    triage scheduler opens one per cluster.  Learned cores are
+    registry-scoped and reset on each restart's fresh registry; portfolio
+    statistics survive.  [steal] (default true) selects the work-stealing
+    frontier when [jobs] > 1.  [max_attempts] caps the
     restart-with-a-fresh-seed loop; once hit, a clean frontier exhaustion
     returns [Not_reproduced] with [timed_out = false] (a [true] there
     always means the clock or the run budget ran out, never mere
@@ -104,6 +110,9 @@ val reproduce :
   ?jobs:int ->
   ?solver_cache:bool ->
   ?cache:Solver.Cache.t ->
+  ?incr:Solver.Incr.t ->
+  ?incremental:bool ->
+  ?steal:bool ->
   ?max_attempts:int ->
   ?telemetry:Telemetry.t ->
   prog:Minic.Program.t ->

@@ -222,6 +222,44 @@ let store t key entry =
         t.stores <- t.stores + 1
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Split lookup/store API: the incremental layer ({!Incr}) interposes its
+   own solving strategy between the cache probe and the store, so the
+   canonicalization work is shared across both halves. *)
+
+type prepared = { pkey : key; pinv : int array; pfwd : (int, int) Hashtbl.t }
+
+let prepare ~vars cs =
+  let pkey, pinv, pfwd = canonicalize ~vars cs in
+  { pkey; pinv; pfwd }
+
+let lookup t (p : prepared) : Solve.outcome option =
+  match find t p.pkey with
+  | Some Unsat_c -> Some Solve.Unsat
+  | Some (Sat_c pairs) ->
+      let m =
+        List.fold_left
+          (fun m (c, v) -> Model.add p.pinv.(c) v m)
+          Model.empty pairs
+      in
+      Some (Solve.Sat m)
+  | None -> None
+
+let remember t (p : prepared) (r : Solve.outcome) =
+  match r with
+  | Solve.Sat m ->
+      let pairs =
+        Hashtbl.fold
+          (fun actual c acc ->
+            match Model.find_opt actual m with
+            | Some v -> (c, v) :: acc
+            | None -> acc)
+          p.pfwd []
+      in
+      store t p.pkey (Sat_c pairs)
+  | Solve.Unsat -> store t p.pkey Unsat_c
+  | Solve.Unknown -> locked t (fun () -> t.uncacheable <- t.uncacheable + 1)
+
 (** Drop-in replacement for {!Solve.solve} that consults the cache first.
     On a [Sat] hit the cached model is renamed from canonical variables back
     to the query's variables; it satisfies the conjunction but may differ

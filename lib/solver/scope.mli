@@ -1,0 +1,64 @@
+(** Scoped incremental solving context: push/pop constraint frames that
+    keep interval-propagation state alive between the heavily overlapping
+    queries of a concolic exploration.
+
+    A child pending's conjunction extends its parent's by one flipped
+    branch; sibling pendings share their whole lineage prefix.  Pushing a
+    constraint propagates it against the current domains and records the
+    narrowings on a trail; popping undoes exactly them.  Re-solving a
+    sibling therefore reuses the shared prefix's fixpoint instead of
+    re-deriving it ({!Solve.solve}'s [init_dom] warm start).
+
+    Not thread-safe — each exploration worker owns its scope. *)
+
+type t
+
+val create : vars:Symvars.t -> unit -> t
+val vars : t -> Symvars.t
+
+(** Number of live frames (pushed constraints). *)
+val depth : t -> int
+
+(** Push one constraint: simplify, detect contradictions ([Const 0],
+    structural negation pair against a pushed constraint, domain emptied by
+    propagation) and propagate domain narrowings, all undoable by {!pop}. *)
+val push : t -> Expr.t -> unit
+
+(** Undo the innermost {!push}.  @raise Invalid_argument on an empty scope. *)
+val pop : t -> unit
+
+val pop_all : t -> unit
+
+(** The pushed conjunction is known unsatisfiable (detected at push time). *)
+val contradiction : t -> bool
+
+(** A certified small unsat subset of the pushed constraints (a trivially
+    false constraint, or a negation pair with its partner), when the live
+    contradiction has a structural witness.  [None] for propagation-detected
+    contradictions — callers fall back to whole-set core learning. *)
+val contra_core : t -> Expr.t list option
+
+(** Pushed constraints, outermost first — the stack as the caller built it. *)
+val constraints : t -> Expr.t list
+
+(** The scope's narrowed domain for a variable, [None] if never narrowed.
+    Exactly the warm start handed to {!Solve.solve} via [init_dom]. *)
+val init_dom : t -> int -> Interval.t option
+
+(** Lifetime push/pop counters (frame-reuse accounting in {!Incr}). *)
+val pushes : t -> int
+
+val pops : t -> int
+
+(** Solve [cs] — the pushed conjunction or an independence slice of it —
+    with the scope's domains as warm start.  A contradicted scope answers
+    [Unsat] without searching.  Verdicts agree with a from-scratch
+    {!Solve.solve} (fuzz-enforced); models may differ. *)
+val solve :
+  ?budget:Solve.budget ->
+  ?order:[ `Path | `Smallest_dom ] ->
+  ?prop_rounds:int ->
+  ?hint:(int -> int option) ->
+  t ->
+  Expr.t list ->
+  Solve.outcome

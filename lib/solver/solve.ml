@@ -151,9 +151,15 @@ let rec subst_repr uf (e : Expr.t) : Expr.t =
 
 exception Found of Model.t
 
-let solve ?(budget = default_budget) ~(vars : Symvars.t)
-    ?(hint : int -> int option = fun _ -> None) (constraints : Expr.t list) :
-    outcome =
+(* [init_dom] seeds per-variable starting intervals (met with the registry
+   domain) — the incremental layer ({!Scope}) passes its already-propagated
+   domains here so a child query does not re-derive the parent's fixpoint.
+   [prop_rounds] bounds the propagation loop and [order] picks the search
+   variable order; the defaults reproduce the historical behaviour exactly. *)
+let solve ?(budget = default_budget) ?(init_dom : (int -> Interval.t option) option)
+    ?(order : [ `Path | `Smallest_dom ] = `Path) ?(prop_rounds = 30)
+    ~(vars : Symvars.t) ?(hint : int -> int option = fun _ -> None)
+    (constraints : Expr.t list) : outcome =
   bump (fun s -> s.calls <- s.calls + 1);
   match Simplify.conjuncts constraints with
   | None ->
@@ -250,11 +256,22 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
       let doms = Hashtbl.create 64 in
       List.iter
         (fun v ->
-          match Hashtbl.find_opt class_dom v with
-          | Some i -> Hashtbl.replace doms v i
-          | None ->
-              let d = Symvars.domain vars v in
-              Hashtbl.replace doms v (Interval.of_bounds d.lo d.hi))
+          let base =
+            match Hashtbl.find_opt class_dom v with
+            | Some i -> i
+            | None ->
+                let d = Symvars.domain vars v in
+                Interval.of_bounds d.lo d.hi
+          in
+          let seeded =
+            match init_dom with
+            | None -> base
+            | Some f -> (
+                match f v with
+                | Some warm -> Interval.meet base warm
+                | None -> base)
+          in
+          Hashtbl.replace doms v seeded)
         var_ids;
       let dom_of v =
         match Hashtbl.find_opt doms v with Some i -> i | None -> Interval.top
@@ -265,6 +282,12 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
          sees (e.g. an atoi result checked in a loop) *)
       let edoms : (Expr.t, Interval.t) Hashtbl.t = Hashtbl.create 32 in
       let contradiction = ref false in
+      (* a warm start may already be empty (the scope proved the conjunction
+         unsat by propagation); the loop below only flags *changes* *)
+      if Option.is_some init_dom then
+        List.iter
+          (fun v -> if Interval.is_empty (dom_of v) then contradiction := true)
+          var_ids;
       let tighten_expr e (i : Interval.t) =
         match e with
         | Expr.Var _ | Expr.Const _ -> ()
@@ -310,7 +333,7 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
       in
       (* propagation to fixpoint (bounded rounds) *)
       let rounds = ref 0 in
-      while !changed && (not !contradiction) && !rounds < 30 do
+      while !changed && (not !contradiction) && !rounds < prop_rounds do
         changed := false;
         incr rounds;
         List.iter
@@ -331,6 +354,17 @@ let solve ?(budget = default_budget) ~(vars : Symvars.t)
            occurrence along the path (keeps coupled variables adjacent) *)
         let singles, rest =
           List.partition (fun v -> Interval.size (dom_of v) <= 1) var_ids
+        in
+        (* enumeration-first strategy: attack the tightest domains first so
+           forward checking fails fast; `Path keeps the historical order *)
+        let rest =
+          match order with
+          | `Path -> rest
+          | `Smallest_dom ->
+              List.stable_sort
+                (fun a b ->
+                  Int.compare (Interval.size (dom_of a)) (Interval.size (dom_of b)))
+                rest
         in
         let order = Array.of_list (singles @ rest) in
         let nvars = Array.length order in

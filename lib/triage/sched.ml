@@ -7,8 +7,11 @@ type policy = {
   ladder : Engine.budget list;
   deadline_s : float;
   jobs : int;
+  final_rung_jobs : int;
   max_attempts : int;
   solver_cache : bool;
+  incremental : bool;
+  steal : bool;
   seed : int;
 }
 
@@ -22,8 +25,11 @@ let default_policy =
       ];
     deadline_s = 60.0;
     jobs = 1;
+    final_rung_jobs = 1;
     max_attempts = 1;
     solver_cache = true;
+    incremental = true;
+    steal = true;
     seed = 1;
   }
 
@@ -40,6 +46,8 @@ let policy_of_config (c : Bugrepro.Pipeline.Config.t) =
     ladder = [ rung 60 2.0; rung 250 10.0; full ];
     jobs = c.jobs;
     solver_cache = c.solver_cache;
+    incremental = c.incremental;
+    steal = c.steal;
     seed = c.seed;
   }
 
@@ -95,6 +103,13 @@ let replay_cluster ~policy ~telemetry ~cache ~deadline
   let report = c.representative.Ingest.report in
   let seed = cluster_seed policy c in
   let cases = zero_cases () in
+  (* one scoped solver per cluster: climbing a rung re-explores the same
+     report, so the portfolio statistics gathered on the cheap rung steer
+     strategy choice on the expensive one (cores are registry-scoped and
+     each rung opens a fresh registry, so only the statistics carry) *)
+  let incr =
+    if policy.incremental then Some (Solver.Incr.create ()) else None
+  in
   let rec climb ladder ~rungs ~runs ~elapsed ~rung_elapsed =
     match ladder with
     | [] ->
@@ -109,9 +124,18 @@ let replay_cluster ~policy ~telemetry ~cache ~deadline
           let budget =
             { rung with Engine.max_time_s = min rung.Engine.max_time_s remaining }
           in
+          (* early rungs are cheap and numerous — the pool fans out across
+             clusters, so each replay stays sequential (and with it the
+             model-determinism guarantee for everything they resolve).  The
+             final full-budget rung is the opposite shape: few clusters,
+             one heavy search each — [final_rung_jobs] lets the pool work
+             *inside* that search (work-stealing frontier), trading which
+             crashing input is found first for wall clock. *)
+          let jobs = if rest = [] then max 1 policy.final_rung_jobs else 1 in
           let result, stats =
-            Guided.reproduce ~budget ~seed ~jobs:1
-              ~solver_cache:policy.solver_cache ?cache
+            Guided.reproduce ~budget ~seed ~jobs
+              ~solver_cache:policy.solver_cache ?cache ?incr
+              ~incremental:policy.incremental ~steal:policy.steal
               ~max_attempts:policy.max_attempts ~telemetry ~prog ~plan report
           in
           add_cases ~into:cases stats.Guided.cases;

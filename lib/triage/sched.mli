@@ -12,20 +12,38 @@
     fingerprint, so the *outcome* per cluster does not depend on which
     worker picked it up or in which order — [jobs = 1] and [jobs = 4]
     batches differ only in timing fields (see DESIGN.md §5f for the
-    shared-cache caveat). *)
+    shared-cache caveat).
+
+    The exception is [final_rung_jobs] (default 1, preserving the above
+    verbatim): when > 1, the ladder's *final* rung replays with that many
+    worker domains inside the search (work-stealing frontier, §5h).  The
+    final rung is where the few heavy, near-exhaustive searches land
+    after every cheap rung failed, and it typically runs when the cluster
+    queue has already drained — the pool would otherwise sit idle.
+    Whether such a search reproduces is still scheduling-independent, but
+    *which* crashing input it finds first (the summary's model) may vary
+    with the worker count. *)
 
 type policy = {
   ladder : Concolic.Engine.budget list;
       (** escalating per-representative budgets, tried in order *)
   deadline_s : float;  (** global wall-clock bound for the whole batch *)
   jobs : int;  (** worker domains draining the cluster queue *)
+  final_rung_jobs : int;
+      (** worker domains *inside* the final rung's replay (default 1;
+          see the determinism note above) *)
   max_attempts : int;  (** reseed restarts within one ladder rung *)
   solver_cache : bool;  (** share one memoizing cache across the batch *)
+  incremental : bool;
+      (** open one {!Solver.Incr.t} per cluster, shared across its ladder
+          rungs (scope reuse, core pruning, portfolio statistics) *)
+  steal : bool;  (** work-stealing frontier inside each replay (jobs > 1) *)
   seed : int;  (** batch seed; per-cluster seeds derive from it *)
 }
 
 (** 2 s / 10 s / full {!Concolic.Engine.default_budget}, 60 s deadline,
-    sequential, one attempt per rung, cache on, seed 1. *)
+    sequential, one attempt per rung, cache on, incremental solving and
+    stealing on, seed 1. *)
 val default_policy : policy
 
 (** Derive a policy from the pipeline config: [replay_budget] caps the

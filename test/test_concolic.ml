@@ -332,7 +332,7 @@ let crash_corpus_src =
   \  return 0;\n\
    }"
 
-let explore_crashes ~jobs src =
+let explore_crashes ?(steal = true) ?incr ~jobs src =
   let prog = Workloads.Runtime_lib.link ~name:"t" src in
   let sc = Concolic.Scenario.make ~name:"t" ~args:[ "aaa" ] prog in
   let vars = Solver.Symvars.create () in
@@ -348,7 +348,8 @@ let explore_crashes ~jobs src =
   in
   let cache = Solver.Cache.create () in
   let stats, _ =
-    Concolic.Engine.explore ~vars ~budget:(budget 400) ~jobs ~cache ~run ~on_run ()
+    Concolic.Engine.explore ~vars ~budget:(budget 400) ~jobs ~cache ?incr
+      ~steal ~run ~on_run ()
   in
   (List.sort compare !crashes, stats)
 
@@ -357,6 +358,63 @@ let test_parallel_determinism () =
   let par, _ = explore_crashes ~jobs:4 crash_corpus_src in
   check_bool "found some crash sites" true (List.length seq >= 3);
   Alcotest.(check (list string)) "jobs=1 and jobs=4 find the same crash set" seq par
+
+let test_parallel_determinism_steal_matrix () =
+  (* the exhausted frontier's crash set is invariant across the frontier
+     discipline (sharded deques + stealing vs single queue) and the
+     incremental solver, at any worker count *)
+  let seq, _ = explore_crashes ~jobs:1 crash_corpus_src in
+  check_bool "found some crash sites" true (List.length seq >= 3);
+  List.iter
+    (fun (jobs, steal, incremental) ->
+      let incr = if incremental then Some (Solver.Incr.create ()) else None in
+      let found, stats = explore_crashes ~jobs ~steal ?incr crash_corpus_src in
+      let tag =
+        Printf.sprintf "jobs=%d steal=%b incr=%b" jobs steal incremental
+      in
+      Alcotest.(check (list string)) (tag ^ " crash set") seq found;
+      check_bool (tag ^ " frontier accounting") true
+        (stats.sat + stats.unsat + stats.unknown + stats.core_pruned
+        = stats.forks))
+    [
+      (1, true, true);
+      (4, true, false);
+      (4, false, false);
+      (4, true, true);
+      (4, false, true);
+    ]
+
+let test_steal_counters_and_worker_runs () =
+  (* 4-domain stress on the widest frontier: the Atomic accumulators must
+     reconcile — per-worker run counts sum to the total, steals only ever
+     counted when the sharded frontier is on *)
+  List.iter
+    (fun (jobs, steal) ->
+      let _, stats = explore_crashes ~jobs ~steal crash_corpus_src in
+      let tag = Printf.sprintf "jobs=%d steal=%b" jobs steal in
+      check_int (tag ^ " worker_runs length") jobs
+        (Array.length stats.worker_runs);
+      check_int (tag ^ " worker_runs sums to runs") stats.runs
+        (Array.fold_left ( + ) 0 stats.worker_runs);
+      check_bool (tag ^ " pending_peak positive") true (stats.pending_peak >= 1);
+      if jobs = 1 || not steal then
+        check_int (tag ^ " no steals without sharded deques") 0 stats.steals
+      else check_bool (tag ^ " steal counter sane") true (stats.steals >= 0))
+    [ (1, true); (4, true); (4, false) ]
+
+let test_core_pruning_spares_sat_siblings () =
+  (* with the incremental solver on, every pending is accounted for
+     (sat + unsat + unknown + core_pruned = forks on an exhausted
+     frontier) and pruning never loses a crash the plain engine finds *)
+  let plain, pstats = explore_crashes ~jobs:1 crash_corpus_src in
+  let incr = Solver.Incr.create () in
+  let pruned, stats = explore_crashes ~jobs:1 ~incr crash_corpus_src in
+  check_bool "frontier exhausted" true (pstats.runs < 400 && stats.runs < 400);
+  Alcotest.(check (list string))
+    "crash set unchanged by core pruning" plain pruned;
+  check_int "pruned + solved = forks"
+    stats.forks
+    (stats.sat + stats.unsat + stats.unknown + stats.core_pruned)
 
 let test_parallel_respects_run_budget () =
   let sc =
@@ -408,6 +466,12 @@ let () =
         [
           Alcotest.test_case "jobs=1 = jobs=4 crash set" `Quick
             test_parallel_determinism;
+          Alcotest.test_case "steal/incr matrix determinism" `Quick
+            test_parallel_determinism_steal_matrix;
+          Alcotest.test_case "steal counters and worker runs" `Quick
+            test_steal_counters_and_worker_runs;
+          Alcotest.test_case "core pruning spares sat siblings" `Quick
+            test_core_pruning_spares_sat_siblings;
           Alcotest.test_case "parallel respects budget" `Quick
             test_parallel_respects_run_budget;
         ] );

@@ -297,6 +297,32 @@ let test_parallel_case_totals_match_sequential () =
   check_bool "the frontier was actually explored" true (seq.case1 > 0);
   check_bool "case totals match across 4 domains" true (tup seq = tup par)
 
+let test_parallel_engine_counters_reconcile () =
+  (* the Atomic frontier accumulators must agree with the totals whatever
+     the worker count or frontier discipline *)
+  let prog, _, report = record ~args:[ "BUG" ] magic_src in
+  let report = Option.get report in
+  let none =
+    Instrument.Plan.make ~nbranches:(Minic.Program.nbranches prog)
+      Instrument.Methods.No_instrumentation
+  in
+  List.iter
+    (fun (jobs, steal) ->
+      let _, stats =
+        Replay.Guided.reproduce ~budget ~jobs ~steal ~max_attempts:1 ~prog
+          ~plan:none report
+      in
+      let e = stats.Replay.Guided.engine in
+      let tag = Printf.sprintf "jobs=%d steal=%b" jobs steal in
+      check_bool (tag ^ " worker_runs length") true
+        (Array.length e.worker_runs = jobs);
+      check_bool (tag ^ " worker_runs sums to runs") true
+        (Array.fold_left ( + ) 0 e.worker_runs = e.runs);
+      check_bool (tag ^ " pending peak recorded") true (e.pending_peak >= 1);
+      if jobs = 1 || not steal then
+        check_bool (tag ^ " no steals possible") true (e.steals = 0))
+    [ (1, true); (4, true); (4, false) ]
+
 let () =
   Alcotest.run "replay"
     [
@@ -331,6 +357,8 @@ let () =
             test_reproduce_parallel_no_log_search;
           Alcotest.test_case "case totals match sequential" `Quick
             test_parallel_case_totals_match_sequential;
+          Alcotest.test_case "engine counters reconcile" `Quick
+            test_parallel_engine_counters_reconcile;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_full_log_reproduces ] );

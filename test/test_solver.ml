@@ -444,6 +444,176 @@ let test_sliced_unsat_is_sound () =
   | Solve.Unsat -> ()
   | _ -> Alcotest.fail "expected unsat from the sliced component"
 
+(* ------------------------------------------------------------------ *)
+(* Scope: push/pop frames with trail undo *)
+
+let test_scope_push_pop_restores_domains () =
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 in
+  let scope = Scope.create ~vars () in
+  Scope.push scope (v x <. c 10);
+  (match Scope.solve scope [ v x <. c 10 ] with
+  | Solve.Sat m -> check_bool "model under scope" true
+      (Option.get (Model.find_opt x m) < 10)
+  | _ -> Alcotest.fail "expected sat under x<10");
+  (* the narrowed domain excludes 200 while the frame is live... *)
+  (match Scope.solve scope [ v x ==. c 200 ] with
+  | Solve.Unsat -> ()
+  | _ -> Alcotest.fail "x=200 must be unsat under the pushed x<10");
+  Scope.pop scope;
+  check_int "depth restored" 0 (Scope.depth scope);
+  (* ...and popping undoes exactly that narrowing *)
+  match Scope.solve scope [ v x ==. c 200 ] with
+  | Solve.Sat _ -> ()
+  | _ -> Alcotest.fail "trail undo must restore the base domain"
+
+let test_scope_negation_pair_core () =
+  let vars, ids = mk_vars 1 in
+  let x = List.nth ids 0 in
+  let scope = Scope.create ~vars () in
+  let a = v x <. c 5 in
+  Scope.push scope a;
+  Scope.push scope (Expr.negate a);
+  check_bool "negation pair contradicts" true (Scope.contradiction scope);
+  (match Scope.contra_core scope with
+  | Some core ->
+      check_int "two-constraint certified core" 2 (List.length core);
+      check_bool "core contains the partner" true (List.mem a core)
+  | None -> Alcotest.fail "negation pair must carry a certified core");
+  check_bool "contradicted scope answers unsat" true
+    (Scope.solve scope [ a; Expr.negate a ] = Solve.Unsat);
+  Scope.pop scope;
+  check_bool "pop clears the contradiction" false (Scope.contradiction scope)
+
+let test_scope_propagation_contradiction () =
+  (* no structural witness: the emptied interval is found by worklist
+     propagation, and the contradiction carries no small core *)
+  let vars, ids = mk_vars 1 in
+  let x = List.nth ids 0 in
+  let scope = Scope.create ~vars () in
+  Scope.push scope (v x <. c 3);
+  Scope.push scope (v x >. c 5);
+  check_bool "propagation finds the empty domain" true
+    (Scope.contradiction scope);
+  check_bool "no certified core for propagation contras" true
+    (Scope.contra_core scope = None);
+  Scope.pop scope;
+  check_bool "still sat after popping the contradicting frame" true
+    (match Scope.solve scope [ v x <. c 3 ] with
+    | Solve.Sat _ -> true
+    | _ -> false)
+
+let test_scope_enum_strategy_verdict_parity () =
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 and y = List.nth ids 1 in
+  let cat = function
+    | Solve.Sat _ -> "sat"
+    | Solve.Unsat -> "unsat"
+    | Solve.Unknown -> "unknown"
+  in
+  List.iter
+    (fun cs ->
+      let fresh = Solve.solve ~vars cs in
+      let scope = Scope.create ~vars () in
+      List.iter (Scope.push scope) cs;
+      let enum = Scope.solve ~order:`Smallest_dom ~prop_rounds:4 scope cs in
+      Alcotest.(check string)
+        "enum-first scope verdict = fresh verdict" (cat fresh) (cat enum))
+    [
+      [ v x <. c 3; v x >. c 5 ];
+      [ v x >. c 10; v x <. c 13; v y ==. (v x +. c 1) ];
+      [ v x ==. c 47 ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Incr: learned cores, subsumption pruning, scope re-sync *)
+
+let test_incr_learns_and_prunes () =
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 and y = List.nth ids 1 in
+  let t = Incr.create () in
+  let s = Incr.session t ~vars in
+  let unsat_cs = [ v x <. c 3; v x >. c 5 ] in
+  check_bool "unsat query answers unsat" true
+    (Incr.solve s unsat_cs = Solve.Unsat);
+  let snap1 = Incr.snapshot t in
+  check_bool "unsat learned a core" true (snap1.Incr.cores_learned >= 1);
+  (* a superset of the learned core is pruned without a solver call *)
+  let superset = [ v x <. c 3; v x >. c 5; v y ==. c 1 ] in
+  check_bool "superset pruned to unsat" true
+    (Incr.solve s superset = Solve.Unsat);
+  let snap2 = Incr.snapshot t in
+  check_int "pruned exactly once" (snap1.Incr.core_pruned + 1)
+    snap2.Incr.core_pruned;
+  check_int "no solver call for the pruned query" snap1.Incr.solver_calls
+    snap2.Incr.solver_calls
+
+let test_incr_never_prunes_sat_sibling () =
+  (* regression: a sibling sharing only part of a learned core must still
+     be solved — and found Sat *)
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 and y = List.nth ids 1 in
+  let t = Incr.create () in
+  let s = Incr.session t ~vars in
+  ignore (Incr.solve s [ v x <. c 3; v x >. c 5 ]);
+  let before = (Incr.snapshot t).Incr.core_pruned in
+  let sibling = [ v x <. c 3; v y >. c 5 ] in
+  (match Incr.solve s sibling with
+  | Solve.Sat m -> check_bool "model satisfies" true (Model.satisfies_all m sibling)
+  | _ -> Alcotest.fail "sat sibling must not be pruned by the core");
+  check_int "no prune recorded for the sat sibling" before
+    (Incr.snapshot t).Incr.core_pruned
+
+let test_incr_resync_after_divergence () =
+  (* a deeply divergent query bypasses scope sync at first, but repeating
+     it re-anchors the scope so the new region becomes the cheap prefix *)
+  let vars, ids = mk_vars 1 in
+  let x = List.nth ids 0 in
+  let t = Incr.create () in
+  let s = Incr.session t ~vars in
+  let big = List.init 70 (fun k -> v x <>. c k) in
+  let synced = ref false in
+  for _ = 1 to 32 do
+    (match Incr.solve s big with
+    | Solve.Sat m ->
+        check_bool "big conjunction model ok" true (Model.satisfies_all m big)
+    | _ -> Alcotest.fail "70 exclusions over a byte must stay sat");
+    if Scope.depth (Incr.scope s) > 0 then synced := true
+  done;
+  check_bool "scope eventually re-anchors onto the hot region" true !synced;
+  (* sibling reuse after the re-anchor: shared prefix, one new constraint *)
+  let sibling = big @ [ v x <>. c 200 ] in
+  let calls_before = (Incr.snapshot t).Incr.incremental in
+  (match Incr.solve s sibling with
+  | Solve.Sat m -> check_bool "sibling model ok" true (Model.satisfies_all m sibling)
+  | _ -> Alcotest.fail "sibling must stay sat");
+  check_bool "sibling solve counted as incremental" true
+    ((Incr.snapshot t).Incr.incremental > calls_before)
+
+let test_incr_verdict_parity_on_fixtures () =
+  let vars, ids = mk_vars 2 in
+  let x = List.nth ids 0 and y = List.nth ids 1 in
+  let t = Incr.create () in
+  let s = Incr.session t ~vars in
+  let cat = function
+    | Solve.Sat _ -> "sat"
+    | Solve.Unsat -> "unsat"
+    | Solve.Unknown -> "unknown"
+  in
+  List.iter
+    (fun cs ->
+      let fresh = Solve.solve ~vars cs in
+      (* twice: the second pass runs against learned cores *)
+      Alcotest.(check string) "incr pass 1" (cat fresh) (cat (Incr.solve s cs));
+      Alcotest.(check string) "incr pass 2" (cat fresh) (cat (Incr.solve s cs)))
+    [
+      [ v x ==. c 47 ];
+      [ v x <. c 3; v x >. c 5 ];
+      [ v x >. c 10; v x <. c 13; v y ==. (v x +. c 1) ];
+      [ v x <. c 3; v x >. c 5; v y ==. c 9 ];
+      [ v y ==. c 9; v x <>. c 0 ];
+    ]
+
 (* cached and uncached solves agree on Sat/Unsat/Unknown, and a cached Sat
    model (possibly replayed from an earlier alpha-equivalent entry) still
    satisfies the query *)
@@ -526,5 +696,27 @@ let () =
           Alcotest.test_case "sliced unsat sound" `Quick
             test_sliced_unsat_is_sound;
           QCheck_alcotest.to_alcotest prop_cache_agrees_with_solver;
+        ] );
+      ( "scope",
+        [
+          Alcotest.test_case "push/pop restores domains" `Quick
+            test_scope_push_pop_restores_domains;
+          Alcotest.test_case "negation-pair certified core" `Quick
+            test_scope_negation_pair_core;
+          Alcotest.test_case "propagation contradiction" `Quick
+            test_scope_propagation_contradiction;
+          Alcotest.test_case "enum strategy verdict parity" `Quick
+            test_scope_enum_strategy_verdict_parity;
+        ] );
+      ( "incr",
+        [
+          Alcotest.test_case "learns and prunes supersets" `Quick
+            test_incr_learns_and_prunes;
+          Alcotest.test_case "never prunes a sat sibling" `Quick
+            test_incr_never_prunes_sat_sibling;
+          Alcotest.test_case "re-anchors after divergence" `Quick
+            test_incr_resync_after_divergence;
+          Alcotest.test_case "verdict parity on fixtures" `Quick
+            test_incr_verdict_parity_on_fixtures;
         ] );
     ]

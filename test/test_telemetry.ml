@@ -227,7 +227,9 @@ let test_stats_conversions () =
   let es =
     {
       Concolic.Engine.runs = 3; sat = 2; unsat = 1; unknown = 0;
-      pending_peak = 5; elapsed_s = 0.25; timed_out = false;
+      pending_peak = 5; elapsed_s = 0.25; timed_out = false; forks = 3;
+      core_pruned = 0; solved_incremental = 0; solver_calls = 0; steals = 0;
+      worker_runs = [| 3 |];
     }
   in
   let ec = Concolic.Engine.counters es in
