@@ -36,6 +36,8 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
      Bench_parallel.e15);
     ("E16", "extension: batch triage (salvage + dedup + scheduler)",
      Bench_triage.e16);
+    ("E17", "extension: streaming triage service (ingest + restart + drain)",
+     Bench_streaming.e17);
   ]
 
 let parse_args () : Ctx.t * string option * string option * string option =

@@ -541,6 +541,191 @@ let batch_cmd dir count seed torn =
       0
 
 (* ------------------------------------------------------------------ *)
+(* Streaming triage service: ingest reports as they arrive — from a
+   directory watched incrementally and/or from the seeded load generator
+   simulating a fleet of crashing clients — through the bounded
+   backpressured queue, then drain and summarize.  Exit codes extend the
+   triage command's with 5 = ingestion stall (the queue would not drain
+   within --max-ticks). *)
+
+let drop_policy_of_string s =
+  match s with
+  | "reject-new" -> Ok Triage.Service.Reject_new
+  | "drop-oldest" -> Ok Triage.Service.Drop_oldest
+  | _ ->
+      let prefix = "sample:" in
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        match float_of_string_opt (String.sub s pl (String.length s - pl)) with
+        | Some p when p >= 0.0 && p <= 1.0 -> Ok (Triage.Service.Sample p)
+        | _ -> Error (Printf.sprintf "bad sample probability in %s" s)
+      else
+        Error
+          (Printf.sprintf
+             "unknown drop policy %s (known: reject-new, drop-oldest, \
+              sample:P)"
+             s)
+
+let serve_cmd dir generate clients torn_pct seed queue drop_s burst window
+    tick_every max_ticks index jobs deadline timeout snapshot json trace
+    metrics =
+  match drop_policy_of_string drop_s with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok drop when generate = 0 && dir = None ->
+      ignore drop;
+      prerr_endline "serve: nothing to ingest (give DIR and/or --generate N)";
+      2
+  | Ok drop -> (
+      let tel, finish_telemetry = make_telemetry trace metrics in
+      let cfg =
+        Bugrepro.Pipeline.Config.(
+          default
+          |> with_jobs (max 1 jobs)
+          |> with_seed seed
+          |> with_budget
+               ~replay:{ Concolic.Engine.max_runs = 50_000; max_time_s = timeout }
+          |> with_telemetry tel)
+      in
+      let policy =
+        { (Triage.Sched.policy_of_config cfg) with
+          Triage.Sched.deadline_s = deadline }
+      in
+      let config =
+        {
+          Triage.Service.default_config with
+          Triage.Service.policy;
+          queue_capacity = max 1 queue;
+          drop;
+          burst = max 1 burst;
+          window = max 1 window;
+          index_dir = index;
+        }
+      in
+      match
+        Triage.Service.open_ ~config ~telemetry:tel
+          ~resolve:(make_resolver cfg) ()
+      with
+      | Error e ->
+          Printf.eprintf "serve: cannot open index: %s\n"
+            (Triage.Index.error_to_string e);
+          (match e with Triage.Index.Unknown_version _ -> 4 | _ -> 3)
+      | Ok svc ->
+          let recovered =
+            (Triage.Service.snapshot svc).Triage.Service.processed
+          in
+          if recovered > 0 then
+            Printf.printf "recovered %d report(s) from the index\n" recovered;
+          (* phase 1: the generated fleet, submitted in seeded order with
+             a tick every [tick_every] submissions — faster than the
+             service drains on purpose, so backpressure is observable *)
+          if generate > 0 then begin
+            let gen = Workloads.Report_gen.make ~config:cfg () in
+            let stream =
+              Workloads.Report_gen.stream gen ~seed ~clients ~torn_pct
+                generate
+            in
+            List.iteri
+              (fun i (r : Workloads.Report_gen.report) ->
+                ignore (Triage.Service.submit svc ~path:r.path r.wire);
+                if (i + 1) mod tick_every = 0 then
+                  ignore (Triage.Service.tick svc))
+              stream
+          end;
+          (* phase 2: watch the directory until it stops producing new
+             files and the queue is empty (two quiet rounds), bounded by
+             --max-ticks *)
+          let stalled = ref false in
+          (match dir with
+          | None ->
+              (* still bound the drain of the generated burst *)
+              let ticks = ref 0 in
+              while Triage.Service.queue_depth svc > 0 && not !stalled do
+                let n = Triage.Service.tick svc in
+                incr ticks;
+                if n = 0 || !ticks > max_ticks then stalled := true
+              done
+          | Some dir ->
+              let scanner = Triage.Ingest.scanner dir in
+              let quiet = ref 0 in
+              let ticks = ref 0 in
+              while !quiet < 2 && not !stalled do
+                let items, rejects = Triage.Ingest.poll scanner in
+                List.iter
+                  (fun (i : Triage.Ingest.item) ->
+                    ignore (Triage.Service.submit_item svc i))
+                  items;
+                List.iter
+                  (fun (r : Triage.Ingest.rejected) ->
+                    Printf.printf "rejected %s: %s\n" r.path
+                      (Instrument.Wire.error_to_string r.error))
+                  rejects;
+                let n = Triage.Service.tick svc in
+                incr ticks;
+                if items = [] && rejects = [] && n = 0
+                   && Triage.Service.queue_depth svc = 0
+                then incr quiet
+                else quiet := 0;
+                if !ticks > max_ticks then stalled := true
+              done);
+          let snap = Triage.Service.snapshot svc in
+          Printf.printf
+            "ingested: %d submitted, %d rejected, %d dropped, %d queued \
+             (capacity %d), %d clusters over %d report(s)\n"
+            snap.Triage.Service.submitted snap.Triage.Service.rejected
+            snap.Triage.Service.dropped snap.Triage.Service.queued
+            snap.Triage.Service.capacity snap.Triage.Service.clusters
+            snap.Triage.Service.processed;
+          (match snapshot with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc (Triage.Service.snapshot_to_json snap);
+              output_string oc "\n";
+              close_out oc;
+              Printf.printf "snapshot written to %s\n" path
+          | None -> ());
+          if !stalled then begin
+            Printf.eprintf
+              "serve: ingestion stalled with %d report(s) still queued \
+               after %d tick(s)\n"
+              (Triage.Service.queue_depth svc) max_ticks;
+            Triage.Service.close svc;
+            finish_telemetry ();
+            5
+          end
+          else begin
+            let summary = Triage.Service.drain svc in
+            Triage.Service.close svc;
+            print_string (Triage.Summary.to_text summary);
+            (match json with
+            | Some path ->
+                let oc = open_out path in
+                output_string oc
+                  (Triage.Summary.to_json ~timing:true summary);
+                output_string oc "\n";
+                close_out oc;
+                Printf.printf "json summary written to %s\n" path
+            | None -> ());
+            finish_telemetry ();
+            if
+              summary.Triage.Summary.reports = 0
+              && summary.Triage.Summary.rejected <> []
+            then
+              let vprefix = "unknown report format version" in
+              if
+                List.exists
+                  (fun (_, reason) ->
+                    String.length reason >= String.length vprefix
+                    && String.sub reason 0 (String.length vprefix) = vprefix)
+                  summary.Triage.Summary.rejected
+              then 4
+              else 3
+            else if summary.Triage.Summary.timed_out > 0 then 1
+            else 0
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
 
 let workload_arg =
@@ -769,6 +954,148 @@ let triage_t =
     const triage_cmd $ dir $ jobs $ deadline $ timeout $ seed
     $ no_incremental $ no_steal $ json $ trace $ metrics)
 
+let serve_t =
+  let dir =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "Directory to watch for .report files (scanned incrementally; \
+             files appearing while the service runs are ingested too).")
+  in
+  let generate =
+    Arg.(
+      value & opt int 0
+      & info [ "generate"; "g" ] ~docv:"N"
+          ~doc:
+            "Synthesize N crash reports from the seeded fleet load \
+             generator (coreutils + µServer client crashes, duplicates \
+             dominating, a seeded fraction torn) and submit them before \
+             watching DIR.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 200
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Simulated clients behind --generate.")
+  in
+  let torn_pct =
+    Arg.(
+      value & opt float 0.1
+      & info [ "torn-pct" ] ~docv:"FRACTION"
+          ~doc:"Fraction of generated reports that arrive torn mid-log.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:
+            "Service seed: drives per-cluster replay seeds, the sample \
+             drop policy and the load generator.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 256
+      & info [ "queue" ] ~docv:"N" ~doc:"Ingest queue capacity.")
+  in
+  let drop =
+    Arg.(
+      value & opt string "reject-new"
+      & info [ "drop" ] ~docv:"POLICY"
+          ~doc:
+            "Overload policy for a full queue: $(b,reject-new), \
+             $(b,drop-oldest), or $(b,sample:P) (admit with probability \
+             P, seeded).")
+  in
+  let burst =
+    Arg.(
+      value & opt int 32
+      & info [ "burst" ] ~docv:"N" ~doc:"Reports clustered per tick.")
+  in
+  let window =
+    Arg.(
+      value & opt int 256
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Sliding analytics window (reports).")
+  in
+  let tick_every =
+    Arg.(
+      value & opt int 64
+      & info [ "tick-every" ] ~docv:"N"
+          ~doc:
+            "Tick once per N generated submissions — deliberately slower \
+             than the fleet submits, so backpressure is observable.")
+  in
+  let max_ticks =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-ticks" ] ~docv:"N"
+          ~doc:
+            "Give up (exit 5) if the queue has not drained after N ticks.")
+  in
+  let index =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"DIR"
+          ~doc:
+            "Persistent fingerprint index: crash buckets are appended \
+             here and reloaded on the next serve, so clusters survive \
+             restarts.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains finishing replay courses at drain.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 60.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock bound for the drain's replay phase.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 20.0
+      & info [ "timeout"; "t" ] ~docv:"SECONDS"
+          ~doc:"Per-report budget of the ladder's final rung.")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write the post-ingestion service snapshot (queue, drops, \
+             clusters, window analytics) as strict JSON to FILE.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the strict-JSON drain summary to FILE.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace of the service to FILE.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the span tree and counter table after the drain.")
+  in
+  Term.(
+    const serve_cmd $ dir $ generate $ clients $ torn_pct $ seed $ queue
+    $ drop $ burst $ window $ tick_every $ max_ticks $ index $ jobs
+    $ deadline $ timeout $ snapshot $ json $ trace $ metrics)
+
 let batch_t =
   let dir =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
@@ -807,6 +1134,9 @@ let exit_status_man =
     `P
       "$(b,4) when a bug report uses an unsupported (newer) wire-format \
        version: upgrade this tool rather than suspect corruption.";
+    `P
+      "$(b,5) when the serve command's ingestion stalls: the queue did \
+       not drain within --max-ticks.";
   ]
 
 let cmds =
@@ -831,6 +1161,15 @@ let cmds =
             deduplicate by crash fingerprint, replay one representative \
             per cluster under escalating budgets and a global deadline")
       triage_t;
+    Cmd.v
+      (Cmd.info "serve" ~man:exit_status_man
+         ~doc:
+           "Streaming triage service: ingest crash reports as they \
+            arrive — from a watched directory and/or the seeded fleet \
+            load generator — through a bounded backpressured queue with \
+            incremental clustering, restart-safe crash buckets and \
+            sliding-window analytics, then drain and summarize")
+      serve_t;
     Cmd.v
       (Cmd.info "batch" ~man:exit_status_man
          ~doc:

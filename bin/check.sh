@@ -9,9 +9,12 @@
 #                             # smoke (bugrepro fuzz), the checked-in
 #                             # corpus replay, a probe-elision smoke
 #                             # (elided > 0 + reconstruction parity on the
-#                             # walkthrough program), and a triage smoke
+#                             # walkthrough program), a triage smoke
 #                             # over a generated batch with duplicates and
-#                             # torn tails (strict JSON summary validated)
+#                             # torn tails (strict JSON summary validated),
+#                             # and a triage-service smoke (seeded loadgen
+#                             # burst through `bugrepro serve` with a
+#                             # bounded queue, snapshot JSON validated)
 #
 # FUZZ_COUNT overrides the smoke's case count (the nightly CI lane sets
 # it to a few thousand); FUZZ_SEED overrides the campaign seed.
@@ -142,6 +145,36 @@ EOF
     echo "triage JSON summary OK: $SUMMARY"
   else
     echo "python3 not found; skipping JSON validation of $SUMMARY"
+  fi
+
+  echo "== triage-service smoke (streaming serve + seeded loadgen) =="
+  # a seeded burst through the long-running service: the bounded queue
+  # must shed deterministically (the burst overflows capacity 24), torn
+  # reports ride the salvage path, and the snapshot renders as strict
+  # JSON.  Exit 0/1 are fine (1 = a replay ladder expired under load);
+  # exit 5 means ingestion stalled — a queue deadlock — and fails here
+  SNAP=$(mktemp /tmp/serve-snapshot.XXXXXX.json)
+  SERVE_EXIT=0
+  dune exec bin/bugrepro_cli.exe -- serve --generate 60 --torn-pct 0.08 \
+    --seed 7 --queue 24 --drop drop-oldest -j 2 --deadline 20 \
+    --snapshot "$SNAP" > /dev/null || SERVE_EXIT=$?
+  if [ "$SERVE_EXIT" -gt 1 ]; then
+    echo "error: serve smoke exited $SERVE_EXIT (5 = ingestion stall /" \
+         "queue deadlock)" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$SNAP" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["processed"] > 0, "the service processed nothing"
+assert s["queued"] == 0, "reports stuck in the queue after drain"
+assert s["dedup_ratio"] < 1.0, "duplicates did not collapse"
+assert s["dropped"] > 0, "the capacity-24 queue never shed under the burst"
+EOF
+    echo "serve snapshot JSON OK: $SNAP"
+  else
+    echo "python3 not found; skipping JSON validation of $SNAP"
   fi
 fi
 

@@ -14,6 +14,7 @@ type cfg = {
   check_salvage : bool;
   check_suppression : bool;
   check_incremental : bool;
+  check_streaming : bool;
   det_jobs : int;
   max_steps : int;
 }
@@ -32,6 +33,7 @@ let default_cfg =
     check_salvage = true;
     check_suppression = true;
     check_incremental = true;
+    check_streaming = true;
     det_jobs = 4;
     max_steps = 200_000;
   }
@@ -588,6 +590,108 @@ let replay_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
                 c.case3b
             else ""))
 
+(* Oracle (i): streaming-vs-batch equivalence.  Build a small report set
+   from the first crashing method — duplicates with distinct provenance
+   paths plus one torn copy — and triage it twice: once through the
+   batch entry point in canonical path order, once through a live
+   {!Triage.Service} fed the same items in a seeded shuffle with a tiny
+   queue burst (many ticks, eager rung climbs between them).  The two
+   timing-stripped summaries must be byte-identical: arrival order,
+   tick boundaries and eager replay must never change what triage
+   concludes. *)
+
+let streaming_check (cfg : cfg) (case : Gen.case) (sc : Concolic.Scenario.t)
+    ~dynamic ~static : verdict =
+  let rec first_crash = function
+    | [] -> None
+    | meth :: rest -> (
+        let plan =
+          Instrument.Plan.make
+            ~nbranches:(Minic.Program.nbranches case.Gen.prog)
+            ?dynamic ~static meth
+        in
+        match Bugrepro.Pipeline.Run.field_run_report cfg.config ~plan sc with
+        | _, Some report -> Some (plan, report)
+        | _, None -> first_crash rest)
+  in
+  match first_crash cfg.methods with
+  | None -> Skip "no crash under any method"
+  | Some (plan, report) -> (
+      let wire = Instrument.Wire.serialize report in
+      let torn =
+        match find_sub wire "branch-log: " with
+        | None -> wire
+        | Some pos ->
+            let start = pos + String.length "branch-log: " in
+            let hex_end =
+              match String.index_from_opt wire start '\n' with
+              | Some e -> e
+              | None -> String.length wire
+            in
+            String.sub wire 0 (start + ((hex_end - start) / 2))
+      in
+      let texts =
+        [ wire; wire; torn; wire ]
+        |> List.mapi (fun i s -> (Printf.sprintf "r%03d.report" i, s))
+      in
+      let items =
+        List.filter_map
+          (fun (path, s) ->
+            Result.to_option (Triage.Ingest.of_string ~path s))
+          texts
+      in
+      let resolve _ = Ok (case.Gen.prog, plan) in
+      let policy =
+        { (Triage.Sched.policy_of_config cfg.config) with
+          Triage.Sched.deadline_s = 30.0 }
+      in
+      try
+        let batch = Triage.run_items ~policy ~resolve items in
+        let shuffled = Array.of_list items in
+        Osmodel.Rng.shuffle
+          (Osmodel.Rng.create (cfg.config.Bugrepro.Pipeline.Config.seed + 1))
+          shuffled;
+        let config =
+          {
+            Triage.Service.default_config with
+            Triage.Service.policy;
+            queue_capacity = max 1 (Array.length shuffled);
+            burst = 1;
+            window = 8;
+            eager = true;
+          }
+        in
+        let svc =
+          match Triage.Service.open_ ~config ~resolve () with
+          | Ok svc -> svc
+          | Error e -> failwith (Triage.Index.error_to_string e)
+        in
+        Array.iter
+          (fun item -> ignore (Triage.Service.submit_item svc item))
+          shuffled;
+        while Triage.Service.queue_depth svc > 0 do
+          ignore (Triage.Service.tick svc)
+        done;
+        let streamed = Triage.Service.drain svc in
+        Triage.Service.close svc;
+        let canon s = Triage.Summary.to_json ~timing:false s in
+        let b = canon batch and s = canon streamed in
+        if String.equal b s then
+          (* timeout-status flips are wall-clock noise, not divergence;
+             only equal-status summaries are comparable, like the
+             determinism oracle's exhausted-only comparison *)
+          Pass
+        else if
+          batch.Triage.Summary.timed_out <> streamed.Triage.Summary.timed_out
+        then Skip "replay budget expired in one mode"
+        else
+          Fail
+            (Printf.sprintf
+               "streaming summary diverged from batch:\n--- batch\n%s\n--- \
+                streaming\n%s"
+               b s)
+      with exn -> Fail ("streaming triage raised " ^ Printexc.to_string exn))
+
 (* ------------------------------------------------------------------ *)
 
 let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
@@ -609,6 +713,7 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
     want "labels" || want "determinism" || want "cache"
     || (cfg.check_incremental && want "incremental")
     || (cfg.check_suppression && want "suppression")
+    || (cfg.check_streaming && want "streaming")
     || List.exists
          (fun m ->
            m <> Instrument.Methods.All_branches
@@ -686,6 +791,12 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
     record "suppression"
       (span "suppression" (fun () ->
            suppression_check cfg case sc
+             ~dynamic:(Option.map (fun (b : explo) -> b.labels) base)
+             ~static:(Lazy.force static_labels)));
+  if cfg.check_streaming && want "streaming" then
+    record "streaming"
+      (span "streaming" (fun () ->
+           streaming_check cfg case sc
              ~dynamic:(Option.map (fun (b : explo) -> b.labels) base)
              ~static:(Lazy.force static_labels)));
   List.rev !results

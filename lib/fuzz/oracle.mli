@@ -52,6 +52,13 @@
       round-trips; one deep cut (half the branch log) is then actually
       replayed and must come back [Reproduced] at the recorded site or a
       clean [Not_reproduced] — never an exception.
+    - {b streaming}: a small report set (duplicates under distinct
+      provenance paths plus one torn copy) triaged through the batch
+      entry point and through a live {!Triage.Service} — same items,
+      seeded-shuffled arrival, tiny ingest bursts with eager replay
+      between ticks — must render byte-identical timing-stripped
+      summaries ([Summary.to_json ~timing:false]); a timeout-status flip
+      between the two modes is wall-clock noise and skips.
 
     Oracles that cannot run (no crash, truncated exploration, replay
     timeout) report [Skip] with a reason — a skip is not a pass, and the
@@ -72,6 +79,7 @@ type cfg = {
   check_salvage : bool;
   check_suppression : bool;
   check_incremental : bool;
+  check_streaming : bool;
   det_jobs : int;  (** worker count for the parallel half of determinism *)
   max_steps : int;  (** interpreter step cap per exploration run *)
 }

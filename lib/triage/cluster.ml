@@ -23,18 +23,35 @@ let better (a : Ingest.item) (b : Ingest.item) =
     in
     if c <> 0 then c < 0 else String.compare a.path b.path < 0
 
-let group (items : Ingest.item list) : t list =
-  let tbl : (string, Fingerprint.t * Ingest.item list ref) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  List.iter
-    (fun (i : Ingest.item) ->
-      let fp = Fingerprint.of_report i.report in
-      let k = Fingerprint.key fp in
-      match Hashtbl.find_opt tbl k with
-      | Some (_, members) -> members := i :: !members
-      | None -> Hashtbl.add tbl k (fp, ref [ i ]))
-    items;
+(* ------------------------------------------------------------------ *)
+(* Incremental builder: the same buckets as a one-shot [group], grown one
+   item at a time.  Snapshots re-sort members and re-elect from scratch,
+   so the rendered clusters depend only on the item *set*, never the
+   insertion order — the property the streaming-vs-batch oracle locks. *)
+
+type builder = {
+  tbl : (string, Fingerprint.t * Ingest.item list ref) Hashtbl.t;
+  mutable n_items : int;
+}
+
+let builder () = { tbl = Hashtbl.create 64; n_items = 0 }
+
+let insert (b : builder) (i : Ingest.item) =
+  let fp = Fingerprint.of_report i.Ingest.report in
+  let k = Fingerprint.key fp in
+  b.n_items <- b.n_items + 1;
+  match Hashtbl.find_opt b.tbl k with
+  | Some (_, members) ->
+      members := i :: !members;
+      `Merged fp
+  | None ->
+      Hashtbl.add b.tbl k (fp, ref [ i ]);
+      `New fp
+
+let bucket_count (b : builder) = Hashtbl.length b.tbl
+let item_count (b : builder) = b.n_items
+
+let snapshot (b : builder) : t list =
   Hashtbl.fold
     (fun _k (fp, members) acc ->
       let members =
@@ -51,6 +68,11 @@ let group (items : Ingest.item list) : t list =
               first rest
       in
       { fp; representative; members } :: acc)
-    tbl []
+    b.tbl []
   |> List.sort (fun a b ->
          String.compare (Fingerprint.key a.fp) (Fingerprint.key b.fp))
+
+let group (items : Ingest.item list) : t list =
+  let b = builder () in
+  List.iter (fun i -> ignore (insert b i)) items;
+  snapshot b

@@ -20,5 +20,39 @@ val size : t -> int
 (** True when the elected representative came through the salvage path. *)
 val salvaged : t -> bool
 
+(** Election order: [better a b] is true when [a] makes the stronger
+    representative (intact > salvaged, longer log > shorter, then
+    smallest path).  Exposed so incremental ingestion can re-elect as
+    members arrive without duplicating the policy. *)
+val better : Ingest.item -> Ingest.item -> bool
+
 (** Group items into clusters, sorted by {!Fingerprint.key}. *)
 val group : Ingest.item list -> t list
+
+(** {2 Incremental clustering}
+
+    The streaming service inserts reports one at a time; a [builder]
+    maintains the same buckets {!group} would produce, in any insertion
+    order.  {!snapshot} renders the current clusters — byte-identical to
+    [group] over the same item set, because members are (re)sorted by
+    path and the representative is re-elected from scratch on every
+    snapshot. *)
+
+type builder
+
+val builder : unit -> builder
+
+(** Insert one item; tells the caller whether it opened a new bucket
+    (with the bucket's fingerprint either way). *)
+val insert :
+  builder -> Ingest.item -> [ `New of Fingerprint.t | `Merged of Fingerprint.t ]
+
+(** Number of buckets so far. *)
+val bucket_count : builder -> int
+
+(** Total items inserted so far. *)
+val item_count : builder -> int
+
+(** Current clusters, sorted by {!Fingerprint.key} — the same list
+    {!group} returns for the same items. *)
+val snapshot : builder -> t list

@@ -21,34 +21,61 @@ let of_string ~path (s : string) : (item, rejected) result =
       | Ok (report, diag) -> Ok { path; report; salvage = Some diag }
       | Error e -> Error { path; error = e })
 
+(* Read the whole file; any I/O failure (missing, EISDIR, a file that
+   shrank between length and read) becomes an error string carrying the
+   OS error text, never an exception. *)
 let read_file path =
   try
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> Ok (really_input_string ic (in_channel_length ic)))
-  with Sys_error msg -> Error msg
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file -> Error (path ^ ": truncated while reading")
 
-let load_dir dir : item list * rejected list =
-  let names =
-    match Sys.readdir dir with
-    | entries ->
-        Array.to_list entries
-        |> List.filter (fun n -> Filename.check_suffix n ".report")
-        |> List.sort String.compare
-    | exception Sys_error _ -> []
-  in
+let of_file path : (item, rejected) result =
+  match read_file path with
+  | Error msg -> Error { path; error = Wire.Malformed ("unreadable: " ^ msg) }
+  | Ok text -> of_string ~path text
+
+let report_names dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.filter (fun n -> Filename.check_suffix n ".report")
+      |> List.sort String.compare
+  | exception Sys_error _ -> []
+
+let ingest_names dir names : item list * rejected list =
   let items, rejects =
     List.fold_left
       (fun (items, rejects) name ->
-        let path = Filename.concat dir name in
-        match read_file path with
-        | Error msg ->
-            (items, { path; error = Wire.Malformed ("unreadable: " ^ msg) } :: rejects)
-        | Ok text -> (
-            match of_string ~path text with
-            | Ok i -> (i :: items, rejects)
-            | Error r -> (items, r :: rejects)))
+        match of_file (Filename.concat dir name) with
+        | Ok i -> (i :: items, rejects)
+        | Error r -> (items, r :: rejects))
       ([], []) names
   in
   (List.rev items, List.rev rejects)
+
+let load_dir dir : item list * rejected list =
+  ingest_names dir (report_names dir)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental ingestion *)
+
+type scanner = { dir : string; seen_tbl : (string, unit) Hashtbl.t }
+
+let scanner dir = { dir; seen_tbl = Hashtbl.create 64 }
+
+let poll (s : scanner) : item list * rejected list =
+  let fresh =
+    report_names s.dir
+    |> List.filter (fun n -> not (Hashtbl.mem s.seen_tbl n))
+  in
+  List.iter (fun n -> Hashtbl.replace s.seen_tbl n ()) fresh;
+  ingest_names s.dir fresh
+
+let seen (s : scanner) =
+  Hashtbl.fold (fun n () acc -> n :: acc) s.seen_tbl []
+  |> List.sort String.compare

@@ -22,7 +22,35 @@ val salvaged : item -> bool
 (** Ingest one report's wire text. *)
 val of_string : path:string -> string -> (item, rejected) result
 
+(** Ingest one report file.  An unreadable file is a rejection whose
+    [Malformed] message carries the OS error text verbatim (e.g.
+    ["unreadable: r0.report: Permission denied"]), never an exception. *)
+val of_file : string -> (item, rejected) result
+
 (** Ingest every [*.report] file of a directory, in sorted filename order
     (the order is part of the deterministic summary).  Unreadable files
-    are rejected, not raised. *)
+    are rejected with the OS error text, not raised. *)
 val load_dir : string -> item list * rejected list
+
+(** {2 Incremental ingestion}
+
+    A long-running service must pick up report files {e as they appear}
+    without re-reading the whole directory's contents each time.  A
+    {!scanner} remembers which filenames it has already offered; each
+    {!poll} lists the directory once, ingests only the names it has not
+    seen before, and marks them seen whether they parsed or not (a
+    damaged file is rejected once, not on every poll). *)
+
+type scanner
+
+(** Watch [dir] for [*.report] files.  The directory need not exist yet;
+    polls before it appears return nothing. *)
+val scanner : string -> scanner
+
+(** Ingest files that appeared since the previous poll, in sorted
+    filename order.  A directory that vanished or cannot be listed yields
+    ([[]], [[]]) — the next poll retries. *)
+val poll : scanner -> item list * rejected list
+
+(** Filenames the scanner has already offered (sorted). *)
+val seen : scanner -> string list

@@ -92,83 +92,191 @@ let add_cases ~(into : Guided.case_stats) (c : Guided.case_stats) =
 let cluster_seed policy (c : Cluster.t) =
   (Hashtbl.hash (policy.seed, Fingerprint.key c.fp) land 0x3FFFFFFF) + 1
 
-(* Climb the escalating-budget ladder for one cluster.  [deadline] is the
-   batch-global wall clock; each rung's time budget is clamped to what is
-   left of it.  The cumulative [elapsed_s] sums every rung, so a retried
-   report never reports less elapsed time than its predecessor attempts
-   (the restart-accounting bug this subsystem's tests lock down). *)
-let replay_cluster ~policy ~telemetry ~cache ~deadline
-    (prog : Minic.Program.t) (plan : Instrument.Plan.t) (c : Cluster.t) :
-    cluster_result =
-  let report = c.representative.Ingest.report in
-  let seed = cluster_seed policy c in
-  let cases = zero_cases () in
+(* ------------------------------------------------------------------ *)
+(* Resumable courses: one cluster's climb up the escalating-budget
+   ladder, pausable between rungs.  The batch path climbs each course in
+   one go; the streaming service climbs a rung or two per tick (eagerly,
+   pressure permitting) and finishes the remainder at drain.  Splitting a
+   climb across ticks cannot change its outcome: each rung's replay is
+   deterministic given (budget, seed), the seed is pinned per cluster,
+   and the solver scope/portfolio state rides inside the course. *)
+
+type course = {
+  policy : policy;
+  cluster : Cluster.t;
+  prog : Minic.Program.t;
+  plan : Instrument.Plan.t;
+  seed : int;
+  cases : Guided.case_stats;
   (* one scoped solver per cluster: climbing a rung re-explores the same
      report, so the portfolio statistics gathered on the cheap rung steer
      strategy choice on the expensive one (cores are registry-scoped and
      each rung opens a fresh registry, so only the statistics carry) *)
-  let incr =
-    if policy.incremental then Some (Solver.Incr.create ()) else None
-  in
-  let rec climb ladder ~rungs ~runs ~elapsed ~rung_elapsed =
-    match ladder with
-    | [] ->
-        { cluster = c; status = Timed_out; rungs; runs; elapsed_s = elapsed;
-          rung_elapsed_s = List.rev rung_elapsed; cases }
-    | (rung : Engine.budget) :: rest ->
-        let remaining = deadline -. Unix.gettimeofday () in
-        if remaining <= 0.05 then
-          { cluster = c; status = Timed_out; rungs; runs; elapsed_s = elapsed;
-            rung_elapsed_s = List.rev rung_elapsed; cases }
+  incr : Solver.Incr.t option;
+  mutable ladder : Engine.budget list;  (** rungs not yet climbed *)
+  mutable rungs : int;
+  mutable runs : int;
+  mutable elapsed : float;
+  mutable rung_elapsed : float list;  (** reverse rung order *)
+  mutable outcome : status option;  (** [Some] once the climb finished *)
+}
+
+let course ~policy ~prog ~plan (c : Cluster.t) : course =
+  {
+    policy;
+    cluster = c;
+    prog;
+    plan;
+    seed = cluster_seed policy c;
+    cases = zero_cases ();
+    incr = (if policy.incremental then Some (Solver.Incr.create ()) else None);
+    ladder = policy.ladder;
+    rungs = 0;
+    runs = 0;
+    elapsed = 0.0;
+    rung_elapsed = [];
+    outcome = None;
+  }
+
+let course_cluster (k : course) = k.cluster
+let course_done (k : course) = k.outcome <> None
+
+let course_result (k : course) : cluster_result =
+  let status = match k.outcome with Some s -> s | None -> Timed_out in
+  { cluster = k.cluster; status; rungs = k.rungs; runs = k.runs;
+    elapsed_s = k.elapsed; rung_elapsed_s = List.rev k.rung_elapsed;
+    cases = k.cases }
+
+let course_interrupt (k : course) =
+  if k.outcome = None then k.outcome <- Some Timed_out
+
+(* Climb up to [max_rungs] rungs before [deadline].  Each rung's time
+   budget is clamped to what is left of the deadline.  The cumulative
+   elapsed sums every rung, so a retried report never reports less
+   elapsed time than its predecessor attempts (the restart-accounting
+   bug this subsystem's tests lock down). *)
+let course_step ?(telemetry = Telemetry.disabled) ?cache ~deadline ~max_rungs
+    (k : course) : bool =
+  let report = k.cluster.Cluster.representative.Ingest.report in
+  let rec climb budget_rungs =
+    match (k.outcome, k.ladder) with
+    | Some _, _ -> true
+    | None, [] ->
+        (* every rung tried and timed out *)
+        k.outcome <- Some Timed_out;
+        true
+    | None, (rung : Engine.budget) :: rest ->
+        if budget_rungs <= 0 then false
         else
-          let budget =
-            { rung with Engine.max_time_s = min rung.Engine.max_time_s remaining }
-          in
-          (* early rungs are cheap and numerous — the pool fans out across
-             clusters, so each replay stays sequential (and with it the
-             model-determinism guarantee for everything they resolve).  The
-             final full-budget rung is the opposite shape: few clusters,
-             one heavy search each — [final_rung_jobs] lets the pool work
-             *inside* that search (work-stealing frontier), trading which
-             crashing input is found first for wall clock. *)
-          let jobs = if rest = [] then max 1 policy.final_rung_jobs else 1 in
-          let result, stats =
-            Guided.reproduce ~budget ~seed ~jobs
-              ~solver_cache:policy.solver_cache ?cache ?incr
-              ~incremental:policy.incremental ~steal:policy.steal
-              ~max_attempts:policy.max_attempts ~telemetry ~prog ~plan report
-          in
-          add_cases ~into:cases stats.Guided.cases;
-          let rung_s = Guided.elapsed result in
-          let elapsed = elapsed +. rung_s in
-          let rungs = rungs + 1 in
-          let rung_elapsed = rung_s :: rung_elapsed in
-          (match result with
-          | Guided.Reproduced r ->
-              { cluster = c;
-                status =
-                  Reproduced
-                    { model = r.model; vars = stats.Guided.vars; crash = r.crash };
-                rungs; runs = runs + r.runs; elapsed_s = elapsed;
-                rung_elapsed_s = List.rev rung_elapsed; cases }
-          | Guided.Not_reproduced nr ->
-              let runs = runs + nr.runs in
-              if nr.timed_out then
-                climb rest ~rungs ~runs ~elapsed ~rung_elapsed
-              else
-                (* clean frontier exhaustion: the search space is explored;
-                   a larger budget would only re-walk it *)
-                { cluster = c; status = Exhausted; rungs; runs;
-                  elapsed_s = elapsed; rung_elapsed_s = List.rev rung_elapsed;
-                  cases })
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.05 then false
+          else begin
+            let budget =
+              { rung with
+                Engine.max_time_s = min rung.Engine.max_time_s remaining }
+            in
+            (* early rungs are cheap and numerous — the pool fans out
+               across clusters, so each replay stays sequential (and with
+               it the model-determinism guarantee for everything they
+               resolve).  The final full-budget rung is the opposite
+               shape: few clusters, one heavy search each —
+               [final_rung_jobs] lets the pool work *inside* that search
+               (work-stealing frontier), trading which crashing input is
+               found first for wall clock. *)
+            let jobs = if rest = [] then max 1 k.policy.final_rung_jobs else 1 in
+            let result, stats =
+              Guided.reproduce ~budget ~seed:k.seed ~jobs
+                ~solver_cache:k.policy.solver_cache ?cache ?incr:k.incr
+                ~incremental:k.policy.incremental ~steal:k.policy.steal
+                ~max_attempts:k.policy.max_attempts ~telemetry ~prog:k.prog
+                ~plan:k.plan report
+            in
+            add_cases ~into:k.cases stats.Guided.cases;
+            let rung_s = Guided.elapsed result in
+            k.elapsed <- k.elapsed +. rung_s;
+            k.rungs <- k.rungs + 1;
+            k.rung_elapsed <- rung_s :: k.rung_elapsed;
+            match result with
+            | Guided.Reproduced r ->
+                k.runs <- k.runs + r.runs;
+                k.outcome <-
+                  Some
+                    (Reproduced
+                       { model = r.model; vars = stats.Guided.vars;
+                         crash = r.crash });
+                true
+            | Guided.Not_reproduced nr ->
+                k.runs <- k.runs + nr.runs;
+                k.ladder <- rest;
+                if nr.timed_out then climb (budget_rungs - 1)
+                else begin
+                  (* clean frontier exhaustion: the search space is
+                     explored; a larger budget would only re-walk it *)
+                  k.outcome <- Some Exhausted;
+                  true
+                end
+          end
   in
-  climb policy.ladder ~rungs:0 ~runs:0 ~elapsed:0.0 ~rung_elapsed:[]
+  climb max_rungs
+
+(* Eager-replay allotment per tick from queue pressure (depth/capacity):
+   a service under load spends its tick ingesting, an idle one climbs. *)
+let rungs_for_pressure p =
+  if p >= 0.75 then 0
+  else if p >= 0.25 then 1
+  else if p > 0.0 then 2
+  else max_int
 
 let status_name = function
   | Reproduced _ -> "reproduced"
   | Timed_out -> "timed_out"
   | Exhausted -> "exhausted"
   | Failed _ -> "failed"
+
+(* ------------------------------------------------------------------ *)
+
+(* Index-addressed worker pool: results come back in input order
+   regardless of which domain processed what. *)
+let pool_map ~jobs n (f : int -> 'a) : 'a list =
+  if jobs <= 1 || n <= 1 then List.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  end
+
+let finish_course ~telemetry ~cache ~deadline (k : course) : cluster_result =
+  Telemetry.Span.with_ telemetry ~name:"triage.replay"
+    ~attrs:
+      [ ("fingerprint", Telemetry.Event.Str (Fingerprint.key k.cluster.Cluster.fp)) ]
+  @@ fun sp ->
+  if not (course_step ~telemetry ?cache ~deadline ~max_rungs:max_int k) then
+    course_interrupt k;
+  let r = course_result k in
+  Telemetry.Span.adds sp "status" (status_name r.status);
+  Telemetry.Span.addi sp "rungs" r.rungs;
+  Telemetry.Span.addi sp "runs" r.runs;
+  Telemetry.Metrics.incr_named telemetry ("triage." ^ status_name r.status);
+  r
+
+let run_courses ?(policy = default_policy) ?(telemetry = Telemetry.disabled)
+    ?cache ~deadline (courses : course list) : cluster_result list =
+  let arr = Array.of_list courses in
+  pool_map ~jobs:policy.jobs (Array.length arr) (fun i ->
+      finish_course ~telemetry ~cache ~deadline arr.(i))
 
 let run ?(policy = default_policy) ?(telemetry = Telemetry.disabled)
     ~(resolve : resolve) (clusters : Cluster.t list) : cluster_result list =
@@ -186,45 +294,18 @@ let run ?(policy = default_policy) ?(telemetry = Telemetry.disabled)
   (* resolve in the scheduling domain: resolver closures (workload
      registries, analysis caches) need not be thread-safe *)
   let prepared =
-    List.map (fun c -> (c, resolve c)) clusters |> Array.of_list
+    List.map
+      (fun c ->
+        match resolve c with
+        | Error msg ->
+            Either.Left
+              { cluster = c; status = Failed msg; rungs = 0; runs = 0;
+                elapsed_s = 0.0; rung_elapsed_s = []; cases = zero_cases () }
+        | Ok (prog, plan) -> Either.Right (course ~policy ~prog ~plan c))
+      clusters
+    |> Array.of_list
   in
-  let n = Array.length prepared in
-  let process i =
-    let c, resolved = prepared.(i) in
-    match resolved with
-    | Error msg ->
-        { cluster = c; status = Failed msg; rungs = 0; runs = 0;
-          elapsed_s = 0.0; rung_elapsed_s = []; cases = zero_cases () }
-    | Ok (prog, plan) ->
-        Telemetry.Span.with_ telemetry ~name:"triage.replay"
-          ~attrs:[ ("fingerprint", Telemetry.Event.Str (Fingerprint.key c.fp)) ]
-        @@ fun sp ->
-        let r = replay_cluster ~policy ~telemetry ~cache ~deadline prog plan c in
-        Telemetry.Span.adds sp "status" (status_name r.status);
-        Telemetry.Span.addi sp "rungs" r.rungs;
-        Telemetry.Span.addi sp "runs" r.runs;
-        Telemetry.Metrics.incr_named telemetry
-          ("triage." ^ status_name r.status);
-        r
-  in
-  if policy.jobs <= 1 || n <= 1 then List.init n process
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (process i);
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains =
-      List.init (min policy.jobs n) (fun _ -> Domain.spawn worker)
-    in
-    List.iter Domain.join domains;
-    Array.to_list results
-    |> List.map (function Some r -> r | None -> assert false)
-  end
+  pool_map ~jobs:policy.jobs (Array.length prepared) (fun i ->
+      match prepared.(i) with
+      | Either.Left failed -> failed
+      | Either.Right k -> finish_course ~telemetry ~cache ~deadline k)

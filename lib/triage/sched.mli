@@ -73,6 +73,10 @@ type cluster_result = {
   cases : Replay.Guided.case_stats;  (** §3.1 counters summed over rungs *)
 }
 
+(** All-zero §3.1 case counters (for synthesizing results — e.g. a
+    cluster whose program failed to resolve). *)
+val zero_cases : unit -> Replay.Guided.case_stats
+
 (** Resolve a cluster's program text and instrumentation plan (the wire
     form carries only the program's name).  Called in the scheduling
     domain, once per cluster, before workers start. *)
@@ -86,4 +90,74 @@ val run :
   ?telemetry:Telemetry.t ->
   resolve:resolve ->
   Cluster.t list ->
+  cluster_result list
+
+(** {2 Resumable courses}
+
+    A [course] is one cluster's ladder climb, pausable between rungs.
+    {!run} climbs each course in one go; the streaming service instead
+    climbs a rung or two per ingestion tick — eagerly, while the queue is
+    shallow — and finishes whatever remains at drain time.  Splitting a
+    climb across ticks cannot change its outcome: each rung's replay is
+    deterministic given (budget, seed), the seed is a pure function of
+    the batch seed and the cluster's fingerprint, and the per-cluster
+    solver scope rides inside the course. *)
+
+type course
+
+(** Fresh course over the cluster's representative, ladder untouched.
+    Opens the per-cluster {!Solver.Incr} scope when
+    [policy.incremental]. *)
+val course :
+  policy:policy ->
+  prog:Minic.Program.t ->
+  plan:Instrument.Plan.t ->
+  Cluster.t ->
+  course
+
+val course_cluster : course -> Cluster.t
+
+(** True once the climb reached an outcome ({!course_step} returned
+    [true], or {!course_interrupt} fired). *)
+val course_done : course -> bool
+
+(** Climb at most [max_rungs] further rungs before [deadline] (each
+    rung's time budget is clamped to what is left of it).  Returns [true]
+    when the course finished — reproduced, cleanly exhausted, or every
+    rung tried and timed out.  Returns [false] when merely paused: the
+    rung allotment ran out or the deadline has under 50 ms left.  A
+    paused course resumes exactly where it stopped; deadline expiry is
+    the {e caller's} decision, via {!course_interrupt}. *)
+val course_step :
+  ?telemetry:Telemetry.t ->
+  ?cache:Solver.Cache.t ->
+  deadline:float ->
+  max_rungs:int ->
+  course ->
+  bool
+
+(** Finalize an unfinished course as {!Timed_out} (deadline expiry).
+    No-op on a finished course. *)
+val course_interrupt : course -> unit
+
+(** Render the course's {!cluster_result}.  An unfinished course renders
+    as {!Timed_out} (without being finalized); cumulative [elapsed_s] /
+    [runs] / [cases] cover every rung climbed so far. *)
+val course_result : course -> cluster_result
+
+(** Eager-replay rung allotment per tick from queue pressure
+    (depth ÷ capacity): [>= 0.75 → 0] (all ingest), [>= 0.25 → 1],
+    [> 0 → 2], idle [0.0 → max_int] (climb freely). *)
+val rungs_for_pressure : float -> int
+
+(** Finish a batch of courses on the policy's worker pool — climb each to
+    completion before [deadline] (interrupting stragglers), with the same
+    per-cluster spans and status counters {!run} emits.  Results in input
+    order.  [cache] is the batch-shared solver cache, if any. *)
+val run_courses :
+  ?policy:policy ->
+  ?telemetry:Telemetry.t ->
+  ?cache:Solver.Cache.t ->
+  deadline:float ->
+  course list ->
   cluster_result list

@@ -1,19 +1,24 @@
-(** Report triage: salvage, dedup and budgeted batch replay.
+(** Report triage: streaming ingestion service over salvage, dedup and
+    budgeted replay.
 
     The developer-side ingestion tier for report streams (ROADMAP:
-    "heavy traffic from millions of users").  A directory of [.report]
-    files — many duplicates of one bug, many torn mid-flush — is
-    ingested leniently ({!Ingest}, backed by
-    [Wire.deserialize_salvage]), clustered by crash-site fingerprint
-    ({!Fingerprint}, {!Cluster}), replayed one representative per
-    cluster under escalating budgets and a global deadline ({!Sched}),
-    and rendered as a deterministic summary ({!Summary}). *)
+    "heavy traffic from millions of users").  Reports — many duplicates
+    of one bug, many torn mid-flush — are ingested leniently ({!Ingest},
+    backed by [Wire.deserialize_salvage]), clustered by crash-site
+    fingerprint ({!Fingerprint}, {!Cluster}), replayed one
+    representative per cluster under escalating budgets ({!Sched}), and
+    rendered as a deterministic summary ({!Summary}).  The primary entry
+    point is the long-running {!Service}; {!run_items} / {!run_dir} wrap
+    it for one-shot batches. *)
 
 module Fingerprint = Fingerprint
 module Ingest = Ingest
 module Cluster = Cluster
 module Sched = Sched
 module Summary = Summary
+module Window = Window
+module Index = Index
+module Service = Service
 
 type resolve = Sched.resolve
 
@@ -23,13 +28,26 @@ let run_items ?policy ?(telemetry = Telemetry.disabled)
   Telemetry.Span.with_ telemetry ~name:"triage"
     ~attrs:[ ("reports", Telemetry.Event.Int (List.length items)) ]
   @@ fun sp ->
-  let started = Unix.gettimeofday () in
-  let clusters =
-    Telemetry.Span.with_ telemetry ~parent:sp ~name:"triage.cluster" (fun csp ->
-        let cs = Cluster.group items in
-        Telemetry.Span.addi csp "clusters" (List.length cs);
-        cs)
+  (* one-shot service: every item fits the queue, no overload shedding,
+     no persistence, no eager climbing — drain does all the replaying,
+     exactly like the old batch scheduler did *)
+  let config =
+    {
+      Service.default_config with
+      Service.policy =
+        (match policy with Some p -> p | None -> Sched.default_policy);
+      queue_capacity = max 1 (List.length items);
+      drop = Service.Reject_new;
+      eager = false;
+      index_dir = None;
+    }
   in
+  let svc =
+    match Service.open_ ~config ~telemetry ~resolve () with
+    | Ok svc -> svc
+    | Error _ -> assert false (* no index_dir, so open_ cannot fail *)
+  in
+  List.iter (fun i -> ignore (Service.submit_item svc i)) items;
   Telemetry.Metrics.incr_named telemetry ~by:(List.length items)
     "triage.reports";
   Telemetry.Metrics.incr_named telemetry
@@ -37,12 +55,12 @@ let run_items ?policy ?(telemetry = Telemetry.disabled)
     "triage.salvaged";
   Telemetry.Metrics.incr_named telemetry ~by:(List.length rejected)
     "triage.rejected";
-  Telemetry.Metrics.incr_named telemetry ~by:(List.length clusters)
+  let summary = Service.drain ~rejected svc in
+  Service.close svc;
+  Telemetry.Metrics.incr_named telemetry
+    ~by:(List.length summary.Summary.clusters)
     "triage.clusters";
-  let results = Sched.run ?policy ~telemetry ~resolve clusters in
-  let wall_s = Unix.gettimeofday () -. started in
-  let summary = Summary.make ~rejected ~items ~results ~wall_s in
-  Telemetry.Span.addi sp "clusters" (List.length clusters);
+  Telemetry.Span.addi sp "clusters" (List.length summary.Summary.clusters);
   Telemetry.Span.addi sp "reproduced"
     (summary.Summary.reproduced + summary.Summary.salvaged_reproduced);
   summary

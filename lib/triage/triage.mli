@@ -1,23 +1,49 @@
-(** Report triage: salvage, dedup and budgeted batch replay.
+(** Report triage: streaming ingestion service over salvage, dedup and
+    budgeted replay.
 
     The developer-side ingestion tier for crash-report streams.  See
-    DESIGN.md §5f: {!Ingest} accepts strict or salvaged reports,
+    DESIGN.md §5f and §5i: {!Ingest} accepts strict or salvaged reports,
     {!Fingerprint}/{!Cluster} deduplicate them WER-style, {!Sched}
     replays one representative per cluster under an escalating-budget
-    ladder, a global deadline and one shared solver cache, and
-    {!Summary} renders the outcome deterministically in text and strict
-    JSON. *)
+    ladder, and {!Summary} renders the outcome deterministically in text
+    and strict JSON.
+
+    The primary entry point is {!Service}: a long-running handle that
+    ingests reports as they arrive through a bounded backpressured
+    queue, clusters them incrementally, persists crash buckets across
+    restarts ({!Index}), tracks sliding-window fleet analytics
+    ({!Window}) and replays eagerly while ingestion is quiet.
+
+    {b Determinism model.}  For the same accepted report {e set} (any
+    arrival order) and the same policy seed, the service and the batch
+    wrappers render byte-identical summaries in the timing-stripped form
+    ([Summary.to_json ~timing:false]): clustering and representative
+    election are insertion-order independent, per-cluster replay seeds
+    derive from (seed, fingerprint), and pausing/resuming a replay
+    ladder between ticks does not change its outcome.  Overload shedding
+    ({!Service.drop_policy}) is the one way streaming diverges from
+    batch — deliberately, boundedly, and itself deterministically for a
+    given submission sequence (the {!Service.Sample} policy draws from a
+    seeded {!Osmodel.Rng}). *)
 
 module Fingerprint = Fingerprint
 module Ingest = Ingest
 module Cluster = Cluster
 module Sched = Sched
 module Summary = Summary
+module Window = Window
+module Index = Index
+module Service = Service
 
 type resolve = Sched.resolve
 
 (** Triage pre-ingested items (plus already-known rejections); opens the
-    [triage] span and bumps the [triage.*] counters on [telemetry]. *)
+    [triage] span and bumps the [triage.*] counters on [telemetry].
+
+    Deprecated: thin wrapper over {!Service} — opens a one-shot service
+    sized to the batch (no shedding, no persistence, no eager replay),
+    submits every item, drains, closes.  Kept so pre-[Service] callers
+    compile unchanged; new code should hold a {!Service.t}. *)
 val run_items :
   ?policy:Sched.policy ->
   ?telemetry:Telemetry.t ->
@@ -26,7 +52,12 @@ val run_items :
   Ingest.item list ->
   Summary.t
 
-(** Triage every [*.report] file under a directory. *)
+(** Triage every [*.report] file under a directory.
+
+    Deprecated: thin wrapper over {!Ingest.load_dir} + {!run_items} (and
+    through it the {!Service}); kept for one-shot CLI batches.  A
+    long-running ingester should pair {!Service} with
+    {!Ingest.scanner}. *)
 val run_dir :
   ?policy:Sched.policy ->
   ?telemetry:Telemetry.t ->

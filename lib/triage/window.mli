@@ -1,0 +1,57 @@
+(** Sliding-window ingestion analytics, per cohort.
+
+    The streaming service ({!Service}) observes every report it clusters
+    into a fixed-size ring of recent events; {!stats} folds the ring into
+    the fleet-health numbers a triage dashboard wants: how fast new crash
+    clusters appear ([new_cluster_rate]), how much the stream deduplicates
+    ([dedup_ratio] = distinct fingerprints / events), and the top-K
+    crashers by report volume.  Everything is keyed by logical sequence
+    (arrival order), never wall clock, so two services fed the same stream
+    render byte-identical analytics — the same determinism model as
+    {!Summary}.
+
+    A {e cohort} is an arbitrary caller-chosen slice of the fleet (a
+    deployment ring, an app version, a client shard); per-cohort rows make
+    "the canary ring is crashing on a cluster the stable ring never hits"
+    visible directly.  Cohorts default to the report's program name when
+    the submitter does not say. *)
+
+type t
+
+(** [make ~size ()] observes the last [size] events; [k] (default 5)
+    bounds the top-crasher lists. *)
+val make : ?k:int -> size:int -> unit -> t
+
+(** Record one clustered report.  [key] identifies its crash bucket (the
+    fingerprint key), [novel] whether this report opened a new cluster. *)
+val observe : t -> cohort:string -> key:string -> novel:bool -> unit
+
+type cohort_stats = {
+  cohort : string;  (** "*" for the all-cohorts total *)
+  events : int;  (** reports from this cohort inside the window *)
+  new_clusters : int;  (** reports that opened a new cluster *)
+  distinct : int;  (** distinct fingerprint keys *)
+  top : (string * int) list;
+      (** top-K crash buckets by report count, count desc then key asc *)
+}
+
+type stats = {
+  window : int;  (** configured ring size *)
+  seen : int;  (** events observed over the service lifetime *)
+  total : cohort_stats;
+  cohorts : cohort_stats list;  (** sorted by cohort name *)
+}
+
+(** Fold the current ring.  Deterministic in the event sequence. *)
+val stats : t -> stats
+
+(** [new_cluster_rate s] = new clusters per windowed event (0 when the
+    window is empty); [dedup_ratio s] = distinct / events (1 when empty —
+    nothing collapsed). *)
+val new_cluster_rate : cohort_stats -> float
+
+val dedup_ratio : cohort_stats -> float
+
+(** Strict JSON rendering of {!stats} (same hand-rendered dialect as
+    {!Summary.to_json}). *)
+val stats_to_json : stats -> string

@@ -1,0 +1,48 @@
+(** Seeded crash-report load generator: a fleet of crashing clients.
+
+    The streaming triage service ({!Triage.Service} — not a dependency
+    of this library) ingests crash reports "from millions of users"; this
+    module simulates that fleet deterministically.  A handful of genuine
+    crash reports are recorded once — the coreutils demo bugs plus
+    µServer request-stream crashes ({!Userver.experiments}, the clients'
+    traffic shape coming from {!Http_gen}-style request streams) — and a
+    seeded stream of [n] reports is synthesized over them: duplicates
+    dominate (the WER premise), each report is attributed to one of
+    [clients] simulated clients, and a seeded fraction arrives torn
+    mid-branch-log, exactly as a crashing process tearing its own log
+    buffer would leave it.  Same (seed, clients, torn_pct, n) — same
+    byte-identical stream. *)
+
+type t
+
+(** [make ~config ()] prepares the generator lazily; nothing is analyzed
+    or run until first use.  [quick] records 3 bases instead of 6. *)
+val make : ?quick:bool -> config:Bugrepro.Pipeline.Config.t -> unit -> t
+
+(** The (program, method) bases backing the stream, in recording order.
+    Program names are wire-form names ("mkdir", "userver-exp1", ...). *)
+val bases : t -> (string * Instrument.Methods.t) list
+
+(** Resolve a report's (program, method) back to its analyzed program
+    and instrumentation plan — exact program-name match first, then the
+    prefix before the first ['-'] ("userver-exp3" → "userver").  Memoized
+    (one analysis per workload, one plan per method); callers wrap this
+    into a {!Triage.Sched.resolve}. *)
+val plan_for :
+  t ->
+  program:string ->
+  meth:Instrument.Methods.t ->
+  (Minic.Program.t * Instrument.Plan.t, string) result
+
+type report = {
+  client : int;  (** simulated client id in [0, clients) *)
+  path : string;  (** synthetic provenance, e.g. "client-0007/r00042.report" *)
+  wire : string;  (** wire text; torn mid-hex when [torn] *)
+  torn : bool;
+}
+
+(** [stream t ~seed ~clients ~torn_pct n] synthesizes [n] reports.
+    Records the base crashes on first call (the expensive step: one
+    analysis + field run per base); every subsequent call reuses them. *)
+val stream :
+  t -> seed:int -> clients:int -> torn_pct:float -> int -> report list

@@ -318,6 +318,237 @@ let test_jobs_invariant_summary () =
     (Summary.to_json ~timing:false s4)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming service: arrival-order invariance, restart survival,
+   bounded overload with deterministic shedding, incremental ingestion *)
+
+module Service = Triage.Service
+
+let service_policy = { Sched.default_policy with Sched.deadline_s = 120.0 }
+
+(* the jobs-invariant fixture, shared by the service tests: five reports
+   over two distinct crashes, one torn *)
+let service_fixture () =
+  let progA, planA, ra = record ~name:"alpha" ~args:[ "BUG" ] magic_src in
+  let progB, planB, rb = record ~name:"beta" ~world:(file_world "Xyz") file_src in
+  let wa = Wire.serialize ra and wb = Wire.serialize rb in
+  let torn = String.sub wb 0 (Option.get (find_sub wb "syscalls: ") + 12) in
+  let texts =
+    [ ("r0.report", wa); ("r1.report", wa); ("r2.report", wb);
+      ("r3.report", torn); ("r4.report", wa) ]
+  in
+  let items =
+    List.map
+      (fun (p, s) ->
+        match Ingest.of_string ~path:p s with
+        | Ok i -> i
+        | Error _ -> Alcotest.failf "ingest %s failed" p)
+      texts
+  in
+  let resolve (c : Cluster.t) =
+    match c.Cluster.fp.Fingerprint.program with
+    | "alpha" -> Ok (progA, planA)
+    | "beta" -> Ok (progB, planB)
+    | p -> Error ("unknown program " ^ p)
+  in
+  (items, wa, resolve)
+
+let open_service ?telemetry ~config resolve =
+  match Service.open_ ?telemetry ~config ~resolve () with
+  | Ok svc -> svc
+  | Error e -> Alcotest.failf "open: %s" (Triage.Index.error_to_string e)
+
+(* a scratch directory under the system temp dir; one flat level *)
+let fresh_dir () =
+  let f = Filename.temp_file "triage-test" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_service_matches_batch () =
+  let items, _, resolve = service_fixture () in
+  let batch = Triage.run_items ~policy:service_policy ~resolve items in
+  let shuffled = Array.of_list items in
+  Osmodel.Rng.shuffle (Osmodel.Rng.create 7) shuffled;
+  let config =
+    {
+      Service.default_config with
+      Service.policy = service_policy;
+      queue_capacity = 8;
+      burst = 1;
+      window = 16;
+      eager = true;
+    }
+  in
+  let svc = open_service ~config resolve in
+  Array.iter
+    (fun it ->
+      match Service.submit_item svc it with
+      | Service.Queued -> ()
+      | _ -> Alcotest.fail "in-capacity submission refused")
+    shuffled;
+  while Service.queue_depth svc > 0 do
+    ignore (Service.tick svc)
+  done;
+  let snap = Service.snapshot svc in
+  check_int "every report clustered" (List.length items) snap.Service.processed;
+  check_bool "duplicates collapsed" true (snap.Service.dedup_ratio < 1.0);
+  let streamed = Service.drain svc in
+  Service.close svc;
+  check_string "shuffled one-at-a-time streaming equals batch"
+    (Summary.to_json ~timing:false batch)
+    (Summary.to_json ~timing:false streamed)
+
+let test_service_restart_survival () =
+  let items, _, resolve = service_fixture () in
+  let batch = Triage.run_items ~policy:service_policy ~resolve items in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let config =
+        {
+          Service.default_config with
+          Service.policy = service_policy;
+          queue_capacity = 8;
+          eager = false;
+          index_dir = Some dir;
+          index_shards = 4;
+        }
+      in
+      (* first incarnation: ingest three reports, then die without drain *)
+      let first, rest =
+        match items with
+        | a :: b :: c :: rest -> ([ a; b; c ], rest)
+        | _ -> Alcotest.fail "fixture too small"
+      in
+      let svc1 = open_service ~config resolve in
+      List.iter (fun it -> ignore (Service.submit_item svc1 it)) first;
+      while Service.queue_depth svc1 > 0 do
+        ignore (Service.tick svc1)
+      done;
+      Service.close svc1;
+      (* second incarnation: buckets rebuild from the index *)
+      let tel = Telemetry.create () in
+      let svc2 = open_service ~telemetry:tel ~config resolve in
+      let snap = Service.snapshot svc2 in
+      check_int "reloaded reports recluster" 3 snap.Service.processed;
+      check_int "recovery is counted" 3
+        (Telemetry.Metrics.counter_value tel "triage.service.recovered");
+      List.iter (fun it -> ignore (Service.submit_item svc2 it)) rest;
+      while Service.queue_depth svc2 > 0 do
+        ignore (Service.tick svc2)
+      done;
+      let streamed = Service.drain svc2 in
+      Service.close svc2;
+      check_string "summary survives a mid-stream restart"
+        (Summary.to_json ~timing:false batch)
+        (Summary.to_json ~timing:false streamed))
+
+let test_service_overload_determinism () =
+  let items, _, resolve = service_fixture () in
+  (* 40 submissions over a capacity-4 queue with no ticks: overload is
+     guaranteed; the same stream must shed the same reports every time *)
+  let stream = List.concat (List.init 8 (fun _ -> items)) in
+  let run drop =
+    let tel = Telemetry.create () in
+    let config =
+      {
+        Service.default_config with
+        Service.policy = service_policy;
+        queue_capacity = 4;
+        drop;
+        eager = false;
+      }
+    in
+    let svc = open_service ~telemetry:tel ~config resolve in
+    let outcomes =
+      List.map
+        (fun it ->
+          match Service.submit_item svc it with
+          | Service.Queued -> 'q'
+          | Service.Dropped _ -> 'd'
+          | Service.Rejected _ -> 'r')
+        stream
+      |> List.to_seq |> String.of_seq
+    in
+    let snap = Service.snapshot svc in
+    check_bool "the queue never exceeds its capacity" true
+      (snap.Service.queued <= 4);
+    check_int "drops are counted in telemetry" snap.Service.dropped
+      (Telemetry.Metrics.counter_value tel "triage.service.dropped");
+    Service.close svc;
+    (outcomes, snap.Service.dropped)
+  in
+  let oc1, d1 = run Service.Reject_new in
+  check_string "reject-new fills the queue then refuses"
+    ("qqqq" ^ String.make 36 'd') oc1;
+  check_int "reject-new counts every refusal" 36 d1;
+  let oc2, d2 = run Service.Drop_oldest in
+  check_string "drop-oldest always admits (evicting)" (String.make 40 'q') oc2;
+  check_int "drop-oldest counts every eviction" 36 d2;
+  let oc3, d3 = run (Service.Sample 0.5) in
+  let oc3', d3' = run (Service.Sample 0.5) in
+  check_string "seeded sampling is deterministic" oc3 oc3';
+  check_int "and so is its drop count" d3 d3';
+  check_bool "sampling actually shed something" true (d3 > 0)
+
+let test_ingest_of_file_unreadable () =
+  let path = Filename.concat (fresh_dir ()) "r0.report" in
+  match Ingest.of_file path with
+  | Error { Ingest.path = p; error = Wire.Malformed msg } ->
+      check_string "provenance preserved" path p;
+      check_bool "marked unreadable" true (find_sub msg "unreadable: " = Some 0);
+      check_bool "carries the OS error text" true
+        (find_sub msg "No such file" <> None)
+  | Error _ -> Alcotest.fail "unreadable file must reject as Malformed"
+  | Ok _ -> Alcotest.fail "unreadable file must be rejected"
+
+let test_ingest_scanner_poll () =
+  let _, wa, _ = service_fixture () in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let sc = Ingest.scanner dir in
+      (* polls before the directory exists return nothing *)
+      (match Ingest.poll sc with
+      | [], [] -> ()
+      | _ -> Alcotest.fail "missing directory must yield nothing");
+      Sys.mkdir dir 0o755;
+      write_file (Filename.concat dir "a.report") wa;
+      write_file (Filename.concat dir "b.report") "not a report";
+      write_file (Filename.concat dir "skipped.txt") wa;
+      let is1, rj1 = Ingest.poll sc in
+      check_int "one new report ingested" 1 (List.length is1);
+      check_string "in sorted order" "a.report"
+        (Filename.basename (List.hd is1).Ingest.path);
+      check_int "the damaged file is rejected" 1 (List.length rj1);
+      (* a damaged file is rejected once, not on every poll *)
+      (match Ingest.poll sc with
+      | [], [] -> ()
+      | _ -> Alcotest.fail "a quiet directory must yield nothing");
+      write_file (Filename.concat dir "c.report") wa;
+      let is2, rj2 = Ingest.poll sc in
+      check_int "only the new arrival is offered" 1 (List.length is2);
+      check_string "and it is the new file" "c.report"
+        (Filename.basename (List.hd is2).Ingest.path);
+      check_int "no fresh rejections" 0 (List.length rj2);
+      Alcotest.(check (list string))
+        "seen remembers every offered name"
+        [ "a.report"; "b.report"; "c.report" ]
+        (Ingest.seen sc))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "triage"
@@ -344,5 +575,21 @@ let () =
             test_escalation_accumulates_elapsed;
           Alcotest.test_case "jobs-invariant summary" `Quick
             test_jobs_invariant_summary;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "streaming equals batch" `Quick
+            test_service_matches_batch;
+          Alcotest.test_case "restart survival" `Quick
+            test_service_restart_survival;
+          Alcotest.test_case "overload shedding is deterministic" `Quick
+            test_service_overload_determinism;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "unreadable file carries the OS error" `Quick
+            test_ingest_of_file_unreadable;
+          Alcotest.test_case "scanner polls incrementally" `Quick
+            test_ingest_scanner_poll;
         ] );
     ]
