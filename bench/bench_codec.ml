@@ -1,0 +1,221 @@
+(* E18 — extension: online branch-log encoding (wire v4).
+
+   The streaming {!Instrument.Codec} encodes the branch log token by token
+   as the field run produces bits, with a fixed preallocated buffer and no
+   per-probe allocation; wire v4 ships the token stream natively.  This
+   experiment pits that online stream against the offline best-of-three
+   {!Instrument.Compress} pass (which sees the whole log at once) and
+   against the raw bitvector, then prices the encoder on the hot path
+   against the uninstrumented baseline.
+
+   On loop-heavy workloads — where the log is dominated by short-period
+   branch patterns the codec's match tokens collapse — the assertion is
+   hard: encoded size must not exceed the offline compressor's output
+   (plus a constant 8-byte slack: tokens are byte-granular while the
+   offline Rle coder is bit-granular, so on a log that collapses to a
+   handful of bytes the stream can trail by a token header or two) and
+   must undercut the raw log by at least 10x.  Workloads whose redundancy
+   the 8-bit match window cannot reach — µServer's per-request repeats
+   recur at periods of hundreds of bits, diff's equal-line scans produce
+   runs below the 16-bit match threshold — are reported for contrast but
+   not gated. *)
+
+let sprintf = Printf.sprintf
+
+type case = {
+  k_name : string;
+  k_sc : Concolic.Scenario.t;
+  k_loop_heavy : bool;
+      (* gate: encoded <= offline compressed and >= 10x below raw *)
+}
+
+let cases (c : Ctx.t) =
+  let a_txt, b_txt =
+    Workloads.Diffutil.file_pair ~seed:5 ~lines:16 ~width:16 ~edits:3 ()
+  in
+  [
+    {
+      k_name = "counter loop";
+      k_sc = Workloads.Microbench.counter_loop ~iterations:c.loop_iterations ();
+      k_loop_heavy = true;
+    };
+    {
+      k_name = "counter loop (1/4 scale)";
+      k_sc =
+        Workloads.Microbench.counter_loop ~iterations:(c.loop_iterations / 4) ();
+      k_loop_heavy = true;
+    };
+    {
+      k_name = "diff";
+      k_sc =
+        Workloads.Diffutil.scenario ~name:"e18-diff" ~snapshot:false
+          ~file_a:a_txt ~file_b:b_txt ();
+      k_loop_heavy = false;
+    };
+    {
+      k_name = "µServer, static workload";
+      k_sc =
+        Workloads.Userver.scenario ~name:"e18s"
+          (List.init
+             (max 50 (c.requests / 2))
+             (fun _ -> Workloads.Http_gen.tiny_get));
+      k_loop_heavy = false;
+    };
+  ]
+
+let all_plan sc =
+  Instrument.Plan.make
+    ~nbranches:(Minic.Program.nbranches sc.Concolic.Scenario.prog)
+    Instrument.Methods.All_branches
+
+let e18 (c : Ctx.t) =
+  Util.section ~id:"E18" ~paper:"extension"
+    "Online branch-log encoding (wire v4) vs offline compression";
+  let metric = Util.record_metric ~experiment:"E18" in
+  let violations = ref [] in
+  let rows =
+    List.map
+      (fun k ->
+        let r = Instrument.Field_run.run ~plan:(all_plan k.k_sc) k.k_sc in
+        let raw_log = r.Instrument.Field_run.branch_log in
+        let raw_bytes = Instrument.Branch_log.size_bytes raw_log in
+        let comp = Instrument.Compress.compress raw_log in
+        let comp_bytes = Instrument.Compress.size_bytes comp in
+        let enc =
+          match r.Instrument.Field_run.encoded_log with
+          | Some e -> e
+          | None -> failwith (k.k_name ^ ": field run did not encode")
+        in
+        (* the shipped stream must decode back to the logged bits — the
+           size comparison is only meaningful for a faithful encoding *)
+        (match Instrument.Codec.decode enc with
+        | Ok l when l.Instrument.Branch_log.bytes = raw_log.bytes -> ()
+        | Ok _ -> failwith (k.k_name ^ ": encoded stream decodes to other bits")
+        | Error m -> failwith (k.k_name ^ ": encoded stream invalid: " ^ m));
+        let enc_bytes = Instrument.Codec.size_bytes enc in
+        let vs_raw =
+          if enc_bytes = 0 then infinity
+          else float_of_int raw_bytes /. float_of_int enc_bytes
+        in
+        if k.k_loop_heavy then begin
+          (* byte-granular tokens vs the bit-granular offline coder: allow
+             a constant slack of two token headers on collapsed logs *)
+          if enc_bytes > comp_bytes + 8 then
+            violations :=
+              sprintf "%s: online %d B exceeds offline %d B (+8 slack)"
+                k.k_name enc_bytes comp_bytes
+              :: !violations;
+          if float_of_int raw_bytes < 10.0 *. float_of_int enc_bytes then
+            violations :=
+              sprintf "%s: online %d B is under 10x below raw %d B" k.k_name
+                enc_bytes raw_bytes
+              :: !violations
+        end;
+        let slug =
+          String.map
+            (function ' ' | ',' | '(' | ')' | '/' -> '-' | ch -> ch)
+            k.k_name
+        in
+        metric (slug ^ "/raw_bytes") (float_of_int raw_bytes);
+        metric (slug ^ "/encoded_bytes") (float_of_int enc_bytes);
+        metric (slug ^ "/compressed_bytes") (float_of_int comp_bytes);
+        metric (slug ^ "/encoded_vs_raw") vs_raw;
+        [
+          k.k_name;
+          string_of_int raw_log.Instrument.Branch_log.nbits;
+          string_of_int raw_bytes;
+          string_of_int enc_bytes;
+          string_of_int comp_bytes;
+          (if vs_raw = infinity then Util.infinity_symbol
+           else sprintf "%.1fx" vs_raw);
+          (if k.k_loop_heavy then "yes" else "no");
+        ])
+      (cases c)
+  in
+  Util.table
+    ([
+       [ "workload"; "bits"; "raw B"; "online enc B"; "offline comp B";
+         "enc vs raw"; "gated" ];
+     ]
+    @ rows);
+  (* Hot-path price: per-branch instruction cost is identical with the
+     encoder on or off (the cost model charges the probe, not the codec),
+     so the encoder's price is wall clock only — measured against the
+     uninstrumented baseline, e1-style. *)
+  let sc = Workloads.Microbench.counter_loop ~iterations:c.loop_iterations () in
+  let n = Minic.Program.nbranches sc.Concolic.Scenario.prog in
+  let plan m = Instrument.Plan.make ~nbranches:n m in
+  let none =
+    Instrument.Field_run.run
+      ~plan:(plan Instrument.Methods.No_instrumentation)
+      sc
+  in
+  let all_off =
+    Instrument.Field_run.run ~encode:false
+      ~plan:(plan Instrument.Methods.All_branches)
+      sc
+  in
+  let all_on =
+    Instrument.Field_run.run ~plan:(plan Instrument.Methods.All_branches) sc
+  in
+  if all_on.cost.instr <> all_off.cost.instr then
+    violations :=
+      sprintf
+        "encoder changed the modelled instruction cost: %d (on) vs %d (off)"
+        all_on.cost.instr all_off.cost.instr
+      :: !violations;
+  let per_branch (r : Instrument.Field_run.result) =
+    if r.cost.logged_branches = 0 then 0.0
+    else
+      float_of_int (r.cost.instr - none.cost.instr)
+      /. float_of_int r.cost.logged_branches
+  in
+  Printf.printf
+    "per-branch cost vs uninstrumented: %.1f instructions (encode on), %.1f \
+     (encode off)\n"
+    (per_branch all_on) (per_branch all_off);
+  metric "per_branch_instr_encode_on" (per_branch all_on);
+  metric "per_branch_instr_encode_off" (per_branch all_off);
+  if not c.quick then begin
+    let small = Workloads.Microbench.counter_loop ~iterations:5_000 () in
+    let sn = Minic.Program.nbranches small.Concolic.Scenario.prog in
+    let run ?encode m () =
+      ignore
+        (Instrument.Field_run.run ?encode
+           ~plan:(Instrument.Plan.make ~nbranches:sn m)
+           small)
+    in
+    let times =
+      Bech.measure_ns
+        [
+          ("none", run Instrument.Methods.No_instrumentation);
+          ("all/enc-off", run ~encode:false Instrument.Methods.All_branches);
+          ("all/enc-on", run Instrument.Methods.All_branches);
+        ]
+    in
+    match
+      ( List.assoc_opt "none" times,
+        List.assoc_opt "all/enc-off" times,
+        List.assoc_opt "all/enc-on" times )
+    with
+    | Some tn, Some toff, Some ton ->
+        Printf.printf
+          "wall clock (bechamel, 5k iterations): none %.2f ms, logging %.2f \
+           ms, logging+encoding %.2f ms (encoder adds %.0f%% over \
+           uninstrumented)\n"
+          (tn /. 1e6) (toff /. 1e6) (ton /. 1e6)
+          (100.0 *. (ton -. toff) /. tn);
+        metric "encoder_wall_pct_of_baseline" (100.0 *. (ton -. toff) /. tn)
+    | _ -> ()
+  end;
+  match !violations with
+  | [] ->
+      print_endline
+        "expected shape: on the loop-heavy workloads the online token stream\n\
+         is at least 10x below the raw bitvector and within a token header\n\
+         or two of the offline compressor, at unchanged per-branch\n\
+         instruction cost — the user site streams, the developer site still\n\
+         decodes exactly the logged bits."
+  | vs ->
+      failwith
+        ("E18: online-encoding bounds violated:\n  " ^ String.concat "\n  " vs)

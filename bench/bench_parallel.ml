@@ -339,10 +339,15 @@ let triage_section (c : Ctx.t) par_jobs =
     go 0
   in
   let tear text =
-    match find_sub text "branch-log: " with
+    let key =
+      match find_sub text "branch-enc: " with
+      | Some _ -> "branch-enc: "
+      | None -> "branch-log: "
+    in
+    match find_sub text key with
     | None -> text
     | Some i ->
-        let start = i + String.length "branch-log: " in
+        let start = i + String.length key in
         let hex_end =
           match String.index_from_opt text start '\n' with
           | Some j -> j

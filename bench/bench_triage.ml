@@ -108,18 +108,27 @@ let find_sub hay needle =
   in
   go 0
 
-(* cut halfway into the branch-log hex: strictly malformed, salvageable *)
+(* cut into the tail of the branch payload hex (the v4 [branch-enc]
+   token stream, or [branch-log] on raw wires): strictly malformed,
+   salvageable.  The cut keeps 3/4 of the payload — on an encoded wire
+   each lost byte is a whole token, i.e. many decoded bits, so a
+   halfway cut would leave too short a prefix to guide replay at all *)
 let tear wire =
-  match find_sub wire "branch-log: " with
+  let key =
+    match find_sub wire "branch-enc: " with
+    | Some _ -> "branch-enc: "
+    | None -> "branch-log: "
+  in
+  match find_sub wire key with
   | None -> wire
   | Some pos ->
-      let start = pos + String.length "branch-log: " in
+      let start = pos + String.length key in
       let hex_end =
         match String.index_from_opt wire start '\n' with
         | Some e -> e
         | None -> String.length wire
       in
-      String.sub wire 0 (start + ((hex_end - start) / 2))
+      String.sub wire 0 (start + (3 * (hex_end - start) / 4))
 
 (* one probe-elision measurement per batch base: elision counts, shipped
    bits and field/replay CPU with suppression off vs on *)
@@ -129,6 +138,8 @@ type sup_row = {
   s_sup : Staticanalysis.Suppression.t;
   s_full_bits : int;
   s_sup_bits : int;
+  s_full_enc_bytes : int;  (* online-encoded transfer bytes, raw plan *)
+  s_sup_enc_bytes : int;  (* online-encoded transfer bytes, suppressed *)
   s_raw_field_s : float;
   s_sup_field_s : float;
   s_raw_ok : bool;
@@ -220,8 +231,10 @@ let e16 (c : Ctx.t) =
       s_instr =
         Array.fold_left (fun a b -> if b then a + 1 else a) 0 instrumented;
       s_sup = sup;
-      s_full_bits = raw_r.Report.branch_log.Instrument.Branch_log.nbits;
-      s_sup_bits = sup_r.Report.branch_log.Instrument.Branch_log.nbits;
+      s_full_bits = Report.nbits raw_r;
+      s_sup_bits = Report.nbits sup_r;
+      s_full_enc_bytes = Report.payload_bytes raw_r;
+      s_sup_enc_bytes = Report.payload_bytes sup_r;
       s_raw_field_s = raw_field_s;
       s_sup_field_s = sup_field_s;
       s_raw_ok =
@@ -301,7 +314,7 @@ let e16 (c : Ctx.t) =
   Util.table
     ([
        [ "probe elision"; "probes"; "elided c/a/d/i"; "bits raw>sup";
-         "field cpu"; "replay"; "repro" ];
+         "enc bytes raw>sup"; "field cpu"; "replay"; "repro" ];
      ]
     @ List.map
         (fun r ->
@@ -312,6 +325,7 @@ let e16 (c : Ctx.t) =
             sprintf "%d/%d/%d/%d" s.Staticanalysis.Suppression.n_const
               s.n_arm s.n_implied s.n_invariant;
             sprintf "%d > %d" r.s_full_bits r.s_sup_bits;
+            sprintf "%d > %d" r.s_full_enc_bytes r.s_sup_enc_bytes;
             pct_delta r.s_raw_field_s r.s_sup_field_s;
             pct_delta r.s_raw_replay_s r.s_sup_replay_s;
             sprintf "%s/%s"
@@ -347,6 +361,10 @@ let e16 (c : Ctx.t) =
        (sumi (fun r -> r.s_sup.Staticanalysis.Suppression.n_invariant)));
   sup_metric "full_bits" (float_of_int full_bits);
   sup_metric "suppressed_bits" (float_of_int sup_bits);
+  sup_metric "encoded_bytes"
+    (float_of_int (sumi (fun r -> r.s_full_enc_bytes)));
+  sup_metric "sup_encoded_bytes"
+    (float_of_int (sumi (fun r -> r.s_sup_enc_bytes)));
   sup_metric "bits_saved_pct"
     (if full_bits > 0 then
        100.0 *. float_of_int (full_bits - sup_bits) /. float_of_int full_bits

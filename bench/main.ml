@@ -38,6 +38,7 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
      Bench_triage.e16);
     ("E17", "extension: streaming triage service (ingest + restart + drain)",
      Bench_streaming.e17);
+    ("E18", "extension: online branch-log encoding (wire v4)", Bench_codec.e18);
   ]
 
 let parse_args () : Ctx.t * string option * string option * string option =

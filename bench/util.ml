@@ -100,10 +100,11 @@ let record_metric ~experiment key value =
   metrics := (experiment, key, value) :: !metrics
 
 (* ------------------------------------------------------------------ *)
-(* Probe-elision curve: raw vs suppressed vs suppressed+compressed for
-   one plan and scenario (the EXPERIMENTS.md extension rows of E4/E8 and
-   E12).  The analysis output is proof-checked before the refined plan is
-   trusted; per-run cost and storage land as suppression/* metrics. *)
+(* Probe-elision curve: raw vs online-encoded vs suppressed (and the
+   suppressed log's encoded/compressed forms) for one plan and scenario
+   (the EXPERIMENTS.md extension rows of E4/E8 and E12).  The analysis
+   output is proof-checked before the refined plan is trusted; per-run
+   cost and storage land as suppression/* metrics. *)
 
 let elision_curve ~experiment ~(prog : Minic.Program.t)
     ~(plan : Instrument.Plan.t) (sc : Concolic.Scenario.t) =
@@ -114,10 +115,17 @@ let elision_curve ~experiment ~(prog : Minic.Program.t)
   | Ok () -> ()
   | Error m -> failwith (experiment ^ ": suppression proof rejected: " ^ m));
   let plan_sup = Instrument.Plan.with_suppression plan sup in
+  (* encode on (the default): each run yields both the raw bit view and
+     the online-encoded stream the wire would ship *)
   let raw = Instrument.Field_run.run ~plan sc in
   let supr = Instrument.Field_run.run ~plan:plan_sup sc in
   let raw_log = raw.Instrument.Field_run.branch_log in
   let sup_log = supr.Instrument.Field_run.branch_log in
+  let enc_bytes (r : Instrument.Field_run.result) =
+    match r.Instrument.Field_run.encoded_log with
+    | Some e -> Instrument.Codec.size_bytes e
+    | None -> Instrument.Branch_log.size_bytes r.Instrument.Field_run.branch_log
+  in
   let comp = Instrument.Compress.compress sup_log in
   let raw_comp = Instrument.Compress.compress raw_log in
   let pct_of_raw v =
@@ -143,6 +151,15 @@ let elision_curve ~experiment ~(prog : Minic.Program.t)
           raw.Instrument.Field_run.cost.instr;
       ];
       [
+        "online-encoded";
+        string_of_int raw_log.Instrument.Branch_log.nbits;
+        "100%";
+        Printf.sprintf "%d (raw compresses offline to %d)" (enc_bytes raw)
+          (Instrument.Compress.size_bytes raw_comp);
+        pct ~baseline:raw.Instrument.Field_run.cost.instr
+          raw.Instrument.Field_run.cost.instr;
+      ];
+      [
         "suppressed";
         string_of_int sup_log.Instrument.Branch_log.nbits;
         pct_of_raw sup_log.Instrument.Branch_log.nbits;
@@ -151,12 +168,18 @@ let elision_curve ~experiment ~(prog : Minic.Program.t)
           supr.Instrument.Field_run.cost.instr;
       ];
       [
+        "suppressed+encoded";
+        string_of_int sup_log.Instrument.Branch_log.nbits;
+        pct_of_raw sup_log.Instrument.Branch_log.nbits;
+        string_of_int (enc_bytes supr);
+        pct ~baseline:raw.Instrument.Field_run.cost.instr
+          supr.Instrument.Field_run.cost.instr;
+      ];
+      [
         "suppressed+compressed";
         string_of_int sup_log.Instrument.Branch_log.nbits;
         pct_of_raw sup_log.Instrument.Branch_log.nbits;
-        Printf.sprintf "%d (raw compresses to %d)"
-          (Instrument.Compress.size_bytes comp)
-          (Instrument.Compress.size_bytes raw_comp);
+        string_of_int (Instrument.Compress.size_bytes comp);
         "-";
       ];
     ];
@@ -164,6 +187,8 @@ let elision_curve ~experiment ~(prog : Minic.Program.t)
   m "elided" (float_of_int (Sup.n_elided sup));
   m "raw_bits" (float_of_int raw_log.Instrument.Branch_log.nbits);
   m "suppressed_bits" (float_of_int sup_log.Instrument.Branch_log.nbits);
+  m "encoded_bytes" (float_of_int (enc_bytes raw));
+  m "sup_encoded_bytes" (float_of_int (enc_bytes supr));
   m "bits_saved_pct"
     (if raw_log.Instrument.Branch_log.nbits = 0 then 0.0
      else

@@ -264,7 +264,7 @@ let make_telemetry trace metrics =
   (tel, finish)
 
 let demo_cmd name meth_s experiment timeout save jobs no_solver_cache
-    no_incremental no_steal trace metrics =
+    no_incremental no_steal no_encode trace metrics =
   match find_workload name, method_of_string meth_s with
   | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -283,6 +283,7 @@ let demo_cmd name meth_s experiment timeout save jobs no_solver_cache
           |> with_solver_cache (not no_solver_cache)
           |> with_incremental (not no_incremental)
           |> with_steal (not no_steal)
+          |> with_encode (not no_encode)
           |> with_telemetry tel)
       in
       let code = demo_pipeline w meth experiment timeout save jobs
@@ -511,10 +512,15 @@ let batch_cmd dir count seed torn =
         end
       done;
       let tear wire =
-        match find_sub wire "branch-log: " with
+        let key =
+          match find_sub wire "branch-enc: " with
+          | Some _ -> "branch-enc: "
+          | None -> "branch-log: "
+        in
+        match find_sub wire key with
         | None -> wire
         | Some pos ->
-            let start = pos + String.length "branch-log: " in
+            let start = pos + String.length key in
             let hex_end =
               match String.index_from_opt wire start '\n' with
               | Some e -> e
@@ -794,6 +800,16 @@ let demo_t =
             "Disable the work-stealing sharded frontier at --jobs > 1 and \
              use the single shared pending list instead.")
   in
+  let no_encode =
+    Arg.(
+      value & flag
+      & info [ "no-encode" ]
+          ~doc:
+            "Disable online branch-log encoding: the field run ships the \
+             raw bitvector (a wire-v4 [branch-log] payload) instead of the \
+             streamed token stream ([branch-enc]).  For A/B size and cost \
+             comparisons; replay behaves identically either way.")
+  in
   let trace =
     Arg.(
       value
@@ -811,7 +827,8 @@ let demo_t =
   in
   Term.(
     const demo_cmd $ workload_arg $ meth $ exp $ timeout $ save $ jobs
-    $ no_solver_cache $ no_incremental $ no_steal $ trace $ metrics)
+    $ no_solver_cache $ no_incremental $ no_steal $ no_encode $ trace
+    $ metrics)
 
 let fuzz_t =
   let seed =

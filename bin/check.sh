@@ -12,6 +12,10 @@
 #                             # walkthrough program), a triage smoke
 #                             # over a generated batch with duplicates and
 #                             # torn tails (strict JSON summary validated),
+#                             # an encoding smoke (the same loop-heavy demo
+#                             # saved with the wire-v4 online codec on and
+#                             # off: encoded strictly smaller, identical
+#                             # reproduction, non-payload lines identical),
 #                             # and a triage-service smoke (seeded loadgen
 #                             # burst through `bugrepro serve` with a
 #                             # bounded queue, snapshot JSON validated)
@@ -146,6 +150,36 @@ EOF
   else
     echo "python3 not found; skipping JSON validation of $SUMMARY"
   fi
+
+  echo "== encoding smoke (wire-v4 online codec A/B) =="
+  # the same loop-heavy demo run saved with the online encoder on and
+  # off: both must reproduce (exit 0), the encoded wire must carry a
+  # [branch-enc] payload and be strictly smaller than the raw wire, and
+  # every non-payload line must be byte-identical — the codec changes
+  # how the bits ship, never what is shipped alongside them
+  ENCW=$(mktemp /tmp/report-enc.XXXXXX)
+  RAWW=$(mktemp /tmp/report-raw.XXXXXX)
+  dune exec bin/bugrepro_cli.exe -- demo userver --method dynamic+static \
+    --save "$ENCW" > /dev/null
+  dune exec bin/bugrepro_cli.exe -- demo userver --method dynamic+static \
+    --no-encode --save "$RAWW" > /dev/null
+  grep -q '^branch-enc: ' "$ENCW" || {
+    echo "error: encoded report lacks a branch-enc payload" >&2; exit 1; }
+  grep -q '^branch-log: ' "$RAWW" || {
+    echo "error: --no-encode report lacks a branch-log payload" >&2; exit 1; }
+  ENC_B=$(wc -c < "$ENCW"); RAW_B=$(wc -c < "$RAWW")
+  if [ "$ENC_B" -ge "$RAW_B" ]; then
+    echo "error: encoded wire ($ENC_B B) not smaller than raw ($RAW_B B)" \
+         "on a loop-heavy workload" >&2
+    exit 1
+  fi
+  grep -v '^branch-enc: ' "$ENCW" > "$ENCW.rest"
+  grep -v '^branch-log: ' "$RAWW" > "$RAWW.rest"
+  if ! cmp -s "$ENCW.rest" "$RAWW.rest"; then
+    echo "error: encode on/off changed a non-payload wire line" >&2
+    exit 1
+  fi
+  echo "encoding smoke OK: $ENC_B B encoded < $RAW_B B raw, rest identical"
 
   echo "== triage-service smoke (streaming serve + seeded loadgen) =="
   # a seeded burst through the long-running service: the bounded queue

@@ -40,7 +40,9 @@ let () =
               in
               Printf.printf "  %-16s %d instrumented, %d bits logged -> %s\n"
                 (Instrument.Methods.to_string meth)
-                plan.n_instrumented report.branch_log.nbits verdict)
+                plan.n_instrumented
+                (Instrument.Report.nbits report)
+                verdict)
         Instrument.Methods.instrumented;
       print_newline ())
     Workloads.Coreutils.catalog

@@ -46,7 +46,7 @@ let () =
   Printf.printf "shipped report: %s\n" (Instrument.Report.describe report);
 
   (* audit every byte sequence in the report *)
-  let log_bytes = report.branch_log.bytes in
+  let log_bytes = Instrument.Report.payload_data report in
   Printf.printf "branch log bytes: %d; secret appears in log: %b\n"
     (String.length log_bytes)
     (contains_substring ~needle:secret log_bytes);

@@ -31,7 +31,8 @@ let () =
     | None -> 0
   in
   Printf.printf "report: %d branch bits + %d schedule decisions (%d bytes total)\n"
-    report.branch_log.nbits sched
+    (Instrument.Report.nbits report)
+    sched
     (Instrument.Report.transfer_bytes report);
 
   let budget = { Concolic.Engine.max_runs = 20_000; max_time_s = 15.0 } in

@@ -38,6 +38,10 @@ module Config = struct
     refine : bool;  (** false = seed (unrefined) static pipeline *)
     jobs : int;  (** worker domains for exploration and replay *)
     log_syscalls : bool;  (** ship a syscall log with the branch log *)
+    encode : bool;
+        (** field runs write branch bits through the streaming
+            {!Instrument.Codec} and reports ship the encoded stream (wire
+            v4); false is the A/B raw-log baseline *)
     suppression : bool;
         (** refine plans with the probe-elision analysis: statically
             redundant instrumented branches ship a reconstruction rule
@@ -62,6 +66,7 @@ module Config = struct
       refine = true;
       jobs = 1;
       log_syscalls = true;
+      encode = true;
       suppression = false;
       solver_cache = true;
       incremental = true;
@@ -84,6 +89,7 @@ module Config = struct
   let with_analyze_lib analyze_lib c = { c with analyze_lib }
   let with_refine refine c = { c with refine }
   let with_log_syscalls log_syscalls c = { c with log_syscalls }
+  let with_encode encode c = { c with encode }
   let with_suppression suppression c = { c with suppression }
   let with_solver_cache solver_cache c = { c with solver_cache }
   let with_incremental incremental c = { c with incremental }
@@ -158,7 +164,7 @@ module Run = struct
 
   let field_run (c : Config.t) ~plan (sc : Concolic.Scenario.t) :
       Instrument.Field_run.result =
-    Instrument.Field_run.run ~log_syscalls:c.log_syscalls
+    Instrument.Field_run.run ~log_syscalls:c.log_syscalls ~encode:c.encode
       ~telemetry:c.telemetry ~plan sc
 
   let field_run_report (c : Config.t) ~plan:p (sc : Concolic.Scenario.t) :

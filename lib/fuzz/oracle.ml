@@ -15,6 +15,7 @@ type cfg = {
   check_suppression : bool;
   check_incremental : bool;
   check_streaming : bool;
+  check_encoding : bool;
   det_jobs : int;
   max_steps : int;
 }
@@ -34,6 +35,7 @@ let default_cfg =
     check_suppression = true;
     check_incremental = true;
     check_streaming = true;
+    check_encoding = true;
     det_jobs = 4;
     max_steps = 200_000;
   }
@@ -356,6 +358,26 @@ let find_sub s sub =
   in
   go 0
 
+(* Byte position cutting halfway into the branch payload hex —
+   "branch-enc: " on a v4 encoded report, "branch-log: " on a raw one.
+   The resulting prefix is strictly malformed but salvageable. *)
+let payload_tear_pos wire =
+  let field =
+    match find_sub wire "branch-enc: " with
+    | Some _ -> "branch-enc: "
+    | None -> "branch-log: "
+  in
+  match find_sub wire field with
+  | None -> None
+  | Some pos ->
+      let start = pos + String.length field in
+      let hex_end =
+        match String.index_from_opt wire start '\n' with
+        | Some e -> e
+        | None -> String.length wire
+      in
+      Some (start + ((hex_end - start) / 2))
+
 let salvage_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
     (report : Instrument.Report.t) : verdict =
   let wire = Instrument.Wire.serialize report in
@@ -381,7 +403,7 @@ let salvage_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
              else if not (String.equal r.program report.program) then
                fail cut "salvage changed the program name"
              else begin
-               let bits = r.branch_log.Instrument.Branch_log.nbits in
+               let bits = Instrument.Report.nbits r in
                if bits < !prev_bits then
                  fail cut
                    (Printf.sprintf "salvaged bit count fell from %d to %d"
@@ -398,18 +420,11 @@ let salvage_check (cfg : cfg) (case : Gen.case) (plan : Instrument.Plan.t)
                  fail cut "intact input diagnosed as torn"
              end
      done;
-     (* deep cut: replay with half the branch-log hex torn away *)
+     (* deep cut: replay with half the branch payload hex torn away *)
      if !failure = None then
-       match find_sub wire "branch-log: " with
+       match payload_tear_pos wire with
        | None -> ()
-       | Some pos ->
-           let start = pos + String.length "branch-log: " in
-           let hex_end =
-             match String.index_from_opt wire start '\n' with
-             | Some e -> e
-             | None -> n
-           in
-           let cut = start + ((hex_end - start) / 2) in
+       | Some cut ->
            (match
               Instrument.Wire.deserialize_salvage (String.sub wire 0 cut)
             with
@@ -619,16 +634,9 @@ let streaming_check (cfg : cfg) (case : Gen.case) (sc : Concolic.Scenario.t)
   | Some (plan, report) -> (
       let wire = Instrument.Wire.serialize report in
       let torn =
-        match find_sub wire "branch-log: " with
+        match payload_tear_pos wire with
         | None -> wire
-        | Some pos ->
-            let start = pos + String.length "branch-log: " in
-            let hex_end =
-              match String.index_from_opt wire start '\n' with
-              | Some e -> e
-              | None -> String.length wire
-            in
-            String.sub wire 0 (start + ((hex_end - start) / 2))
+        | Some cut -> String.sub wire 0 cut
       in
       let texts =
         [ wire; wire; torn; wire ]
@@ -692,6 +700,125 @@ let streaming_check (cfg : cfg) (case : Gen.case) (sc : Concolic.Scenario.t)
                b s)
       with exn -> Fail ("streaming triage raised " ^ Printexc.to_string exn))
 
+(* Oracle (j): online-encoding equivalence.  Per method, the same
+   deterministic field run with the streaming encoder on and off must
+   agree on outcome, output and the exact bit log; the encoded stream
+   must validate and carry exactly the logged bit count; a crashing run's
+   v4 report must survive the strict wire round trip byte-identically;
+   and a torn or byte-corrupted encoded payload must fail the strict
+   reader closed while salvage still recovers the crash site with no
+   more bits than were shipped. *)
+
+let encoding_check (cfg : cfg) (case : Gen.case) (sc : Concolic.Scenario.t)
+    ~dynamic ~static : verdict =
+  let failure = ref None in
+  let fail msg = if !failure = None then failure := Some msg in
+  (try
+     List.iter
+       (fun meth ->
+         if !failure = None then begin
+           let mname = Instrument.Methods.to_string meth in
+           let err msg = fail (mname ^ ": " ^ msg) in
+           let plan =
+             Instrument.Plan.make
+               ~nbranches:(Minic.Program.nbranches case.Gen.prog)
+               ?dynamic ~static meth
+           in
+           let enc = Instrument.Field_run.run ~encode:true ~plan sc in
+           let raw = Instrument.Field_run.run ~encode:false ~plan sc in
+           if
+             Interp.Crash.outcome_to_string enc.outcome
+             <> Interp.Crash.outcome_to_string raw.outcome
+           then err "encoding changed the run outcome"
+           else if not (String.equal enc.output raw.output) then
+             err "encoding changed the program output"
+           else if
+             enc.branch_log.Instrument.Branch_log.nbits
+             <> raw.branch_log.Instrument.Branch_log.nbits
+             || not
+                  (String.equal enc.branch_log.Instrument.Branch_log.bytes
+                     raw.branch_log.Instrument.Branch_log.bytes)
+           then err "encoded log decodes to different bits than the raw run"
+           else begin
+             (match enc.encoded_log with
+             | None -> err "encode-on run shipped no encoded stream"
+             | Some e -> (
+                 match Instrument.Codec.count_bits e.Instrument.Codec.data with
+                 | Error m -> err ("shipped stream invalid: " ^ m)
+                 | Ok n when n <> e.Instrument.Codec.nbits ->
+                     err
+                       (Printf.sprintf "stream carries %d bits, claims %d" n
+                          e.Instrument.Codec.nbits)
+                 | Ok _ -> ()));
+             if !failure = None then
+               match Instrument.Report.of_field_run ~sc ~plan enc with
+               | None -> ()
+               | Some report -> (
+                   let wire = Instrument.Wire.serialize report in
+                   (match Instrument.Wire.deserialize_v wire with
+                   | Error e ->
+                       err
+                         ("v4 wire rejected its own report: "
+                        ^ Instrument.Wire.error_to_string e)
+                   | Ok report' ->
+                       if
+                         not
+                           (String.equal wire
+                              (Instrument.Wire.serialize report'))
+                       then err "v4 wire round trip is not the identity"
+                       else if
+                         not
+                           (String.equal
+                              (Instrument.Report.raw_log report')
+                                .Instrument.Branch_log.bytes
+                              enc.branch_log.Instrument.Branch_log.bytes)
+                       then err "wire round trip changed the decoded bits");
+                   (* negatives, only meaningful on an encoded payload *)
+                   match find_sub wire "branch-enc: " with
+                   | None -> err "crashing encoded run shipped no branch-enc"
+                   | Some pos ->
+                       let start = pos + String.length "branch-enc: " in
+                       let hex_end =
+                         match String.index_from_opt wire start '\n' with
+                         | Some e -> e
+                         | None -> String.length wire
+                       in
+                       let torn =
+                         String.sub wire 0 (start + ((hex_end - start) / 2))
+                       in
+                       (if hex_end > start + 1 then
+                          match Instrument.Wire.deserialize_v torn with
+                          | Ok _ -> err "strict reader accepted a torn payload"
+                          | Error _ -> ());
+                       (match Instrument.Wire.deserialize_salvage torn with
+                       | Error (Instrument.Wire.Unknown_version v) ->
+                           err
+                             (Printf.sprintf
+                                "tear misread as wire version %d" v)
+                       | Error (Instrument.Wire.Malformed _) -> ()
+                       | Ok (r, _) ->
+                           if not (Interp.Crash.equal_site r.crash report.crash)
+                           then err "salvage of a torn payload moved the crash"
+                           else if
+                             Instrument.Report.nbits r
+                             > Instrument.Report.nbits report
+                           then err "salvage invented branch bits");
+                       if hex_end > start + 1 then
+                         let corrupt = Bytes.of_string wire in
+                         Bytes.set corrupt start 'z';
+                         match
+                           Instrument.Wire.deserialize_v
+                             (Bytes.to_string corrupt)
+                         with
+                         | Ok _ ->
+                             err "strict reader accepted corrupted payload hex"
+                         | Error _ -> ())
+           end
+         end)
+       cfg.methods
+   with exn -> fail ("encoding oracle raised " ^ Printexc.to_string exn));
+  match !failure with None -> Pass | Some msg -> Fail msg
+
 (* ------------------------------------------------------------------ *)
 
 let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
@@ -719,7 +846,8 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
            m <> Instrument.Methods.All_branches
            && m <> Instrument.Methods.No_instrumentation)
          cfg.methods
-       && (want "replay" || want "wire" || want "salvage")
+       && (want "replay" || want "wire" || want "salvage"
+          || (cfg.check_encoding && want "encoding"))
   in
   let base =
     if need_explore then
@@ -797,6 +925,12 @@ let run ?only (cfg : cfg) (case : Gen.case) : outcome list =
     record "streaming"
       (span "streaming" (fun () ->
            streaming_check cfg case sc
+             ~dynamic:(Option.map (fun (b : explo) -> b.labels) base)
+             ~static:(Lazy.force static_labels)));
+  if cfg.check_encoding && want "encoding" then
+    record "encoding"
+      (span "encoding" (fun () ->
+           encoding_check cfg case sc
              ~dynamic:(Option.map (fun (b : explo) -> b.labels) base)
              ~static:(Lazy.force static_labels)));
   List.rev !results

@@ -59,6 +59,13 @@
       between ticks — must render byte-identical timing-stripped
       summaries ([Summary.to_json ~timing:false]); a timeout-status flip
       between the two modes is wall-clock noise and skips.
+    - {b encoding}: per method, the same field run with the streaming
+      {!Instrument.Codec} on and off agrees on outcome, output and the
+      exact bit log; the shipped token stream validates and carries
+      exactly the logged bit count; a crashing run's v4 report round
+      trips the strict wire byte-identically; and torn or byte-corrupted
+      [branch-enc] payloads fail the strict reader closed while salvage
+      keeps the crash site and never recovers more bits than shipped.
 
     Oracles that cannot run (no crash, truncated exploration, replay
     timeout) report [Skip] with a reason — a skip is not a pass, and the
@@ -80,6 +87,7 @@ type cfg = {
   check_suppression : bool;
   check_incremental : bool;
   check_streaming : bool;
+  check_encoding : bool;
   det_jobs : int;  (** worker count for the parallel half of determinism *)
   max_steps : int;  (** interpreter step cap per exploration run *)
 }

@@ -12,6 +12,11 @@ type result = {
   output : string;
   steps : int;
   branch_log : Branch_log.log;
+      (** raw view of the logged bits (decoded once from the encoder when
+          the run encoded online) *)
+  encoded_log : Codec.encoded option;
+      (** with [~encode:true] (the default): the online-encoded stream the
+          probes actually wrote — the artifact a v4 report ships *)
   syscall_log : Syscall_log.log option;
   schedule_log : Schedule_log.log option;
       (** recorded thread-scheduling decisions; empty when single-threaded *)
@@ -32,8 +37,11 @@ type result = {
     suppression table, elided probes skip both the log write and the
     logging charge (the probe compiles to nothing); [shadow] additionally
     rebuilds the suppression-free log from the reconstruction rules so
-    callers can check bit-for-bit parity. *)
-let run ?(log_syscalls = true) ?(shadow = false)
+    callers can check bit-for-bit parity.  With [encode] (the default)
+    probes write through the zero-allocation streaming {!Codec} and the
+    result carries the encoded stream in [encoded_log]; [~encode:false]
+    is the A/B baseline writing the raw packed log. *)
+let run ?(log_syscalls = true) ?(shadow = false) ?(encode = true)
     ?(telemetry = Telemetry.disabled) ~(plan : Plan.t)
     (sc : Concolic.Scenario.t) : result =
   Telemetry.Span.with_ telemetry ~name:"field_run"
@@ -44,7 +52,15 @@ let run ?(log_syscalls = true) ?(shadow = false)
       ]
   @@ fun sp ->
   let world, handle = Osmodel.World.kernel sc.world in
-  let writer = Branch_log.Writer.create () in
+  (* exactly one log writer runs on the hot path *)
+  let encoder = if encode then Some (Codec.Encoder.create ()) else None in
+  let writer = if encode then None else Some (Branch_log.Writer.create ()) in
+  let log_bit =
+    match encoder, writer with
+    | Some e, _ -> fun taken -> Codec.Encoder.add_bit e taken
+    | None, Some w -> fun taken -> Branch_log.Writer.add_bit w taken
+    | None, None -> assert false
+  in
   let sys_log = if log_syscalls then Some (Syscall_log.create ()) else None in
   let cost_cell : Interp.Cost.t option ref = ref None in
   let recon =
@@ -76,7 +92,7 @@ let run ?(log_syscalls = true) ?(shadow = false)
             in
             match action with
             | Staticanalysis.Suppression.Recon.Consume ->
-                Branch_log.Writer.add_bit writer taken;
+                log_bit taken;
                 (match recon with
                 | Some rc ->
                     Staticanalysis.Suppression.Recon.record rc ~bid taken
@@ -136,7 +152,18 @@ let run ?(log_syscalls = true) ?(shadow = false)
   cost.instr <- cost.instr + side_cost.instr;
   cost.logged_branches <- side_cost.logged_branches;
   cost.logged_syscalls <- side_cost.logged_syscalls;
-  let branch_log = Branch_log.finish writer in
+  let encoded_log = Option.map Codec.finish encoder in
+  let branch_log =
+    match encoded_log, writer with
+    | Some e, _ -> (
+        (* one decode at run end keeps the raw view available to every
+           consumer; the hot path only ever touched the encoder *)
+        match Codec.decode e with
+        | Ok l -> l
+        | Error m -> failwith ("Field_run: encoder self-check failed: " ^ m))
+    | None, Some w -> Branch_log.finish w
+    | None, None -> assert false
+  in
   let syscall_log = Option.map Syscall_log.finish sys_log in
   let res =
     {
@@ -145,6 +172,7 @@ let run ?(log_syscalls = true) ?(shadow = false)
       output = r.output;
       steps = r.steps;
       branch_log;
+      encoded_log;
       syscall_log;
       schedule_log = Some (Schedule_log.finish sched_log);
       world;
@@ -154,8 +182,13 @@ let run ?(log_syscalls = true) ?(shadow = false)
     }
   in
   if Telemetry.enabled telemetry then begin
+    let branch_bytes =
+      match encoded_log with
+      | Some e -> Codec.size_bytes e
+      | None -> Branch_log.size_bytes branch_log
+    in
     let log_bytes =
-      Branch_log.size_bytes branch_log
+      branch_bytes
       + match syscall_log with Some l -> Syscall_log.size_bytes l | None -> 0
     in
     Telemetry.Span.addi sp "branches_logged" cost.logged_branches;
@@ -175,7 +208,10 @@ let run ?(log_syscalls = true) ?(shadow = false)
   end;
   res
 
-(** Total shipped-log storage in bytes. *)
+(** Total shipped-log storage in bytes (the encoded stream when the run
+    encoded online). *)
 let storage_bytes (r : result) =
-  Branch_log.size_bytes r.branch_log
+  (match r.encoded_log with
+  | Some e -> Codec.size_bytes e
+  | None -> Branch_log.size_bytes r.branch_log)
   + match r.syscall_log with Some l -> Syscall_log.size_bytes l | None -> 0

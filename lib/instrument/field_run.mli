@@ -11,6 +11,11 @@ type result = {
   output : string;
   steps : int;
   branch_log : Branch_log.log;
+      (** raw view of the logged bits (decoded once from the encoder when
+          the run encoded online) *)
+  encoded_log : Codec.encoded option;
+      (** with [~encode:true] (the default): the online-encoded stream the
+          probes actually wrote — the artifact a v4 report ships *)
   syscall_log : Syscall_log.log option;
   schedule_log : Schedule_log.log option;
       (** recorded thread-scheduling decisions; empty when single-threaded *)
@@ -30,13 +35,17 @@ type result = {
     true, the paper's recommended configuration.  When the plan carries a
     suppression table, elided probes skip both the log write and the
     logging charge; [shadow] additionally rebuilds the suppression-free
-    log from the reconstruction rules for parity checks.  [telemetry]
-    wraps the run in a [field_run] span (branches/syscalls logged, buffer
-    flushes, log bytes as end attributes) and accumulates the [field.*]
-    counters. *)
+    log from the reconstruction rules for parity checks.  With [encode]
+    (the default) probes write through the zero-allocation streaming
+    {!Codec} and the result carries the encoded stream in [encoded_log];
+    [~encode:false] is the A/B baseline writing the raw packed log.
+    [telemetry] wraps the run in a [field_run] span (branches/syscalls
+    logged, buffer flushes, log bytes as end attributes) and accumulates
+    the [field.*] counters. *)
 val run :
   ?log_syscalls:bool ->
   ?shadow:bool ->
+  ?encode:bool ->
   ?telemetry:Telemetry.t ->
   plan:Plan.t ->
   Concolic.Scenario.t ->

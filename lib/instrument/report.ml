@@ -5,10 +5,17 @@
     WER-style "where it died" datum) and the input *shape* (argument count
     and buffer capacities, stream counts) — never content. *)
 
+(** The branch-direction bits in whichever form the field run shipped
+    them: the raw packed log (wire v1-v3, or a run with encoding off) or
+    the online-encoded stream (wire v4's native payload).  Consumers that
+    only need the bits should go through {!reader}/{!read_next} and stay
+    representation-agnostic. *)
+type payload = Raw of Branch_log.log | Encoded of Codec.encoded
+
 type t = {
   program : string;  (** program name, identifies the retained plan *)
   method_used : Methods.t;
-  branch_log : Branch_log.log;
+  branch_log : payload;
   syscall_log : Syscall_log.log option;
   schedule_log : Schedule_log.log option;
       (** thread-scheduling decisions (§6 multithreading); [None] or empty
@@ -21,8 +28,59 @@ type t = {
           rules, and must verify them before trusting the log *)
 }
 
+let nbits t =
+  match t.branch_log with
+  | Raw l -> l.Branch_log.nbits
+  | Encoded e -> e.Codec.nbits
+
+let flushes t =
+  match t.branch_log with
+  | Raw l -> l.Branch_log.flushes
+  | Encoded e -> e.Codec.flushes
+
+(** Shipped size of the branch payload in bytes. *)
+let payload_bytes t =
+  match t.branch_log with
+  | Raw l -> Branch_log.size_bytes l
+  | Encoded e -> Codec.size_bytes e
+
+(** The exact byte string the wire ships for the branch payload. *)
+let payload_data t =
+  match t.branch_log with
+  | Raw l -> l.Branch_log.bytes
+  | Encoded e -> e.Codec.data
+
+(** The raw packed log, decoding an encoded payload.  Total on any payload
+    that came through the wire reader (which validates the token stream);
+    raises [Invalid_argument] on a hand-built invalid encoding. *)
+let raw_log t =
+  match t.branch_log with
+  | Raw l -> l
+  | Encoded e -> (
+      match Codec.decode e with
+      | Ok l -> l
+      | Error m -> invalid_arg ("Report.raw_log: " ^ m))
+
+(** Streaming bit reader over either payload: replay and fingerprinting
+    consume bits in order without materializing the decoded log. *)
+type reader = Raw_reader of Branch_log.Reader.t | Enc_reader of Codec.Reader.t
+
+let reader t =
+  match t.branch_log with
+  | Raw l -> Raw_reader (Branch_log.Reader.create l)
+  | Encoded e -> Enc_reader (Codec.Reader.create e)
+
+let read_next = function
+  | Raw_reader r -> Branch_log.Reader.next r
+  | Enc_reader r -> Codec.Reader.next r
+
+let read_pos = function
+  | Raw_reader r -> Branch_log.Reader.pos r
+  | Enc_reader r -> Codec.Reader.pos r
+
 (** Assemble a report from a crashed field run.  Returns [None] if the run
-    did not crash (nothing to report). *)
+    did not crash (nothing to report).  Ships the encoded stream when the
+    run encoded online, the raw log otherwise. *)
 let of_field_run ~(sc : Concolic.Scenario.t) ~(plan : Plan.t)
     (r : Field_run.result) : t option =
   match r.outcome with
@@ -31,7 +89,10 @@ let of_field_run ~(sc : Concolic.Scenario.t) ~(plan : Plan.t)
         {
           program = sc.name;
           method_used = plan.meth;
-          branch_log = r.branch_log;
+          branch_log =
+            (match r.encoded_log with
+            | Some e -> Encoded e
+            | None -> Raw r.branch_log);
           syscall_log = r.syscall_log;
           schedule_log = r.schedule_log;
           crash;
@@ -42,7 +103,7 @@ let of_field_run ~(sc : Concolic.Scenario.t) ~(plan : Plan.t)
       None
 
 let transfer_bytes t =
-  Branch_log.size_bytes t.branch_log
+  payload_bytes t
   + (match t.syscall_log with Some l -> Syscall_log.size_bytes l | None -> 0)
   + match t.schedule_log with Some l -> Schedule_log.size_bytes l | None -> 0
 
@@ -56,6 +117,6 @@ let describe t =
   Printf.sprintf "%s: %s [%s; %d branch bits, %d syscall entries%s]" t.program
     (Interp.Crash.to_string t.crash)
     (Methods.to_string t.method_used)
-    t.branch_log.nbits
+    (nbits t)
     (match t.syscall_log with Some l -> Syscall_log.length l | None -> 0)
     sched

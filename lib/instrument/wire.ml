@@ -18,9 +18,15 @@
    loses the log (a suppressed log read without its table would replay
    garbage), carries its own entry count so a tear on an entry boundary is
    still detected, and is strictly fail-closed: any damage to it makes
-   even the salvage reader reject the whole report. *)
+   even the salvage reader reject the whole report.  v3 -> v4: the branch
+   payload may arrive online-encoded in a [branch-enc] line (hex of the
+   {!Codec} token stream) instead of [branch-log]; exactly one of the two
+   must be present, [branch-enc] is rejected below v4, and the strict
+   reader validates that the token stream decodes to exactly the claimed
+   bit count.  A v4 report with a raw payload is line-identical to v3
+   modulo the header digit. *)
 let magic_prefix = "bugrepro-report/"
-let version = 3
+let version = 4
 let magic = magic_prefix ^ string_of_int version
 
 type error = Unknown_version of int | Malformed of string
@@ -124,9 +130,15 @@ let serialize (t : Report.t) : string =
      while losing the table needed to interpret it *)
   if t.suppression <> [] then
     line "suppression: %s" (suppression_to_string t.suppression);
-  line "branch-bits: %d" t.branch_log.nbits;
-  line "branch-log: %s" (hex_of_string t.branch_log.bytes);
-  line "branch-flushes: %d" t.branch_log.flushes;
+  (match t.branch_log with
+  | Report.Raw l ->
+      line "branch-bits: %d" l.Branch_log.nbits;
+      line "branch-log: %s" (hex_of_string l.Branch_log.bytes);
+      line "branch-flushes: %d" l.Branch_log.flushes
+  | Report.Encoded e ->
+      line "branch-bits: %d" e.Codec.nbits;
+      line "branch-enc: %s" (hex_of_string e.Codec.data);
+      line "branch-flushes: %d" e.Codec.flushes);
   (match t.syscall_log with
   | Some l ->
       line "syscalls: %s"
@@ -144,8 +156,9 @@ let serialize (t : Report.t) : string =
 
 let ( let* ) = Result.bind
 
-(* Parse the field lines of a report whose version was already checked. *)
-let parse_fields (rest : string list) : (Report.t, string) result =
+(* Parse the field lines of a report whose version was already checked;
+   [ver] gates the fields newer versions introduced (branch-enc is v4+). *)
+let parse_fields ~(ver : int) (rest : string list) : (Report.t, string) result =
   let fields =
         List.filter_map
           (fun l ->
@@ -202,18 +215,41 @@ let parse_fields (rest : string list) : (Report.t, string) result =
         Result.bind (get "branch-bits") (fun v ->
             try Ok (int_of_string v) with _ -> Error "bad bit count")
       in
-      let* log_hex = get "branch-log" in
-      let* bytes = string_of_hex log_hex in
-      if nbits > 8 * String.length bytes then Error "bit count exceeds log bytes"
-      else
-        let* flushes =
+      let* flushes =
           (* v2 field; absent from v1 reports *)
           match List.assoc_opt "branch-flushes" fields with
           | None -> Ok 0
           | Some v -> (
               try Ok (int_of_string v) with _ -> Error "bad flush count")
         in
-        let branch_log = { Branch_log.bytes; nbits; flushes } in
+        let* branch_log =
+          match
+            ( List.assoc_opt "branch-log" fields,
+              List.assoc_opt "branch-enc" fields )
+          with
+          | Some _, Some _ -> Error "both branch-log and branch-enc present"
+          | None, None -> Error "missing field branch-log"
+          | Some log_hex, None ->
+              let* bytes = string_of_hex log_hex in
+              if nbits > 8 * String.length bytes then
+                Error "bit count exceeds log bytes"
+              else Ok (Report.Raw { Branch_log.bytes; nbits; flushes })
+          | None, Some enc_hex -> (
+              (* v4 field; fail-closed: the token stream must parse and
+                 decode to exactly the claimed bit count *)
+              if ver < 4 then Error "branch-enc requires format version 4"
+              else
+                let* data = string_of_hex enc_hex in
+                match Codec.count_bits data with
+                | Error m -> Error ("bad branch-enc: " ^ m)
+                | Ok n when n <> nbits ->
+                    Error
+                      (Printf.sprintf
+                         "branch-enc decodes to %d bit(s) but branch-bits \
+                          claims %d"
+                         n nbits)
+                | Ok _ -> Ok (Report.Encoded { Codec.data; nbits; flushes }))
+        in
         let syscall_log =
           match List.assoc_opt "syscalls" fields with
           | None -> Ok None
@@ -286,8 +322,8 @@ let deserialize_v (s : string) : (Report.t, error) result =
       match int_of_string_opt v_s with
       | None -> Error (Malformed "bad version in report header")
       | Some v when v < 1 || v > version -> Error (Unknown_version v)
-      | Some _ -> (
-          match parse_fields rest with
+      | Some v -> (
+          match parse_fields ~ver:v rest with
           | Ok r -> Ok r
           | Error e -> Error (Malformed e)))
   | _ -> Error (Malformed "not a bugrepro report (bad magic)")
@@ -382,6 +418,12 @@ type partial = {
   mutable p_filecap : int option;
   mutable p_nbits : int option;
   mutable p_bytes : string option;
+  mutable p_enc : (string * int) option;
+      (* encoded payload cut at the last complete token boundary, with the
+         bit count that prefix decodes to *)
+  mutable p_enc_ok : bool;
+      (* the branch-enc line parsed completely (no tear, no trailing
+         token damage): the encoded form can be kept verbatim *)
   mutable p_flushes : int option;
   mutable p_syscalls : Syscall_log.entry list option;
   mutable p_sys_dropped : int;
@@ -430,12 +472,13 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
       match int_of_string_opt v_s with
       | None -> Error (Malformed "bad version in report header")
       | Some v when v < 1 || v > version -> Error (Unknown_version v)
-      | Some _ ->
+      | Some ver ->
           let p =
             {
               p_program = None; p_method = None; p_crash = None;
               p_arg_caps = None; p_conns = None; p_files = None;
               p_filecap = None; p_nbits = None; p_bytes = None;
+              p_enc = None; p_enc_ok = false;
               p_flushes = None; p_syscalls = None; p_sys_dropped = 0;
               p_schedule = None; p_sched_dropped = false;
               p_suppression = None; p_sup_bad = false;
@@ -506,6 +549,21 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
                     | Ok bytes -> p.p_bytes <- Some bytes
                     | Error _ -> p.p_bytes <- Some "");
                     not torn
+                | "branch-enc" when ver >= 4 ->
+                    (* cut the encoded payload at the last complete token:
+                       the surviving prefix decodes to exactly the bits it
+                       carries (prefix-closed token grammar) *)
+                    let hex, torn = hex_prefix v in
+                    let bytes =
+                      match string_of_hex hex with Ok b -> b | Error _ -> ""
+                    in
+                    let cut, cut_bits = Codec.cut_prefix bytes in
+                    p.p_enc <- Some (cut, cut_bits);
+                    let ok =
+                      (not torn) && String.length cut = String.length bytes
+                    in
+                    p.p_enc_ok <- ok;
+                    ok
                 | "branch-flushes" -> (
                     match int_of_string_opt v with
                     | Some n ->
@@ -552,6 +610,9 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
                     | Some i -> String.sub l 0 i = "branch-log" && p.p_bytes <> None
                     | None -> false)
                     || (match String.index_opt l ':' with
+                       | Some i -> String.sub l 0 i = "branch-enc" && p.p_enc <> None
+                       | None -> false)
+                    || (match String.index_opt l ':' with
                        | Some i -> String.sub l 0 i = "syscalls"
                        | None -> false)
                   then dropped_lines := !dropped_lines - 1
@@ -574,13 +635,49 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
           let* n_conns, conn_cap = req "shape-conns" p.p_conns in
           let* file_names = req "shape-files" p.p_files in
           let* file_cap = req "shape-filecap" p.p_filecap in
-          let bytes = Option.value p.p_bytes ~default:"" in
-          let claimed = Option.value p.p_nbits ~default:(8 * String.length bytes) in
-          let nbits = min claimed (8 * String.length bytes) in
-          let lost_log_bits = max 0 (claimed - nbits) in
-          let branch_log =
-            { Branch_log.bytes; nbits;
-              flushes = Option.value p.p_flushes ~default:0 }
+          let log_flushes = Option.value p.p_flushes ~default:0 in
+          (* [enc_degraded] marks an encoded payload that could not be
+             kept verbatim (tear, trailing damage, or a bit-count mismatch
+             the strict reader would reject): it decodes to a shorter raw
+             log, so [complete] must come back false even when no whole
+             line was dropped *)
+          let branch_log, lost_log_bits, enc_degraded =
+            match p.p_enc with
+            | Some (cut, cut_bits) ->
+                let claimed = Option.value p.p_nbits ~default:cut_bits in
+                if p.p_enc_ok && claimed = cut_bits then
+                  ( Report.Encoded
+                      { Codec.data = cut; nbits = cut_bits;
+                        flushes = log_flushes },
+                    0, false )
+                else
+                  let full =
+                    match
+                      Codec.decode
+                        { Codec.data = cut; nbits = cut_bits;
+                          flushes = log_flushes }
+                    with
+                    | Ok l -> l
+                    | Error _ ->
+                        { Branch_log.bytes = ""; nbits = 0;
+                          flushes = log_flushes }
+                  in
+                  let nbits = min claimed full.Branch_log.nbits in
+                  let bytes =
+                    String.sub full.Branch_log.bytes 0 ((nbits + 7) / 8)
+                  in
+                  ( Report.Raw
+                      { Branch_log.bytes; nbits; flushes = log_flushes },
+                    max 0 (claimed - nbits), true )
+            | None ->
+                let bytes = Option.value p.p_bytes ~default:"" in
+                let claimed =
+                  Option.value p.p_nbits ~default:(8 * String.length bytes)
+                in
+                let nbits = min claimed (8 * String.length bytes) in
+                ( Report.Raw
+                    { Branch_log.bytes; nbits; flushes = log_flushes },
+                  max 0 (claimed - nbits), false )
           in
           let report =
             {
@@ -606,7 +703,8 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
                 !dropped_lines = 0 && lost_log_bits = 0
                 && p.p_sys_dropped = 0
                 && not p.p_sched_dropped
-                && p.p_bytes <> None;
+                && not enc_degraded
+                && (p.p_bytes <> None || p.p_enc <> None);
               dropped_lines = !dropped_lines;
               lost_log_bits;
               dropped_syscalls = p.p_sys_dropped;

@@ -10,7 +10,12 @@
     readers accept [1 .. version] and reject anything else with
     {!Unknown_version}, distinct from {!Malformed} so callers can tell
     "upgrade your tool" apart from corruption.  v1 -> v2 added the
-    [branch-flushes] field (v1 reports read back with [flushes = 0]). *)
+    [branch-flushes] field (v1 reports read back with [flushes = 0]);
+    v2 -> v3 the fail-closed [suppression] probe-elision table; v3 -> v4
+    the online-encoded [branch-enc] payload (a {!Codec} token stream;
+    exactly one of [branch-log]/[branch-enc] per report, strict readers
+    validate the stream decodes to exactly the claimed bit count, salvage
+    cuts it at the last complete token). *)
 
 val magic_prefix : string
 

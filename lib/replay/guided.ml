@@ -184,7 +184,7 @@ let run_once ?(restore : restore_fn option)
     Rkernel.create ~observe ~active:!gate ~vars ~model ~shape:report.shape
       ~syscall_log:report.syscall_log ~seed ()
   in
-  let reader = Branch_log.Reader.create report.branch_log in
+  let reader = Report.reader report in
   let recon = Option.map Staticanalysis.Suppression.Recon.create sup_rules in
   let trace = Concolic.Path.create () in
   let on_checkpoint access =
@@ -215,7 +215,7 @@ let run_once ?(restore : restore_fn option)
       let logged_bit () =
         match action with
         | Staticanalysis.Suppression.Recon.Consume -> (
-            match Branch_log.Reader.next reader with
+            match Report.read_next reader with
             | None -> None
             | Some logged ->
                 (match recon with

@@ -18,8 +18,9 @@ let better (a : Ingest.item) (b : Ingest.item) =
   if c <> 0 then c < 0
   else
     let c =
-      compare b.report.Instrument.Report.branch_log.Instrument.Branch_log.nbits
-        a.report.Instrument.Report.branch_log.Instrument.Branch_log.nbits
+      compare
+        (Instrument.Report.nbits b.report)
+        (Instrument.Report.nbits a.report)
     in
     if c <> 0 then c < 0 else String.compare a.path b.path < 0
 

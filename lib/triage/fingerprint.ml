@@ -31,36 +31,56 @@ let log2_bucket n =
   let rec go acc n = if n <= 0 then acc else go (acc + 1) (n lsr 1) in
   go 0 (n + 1)
 
-(* Quantized bit-count histogram: split the logged bit range into 8 equal
-   chunks and keep each chunk's popcount divided by 8 — coarse enough to
-   absorb per-run jitter in loop trip counts, fine enough to separate
-   genuinely different branch behaviour. *)
-let histogram (log : Branch_log.log) =
+(* One streaming pass over the report's payload (raw or encoded — no full
+   decode of an encoded log) builds both clustering features:
+
+   - the first 32 log bytes, reassembled LSB-first exactly as
+     {!Branch_log} packs them, hashed for the prefix component;
+   - the quantized bit-count histogram: the logged bit range split into 8
+     equal chunks, each chunk's popcount divided by 8 — coarse enough to
+     absorb per-run jitter in loop trip counts, fine enough to separate
+     genuinely different branch behaviour.
+
+   Raw and encoded twins of the same run stream identical bits, so they
+   produce identical fingerprints and cluster together. *)
+let prefix_and_histogram (r : Report.t) =
+  let nbits = Instrument.Report.nbits r in
   let h = Array.make 8 0 in
-  if log.nbits > 0 then begin
-    let chunk = max 1 ((log.nbits + 7) / 8) in
-    for bit = 0 to log.nbits - 1 do
-      let byte = Char.code log.bytes.[bit / 8] in
-      let set = (byte lsr (bit mod 8)) land 1 in
-      let slot = min 7 (bit / chunk) in
-      h.(slot) <- h.(slot) + set
+  let prefix_bytes = min 32 ((nbits + 7) / 8) in
+  let prefix = Bytes.make prefix_bytes '\000' in
+  if nbits > 0 then begin
+    let chunk = max 1 ((nbits + 7) / 8) in
+    let reader = Report.reader r in
+    let bit = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Report.read_next reader with
+      | None -> continue := false
+      | Some taken ->
+          let i = !bit in
+          if taken then begin
+            (if i / 8 < prefix_bytes then
+               let cur = Char.code (Bytes.get prefix (i / 8)) in
+               Bytes.set prefix (i / 8)
+                 (Char.chr (cur lor (1 lsl (i mod 8)))));
+            let slot = min 7 (i / chunk) in
+            h.(slot) <- h.(slot) + 1
+          end;
+          incr bit
     done;
     Array.iteri (fun i v -> h.(i) <- v / 8) h
   end;
-  h
+  (Bytes.to_string prefix, h)
 
 let of_report (r : Report.t) : t =
-  let log = r.branch_log in
-  let prefix =
-    String.sub log.bytes 0 (min 32 (String.length log.bytes))
-  in
+  let prefix, histogram = prefix_and_histogram r in
   {
     program = r.program;
     crash_key = crash_key r.crash;
     method_code = method_code r.method_used;
-    log_bucket = log2_bucket log.nbits;
+    log_bucket = log2_bucket (Instrument.Report.nbits r);
     prefix_hash = Hashtbl.hash prefix;
-    histogram = histogram log;
+    histogram;
   }
 
 let key (t : t) =

@@ -160,17 +160,23 @@ let find_sub s sub =
   in
   go 0
 
-(* cut into the tail of the branch-log hex: strictly malformed,
+(* cut into the tail of the branch payload hex (wire-v4 [branch-enc]
+   token stream, or [branch-log] on raw wires): strictly malformed,
    salvageable — the shape a crashing process tearing the tail of its
    own log buffer leaves behind.  Cuts land at one of three quantized
-   depths (97..99% of the log) so the torn variants stay few, cluster
+   depths (97..99% of the payload) so the torn variants stay few, cluster
    tightly, and replay cheaply — the missing tail is short enough that
    guided replay reliably reconstructs it whatever the worker count. *)
 let tear rng wire =
-  match find_sub wire "branch-log: " with
+  let key =
+    match find_sub wire "branch-enc: " with
+    | Some _ -> "branch-enc: "
+    | None -> "branch-log: "
+  in
+  match find_sub wire key with
   | None -> wire
   | Some pos ->
-      let start = pos + String.length "branch-log: " in
+      let start = pos + String.length key in
       let hex_end =
         match String.index_from_opt wire start '\n' with
         | Some e -> e

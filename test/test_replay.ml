@@ -104,9 +104,14 @@ let test_truncated_log_still_reproduces () =
      unlogged and searches *)
   let prog, plan, report = record ~args:[ "BUG" ] magic_src in
   let report = Option.get report in
-  let bits = Instrument.Branch_log.to_bits report.branch_log in
+  let bits = Instrument.Branch_log.to_bits (Instrument.Report.raw_log report) in
   let keep = List.filteri (fun i _ -> i < List.length bits / 2) bits in
-  let truncated = { report with branch_log = Instrument.Branch_log.of_bits keep } in
+  let truncated =
+    {
+      report with
+      branch_log = Instrument.Report.Raw (Instrument.Branch_log.of_bits keep);
+    }
+  in
   let result, _ = reproduce prog plan truncated in
   check_bool "reproduced despite truncation" true (Replay.Guided.reproduced result)
 
@@ -114,9 +119,14 @@ let test_corrupted_log_does_not_crash_engine () =
   let prog, plan, report = record ~args:[ "BUG" ] magic_src in
   let report = Option.get report in
   let flipped =
-    List.map not (Instrument.Branch_log.to_bits report.branch_log)
+    List.map not (Instrument.Branch_log.to_bits (Instrument.Report.raw_log report))
   in
-  let bad = { report with branch_log = Instrument.Branch_log.of_bits flipped } in
+  let bad =
+    {
+      report with
+      branch_log = Instrument.Report.Raw (Instrument.Branch_log.of_bits flipped);
+    }
+  in
   (* engine must terminate cleanly either way *)
   let result, _ =
     reproduce ~budget:{ Concolic.Engine.max_runs = 50; max_time_s = 5.0 } prog plan

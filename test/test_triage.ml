@@ -63,6 +63,15 @@ let find_sub hay needle =
   in
   go 0
 
+(* Start of the hex payload: v4 encoded reports carry "branch-enc: ",
+   raw ones "branch-log: ". *)
+let payload_hex_start wire =
+  match find_sub wire "branch-enc: " with
+  | Some pos -> pos + String.length "branch-enc: "
+  | None ->
+      Option.get (find_sub wire "branch-log: ")
+      + String.length "branch-log: "
+
 (* ------------------------------------------------------------------ *)
 (* Salvage: the lenient reader on every truncation and on corruption *)
 
@@ -85,7 +94,7 @@ let test_salvage_truncation_sweep () =
           (r.Report.program = report.Report.program);
         check_bool "crash site preserved" true
           (Interp.Crash.equal_site r.Report.crash report.Report.crash);
-        let bits = r.Report.branch_log.Instrument.Branch_log.nbits in
+        let bits = Report.nbits r in
         check_bool "salvaged bits monotone in the cut" true (bits >= !prev_bits);
         prev_bits := bits;
         if not diag.Wire.complete then incr torn_ok;
@@ -105,7 +114,7 @@ let test_salvage_truncation_sweep () =
 let test_salvage_corrupted_hex () =
   let _, _, report = record ~args:[ "BUG" ] magic_src in
   let wire = Wire.serialize report in
-  let pos = Option.get (find_sub wire "branch-log: ") + String.length "branch-log: " in
+  let pos = payload_hex_start wire in
   let bad = Bytes.of_string wire in
   Bytes.set bad pos 'z';
   let bad = Bytes.to_string bad in
@@ -141,8 +150,7 @@ let test_ingest_strict_first () =
   let torn =
     (* cut mid-hex: the claimed bit count now exceeds the log, which the
        strict reader rejects and salvage recovers *)
-    String.sub wire 0
-      (Option.get (find_sub wire "branch-log: ") + String.length "branch-log: " + 1)
+    String.sub wire 0 (payload_hex_start wire + 1)
   in
   (match Ingest.of_string ~path:"b" torn with
   | Ok item -> check_bool "torn report comes through salvage" true (Ingest.salvaged item)
@@ -204,9 +212,7 @@ let test_cluster_prefers_intact_representative () =
 let test_truncated_log_replay_sound () =
   let prog, plan, report = record ~args:[ "BUG" ] magic_src in
   let wire = Wire.serialize report in
-  let start =
-    Option.get (find_sub wire "branch-log: ") + String.length "branch-log: "
-  in
+  let start = payload_hex_start wire in
   let stop = String.index_from wire start '\n' in
   let exhausted = ref 0 in
   for cut = start to stop do
@@ -316,6 +322,56 @@ let test_jobs_invariant_summary () =
   check_string "jobs=1 and jobs=4 summaries agree"
     (Summary.to_json ~timing:false s1)
     (Summary.to_json ~timing:false s4)
+
+(* A mixed-version batch — v4 encoded reports alongside v1/v2/v3 raw
+   downgrades of the same crashes — must triage to exactly the summary an
+   all-raw batch produces: the wire reader normalizes every accepted
+   version to the same report, and raw/encoded twins fingerprint
+   identically. *)
+
+let test_mixed_version_batch_matches_all_raw () =
+  let progA, planA, ra = record ~name:"alpha" ~args:[ "BUG" ] magic_src in
+  let progB, planB, rb = record ~name:"beta" ~world:(file_world "Xyz") file_src in
+  let raw_wire r =
+    Wire.serialize
+      { r with Report.branch_log = Report.Raw (Report.raw_log r) }
+  in
+  let with_version v wire =
+    let nl = String.index wire '\n' in
+    Printf.sprintf "bugrepro-report/%d%s" v
+      (String.sub wire nl (String.length wire - nl))
+  in
+  let enc_a = Wire.serialize ra and enc_b = Wire.serialize rb in
+  check_bool "fixture ships encoded payloads" true
+    (find_sub enc_a "branch-enc: " <> None);
+  let mixed =
+    [ enc_a; with_version 3 (raw_wire ra); with_version 1 (raw_wire ra);
+      enc_b; with_version 2 (raw_wire rb) ]
+  in
+  let all_raw =
+    [ raw_wire ra; raw_wire ra; raw_wire ra; raw_wire rb; raw_wire rb ]
+  in
+  let items texts =
+    List.mapi
+      (fun i s ->
+        match Ingest.of_string ~path:(Printf.sprintf "r%d.report" i) s with
+        | Ok it -> it
+        | Error _ -> Alcotest.failf "ingest r%d failed" i)
+      texts
+  in
+  let resolve (c : Cluster.t) =
+    match c.Cluster.fp.Fingerprint.program with
+    | "alpha" -> Ok (progA, planA)
+    | "beta" -> Ok (progB, planB)
+    | p -> Error ("unknown program " ^ p)
+  in
+  let policy = { Sched.default_policy with Sched.deadline_s = 120.0 } in
+  let sm = Triage.run_items ~policy ~resolve (items mixed) in
+  let sr = Triage.run_items ~policy ~resolve (items all_raw) in
+  check_int "two clusters" 2 (List.length sm.Summary.clusters);
+  check_string "mixed-version batch summarizes like all-raw"
+    (Summary.to_json ~timing:false sr)
+    (Summary.to_json ~timing:false sm)
 
 (* ------------------------------------------------------------------ *)
 (* Streaming service: arrival-order invariance, restart survival,
@@ -575,6 +631,8 @@ let () =
             test_escalation_accumulates_elapsed;
           Alcotest.test_case "jobs-invariant summary" `Quick
             test_jobs_invariant_summary;
+          Alcotest.test_case "mixed wire versions summarize like all-raw"
+            `Quick test_mixed_version_batch_matches_all_raw;
         ] );
       ( "service",
         [
