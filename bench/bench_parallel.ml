@@ -424,7 +424,11 @@ let triage_section (c : Ctx.t) par_jobs =
     Concolic.Engine.reset_steal_total ();
     let summary, wall =
       Util.time_call (fun () ->
-          Triage.run_items ~policy ~telemetry:c.telemetry ~resolve items)
+          match
+            Triage.run_items ~policy ~telemetry:c.telemetry ~resolve items
+          with
+          | Ok s -> s
+          | Error e -> failwith (Triage.Index.error_to_string e))
     in
     (summary, wall, Solver.Incr.totals (), Concolic.Engine.steal_total ())
   in

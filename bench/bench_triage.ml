@@ -279,7 +279,9 @@ let e16 (c : Ctx.t) =
         deadline_s = 12.0 *. c.replay_time_s }
     in
     Util.time_call (fun () ->
-        Triage.run_items ~policy ~telemetry:c.telemetry ~resolve items)
+        match Triage.run_items ~policy ~telemetry:c.telemetry ~resolve items with
+        | Ok s -> s
+        | Error e -> failwith (Triage.Index.error_to_string e))
   in
   let s1, seq_s = triage 1 in
   let sp, par_s = triage par_jobs in

@@ -39,6 +39,8 @@ let experiments : (string * string * (Ctx.t -> unit)) list =
     ("E17", "extension: streaming triage service (ingest + restart + drain)",
      Bench_streaming.e17);
     ("E18", "extension: online branch-log encoding (wire v4)", Bench_codec.e18);
+    ("E19", "extension: closed-loop adaptive instrumentation",
+     Bench_adaptive.e19);
   ]
 
 let parse_args () : Ctx.t * string option * string option * string option =

@@ -392,8 +392,8 @@ let make_resolver cfg : Triage.resolve =
         in
         Ok (analysis.Bugrepro.Pipeline.prog, plan)
 
-let triage_cmd dir jobs deadline timeout seed no_incremental no_steal json
-    trace metrics =
+let triage_cmd dir jobs deadline timeout seed no_incremental no_steal index
+    json trace metrics =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Printf.eprintf "no such directory: %s\n" dir;
     2
@@ -415,32 +415,38 @@ let triage_cmd dir jobs deadline timeout seed no_incremental no_steal json
       { (Triage.Sched.policy_of_config cfg) with Triage.Sched.deadline_s = deadline }
     in
     let items, rejected = Triage.Ingest.load_dir dir in
-    let summary =
-      Triage.run_items ~policy ~telemetry:tel ~resolve:(make_resolver cfg)
-        ~rejected items
-    in
-    print_string (Triage.Summary.to_text summary);
-    (match json with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (Triage.Summary.to_json ~timing:true summary);
-        output_string oc "\n";
-        close_out oc;
-        Printf.printf "json summary written to %s\n" path
-    | None -> ());
-    finish_telemetry ();
-    if items = [] && rejected <> [] then
-      if
-        List.exists
-          (fun (r : Triage.Ingest.rejected) ->
-            match r.error with
-            | Instrument.Wire.Unknown_version _ -> true
-            | Instrument.Wire.Malformed _ -> false)
-          rejected
-      then 4
-      else 3
-    else if summary.Triage.Summary.timed_out > 0 then 1
-    else 0
+    match
+      Triage.run_items ~policy ?index_dir:index ~telemetry:tel
+        ~resolve:(make_resolver cfg) ~rejected items
+    with
+    | Error e ->
+        Printf.eprintf "triage: cannot open index: %s\n"
+          (Triage.Index.error_to_string e);
+        finish_telemetry ();
+        6
+    | Ok summary ->
+        print_string (Triage.Summary.to_text summary);
+        (match json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Triage.Summary.to_json ~timing:true summary);
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "json summary written to %s\n" path
+        | None -> ());
+        finish_telemetry ();
+        if items = [] && rejected <> [] then
+          if
+            List.exists
+              (fun (r : Triage.Ingest.rejected) ->
+                match r.error with
+                | Instrument.Wire.Unknown_version _ -> true
+                | Instrument.Wire.Malformed _ -> false)
+              rejected
+          then 4
+          else 3
+        else if summary.Triage.Summary.timed_out > 0 then 1
+        else 0
   end
 
 (* Deterministic batch generator: record one genuine crash report per
@@ -573,8 +579,8 @@ let drop_policy_of_string s =
              s)
 
 let serve_cmd dir generate clients torn_pct seed queue drop_s burst window
-    tick_every max_ticks index jobs deadline timeout snapshot json trace
-    metrics =
+    tick_every max_ticks index wall_clock jobs deadline timeout snapshot json
+    trace metrics =
   match drop_policy_of_string drop_s with
   | Error e ->
       prerr_endline e;
@@ -606,6 +612,7 @@ let serve_cmd dir generate clients torn_pct seed queue drop_s burst window
           drop;
           burst = max 1 burst;
           window = max 1 window;
+          wall_rungs = wall_clock;
           index_dir = index;
         }
       in
@@ -730,6 +737,49 @@ let serve_cmd dir generate clients torn_pct seed queue drop_s burst window
             else if summary.Triage.Summary.timed_out > 0 then 1
             else 0
           end)
+
+(* The adaptive deployment loop: rounds of field-run -> triage ->
+   per-cohort policy refinement.  Exit 3 when a round aborts (a plan
+   failed its fail-closed validity check, or a workload stopped
+   crashing). *)
+
+let adapt_cmd rounds seed json trace metrics =
+  if rounds < 1 then begin
+    prerr_endline "adapt: --rounds must be >= 1";
+    2
+  end
+  else begin
+    let tel, finish_telemetry = make_telemetry trace metrics in
+    let config =
+      {
+        Adaptive.Loop.default_config with
+        Adaptive.Loop.rounds;
+        seed;
+        telemetry = tel;
+        trace = Some print_endline;
+      }
+    in
+    match Adaptive.Loop.run config with
+    | exception Failure msg ->
+        Printf.eprintf "adapt: %s\n" msg;
+        finish_telemetry ();
+        3
+    | result ->
+        Printf.printf "%s after %d round(s)\n"
+          (if result.Adaptive.Loop.converged then "converged" else
+             "still refining")
+          (List.length result.Adaptive.Loop.rounds);
+        (match json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Adaptive.Loop.result_to_json result);
+            output_string oc "\n";
+            close_out oc;
+            Printf.printf "json summary written to %s\n" path
+        | None -> ());
+        finish_telemetry ();
+        0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
@@ -967,9 +1017,19 @@ let triage_t =
       & info [ "metrics" ]
           ~doc:"Print the span tree and counter table after the batch.")
   in
+  let index =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "index" ] ~docv:"DIR"
+          ~doc:
+            "Persistent fingerprint index: crash buckets are appended \
+             here and reloaded by later batches or serves (exit 6 when \
+             the index cannot be opened).")
+  in
   Term.(
     const triage_cmd $ dir $ jobs $ deadline $ timeout $ seed
-    $ no_incremental $ no_steal $ json $ trace $ metrics)
+    $ no_incremental $ no_steal $ index $ json $ trace $ metrics)
 
 let serve_t =
   let dir =
@@ -1061,6 +1121,16 @@ let serve_t =
              here and reloaded on the next serve, so clusters survive \
              restarts.")
   in
+  let wall_clock =
+    Arg.(
+      value & flag
+      & info [ "wall-clock" ]
+          ~doc:
+            "Bound eager replay rungs by wall-clock time (the paper's \
+             ladder).  Default is run-bounded rungs: a borderline \
+             cluster's reproduced-vs-timed_out verdict depends only on \
+             its replay-run budget, not on scheduling noise.")
+  in
   let jobs =
     Arg.(
       value & opt int 1
@@ -1110,8 +1180,46 @@ let serve_t =
   in
   Term.(
     const serve_cmd $ dir $ generate $ clients $ torn_pct $ seed $ queue
-    $ drop $ burst $ window $ tick_every $ max_ticks $ index $ jobs
-    $ deadline $ timeout $ snapshot $ json $ trace $ metrics)
+    $ drop $ burst $ window $ tick_every $ max_ticks $ index $ wall_clock
+    $ jobs $ deadline $ timeout $ snapshot $ json $ trace $ metrics)
+
+let adapt_t =
+  let rounds =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds"; "r" ] ~docv:"N"
+          ~doc:"Deployment rounds to simulate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed"; "s" ] ~docv:"SEED"
+          ~doc:
+            "Master seed: log tearing, replay search and the triage \
+             service all derive from it, so same seed means \
+             byte-identical round summaries.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the strict-JSON per-round summaries to FILE.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace of every round to FILE.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the span tree and counter table after the last round.")
+  in
+  Term.(const adapt_cmd $ rounds $ seed $ json $ trace $ metrics)
 
 let batch_t =
   let dir =
@@ -1154,6 +1262,9 @@ let exit_status_man =
     `P
       "$(b,5) when the serve command's ingestion stalls: the queue did \
        not drain within --max-ticks.";
+    `P
+      "$(b,6) when a persistent fingerprint index (--index) cannot be \
+       opened: damaged shard or a newer index format.";
   ]
 
 let cmds =
@@ -1187,6 +1298,14 @@ let cmds =
             incremental clustering, restart-safe crash buckets and \
             sliding-window analytics, then drain and summarize")
       serve_t;
+    Cmd.v
+      (Cmd.info "adapt" ~man:exit_status_man
+         ~doc:
+           "Closed-loop adaptive instrumentation: simulate rounds of a \
+            fleet deployment — per-cohort verified plans, field runs, \
+            torn-report triage — refining each cohort's instrumentation \
+            level from its clusters' replay verdicts")
+      adapt_t;
     Cmd.v
       (Cmd.info "batch" ~man:exit_status_man
          ~doc:

@@ -16,9 +16,12 @@
 #                             # saved with the wire-v4 online codec on and
 #                             # off: encoded strictly smaller, identical
 #                             # reproduction, non-payload lines identical),
-#                             # and a triage-service smoke (seeded loadgen
+#                             # a triage-service smoke (seeded loadgen
 #                             # burst through `bugrepro serve` with a
-#                             # bounded queue, snapshot JSON validated)
+#                             # bounded queue, snapshot JSON validated),
+#                             # and an adaptive smoke (two closed-loop
+#                             # deployment rounds: round 1 refines, round
+#                             # 2 ships fewer bits, JSON validated)
 #
 # FUZZ_COUNT overrides the smoke's case count (the nightly CI lane sets
 # it to a few thousand); FUZZ_SEED overrides the campaign seed.
@@ -209,6 +212,28 @@ EOF
     echo "serve snapshot JSON OK: $SNAP"
   else
     echo "python3 not found; skipping JSON validation of $SNAP"
+  fi
+
+  echo "== adaptive smoke (closed-loop deployment, 2 rounds) =="
+  # two deployment rounds of the default fleet: round 1 must refine at
+  # least one cohort (the loop is doing something) and round 2 must ship
+  # strictly fewer branch bits than round 1 (the healthy cohorts
+  # de-escalated); the round summary must be strict JSON (CI uploads it)
+  ADAPT=$(mktemp /tmp/adapt-rounds.XXXXXX.json)
+  dune exec bin/bugrepro_cli.exe -- adapt --rounds 2 --seed 1 \
+    --json "$ADAPT" > /dev/null
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$ADAPT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))["rounds"]
+assert len(r) == 2, "expected two simulated rounds"
+assert r[0]["cohorts_refined"] > 0, "round 1 refined no cohort"
+assert r[1]["total_bits"] < r[0]["total_bits"], \
+    "round 2 did not shed observation cost"
+EOF
+    echo "adaptive round-summary JSON OK: $ADAPT"
+  else
+    echo "python3 not found; skipping JSON validation of $ADAPT"
   fi
 fi
 

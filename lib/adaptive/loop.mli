@@ -1,0 +1,110 @@
+(** The closed adaptive deployment loop.
+
+    Simulates rounds of a fleet deployment: each round compiles one
+    verified {!Policy} plan per cohort, field-runs every cohort's
+    workload under its plan, ships the (possibly torn) reports into a
+    fresh run-bounded {!Triage.Service}, and turns the per-cluster
+    replay verdicts back into next-round policy levels:
+
+    - any not-reproduced representative (timed out, exhausted, failed to
+      resolve) {e escalates} the cohort one level — more branches, more
+      guidance;
+    - every representative reproduced with zero [log_exhausted] bits
+      {e de-escalates} one level — the logs carried more guidance than
+      replay needed, so the cohort sheds observation cost;
+    - reproduced but with [log_exhausted] > 0 {e holds} — replay ran off
+      the end of a (torn or tight) log and still won; thinner logs would
+      tip it over, richer ones are waste.
+
+    Rounds are deterministic: same (config, seed) — byte-identical
+    round summaries (no wall-clock fields; instruction-count overheads,
+    run counts, run-bounded ladder rungs). *)
+
+type cohort_spec = {
+  name : string;  (** cohort tag carried by plans, reports and clusters *)
+  program : string;  (** workload, resolved by {!Workloads.Report_gen.crash_base} *)
+  meth : Instrument.Methods.t;  (** base §2.3 method ({!Policy.t.base_meth}) *)
+  share : int;  (** reports this cohort ships per round *)
+  torn_pct : float;  (** seeded fraction of its reports arriving torn *)
+  tear_lost_hex : int option;
+      (** absolute tail loss in hex chars for this cohort's torn reports
+          (see {!Workloads.Report_gen.tear}): models the fixed unflushed
+          buffer tail a crashing process drops, under which a denser log
+          loses a shorter execution suffix — the reason escalation can
+          rescue a torn cohort.  [None] tears shallow (97–99%). *)
+}
+
+(** The default fleet mix, one cohort per refinement rule: a dominant
+    healthy mkdir cohort (de-escalates, overshoots to a failing slice,
+    and is pinned back by the floor), a small uninstrumented mkdir
+    canary (its coarse set is empty, so the loop must escalate it all
+    the way to full detail), a healthy paste cohort (de-escalates to
+    its slice and stays), and a µServer cohort whose reports all lose a
+    short absolute log tail (reproduces off the salvaged prefix with
+    [log_exhausted] > 0, so it holds). *)
+val default_fleet : cohort_spec list
+
+type config = {
+  rounds : int;  (** deployment rounds to simulate *)
+  seed : int;  (** master seed: tearing, replay, service *)
+  fleet : cohort_spec list;
+  pipeline : Bugrepro.Pipeline.Config.t;
+  ladder : Concolic.Engine.budget list;
+      (** run-bounded replay rungs per representative (wall-clock limits
+          are stripped by the service's default [wall_rungs = false]) *)
+  telemetry : Telemetry.t;
+  trace : (string -> unit) option;  (** per-round narration sink *)
+}
+
+(** 3 rounds, seed 1, {!default_fleet}, default pipeline, a short
+    two-rung run-bounded ladder, telemetry disabled, no trace. *)
+val default_config : config
+
+(** One cohort's slice of a round summary. *)
+type cohort_round = {
+  cr_name : string;
+  cr_level : Policy.level;  (** level deployed this round *)
+  cr_next : Policy.level;  (** level decided for the next round *)
+  cr_reports : int;
+  cr_torn : int;
+  cr_bits : int;  (** branch bits shipped, summed over the cohort's reports *)
+  cr_payload_bytes : int;  (** wire bytes shipped *)
+  cr_overhead_pct : float;
+      (** instruction cost vs the cohort's uninstrumented baseline, in
+          percent (100.0 = free) *)
+  cr_clusters : int;
+  cr_reproduced : int;
+  cr_timed_out : int;
+  cr_exhausted : int;
+  cr_failed : int;
+  cr_log_exhausted : int;  (** §3.1 missing-bit events, summed over clusters *)
+  cr_contradictions : int;  (** §3.1 case 2b + 3b, summed *)
+  cr_runs : int;  (** replay engine runs, summed *)
+}
+
+type round_summary = {
+  round : int;  (** 1-based *)
+  cohorts : cohort_round list;  (** in fleet order *)
+  total_reports : int;
+  total_bits : int;
+  total_payload_bytes : int;
+  cohorts_refined : int;  (** cohorts whose level changed for the next round *)
+}
+
+type result = {
+  rounds : round_summary list;
+  converged : bool;  (** the last simulated round refined nothing *)
+}
+
+(** Simulate [config.rounds] deployment rounds.  Raises [Failure] if a
+    compiled plan fails its {!Policy.verify} check (fail-closed: an
+    unverified plan must never field-run) or a workload cannot be
+    resolved.  Telemetry: bumps [adaptive.round], [adaptive.cohorts_refined]
+    and [adaptive.bits_shipped] on [config.telemetry]. *)
+val run : config -> result
+
+(** Strict JSON (stable key order, no wall-clock fields — byte-identical
+    across same-seed runs). *)
+val round_to_json : round_summary -> string
+
+val result_to_json : result -> string

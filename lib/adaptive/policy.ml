@@ -1,0 +1,191 @@
+(** Per-cohort instrumentation policies (see policy.mli). *)
+
+module Plan = Instrument.Plan
+module Methods = Instrument.Methods
+
+type level = Slice | Coarse | Focused | Full
+
+let level_to_string = function
+  | Slice -> "slice"
+  | Coarse -> "coarse"
+  | Focused -> "focused"
+  | Full -> "full"
+
+let level_of_string = function
+  | "slice" -> Ok Slice
+  | "coarse" -> Ok Coarse
+  | "focused" -> Ok Focused
+  | "full" -> Ok Full
+  | s -> Error (Printf.sprintf "unknown policy level %S" s)
+
+let level_rank = function Slice -> 0 | Coarse -> 1 | Focused -> 2 | Full -> 3
+
+let max_level a b = if level_rank a >= level_rank b then a else b
+
+let escalate = function
+  | Slice -> Coarse
+  | Coarse -> Focused
+  | Focused | Full -> Full
+
+let de_escalate = function
+  | Full -> Focused
+  | Focused -> Coarse
+  | Coarse | Slice -> Slice
+
+type t = {
+  cohort : string;
+  level : level;
+  base_meth : Methods.t;
+  crash_fns : string list;
+  branches : int list;
+}
+
+let norm_fns fns = List.sort_uniq String.compare fns
+
+let expected_ids ~prog ~base_plan ~crash_fns level =
+  let infos = (prog : Minic.Program.t).Minic.Program.branches in
+  let n = Array.length infos in
+  let crash_fns = norm_fns crash_fns in
+  let in_slice i =
+    List.mem infos.(i).Minic.Number.bfunc crash_fns
+  in
+  let keep i =
+    match level with
+    | Full -> true
+    | Coarse -> Plan.is_instrumented base_plan i
+    | Slice -> Plan.is_instrumented base_plan i && in_slice i
+    | Focused -> Plan.is_instrumented base_plan i || in_slice i
+  in
+  List.filter keep (List.init n Fun.id)
+
+let make ~prog ~base_plan ~cohort ~crash_fns level =
+  let crash_fns = norm_fns crash_fns in
+  {
+    cohort;
+    level;
+    base_meth = base_plan.Plan.meth;
+    crash_fns;
+    branches = expected_ids ~prog ~base_plan ~crash_fns level;
+  }
+
+let with_level ~prog ~base_plan t level =
+  {
+    t with
+    level;
+    branches =
+      expected_ids ~prog ~base_plan ~crash_fns:t.crash_fns level;
+  }
+
+let compile ~prog ~base_plan t =
+  let n = Array.length (prog : Minic.Program.t).Minic.Program.branches in
+  let instrumented = Array.make n false in
+  List.iter (fun i -> instrumented.(i) <- true) t.branches;
+  let meth = match t.level with Full -> Methods.All_branches | _ -> t.base_meth in
+  let suppression =
+    (* only Coarse provably instruments the exact set the base table was
+       proven against; every other level drops it rather than ship an
+       unproven refinement *)
+    match (t.level, base_plan.Plan.suppression) with
+    | Coarse, (Some _ as s) -> s
+    | _ -> None
+  in
+  {
+    Plan.meth;
+    instrumented;
+    n_instrumented = List.length t.branches;
+    suppression;
+    cohort = Some t.cohort;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let rec check_sorted_unique lo = function
+  | [] -> true
+  | i :: tl -> i >= lo && check_sorted_unique (i + 1) tl
+
+let same_ids a b = List.equal Int.equal a b
+
+let verify ~prog ~base_plan (t : t) (plan : Plan.t) =
+  let ( let* ) = Result.bind in
+  let infos = (prog : Minic.Program.t).Minic.Program.branches in
+  let n = Array.length infos in
+  let expected =
+    expected_ids ~prog ~base_plan ~crash_fns:t.crash_fns t.level
+  in
+  let* () =
+    if check_sorted_unique 0 t.branches then Ok ()
+    else err "cohort %s: declared branch ids not sorted/unique" t.cohort
+  in
+  let* () =
+    match List.find_opt (fun i -> i >= n) t.branches with
+    | Some i -> err "cohort %s: branch id %d out of range (%d)" t.cohort i n
+    | None -> Ok ()
+  in
+  let* () =
+    if same_ids t.branches expected then Ok ()
+    else
+      err "cohort %s: declared %s set (%d ids) is not the derived set (%d ids)"
+        t.cohort (level_to_string t.level)
+        (List.length t.branches) (List.length expected)
+  in
+  let* () =
+    if Array.length plan.Plan.instrumented = n then Ok ()
+    else
+      err "cohort %s: plan instruments %d branch slots, program has %d"
+        t.cohort (Array.length plan.Plan.instrumented) n
+  in
+  let* () =
+    if same_ids (Plan.instrumented_ids plan) expected then Ok ()
+    else err "cohort %s: plan's instrumented set is not the derived set" t.cohort
+  in
+  let* () =
+    if plan.Plan.n_instrumented = List.length expected then Ok ()
+    else
+      err "cohort %s: plan claims %d instrumented branches, derived %d"
+        t.cohort plan.Plan.n_instrumented (List.length expected)
+  in
+  let* () =
+    match plan.Plan.cohort with
+    | Some c when String.equal c t.cohort -> Ok ()
+    | Some c -> err "cohort %s: plan tagged for cohort %s" t.cohort c
+    | None -> err "cohort %s: plan carries no cohort tag" t.cohort
+  in
+  let* () =
+    let want =
+      match t.level with Full -> Methods.All_branches | _ -> t.base_meth
+    in
+    if plan.Plan.meth = want then Ok ()
+    else
+      err "cohort %s: plan method %s, level %s requires %s" t.cohort
+        (Methods.to_string plan.Plan.meth)
+        (level_to_string t.level) (Methods.to_string want)
+  in
+  match plan.Plan.suppression with
+  | None -> Ok ()
+  | Some s -> (
+      let* () =
+        if t.level = Coarse then Ok ()
+        else
+          err "cohort %s: suppression table shipped at level %s (Coarse only)"
+            t.cohort (level_to_string t.level)
+      in
+      let* () =
+        match base_plan.Plan.suppression with
+        | Some base
+          when Staticanalysis.Suppression.to_table base
+               = Staticanalysis.Suppression.to_table s ->
+            Ok ()
+        | Some _ -> err "cohort %s: suppression table is not the base plan's" t.cohort
+        | None ->
+            err "cohort %s: suppression table shipped but the base plan has none"
+              t.cohort
+      in
+      match
+        Staticanalysis.Suppression.verify ~instrumented:plan.Plan.instrumented
+          prog
+          (Staticanalysis.Suppression.to_table s)
+      with
+      | Ok () -> Ok ()
+      | Error e -> err "cohort %s: suppression proof check failed: %s" t.cohort e)

@@ -1,0 +1,96 @@
+(** Per-cohort instrumentation policies for the adaptive deployment loop.
+
+    A policy names one deployment cohort and the refinement level its
+    plans are compiled at.  The level ladder trades observation cost for
+    replay guidance exactly along the paper's axis:
+
+    - {!Slice}: the cohort's base §2.3 branch set restricted to the
+      crash-site slice (branches in the crashing functions) — the
+      cheapest configuration that still guides replay through the code
+      that actually crashed;
+    - {!Coarse}: the base §2.3 method's set unchanged — the fleet-wide
+      starting point of every deployment;
+    - {!Focused}: the base set widened by {e every} branch in the
+      crashing functions, whatever the base analysis labelled them;
+    - {!Full}: every branch ([All_branches]) — the maximal-guidance
+      setting reserved for cohorts whose reports keep failing to
+      reproduce.
+
+    Compilation ({!compile}) turns a policy into a concrete
+    {!Instrument.Plan.t}; {!verify} re-derives the expected branch set
+    from scratch and fail-closes on any disagreement — mirroring
+    {!Staticanalysis.Suppression.verify}'s discipline, nothing unproven
+    reaches a field run. *)
+
+type level = Slice | Coarse | Focused | Full
+
+val level_to_string : level -> string
+val level_of_string : string -> (level, string) result
+
+(** Ladder order: [Slice] (0) < [Coarse] < [Focused] < [Full] (3). *)
+val level_rank : level -> int
+
+val max_level : level -> level -> level
+
+(** One step up / down the ladder, clamped at {!Full} / {!Slice}. *)
+val escalate : level -> level
+val de_escalate : level -> level
+
+type t = {
+  cohort : string;  (** deployment cohort the compiled plans are tagged with *)
+  level : level;
+  base_meth : Instrument.Methods.t;
+      (** the §2.3 method anchoring {!Slice}/{!Coarse}/{!Focused} *)
+  crash_fns : string list;
+      (** crash-site slice: enclosing functions of the cohort's observed
+          crash sites, sorted and deduplicated *)
+  branches : int list;  (** instrumented branch ids, sorted ascending *)
+}
+
+(** Build a policy whose [branches] are derived from [prog] and
+    [base_plan] at [level].  [base_plan] must be the §2.3 plan for
+    [base_meth] over [prog]. *)
+val make :
+  prog:Minic.Program.t ->
+  base_plan:Instrument.Plan.t ->
+  cohort:string ->
+  crash_fns:string list ->
+  level ->
+  t
+
+(** Re-level an existing policy (re-deriving its branch set). *)
+val with_level : prog:Minic.Program.t -> base_plan:Instrument.Plan.t -> t -> level -> t
+
+(** The branch ids [level] instruments, sorted ascending — derived only
+    from the program's branch table and the base plan, so two
+    derivations can be compared bit for bit. *)
+val expected_ids :
+  prog:Minic.Program.t ->
+  base_plan:Instrument.Plan.t ->
+  crash_fns:string list ->
+  level ->
+  int list
+
+(** Compile the policy into a deployable plan: instrumented set from
+    [t.branches], method [All_branches] at {!Full} and [t.base_meth]
+    otherwise, cohort-tagged.  The base plan's suppression table is
+    carried {e only} at {!Coarse} (the only level whose instrumented set
+    provably equals the set the table was proven against). *)
+val compile :
+  prog:Minic.Program.t -> base_plan:Instrument.Plan.t -> t -> Instrument.Plan.t
+
+(** Fail-closed validity check, run before any compiled plan reaches a
+    field run.  Re-derives the expected branch set from scratch and
+    rejects: unsorted/duplicate/out-of-range declared ids, any
+    disagreement between the declared set, the re-derived set and the
+    plan's instrumented array, a wrong [n_instrumented], a missing or
+    mismatched cohort tag, a method not matching the level, and any
+    suppression table that is not the base plan's table at {!Coarse} or
+    that fails {!Staticanalysis.Suppression.verify} against the plan's
+    own instrumented set. *)
+val verify :
+  prog:Minic.Program.t ->
+  base_plan:Instrument.Plan.t ->
+  t ->
+  Instrument.Plan.t ->
+  (unit, string) result

@@ -94,6 +94,7 @@ let report_of ~(sc : Concolic.Scenario.t) ~(plan : Instrument.Plan.t)
         ( {
             Instrument.Report.program = sc.name;
             method_used = plan.meth;
+            cohort = plan.Instrument.Plan.cohort;
             branch_log = Instrument.Report.Raw r.branch_log;
             syscall_log = r.syscall_log;
             schedule_log = None (* the checkpointed server is single-threaded *);

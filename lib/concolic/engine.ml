@@ -205,28 +205,36 @@ let explore_seq ~vars ~budget ~strategy ?cache ?session ~telemetry ~run
     else true
   in
   while continue () do
-    let p = Option.get (frontier_pop ()) in
-    let hint id = Solver.Model.find_opt id p.hint in
-    let cs = constraints_of p in
-    match solve_pending ?cache ?session ~telemetry ~vars ~hint cs with
-    | Solver.Solve.Sat model ->
-        stats.sat <- stats.sat + 1;
-        (* keep the parent's values for variables the solver left free *)
-        let model = Solver.Model.union_prefer_left model p.hint in
-        do_run model (p.upto + 1)
-          (Some (p.upto, negated_of p))
-          (negated_of p :: p.lineage)
-    | Solver.Solve.Unsat ->
-        if !debug_solver then
-          Printf.eprintf "UNSAT pending upto=%d negated=%s (prefix %d)\n%!" p.upto
-            (Solver.Expr.to_string (negated_of p))
-            (List.length cs);
-        stats.unsat <- stats.unsat + 1
-    | Solver.Solve.Unknown ->
-        if !debug_solver then
-          Printf.eprintf "UNKNOWN pending upto=%d negated=%s\n%!" p.upto
-            (Solver.Expr.to_string (negated_of p));
-        stats.unknown <- stats.unknown + 1
+    (* [continue] checked the size, but pop defensively anyway: the
+       check-then-pop pair is only atomic while this loop owns the
+       frontier alone, and an [Option.get] here turns any future sharing
+       (work-stealing siblings drain between check and pop) into a crash
+       instead of a clean re-check *)
+    match frontier_pop () with
+    | None -> ()
+    | Some p -> (
+        let hint id = Solver.Model.find_opt id p.hint in
+        let cs = constraints_of p in
+        match solve_pending ?cache ?session ~telemetry ~vars ~hint cs with
+        | Solver.Solve.Sat model ->
+            stats.sat <- stats.sat + 1;
+            (* keep the parent's values for variables the solver left free *)
+            let model = Solver.Model.union_prefer_left model p.hint in
+            do_run model (p.upto + 1)
+              (Some (p.upto, negated_of p))
+              (negated_of p :: p.lineage)
+        | Solver.Solve.Unsat ->
+            if !debug_solver then
+              Printf.eprintf "UNSAT pending upto=%d negated=%s (prefix %d)\n%!"
+                p.upto
+                (Solver.Expr.to_string (negated_of p))
+                (List.length cs);
+            stats.unsat <- stats.unsat + 1
+        | Solver.Solve.Unknown ->
+            if !debug_solver then
+              Printf.eprintf "UNKNOWN pending upto=%d negated=%s\n%!" p.upto
+                (Solver.Expr.to_string (negated_of p));
+            stats.unknown <- stats.unknown + 1)
   done;
   !found
 

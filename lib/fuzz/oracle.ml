@@ -654,7 +654,11 @@ let streaming_check (cfg : cfg) (case : Gen.case) (sc : Concolic.Scenario.t)
           Triage.Sched.deadline_s = 30.0 }
       in
       try
-        let batch = Triage.run_items ~policy ~resolve items in
+        let batch =
+          match Triage.run_items ~policy ~resolve items with
+          | Ok s -> s
+          | Error e -> failwith (Triage.Index.error_to_string e)
+        in
         let shuffled = Array.of_list items in
         Osmodel.Rng.shuffle
           (Osmodel.Rng.create (cfg.config.Bugrepro.Pipeline.Config.seed + 1))

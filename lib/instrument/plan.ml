@@ -12,6 +12,9 @@ type t = {
   n_instrumented : int;
   suppression : Staticanalysis.Suppression.t option;
       (** probe-elision refinement; [None] logs every instrumented branch *)
+  cohort : string option;
+      (** adaptive-deployment cohort the plan was compiled for; rides the
+          report so triage can resolve the exact per-cohort branch set *)
 }
 
 let is_instrumented t bid =
@@ -63,13 +66,16 @@ let make ~(nbranches : int) ?(dynamic : Label.map option)
             | Label.Unvisited -> Label.equal sta.(i) Label.Symbolic)
   in
   let n_instrumented = Array.fold_left (fun n b -> if b then n + 1 else n) 0 instrumented in
-  { meth; instrumented; n_instrumented; suppression = None }
+  { meth; instrumented; n_instrumented; suppression = None; cohort = None }
 
 (** Refine a plan with a suppression table.  The caller is responsible for
     having run {!Staticanalysis.Suppression.verify} first (the pipeline
     does); an unverified table must never reach the field. *)
 let with_suppression t (sup : Staticanalysis.Suppression.t) =
   { t with suppression = Some sup }
+
+(** Tag a plan with the deployment cohort it was compiled for. *)
+let with_cohort t cohort = { t with cohort = Some cohort }
 
 (** The suppression table shipped with this plan ([[]] when none). *)
 let suppression_table t =

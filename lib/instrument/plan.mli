@@ -10,10 +10,16 @@ type t = {
   n_instrumented : int;
   suppression : Staticanalysis.Suppression.t option;
       (** probe-elision refinement; [None] logs every instrumented branch *)
+  cohort : string option;
+      (** adaptive-deployment cohort the plan was compiled for; rides the
+          report so triage can resolve the exact per-cohort branch set *)
 }
 
 val is_instrumented : t -> int -> bool
 val instrumented_ids : t -> int list
+
+(** Tag a plan with the deployment cohort it was compiled for. *)
+val with_cohort : t -> string -> t
 
 (** Refine a plan with a suppression table.  The caller must have run
     {!Staticanalysis.Suppression.verify} first (the pipeline does); an

@@ -15,6 +15,9 @@ type payload = Raw of Branch_log.log | Encoded of Codec.encoded
 type t = {
   program : string;  (** program name, identifies the retained plan *)
   method_used : Methods.t;
+  cohort : string option;
+      (** adaptive-deployment cohort of the plan that instrumented this
+          run; [None] for fleet-wide (non-adaptive) plans *)
   branch_log : payload;
   syscall_log : Syscall_log.log option;
   schedule_log : Schedule_log.log option;
@@ -89,6 +92,7 @@ let of_field_run ~(sc : Concolic.Scenario.t) ~(plan : Plan.t)
         {
           program = sc.name;
           method_used = plan.meth;
+          cohort = plan.Plan.cohort;
           branch_log =
             (match r.encoded_log with
             | Some e -> Encoded e

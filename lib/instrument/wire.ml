@@ -118,6 +118,9 @@ let serialize (t : Report.t) : string =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   line "%s" magic;
   line "program: %s" t.program;
+  (* optional within v4: readers of every supported version tolerate
+     unknown trailing fields, and an absent line reads back as [None] *)
+  (match t.cohort with Some c -> line "cohort: %s" c | None -> ());
   line "method: %s" (method_code t.method_used);
   line "crash: %s|%s|%d|%d|%s"
     (crash_kind_code t.crash.kind)
@@ -130,15 +133,11 @@ let serialize (t : Report.t) : string =
      while losing the table needed to interpret it *)
   if t.suppression <> [] then
     line "suppression: %s" (suppression_to_string t.suppression);
-  (match t.branch_log with
-  | Report.Raw l ->
-      line "branch-bits: %d" l.Branch_log.nbits;
-      line "branch-log: %s" (hex_of_string l.Branch_log.bytes);
-      line "branch-flushes: %d" l.Branch_log.flushes
-  | Report.Encoded e ->
-      line "branch-bits: %d" e.Codec.nbits;
-      line "branch-enc: %s" (hex_of_string e.Codec.data);
-      line "branch-flushes: %d" e.Codec.flushes);
+  (* the branch payload serializes LAST: it is the buffer the crashing
+     process tears mid-write, so a tail tear must cost branch bits — not
+     the syscall and schedule logs the salvage reader needs to keep
+     replay guided.  Readers of every version parse by key, so the order
+     change is invisible to them. *)
   (match t.syscall_log with
   | Some l ->
       line "syscalls: %s"
@@ -152,6 +151,15 @@ let serialize (t : Report.t) : string =
   | Some l when Schedule_log.length l > 0 ->
       line "schedule: %s" (ints_to_string (Array.to_list l.tids))
   | _ -> ());
+  (match t.branch_log with
+  | Report.Raw l ->
+      line "branch-bits: %d" l.Branch_log.nbits;
+      line "branch-flushes: %d" l.Branch_log.flushes;
+      line "branch-log: %s" (hex_of_string l.Branch_log.bytes)
+  | Report.Encoded e ->
+      line "branch-bits: %d" e.Codec.nbits;
+      line "branch-flushes: %d" e.Codec.flushes;
+      line "branch-enc: %s" (hex_of_string e.Codec.data));
   Buffer.contents b
 
 let ( let* ) = Result.bind
@@ -176,6 +184,11 @@ let parse_fields ~(ver : int) (rest : string list) : (Report.t, string) result =
         | None -> Error ("missing field " ^ k)
       in
       let* program = get "program" in
+      let cohort =
+        match List.assoc_opt "cohort" fields with
+        | Some "" | None -> None
+        | Some c -> Some c
+      in
       let* meth_s = get "method" in
       let* method_used = method_of_code meth_s in
       let* crash_s = get "crash" in
@@ -295,6 +308,7 @@ let parse_fields ~(ver : int) (rest : string list) : (Report.t, string) result =
           {
             Report.program;
             method_used;
+            cohort;
             branch_log;
             syscall_log;
             schedule_log;
@@ -410,6 +424,7 @@ let ints_prefix v =
 (* Mutable accumulation state for the salvage walk. *)
 type partial = {
   mutable p_program : string option;
+  mutable p_cohort : string option;
   mutable p_method : Methods.t option;
   mutable p_crash : Interp.Crash.t option;
   mutable p_arg_caps : int list option;
@@ -475,7 +490,8 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
       | Some ver ->
           let p =
             {
-              p_program = None; p_method = None; p_crash = None;
+              p_program = None; p_cohort = None; p_method = None;
+              p_crash = None;
               p_arg_caps = None; p_conns = None; p_files = None;
               p_filecap = None; p_nbits = None; p_bytes = None;
               p_enc = None; p_enc_ok = false;
@@ -499,6 +515,9 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
                 match k with
                 | "program" ->
                     p.p_program <- Some v;
+                    true
+                | "cohort" ->
+                    if v <> "" then p.p_cohort <- Some v;
                     true
                 | "method" -> (
                     match method_of_code v with
@@ -683,6 +702,7 @@ let deserialize_salvage (s : string) : (Report.t * salvage, error) result =
             {
               Report.program;
               method_used;
+              cohort = p.p_cohort;
               branch_log;
               syscall_log =
                 Option.map (fun e -> { Syscall_log.entries = Array.of_list e })

@@ -5,6 +5,7 @@ open Instrument
 
 type t = {
   program : string;
+  cohort : string option;
   crash_key : string;
   method_code : string;
   log_bucket : int;
@@ -76,6 +77,7 @@ let of_report (r : Report.t) : t =
   let prefix, histogram = prefix_and_histogram r in
   {
     program = r.program;
+    cohort = r.cohort;
     crash_key = crash_key r.crash;
     method_code = method_code r.method_used;
     log_bucket = log2_bucket (Instrument.Report.nbits r);
@@ -84,8 +86,12 @@ let of_report (r : Report.t) : t =
   }
 
 let key (t : t) =
-  Printf.sprintf "%s|%s|%s|b%d|p%08x|h%s" t.program t.crash_key t.method_code
-    t.log_bucket t.prefix_hash
+  (* the cohort component is appended only when present, so untagged
+     (non-adaptive) reports keep their historical keys — persisted index
+     buckets from before the tag reload unchanged *)
+  Printf.sprintf "%s%s|%s|%s|b%d|p%08x|h%s" t.program
+    (match t.cohort with Some c -> "+" ^ c | None -> "")
+    t.crash_key t.method_code t.log_bucket t.prefix_hash
     (String.concat "." (Array.to_list (Array.map string_of_int t.histogram)))
 
 let equal a b = key a = key b

@@ -13,6 +13,10 @@
 
 type t = {
   program : string;
+  cohort : string option;
+      (** adaptive-deployment cohort, when the report's plan carried one:
+          part of the identity, so each cluster belongs to exactly one
+          cohort and refinement decisions never mix fleets *)
   crash_key : string;  (** canonical [kind@file:line:col#func] *)
   method_code : string;
   log_bucket : int;  (** bit length of [nbits + 1]: order-of-magnitude *)

@@ -37,9 +37,15 @@ val load_dir : string -> item list * rejected list
     A long-running service must pick up report files {e as they appear}
     without re-reading the whole directory's contents each time.  A
     {!scanner} remembers which filenames it has already offered; each
-    {!poll} lists the directory once, ingests only the names it has not
-    seen before, and marks them seen whether they parsed or not (a
-    damaged file is rejected once, not on every poll). *)
+    {!poll} lists the directory once and ingests only names that are new
+    — or whose previous ingest was provisional.  A name whose strict
+    parse succeeded is settled and never offered again; a name that had
+    to be salvaged or was rejected (typically a file scanned mid-write)
+    is remembered with the (size, mtime) observed {e before} the read,
+    and is offered again as soon as the file's stat moves past it — so
+    when the writer finishes, the intact version flows through and
+    supersedes the torn one in clustering.  A stat that stays put keeps
+    the damaged verdict without re-reading the file every poll. *)
 
 type scanner
 

@@ -10,6 +10,7 @@ type config = {
   window : int;
   window_k : int;
   eager : bool;
+  wall_rungs : bool;
   index_dir : string option;
   index_shards : int;
 }
@@ -23,9 +24,29 @@ let default_config =
     window = 256;
     window_k = 5;
     eager = true;
+    wall_rungs = false;
     index_dir = None;
     index_shards = 16;
   }
+
+(* Run-bounded rungs (the default): strip the wall-clock component from
+   every ladder rung, so a cluster's verdict depends only on how many
+   replay runs its budget allows — not on whether a shared core happened
+   to be slow that day.  Two services fed the same stream then agree on
+   reproduced-vs-timed_out for borderline clusters.  [wall_rungs] opts
+   back into the paper's wall-clock ladder (the batch CLI keeps it, so
+   --deadline/--timeout still mean seconds there). *)
+let effective_policy (c : config) : Sched.policy =
+  if c.wall_rungs then c.policy
+  else
+    {
+      c.policy with
+      Sched.ladder =
+        List.map
+          (fun (r : Concolic.Engine.budget) ->
+            { r with Concolic.Engine.max_time_s = infinity })
+          c.policy.Sched.ladder;
+    }
 
 type outcome =
   | Queued
@@ -59,6 +80,14 @@ type t = {
 
 let queue_depth t = Queue.length t.queue
 
+(* The deadline handed to replay steps: wall-clock services bound each
+   climb by [policy.deadline_s]; run-bounded ones (the default) let the
+   rungs' run budgets do the bounding. *)
+let rung_deadline (t : t) =
+  if t.config.wall_rungs then
+    Unix.gettimeofday () +. t.config.policy.Sched.deadline_s
+  else infinity
+
 let pressure t =
   if t.config.queue_capacity <= 0 then 1.0
   else float_of_int (queue_depth t) /. float_of_int t.config.queue_capacity
@@ -85,8 +114,12 @@ let cluster_one ?raw ~persist (t : t) (item : Ingest.item) =
       end);
   if persist then
     Option.iter (fun idx -> Index.append ?raw idx item) t.index;
-  Window.observe t.window ~cohort:item.Ingest.report.Instrument.Report.program
-    ~key ~novel;
+  let cohort =
+    match item.Ingest.report.Instrument.Report.cohort with
+    | Some c -> c
+    | None -> item.Ingest.report.Instrument.Report.program
+  in
+  Window.observe t.window ~cohort ~key ~novel;
   t.items <- item :: t.items;
   t.processed <- t.processed + 1;
   Telemetry.Metrics.incr_named t.telemetry "triage.service.processed";
@@ -110,6 +143,7 @@ let open_ ?(config = default_config) ?(telemetry = Telemetry.disabled)
   match index with
   | Error e -> Error e
   | Ok index ->
+      let config = { config with policy = effective_policy config } in
       let t =
         {
           config;
@@ -266,12 +300,9 @@ let eager_climb (t : t) =
         match ensure_course t key with
         | None -> ()
         | Some k ->
-            let deadline =
-              Unix.gettimeofday () +. t.config.policy.Sched.deadline_s
-            in
             ignore
               (Sched.course_step ~telemetry:t.telemetry ?cache:t.cache
-                 ~deadline ~max_rungs:allot k))
+                 ~deadline:(rung_deadline t) ~max_rungs:allot k))
 
 let process_queue (t : t) ~limit : int =
   let rec go n =
@@ -419,7 +450,7 @@ let drain ?(rejected = []) (t : t) : Summary.t =
       finals
   in
   let todo = List.filter_map Either.find_right entries in
-  let deadline = Unix.gettimeofday () +. t.config.policy.Sched.deadline_s in
+  let deadline = rung_deadline t in
   let finished =
     Sched.run_courses ~policy:t.config.policy ~telemetry:t.telemetry
       ?cache:t.cache ~deadline
@@ -452,6 +483,22 @@ let drain ?(rejected = []) (t : t) : Summary.t =
   Telemetry.Span.addi sp "reproduced"
     (summary.Summary.reproduced + summary.Summary.salvaged_reproduced);
   summary
+
+(* Per-cluster replay results as of now, in fingerprint order: resolve
+   failures, finished courses, and (after a drain) every cluster.  A
+   cluster whose course has not been opened yet is simply absent — this
+   is a read-only view, it never starts work. *)
+let cluster_results (t : t) : Sched.cluster_result list =
+  Cluster.snapshot t.builder
+  |> List.filter_map (fun (c : Cluster.t) ->
+         let key = Fingerprint.key c.fp in
+         match Hashtbl.find_opt t.failures key with
+         | Some msg -> Some (failed_result c msg)
+         | None -> (
+             match Hashtbl.find_opt t.courses key with
+             | Some k ->
+                 Some { (Sched.course_result k) with Sched.cluster = c }
+             | None -> None))
 
 let close (t : t) =
   if not t.closed then begin

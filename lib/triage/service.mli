@@ -48,12 +48,21 @@ type config = {
   eager : bool;
       (** climb replay ladders during ticks, queue pressure permitting
           ({!Sched.rungs_for_pressure}); off = replay only at drain *)
+  wall_rungs : bool;
+      (** [false] (the default): ladder rungs are {e run-bounded} — each
+          rung's wall-clock limit is stripped at open, so a borderline
+          cluster's reproduced-vs-timed_out verdict depends only on its
+          replay-run budget, never on a shared core being slow during an
+          eager tick.  [true] restores the wall-clock ladder and bounds
+          each climb by [policy.deadline_s] (the batch wrappers opt in,
+          keeping the CLI's --deadline/--timeout semantics). *)
   index_dir : string option;  (** persistent index directory, if any *)
   index_shards : int;  (** shard count for a {e fresh} index *)
 }
 
 (** {!Sched.default_policy}, capacity 256, {!Reject_new}, burst 32,
-    window 256, k 5, eager, no index (shards 16 when one is given). *)
+    window 256, k 5, eager, run-bounded rungs, no index (shards 16 when
+    one is given). *)
 val default_config : config
 
 type t
@@ -130,6 +139,15 @@ val snapshot_to_json : snapshot -> string
     submissions extend the same buckets, and a later drain re-renders
     (re-emitting per-cluster status counters for every cluster). *)
 val drain : ?rejected:Ingest.rejected list -> t -> Summary.t
+
+(** Per-cluster replay results as of now, in fingerprint order: sticky
+    resolve failures, plus every cluster whose course has been opened
+    (all of them, once {!drain} has run).  Read-only — never starts
+    work.  This is the adaptive loop's feed: per-cohort case counters
+    ([log_exhausted], contradictions) and statuses, with the full
+    {!Cluster.t} attached so the caller can key on
+    [fp.Fingerprint.cohort]. *)
+val cluster_results : t -> Sched.cluster_result list
 
 (** Close the persistent index (if any).  Further submissions raise;
     draining a closed service is allowed (it no longer persists). *)

@@ -22,15 +22,16 @@ module Service = Service
 
 type resolve = Sched.resolve
 
-let run_items ?policy ?(telemetry = Telemetry.disabled)
+let run_items ?policy ?index_dir ?(telemetry = Telemetry.disabled)
     ~(resolve : resolve) ?(rejected : Ingest.rejected list = [])
-    (items : Ingest.item list) : Summary.t =
+    (items : Ingest.item list) : (Summary.t, Index.error) result =
   Telemetry.Span.with_ telemetry ~name:"triage"
     ~attrs:[ ("reports", Telemetry.Event.Int (List.length items)) ]
   @@ fun sp ->
   (* one-shot service: every item fits the queue, no overload shedding,
-     no persistence, no eager climbing — drain does all the replaying,
-     exactly like the old batch scheduler did *)
+     no eager climbing — drain does all the replaying, exactly like the
+     old batch scheduler did.  Batches keep wall-clock ladder rungs so
+     the CLI's --deadline/--timeout semantics are unchanged. *)
   let config =
     {
       Service.default_config with
@@ -39,34 +40,33 @@ let run_items ?policy ?(telemetry = Telemetry.disabled)
       queue_capacity = max 1 (List.length items);
       drop = Service.Reject_new;
       eager = false;
-      index_dir = None;
+      wall_rungs = true;
+      index_dir;
     }
   in
-  let svc =
-    match Service.open_ ~config ~telemetry ~resolve () with
-    | Ok svc -> svc
-    | Error _ -> assert false (* no index_dir, so open_ cannot fail *)
-  in
-  List.iter (fun i -> ignore (Service.submit_item svc i)) items;
-  Telemetry.Metrics.incr_named telemetry ~by:(List.length items)
-    "triage.reports";
-  Telemetry.Metrics.incr_named telemetry
-    ~by:(List.length (List.filter Ingest.salvaged items))
-    "triage.salvaged";
-  Telemetry.Metrics.incr_named telemetry ~by:(List.length rejected)
-    "triage.rejected";
-  let summary = Service.drain ~rejected svc in
-  Service.close svc;
-  Telemetry.Metrics.incr_named telemetry
-    ~by:(List.length summary.Summary.clusters)
-    "triage.clusters";
-  Telemetry.Span.addi sp "clusters" (List.length summary.Summary.clusters);
-  Telemetry.Span.addi sp "reproduced"
-    (summary.Summary.reproduced + summary.Summary.salvaged_reproduced);
-  summary
+  match Service.open_ ~config ~telemetry ~resolve () with
+  | Error e -> Error e
+  | Ok svc ->
+      List.iter (fun i -> ignore (Service.submit_item svc i)) items;
+      Telemetry.Metrics.incr_named telemetry ~by:(List.length items)
+        "triage.reports";
+      Telemetry.Metrics.incr_named telemetry
+        ~by:(List.length (List.filter Ingest.salvaged items))
+        "triage.salvaged";
+      Telemetry.Metrics.incr_named telemetry ~by:(List.length rejected)
+        "triage.rejected";
+      let summary = Service.drain ~rejected svc in
+      Service.close svc;
+      Telemetry.Metrics.incr_named telemetry
+        ~by:(List.length summary.Summary.clusters)
+        "triage.clusters";
+      Telemetry.Span.addi sp "clusters" (List.length summary.Summary.clusters);
+      Telemetry.Span.addi sp "reproduced"
+        (summary.Summary.reproduced + summary.Summary.salvaged_reproduced);
+      Ok summary
 
-let run_dir ?policy ?(telemetry = Telemetry.disabled) ~(resolve : resolve)
-    (dir : string) : Summary.t =
+let run_dir ?policy ?index_dir ?(telemetry = Telemetry.disabled)
+    ~(resolve : resolve) (dir : string) : (Summary.t, Index.error) result =
   let items, rejected =
     Telemetry.Span.with_ telemetry ~name:"triage.ingest"
       ~attrs:[ ("dir", Telemetry.Event.Str dir) ]
@@ -76,4 +76,4 @@ let run_dir ?policy ?(telemetry = Telemetry.disabled) ~(resolve : resolve)
         Telemetry.Span.addi isp "rejected" (List.length rejected);
         (items, rejected))
   in
-  run_items ?policy ~telemetry ~resolve ~rejected items
+  run_items ?policy ?index_dir ~telemetry ~resolve ~rejected items

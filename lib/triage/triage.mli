@@ -40,27 +40,31 @@ type resolve = Sched.resolve
 (** Triage pre-ingested items (plus already-known rejections); opens the
     [triage] span and bumps the [triage.*] counters on [telemetry].
 
-    Deprecated: thin wrapper over {!Service} — opens a one-shot service
-    sized to the batch (no shedding, no persistence, no eager replay),
-    submits every item, drains, closes.  Kept so pre-[Service] callers
-    compile unchanged; new code should hold a {!Service.t}. *)
+    Thin wrapper over {!Service} — opens a one-shot service sized to the
+    batch (no shedding, no eager replay; wall-clock ladder rungs, so the
+    CLI's deadline semantics hold), submits every item, drains, closes.
+    [index_dir], when given, persists crash buckets exactly as the
+    long-running service would; an index that cannot be opened (damaged
+    shard, newer format) is an [Error], never an assertion.  New code
+    should hold a {!Service.t}. *)
 val run_items :
   ?policy:Sched.policy ->
+  ?index_dir:string ->
   ?telemetry:Telemetry.t ->
   resolve:resolve ->
   ?rejected:Ingest.rejected list ->
   Ingest.item list ->
-  Summary.t
+  (Summary.t, Index.error) result
 
 (** Triage every [*.report] file under a directory.
 
-    Deprecated: thin wrapper over {!Ingest.load_dir} + {!run_items} (and
-    through it the {!Service}); kept for one-shot CLI batches.  A
-    long-running ingester should pair {!Service} with
-    {!Ingest.scanner}. *)
+    Thin wrapper over {!Ingest.load_dir} + {!run_items} (and through it
+    the {!Service}); kept for one-shot CLI batches.  A long-running
+    ingester should pair {!Service} with {!Ingest.scanner}. *)
 val run_dir :
   ?policy:Sched.policy ->
+  ?index_dir:string ->
   ?telemetry:Telemetry.t ->
   resolve:resolve ->
   string ->
-  Summary.t
+  (Summary.t, Index.error) result

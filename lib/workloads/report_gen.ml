@@ -98,6 +98,24 @@ let plan_of t (s : source) =
       Hashtbl.add t.plans (s.s_key, s.s_meth) pp;
       pp
 
+(* Program-name resolution, ignoring the method: exact scenario name,
+   then workload key, then the prefix before the first '-'. *)
+let find_source t ~program =
+  let by key =
+    List.find_opt (fun s -> String.equal s.s_key key) t.sources
+  in
+  match
+    List.find_opt (fun s -> String.equal s.s_program program) t.sources
+  with
+  | Some s -> Some s
+  | None -> (
+      match by program with
+      | Some s -> Some s
+      | None -> (
+          match String.index_opt program '-' with
+          | None -> None
+          | Some i -> by (String.sub program 0 i)))
+
 (* The wire form names the program by its field-run scenario name; match
    exactly first, then by the prefix before the first '-' (the same
    convention the CLI's triage resolver uses for "userver-exp3"). *)
@@ -124,6 +142,20 @@ let source_for t ~program ~meth =
 
 let plan_for t ~program ~meth =
   Result.map (plan_of t) (source_for t ~program ~meth)
+
+let crash_base t ~program ~meth =
+  match find_source t ~program with
+  | None ->
+      Error
+        (Printf.sprintf "report_gen: no base for %s (%s)" program
+           (Methods.to_string meth))
+  | Some s ->
+      (* re-key the source on the requested method: [plan_of] memoizes by
+         (workload, method), so any §2.3 plan can be compiled over a
+         recorded base regardless of the method it was recorded with *)
+      let s = { s with s_meth = meth } in
+      let prog, plan = plan_of t s in
+      Ok (prog, plan, s.s_scenario ())
 
 let record_wires t =
   match t.wires with
@@ -167,7 +199,7 @@ let find_sub s sub =
    depths (97..99% of the payload) so the torn variants stay few, cluster
    tightly, and replay cheaply — the missing tail is short enough that
    guided replay reliably reconstructs it whatever the worker count. *)
-let tear rng wire =
+let tear ?cut_pct ?lost_hex rng wire =
   let key =
     match find_sub wire "branch-enc: " with
     | Some _ -> "branch-enc: "
@@ -185,8 +217,22 @@ let tear rng wire =
       let hex_len = hex_end - start in
       if hex_len <= 2 then String.sub wire 0 start
       else
-        let pct = [| 97; 98; 99 |].(Osmodel.Rng.range rng 0 2) in
-        let cut = max 1 (min (hex_len - 1) (hex_len * pct / 100)) in
+        let cut =
+          match lost_hex with
+          | Some k ->
+              (* absolute tail loss: the unflushed buffer tail a crashing
+                 process drops is a fixed byte count, whatever the
+                 instrumentation density — so denser plans lose a shorter
+                 execution suffix *)
+              max 1 (min (hex_len - 1) (hex_len - max 1 k))
+          | None ->
+              let pct =
+                match cut_pct with
+                | Some p -> max 1 (min 99 p)
+                | None -> [| 97; 98; 99 |].(Osmodel.Rng.range rng 0 2)
+              in
+              max 1 (min (hex_len - 1) (hex_len * pct / 100))
+        in
         String.sub wire 0 (start + cut)
 
 let stream t ~seed ~clients ~torn_pct n : report list =

@@ -46,3 +46,28 @@ type report = {
     analysis + field run per base); every subsequent call reuses them. *)
 val stream :
   t -> seed:int -> clients:int -> torn_pct:float -> int -> report list
+
+(** [tear rng wire] cuts a wire text inside the tail of its branch
+    payload (97–99% of the hex, seeded): strictly malformed, always
+    salvageable — the shape a crashing process tearing its own log
+    buffer leaves.  [cut_pct] (clamped to 1..99) pins the cut depth as a
+    fraction instead.  [lost_hex] (takes precedence) drops an {e
+    absolute} tail of that many hex chars — the realistic model: a
+    crashing process loses its fixed-size unflushed buffer tail whatever
+    the instrumentation density, so a denser log loses a {e shorter}
+    execution suffix.  Exposed for fleet simulations that tear their own
+    streams (the adaptive deployment loop). *)
+val tear : ?cut_pct:int -> ?lost_hex:int -> Osmodel.Rng.t -> string -> string
+
+(** Resolve a program name (method-agnostic — exact scenario name, then
+    workload key, then the prefix before the first ['-']) to its analyzed
+    program, the plan compiled for [meth] over that base, and a {e fresh}
+    crash scenario.  The adaptive deployment loop's entry point: it
+    re-runs a cohort's field workload under successively refined plans,
+    so unlike {!plan_for} the requested method need not be the one the
+    base was recorded with.  Memoized like {!plan_for}. *)
+val crash_base :
+  t ->
+  program:string ->
+  meth:Instrument.Methods.t ->
+  (Minic.Program.t * Instrument.Plan.t * Concolic.Scenario.t, string) result

@@ -193,6 +193,20 @@ let test_engine_model_drives_next_run () =
   in
   check_bool "both paths executed" true (List.mem 1 exits && List.mem 2 exits)
 
+let test_engine_drained_frontier_terminates () =
+  (* a branch-free program seeds nothing into the frontier: the engine
+     must retire after its single initial run — a drained frontier is a
+     clean stop (the pop is matched, not [Option.get]-ed), never a crash *)
+  let sc = scenario ~args:[ "a" ] "int main() { return 0; }" in
+  let vars = Solver.Symvars.create () in
+  let run =
+    Concolic.Dynamic.make_run sc ~vars ~on_branch_observed:(fun _ _ -> ())
+  in
+  let stats, found = Concolic.Engine.explore ~vars ~budget:(budget 100) ~run () in
+  check_bool "nothing to find" true (found = None);
+  check_int "exactly the initial run" 1 stats.runs;
+  check_bool "clean exhaustion, not a timeout" false stats.timed_out
+
 (* ------------------------------------------------------------------ *)
 (* Stream data symbolication *)
 
@@ -459,6 +473,8 @@ let () =
         [
           Alcotest.test_case "finds deep crash" `Quick test_engine_finds_deep_crash;
           Alcotest.test_case "respects budget" `Quick test_engine_respects_run_budget;
+          Alcotest.test_case "drained frontier terminates" `Quick
+            test_engine_drained_frontier_terminates;
           Alcotest.test_case "model drives next run" `Quick
             test_engine_model_drives_next_run;
         ] );

@@ -14,6 +14,13 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
 
+(* batch wrapper, unwrapped: none of these tests pass an index_dir, so an
+   [Error] is a test failure, not a condition to handle *)
+let run_items ?policy ~resolve ?rejected items =
+  match Triage.run_items ?policy ~resolve ?rejected items with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "run_items: %s" (Triage.Index.error_to_string e)
+
 (* full pipeline on a small program: returns (prog, plan, report) *)
 let record ?(name = "t") ?(meth = Instrument.Methods.All_branches)
     ?(args = []) ?world src =
@@ -187,11 +194,13 @@ let test_fingerprint_dedup () =
   check_int "beta alone" 1 (Cluster.size (find "beta"))
 
 let test_cluster_prefers_intact_representative () =
-  (* tear only the syscall tail: the branch log survives, so the torn copy
-     lands in the intact copy's cluster — and must not be elected *)
+  (* damage only the payload's tail: a dangling token header appended to
+     the encoded stream is cut away by salvage, so every real bit (and
+     hence the fingerprint sketch) survives — the torn copy lands in the
+     intact copy's cluster, and must not be elected *)
   let _, _, rb = record ~name:"beta" ~world:(file_world "Xyz") file_src in
   let wb = Wire.serialize rb in
-  let torn = String.sub wb 0 (Option.get (find_sub wb "syscalls: ") + 12) in
+  let torn = String.sub wb 0 (String.length wb - 1) ^ "8c\n" in
   let item p s =
     match Ingest.of_string ~path:p s with
     | Ok i -> i
@@ -310,7 +319,7 @@ let test_jobs_invariant_summary () =
   in
   let summarize jobs =
     let policy = { Sched.default_policy with jobs; deadline_s = 120.0 } in
-    Triage.run_items ~policy ~resolve items
+    run_items ~policy ~resolve items
   in
   let s1 = summarize 1 in
   check_bool "duplicates collapsed" true (s1.Summary.dedup_ratio < 1.0);
@@ -366,8 +375,8 @@ let test_mixed_version_batch_matches_all_raw () =
     | p -> Error ("unknown program " ^ p)
   in
   let policy = { Sched.default_policy with Sched.deadline_s = 120.0 } in
-  let sm = Triage.run_items ~policy ~resolve (items mixed) in
-  let sr = Triage.run_items ~policy ~resolve (items all_raw) in
+  let sm = run_items ~policy ~resolve (items mixed) in
+  let sr = run_items ~policy ~resolve (items all_raw) in
   check_int "two clusters" 2 (List.length sm.Summary.clusters);
   check_string "mixed-version batch summarizes like all-raw"
     (Summary.to_json ~timing:false sr)
@@ -432,7 +441,7 @@ let write_file path s =
 
 let test_service_matches_batch () =
   let items, _, resolve = service_fixture () in
-  let batch = Triage.run_items ~policy:service_policy ~resolve items in
+  let batch = run_items ~policy:service_policy ~resolve items in
   let shuffled = Array.of_list items in
   Osmodel.Rng.shuffle (Osmodel.Rng.create 7) shuffled;
   let config =
@@ -466,7 +475,7 @@ let test_service_matches_batch () =
 
 let test_service_restart_survival () =
   let items, _, resolve = service_fixture () in
-  let batch = Triage.run_items ~policy:service_policy ~resolve items in
+  let batch = run_items ~policy:service_policy ~resolve items in
   let dir = fresh_dir () in
   Fun.protect
     ~finally:(fun () -> rm_rf dir)
@@ -604,6 +613,131 @@ let test_ingest_scanner_poll () =
         [ "a.report"; "b.report"; "c.report" ]
         (Ingest.seen sc))
 
+(* A file scanned mid-write is salvaged, then re-offered once the writer
+   finishes: the intact version must flow through and supersede the torn
+   one (the pre-fix scanner marked the name seen forever on first sight,
+   burying the settled file). *)
+let test_ingest_scanner_rescans_settled_write () =
+  let _, wa, _ = service_fixture () in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "r.report" in
+      (* the writer has flushed half the report when the scanner polls *)
+      write_file path (String.sub wa 0 (payload_hex_start wa + 1));
+      let sc = Ingest.scanner dir in
+      let is1, rj1 = Ingest.poll sc in
+      check_int "torn file ingested" 1 (List.length is1);
+      check_int "not rejected" 0 (List.length rj1);
+      let torn_item = List.hd is1 in
+      check_bool "through the salvage path" true (Ingest.salvaged torn_item);
+      (* stat unchanged: the damaged verdict stands without a re-read *)
+      (match Ingest.poll sc with
+      | [], [] -> ()
+      | _ -> Alcotest.fail "an unchanged torn file must not be re-offered");
+      (* the writer finishes *)
+      write_file path wa;
+      let is2, rj2 = Ingest.poll sc in
+      check_int "settled file re-offered" 1 (List.length is2);
+      check_int "still not rejected" 0 (List.length rj2);
+      let intact_item = List.hd is2 in
+      check_bool "second ingest is the intact version" false
+        (Ingest.salvaged intact_item);
+      check_bool "the intact version supersedes the torn head" true
+        (Cluster.better intact_item torn_item);
+      (* an intact ingest is settled: never offered again *)
+      (match Ingest.poll sc with
+      | [], [] -> ()
+      | _ -> Alcotest.fail "a settled file must not be re-offered"))
+
+(* A rejected (garbage) file is also re-offered once its content moves —
+   and a damaged persistent index is an [Error] from the batch wrapper,
+   not an assertion failure. *)
+let test_run_items_damaged_index_error () =
+  let items, _, resolve = service_fixture () in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Sys.mkdir dir 0o755;
+      write_file (Filename.concat dir "shard-000.idx") "not an index\n";
+      match
+        Triage.run_items ~policy:service_policy ~index_dir:dir ~resolve items
+      with
+      | Error (Triage.Index.Malformed _) -> ()
+      | Error (Triage.Index.Unknown_version _) ->
+          Alcotest.fail "bad magic must be Malformed, not Unknown_version"
+      | Ok _ -> Alcotest.fail "a damaged index must not open")
+
+(* Run-bounded rungs (the service default): a policy whose wall-clock
+   window has already expired still reproduces every cluster, because
+   only run budgets bound the climb; the wall-clock opt-in flips the
+   same clusters to timed_out.  This is the borderline-cluster flap the
+   wall-clock ladder suffered on a shared core, pinned at its extreme. *)
+let test_service_rungs_run_bounded () =
+  let items, _, resolve = service_fixture () in
+  let starved = { service_policy with Sched.deadline_s = 0.0 } in
+  let run wall_rungs =
+    let config =
+      {
+        Service.default_config with
+        Service.policy = starved;
+        queue_capacity = 8;
+        eager = false;
+        wall_rungs;
+      }
+    in
+    let svc = open_service ~config resolve in
+    List.iter (fun it -> ignore (Service.submit_item svc it)) items;
+    let s = Service.drain svc in
+    let results = Service.cluster_results svc in
+    Service.close svc;
+    (s, results)
+  in
+  let bounded, results = run false in
+  check_int "run-bounded rungs reproduce every cluster"
+    (List.length bounded.Summary.clusters)
+    (bounded.Summary.reproduced + bounded.Summary.salvaged_reproduced);
+  check_int "no wall-clock flap" 0 bounded.Summary.timed_out;
+  check_int "cluster_results covers every cluster after drain"
+    (List.length bounded.Summary.clusters)
+    (List.length results);
+  let wall, _ = run true in
+  check_bool "the wall-clock ladder starves under the same rung" true
+    (wall.Summary.timed_out > 0)
+
+(* Under run-bounded rungs the worker count cannot flip a verdict: the
+   same stream drained at jobs=1 and jobs=4 renders byte-identical
+   timing-stripped summaries, eager climbing included. *)
+let test_service_rungs_jobs_invariant () =
+  let items, _, resolve = service_fixture () in
+  let summarize jobs =
+    let policy = { service_policy with Sched.jobs } in
+    let config =
+      {
+        Service.default_config with
+        Service.policy = policy;
+        queue_capacity = 8;
+        burst = 1;
+        eager = true;
+      }
+    in
+    let svc = open_service ~config resolve in
+    List.iter (fun it -> ignore (Service.submit_item svc it)) items;
+    while Service.queue_depth svc > 0 do
+      ignore (Service.tick svc)
+    done;
+    let s = Service.drain svc in
+    Service.close svc;
+    s
+  in
+  let s1 = summarize 1 and s4 = summarize 4 in
+  check_string "run-bounded service summaries are jobs-invariant"
+    (Summary.to_json ~timing:false s1)
+    (Summary.to_json ~timing:false s4)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -642,6 +776,12 @@ let () =
             test_service_restart_survival;
           Alcotest.test_case "overload shedding is deterministic" `Quick
             test_service_overload_determinism;
+          Alcotest.test_case "damaged index is an error, not an assert"
+            `Quick test_run_items_damaged_index_error;
+          Alcotest.test_case "rungs are run-bounded by default" `Quick
+            test_service_rungs_run_bounded;
+          Alcotest.test_case "run-bounded rungs are jobs-invariant" `Quick
+            test_service_rungs_jobs_invariant;
         ] );
       ( "ingest",
         [
@@ -649,5 +789,7 @@ let () =
             test_ingest_of_file_unreadable;
           Alcotest.test_case "scanner polls incrementally" `Quick
             test_ingest_scanner_poll;
+          Alcotest.test_case "scanner re-offers a settled mid-write file"
+            `Quick test_ingest_scanner_rescans_settled_write;
         ] );
     ]
